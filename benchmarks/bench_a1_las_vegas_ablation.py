@@ -1,0 +1,52 @@
+"""A1 — ablation: the paper's Las Vegas resampling (Algorithm 2 lines 1–3)
+vs the original Monte Carlo [MPVX15] single shot.
+
+The paper's modification resamples the exponential shifts until
+``max delta_u < k``, upgrading "stretch 2k−1 with constant probability" to
+"with high probability".  We measure the failure fraction of each variant
+over repeated trials.
+"""
+
+from repro.graph import gnm_random_graph
+from repro.harness import format_table
+from repro.spanner import mpvx_spanner
+from repro.verify import spanner_stretch
+
+
+def _series():
+    n, m, k, trials = 60, 400, 3, 40
+    edges = gnm_random_graph(n, m, seed=51)
+    rows = []
+    for las_vegas in (True, False):
+        failures = 0
+        sizes = []
+        for s in range(trials):
+            h = mpvx_spanner(n, edges, k=k, seed=s, las_vegas=las_vegas)
+            sizes.append(len(h))
+            if spanner_stretch(n, edges, h) > 2 * k - 1:
+                failures += 1
+        rows.append(
+            {
+                "variant": "Las Vegas (paper)" if las_vegas else
+                           "Monte Carlo [MPVX15]",
+                "trials": trials,
+                "stretch_failures": failures,
+                "fail_rate": round(failures / trials, 3),
+                "avg_size": round(sum(sizes) / trials, 1),
+            }
+        )
+    return rows
+
+
+def test_a1_las_vegas_vs_monte_carlo(benchmark, report):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    report.append(
+        format_table(rows, "A1 ablation: Las Vegas resampling vs Monte "
+                           "Carlo single shot (n=60, m=400, k=3)")
+    )
+    lv, mc = rows
+    assert lv["stretch_failures"] == 0, (
+        "Las Vegas variant must never exceed 2k-1"
+    )
+    # Monte Carlo may fail; at minimum it can't beat Las Vegas
+    assert mc["stretch_failures"] >= lv["stretch_failures"]

@@ -1,0 +1,58 @@
+"""A2 — ablation: cluster-change counts vs the Lemma 3.6 bound.
+
+Lemma 3.6 is the engine of the decremental spanner's amortization: each
+vertex changes cluster at most 2 t log n times in expectation over a full
+deletion run.  We measure the empirical average and worst case across
+graph families.
+"""
+
+import math
+import random
+
+from repro.graph import gnm_random_graph, grid_graph, ring_of_cliques
+from repro.harness import format_table
+from repro.spanner import DecrementalSpanner
+
+
+def _run(name, n, edges, k, seed):
+    sp = DecrementalSpanner(n, edges, k=k, seed=seed)
+    t = sp.sc.t
+    rng = random.Random(seed)
+    alive = list(edges)
+    rng.shuffle(alive)
+    while alive:
+        batch, alive = alive[:30], alive[30:]
+        sp.batch_delete(batch)
+    total = sp.sc.total_cluster_changes
+    bound = 2 * t * math.log2(max(n, 2))
+    return {
+        "graph": name,
+        "n": n,
+        "m": len(edges),
+        "k": k,
+        "t": t,
+        "avg_chg/vertex": round(total / n, 2),
+        "bound(2t lg n)": round(bound, 1),
+        "ratio": round(total / n / bound, 4),
+    }
+
+
+def _series():
+    rows = []
+    rows.append(_run("gnm", 100, gnm_random_graph(100, 600, seed=1), 3, 1))
+    rows.append(_run("grid", 100, grid_graph(10, 10), 3, 2))
+    rows.append(
+        _run("ring-of-cliques", 96, ring_of_cliques(12, 8), 3, 3)
+    )
+    rows.append(_run("gnm-k5", 100, gnm_random_graph(100, 600, seed=4), 5, 4))
+    return rows
+
+
+def test_a2_cluster_change_bound(benchmark, report):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    report.append(
+        format_table(rows, "A2 ablation: cluster changes per vertex vs "
+                           "Lemma 3.6 bound")
+    )
+    for row in rows:
+        assert row["avg_chg/vertex"] <= row["bound(2t lg n)"], row

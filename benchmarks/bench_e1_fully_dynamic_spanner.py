@@ -1,0 +1,103 @@
+"""E1 — Theorem 1.1 "table": fully-dynamic (2k−1)-spanner.
+
+Claims under test (paper Theorem 1.1):
+  * spanner size Õ(n^{1+1/k}),
+  * stretch <= 2k−1 at every point of a mixed update stream,
+  * amortized recourse O(k log² n) per updated edge,
+  * amortized work Õ(k) per edge, depth poly(log n) per batch.
+
+Run: pytest benchmarks/bench_e1_fully_dynamic_spanner.py --benchmark-only -s
+"""
+
+import math
+import random
+
+from repro.harness import format_table, run_workload
+from repro.spanner import FullyDynamicSpanner
+from repro.verify import pairwise_stretch
+from repro.workloads import mixed_stream
+
+
+def _series():
+    rows = []
+    for n, k in [(64, 2), (128, 2), (256, 2), (128, 3), (256, 3)]:
+        m = 4 * n
+        wl = mixed_stream(
+            n, m, batch_size=32, num_batches=20, seed=n + k
+        )
+        # base_capacity small enough to engage the decremental levels
+        stats = run_workload(
+            f"n={n},k={k}",
+            wl,
+            lambda edges, cost, n=n, k=k: FullyDynamicSpanner(
+                n, edges, k=k, seed=n * k, cost=cost,
+                base_capacity=max(16, m // 8),
+            ),
+        )
+        size_bound = n ** (1 + 1 / k) * math.log2(n)
+        rows.append(
+            dict(
+                stats.row(),
+                **{
+                    "size_bound(n^{1+1/k}lg n)": round(size_bound),
+                    "size/bound": round(
+                        stats.output_size_final / size_bound, 3
+                    ),
+                    "recourse_bound(k lg^2 n)": round(
+                        k * math.log2(n) ** 2, 1
+                    ),
+                },
+            )
+        )
+    return rows
+
+
+def test_e1_table(benchmark, report):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    report.append(format_table(rows, "E1: fully-dynamic (2k-1)-spanner (Theorem 1.1)"))
+    for row in rows:
+        assert row["size/bound"] < 2.0, "size exceeds Õ(n^{1+1/k})"
+        assert row["recourse/upd"] <= row["recourse_bound(k lg^2 n)"]
+
+
+def test_e1_stretch_holds_mid_stream(benchmark, report):
+    n, k, m = 96, 2, 350
+    rng = random.Random(0)
+
+    def run():
+        wl = mixed_stream(n, m, batch_size=25, num_batches=12, seed=1)
+        sp = FullyDynamicSpanner(n, wl.initial_edges, k=k, seed=1,
+                                 base_capacity=64)
+        worst = 0.0
+        for batch, edges in wl.replay():
+            sp.update(insertions=batch.insertions,
+                      deletions=batch.deletions)
+            pairs = [
+                (rng.randrange(n), rng.randrange(n)) for _ in range(30)
+            ]
+            s = pairwise_stretch(n, edges, sp.spanner_edges(), pairs)
+            worst = max(worst, s)
+        return worst
+
+    worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.append(
+        f"E1 stretch check: worst sampled stretch {worst:.2f} "
+        f"(guarantee {2 * k - 1})"
+    )
+    assert worst <= 2 * k - 1
+
+
+def test_e1_update_throughput(benchmark):
+    n, k, m = 128, 2, 512
+    wl = mixed_stream(n, m, batch_size=64, num_batches=8, seed=3)
+
+    def run():
+        sp = FullyDynamicSpanner(n, wl.initial_edges, k=k, seed=3,
+                                 base_capacity=64)
+        for batch in wl.batches:
+            sp.update(insertions=batch.insertions,
+                      deletions=batch.deletions)
+        return sp.spanner_size()
+
+    size = benchmark(run)
+    assert size > 0

@@ -1,0 +1,142 @@
+"""E2 — Theorem 1.2 "table": batch-dynamic decremental BFS (ES tree).
+
+Claims under test:
+  * total deletion work O(L · m · log n) over a full deletion run,
+  * depth per batch O(L log² n), independent of batch size,
+  * distances always equal a fresh bounded BFS (spot-checked).
+
+Run: pytest benchmarks/bench_e2_es_tree.py --benchmark-only -s
+"""
+
+import math
+import random
+
+from repro.bfs import BatchDynamicESTree, bounded_bfs_directed
+from repro.harness import format_table
+from repro.pram import CostModel
+
+
+def _random_digraph(n, m, seed):
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < m:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.add((u, v))
+    return sorted(edges)
+
+
+def _series():
+    rows = []
+    for n, m, limit in [(100, 600, 4), (200, 1200, 4), (200, 1200, 8),
+                        (400, 2400, 4)]:
+        edges = _random_digraph(n, m, seed=n + limit)
+        cm = CostModel()
+        tree = BatchDynamicESTree(n, edges, source=0, limit=limit, cost=cm)
+        init_work = cm.work
+        cm.reset()
+        rng = random.Random(limit)
+        alive = list(edges)
+        rng.shuffle(alive)
+        max_depth = 0
+        while alive:
+            batch, alive = alive[:50], alive[50:]
+            with cm.frame() as fr:
+                tree.batch_delete(batch)
+            max_depth = max(max_depth, fr.depth)
+        logn = math.log2(n)
+        bound = limit * m * logn
+        rows.append(
+            {
+                "n": n,
+                "m": m,
+                "L": limit,
+                "init_work": init_work,
+                "del_work": cm.work,
+                "work_bound(Lm lg n)": round(bound),
+                "work/bound": round(cm.work / bound, 3),
+                "maxdepth": max_depth,
+                "depth_bound(L lg^2 n)": round(limit * logn**2),
+            }
+        )
+    return rows
+
+
+def test_e2_table(benchmark, report):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    report.append(
+        format_table(rows, "E2: batch-dynamic ES tree (Theorem 1.2)")
+    )
+    for row in rows:
+        # generous constants; the shape is what matters
+        assert row["work/bound"] <= 25.0
+        assert row["maxdepth"] <= 60 * row["depth_bound(L lg^2 n)"]
+
+
+def test_e2_depth_independent_of_batch_size(benchmark, report):
+    """The parallel claim: deleting in one huge batch costs no more depth
+    than many small batches."""
+    n, m, limit = 150, 900, 5
+    edges = _random_digraph(n, m, seed=9)
+
+    def depth_for(batch_size):
+        cm = CostModel()
+        tree = BatchDynamicESTree(n, edges, source=0, limit=limit, cost=cm)
+        cm.reset()
+        alive = list(edges)
+        worst = 0
+        while alive:
+            batch, alive = alive[:batch_size], alive[batch_size:]
+            with cm.frame() as fr:
+                tree.batch_delete(batch)
+            worst = max(worst, fr.depth)
+        return worst
+
+    def run():
+        return {b: depth_for(b) for b in (10, 100, 900)}
+
+    depths = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.append(
+        "E2 depth vs batch size (should be flat): "
+        + ", ".join(f"b={b}: depth={d}" for b, d in depths.items())
+    )
+    assert depths[900] <= 3 * depths[10]
+
+
+def test_e2_deletion_throughput(benchmark):
+    n, m, limit = 200, 1200, 4
+    edges = _random_digraph(n, m, seed=5)
+
+    def run():
+        tree = BatchDynamicESTree(n, edges, source=0, limit=limit)
+        alive = list(edges)
+        while alive:
+            batch, alive = alive[:100], alive[100:]
+            tree.batch_delete(batch)
+        return tree.dist_of(1)
+
+    benchmark(run)
+
+
+def test_e2_correctness_spot_check(benchmark):
+    n, m, limit = 120, 700, 5
+    edges = _random_digraph(n, m, seed=13)
+
+    def run():
+        tree = BatchDynamicESTree(n, edges, source=0, limit=limit)
+        rng = random.Random(13)
+        alive = list(edges)
+        rng.shuffle(alive)
+        ok = True
+        while alive:
+            batch, alive = alive[:80], alive[80:]
+            tree.batch_delete(batch)
+            adj = [[] for _ in range(n)]
+            for u, v in alive:
+                adj[u].append(v)
+            ok &= tree.distances() == bounded_bfs_directed(
+                n, adj, 0, limit
+            )
+        return ok
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,79 @@
+"""E3 — Lemma 3.3 "table": decremental (2k−1)-spanner.
+
+Claims under test:
+  * initial size O(n^{1+1/k}),
+  * expected cluster changes per vertex O(k log n) over a full deletion
+    run (via Lemma 3.6),
+  * amortized recourse O(k log n) per deleted edge.
+"""
+
+import math
+import random
+
+from repro.graph import gnm_random_graph
+from repro.harness import format_table
+from repro.spanner import DecrementalSpanner
+
+
+def _run_one(n, m, k, seed):
+    edges = gnm_random_graph(n, m, seed=seed)
+    sp = DecrementalSpanner(n, edges, k=k, seed=seed)
+    init_size = sp.spanner_size()
+    rng = random.Random(seed)
+    alive = list(edges)
+    rng.shuffle(alive)
+    recourse = 0
+    while alive:
+        batch, alive = alive[:40], alive[40:]
+        ins, dels = sp.batch_delete(batch)
+        recourse += len(ins) + len(dels)
+    return init_size, recourse, sp.sc.total_cluster_changes
+
+
+def _series():
+    rows = []
+    for n, k in [(80, 2), (160, 2), (80, 3), (160, 3)]:
+        m = 5 * n
+        init_size, recourse, cluster_changes = _run_one(n, m, k, seed=n * k)
+        logn = math.log2(n)
+        rows.append(
+            {
+                "n": n,
+                "m": m,
+                "k": k,
+                "init_size": init_size,
+                "size_bound(n^{1+1/k})": round(n ** (1 + 1 / k)),
+                "recourse/edge": round(recourse / m, 3),
+                "rec_bound(k lg n)": round(k * logn, 1),
+                "clu_chg/vertex": round(cluster_changes / n, 2),
+                "clu_bound(2k lg n)": round(2 * k * logn, 1),
+            }
+        )
+    return rows
+
+
+def test_e3_table(benchmark, report):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    report.append(
+        format_table(rows, "E3: decremental (2k-1)-spanner (Lemma 3.3)")
+    )
+    for row in rows:
+        assert row["init_size"] <= 4 * row["size_bound(n^{1+1/k})"]
+        assert row["recourse/edge"] <= 2 * row["rec_bound(k lg n)"]
+        # Lemma 3.6 bound on expected cluster changes
+        assert row["clu_chg/vertex"] <= 2 * row["clu_bound(2k lg n)"]
+
+
+def test_e3_deletion_throughput(benchmark):
+    n, m, k = 120, 600, 3
+    edges = gnm_random_graph(n, m, seed=1)
+
+    def run():
+        sp = DecrementalSpanner(n, edges, k=k, seed=1)
+        alive = list(edges)
+        while alive:
+            batch, alive = alive[:60], alive[60:]
+            sp.batch_delete(batch)
+        return sp.spanner_size()
+
+    assert benchmark(run) == 0

@@ -1,0 +1,93 @@
+"""E4 — Theorem 1.3 "table": sparse spanner via nested contractions.
+
+Claims under test:
+  * O(n) spanner edges (vs the Õ(n^{1+1/k}) of Theorem 1.1 at small k),
+  * measured stretch far below the worst-case composition bound, scaling
+    like Õ(log n),
+  * recourse O(log³ n)-ish per updated edge.
+"""
+
+import math
+import random
+
+from repro.contraction import SparseSpannerDynamic
+from repro.harness import format_table, run_workload
+from repro.verify import pairwise_stretch
+from repro.workloads import mixed_stream
+
+
+def _series():
+    rows = []
+    for n in (64, 128, 256):
+        m = 6 * n
+        wl = mixed_stream(n, m, batch_size=32, num_batches=12, seed=n)
+        stats = run_workload(
+            f"n={n}",
+            wl,
+            lambda edges, cost, n=n: SparseSpannerDynamic(
+                n, edges, seed=n, cost=cost,
+                base_capacity=max(16, m // 8),
+            ),
+        )
+        rows.append(
+            dict(
+                stats.row(),
+                **{
+                    "size/n": round(stats.output_size_final / n, 2),
+                    "rec_bound(lg^3 n)": round(math.log2(n) ** 3, 1),
+                },
+            )
+        )
+    return rows
+
+
+def test_e4_table(benchmark, report):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    report.append(
+        format_table(rows, "E4: sparse spanner, O(n) edges (Theorem 1.3)")
+    )
+    for row in rows:
+        assert row["size/n"] <= 8.0, "spanner is not O(n)"
+        assert row["recourse/upd"] <= 3 * row["rec_bound(lg^3 n)"]
+
+
+def test_e4_measured_stretch(benchmark, report):
+    n, m = 128, 800
+
+    def run():
+        rng = random.Random(2)
+        wl = mixed_stream(n, m, batch_size=40, num_batches=8, seed=2)
+        sp = SparseSpannerDynamic(n, wl.initial_edges, seed=2,
+                                  base_capacity=64)
+        worst = 0.0
+        for batch, edges in wl.replay():
+            sp.update(insertions=batch.insertions,
+                      deletions=batch.deletions)
+            pairs = [(rng.randrange(n), rng.randrange(n))
+                     for _ in range(25)]
+            worst = max(
+                worst, pairwise_stretch(n, edges, sp.spanner_edges(), pairs)
+            )
+        return worst, sp.stretch_bound()
+
+    worst, bound = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.append(
+        f"E4 stretch: measured {worst:.1f} vs worst-case bound {bound} "
+        f"(log2 n = {math.log2(n):.1f})"
+    )
+    assert worst <= bound
+
+
+def test_e4_update_throughput(benchmark):
+    n, m = 128, 600
+    wl = mixed_stream(n, m, batch_size=50, num_batches=6, seed=4)
+
+    def run():
+        sp = SparseSpannerDynamic(n, wl.initial_edges, seed=4,
+                                  base_capacity=64)
+        for batch in wl.batches:
+            sp.update(insertions=batch.insertions,
+                      deletions=batch.deletions)
+        return sp.spanner_size()
+
+    assert benchmark(run) >= 0

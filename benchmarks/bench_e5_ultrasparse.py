@@ -1,0 +1,89 @@
+"""E5 — Theorem 1.4 "table": ultra-sparse spanner, sweep over x.
+
+Claims under test:
+  * spanner size <= n + O(n/x): the non-tree surplus shrinks as x grows,
+  * measured stretch grows with x (the x·log x factor), staying below the
+    Lemma 5.1 composition bound.
+"""
+
+import random
+
+from repro.graph import gnm_random_graph
+from repro.harness import format_table
+from repro.ultrasparse import UltraSparseSpannerDynamic
+from repro.verify import pairwise_stretch
+
+
+def _series():
+    n, m = 200, 3000
+    edges = gnm_random_graph(n, m, seed=5)
+    rng = random.Random(5)
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(40)]
+    rows = []
+    for x in (2.0, 3.0, 4.0):
+        sp = UltraSparseSpannerDynamic(n, edges, x=x, seed=int(x))
+        size = sp.spanner_size()
+        stretch = pairwise_stretch(n, edges, sp.spanner_edges(), pairs)
+        rows.append(
+            {
+                "x": x,
+                "n": n,
+                "m": m,
+                "|H|": size,
+                "surplus": size - n,
+                "surplus_bound(8n/x)": round(8 * n / x),
+                "stretch": round(stretch, 1),
+                "stretch_bound": round(sp.stretch_bound()),
+            }
+        )
+    return rows
+
+
+def test_e5_table(benchmark, report):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    report.append(
+        format_table(rows, "E5: ultra-sparse spanner, n + O(n/x) edges "
+                           "(Theorem 1.4)")
+    )
+    for row in rows:
+        assert row["surplus"] <= row["surplus_bound(8n/x)"]
+        assert row["stretch"] <= row["stretch_bound"]
+    # surplus shrinks as x grows (the headline ultra-sparsity shape)
+    assert rows[-1]["surplus"] <= rows[0]["surplus"]
+
+
+def test_e5_dynamic_stream(benchmark, report):
+    """Size stays ultra-sparse through a deletion stream."""
+    n, m, x = 150, 1500, 3.0
+    edges = gnm_random_graph(n, m, seed=7)
+
+    def run():
+        sp = UltraSparseSpannerDynamic(n, edges, x=x, seed=7)
+        rng = random.Random(7)
+        alive = list(edges)
+        rng.shuffle(alive)
+        worst_surplus = sp.spanner_size() - n
+        for _ in range(6):
+            batch, alive = alive[:100], alive[100:]
+            sp.update(deletions=batch)
+            worst_surplus = max(worst_surplus, sp.spanner_size() - n)
+        return worst_surplus
+
+    surplus = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.append(
+        f"E5 dynamic: worst surplus over deletion stream = {surplus} "
+        f"(n = {n}, x = {x})"
+    )
+    assert surplus <= 8 * n / x
+
+
+def test_e5_update_throughput(benchmark):
+    n, m, x = 100, 800, 2.0
+    edges = gnm_random_graph(n, m, seed=9)
+
+    def run():
+        sp = UltraSparseSpannerDynamic(n, edges, x=x, seed=9)
+        sp.update(deletions=edges[:100])
+        return sp.spanner_size()
+
+    assert benchmark(run) > 0

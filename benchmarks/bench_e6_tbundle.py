@@ -1,0 +1,95 @@
+"""E6 — Theorem 1.5 "table": decremental t-bundle spanners.
+
+Claims under test:
+  * bundle size scales linearly in t (O(n t log n)),
+  * amortized recourse O(1) per deleted edge (the monotonicity payoff),
+  * every level H_i is a valid spanner of G minus the previous levels
+    (checked on a small instance).
+"""
+
+import math
+import random
+
+from repro.bundle import DecrementalTBundle
+from repro.graph import gnm_random_graph
+from repro.harness import format_table
+
+
+def _series():
+    rows = []
+    n, m = 100, 1200
+    edges = gnm_random_graph(n, m, seed=11)
+    for t in (1, 2, 4):
+        bundle = DecrementalTBundle(n, edges, t=t, seed=t, instances=6)
+        init_size = bundle.bundle_size()
+        rng = random.Random(t)
+        alive = list(edges)
+        rng.shuffle(alive)
+        recourse = 0
+        while alive:
+            batch, alive = alive[:60], alive[60:]
+            ins, dels = bundle.batch_delete(batch)
+            recourse += len(ins) + len(dels)
+        rows.append(
+            {
+                "t": t,
+                "n": n,
+                "m": m,
+                "bundle_size": init_size,
+                "size_bound(nt lg n)": round(n * t * math.log2(n)),
+                "recourse/edge": round(recourse / m, 3),
+                "recourse_bound(O(1))": 4,
+            }
+        )
+    return rows
+
+
+def test_e6_table(benchmark, report):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    report.append(
+        format_table(rows, "E6: decremental t-bundle spanner (Theorem 1.5)")
+    )
+    for row in rows:
+        assert row["bundle_size"] <= row["size_bound(nt lg n)"]
+        assert row["recourse/edge"] <= row["recourse_bound(O(1))"]
+    # size grows (roughly linearly) with t
+    assert rows[-1]["bundle_size"] > rows[0]["bundle_size"]
+
+
+def test_e6_bundle_property_mid_stream(benchmark, report):
+    """Chained-spanner property verified at several points of the run."""
+    n, m, t = 30, 200, 2
+    edges = gnm_random_graph(n, m, seed=13)
+
+    def run():
+        bundle = DecrementalTBundle(n, edges, t=t, seed=13, instances=5)
+        rng = random.Random(13)
+        alive = list(edges)
+        rng.shuffle(alive)
+        checks = 0
+        while alive:
+            batch, alive = alive[:40], alive[40:]
+            bundle.batch_delete(batch)
+            bundle.check_invariants()  # includes per-level spanner checks
+            checks += 1
+        return checks
+
+    checks = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.append(f"E6 property check: bundle chain valid at {checks} "
+                  "checkpoints")
+    assert checks >= 4
+
+
+def test_e6_deletion_throughput(benchmark):
+    n, m, t = 80, 600, 2
+    edges = gnm_random_graph(n, m, seed=17)
+
+    def run():
+        bundle = DecrementalTBundle(n, edges, t=t, seed=17, instances=4)
+        alive = list(edges)
+        while alive:
+            batch, alive = alive[:80], alive[80:]
+            bundle.batch_delete(batch)
+        return bundle.bundle_size()
+
+    assert benchmark(run) == 0

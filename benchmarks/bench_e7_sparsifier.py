@@ -1,0 +1,115 @@
+"""E7 — Theorem 1.6 / Lemma 6.6 "table": spectral sparsifier quality.
+
+Claims under test:
+  * the pencil eigenvalue spread tightens as the bundle size t grows
+    (the paper's t = Θ(ε⁻² ...) knob, swept instead of hardwired),
+  * the sparsifier never disconnects the graph (bundle level 1 is a
+    spanner),
+  * sampled cut error tracks the spectral spread,
+  * amortized recourse O(1) per deletion (decremental chain).
+"""
+
+import random
+
+import numpy as np
+
+from repro.graph import gnm_random_graph
+from repro.harness import format_table
+from repro.sparsifier import DecrementalSpectralSparsifier
+from repro.verify import max_cut_error, pencil_eigenvalue_range
+
+
+def unit(edges):
+    return {tuple(e): 1.0 for e in edges}
+
+
+def _series():
+    n, m = 40, 500
+    edges = gnm_random_graph(n, m, seed=21)
+    rng = np.random.default_rng(21)
+    cuts = []
+    for _ in range(30):
+        side = set(np.flatnonzero(rng.random(n) < 0.5).tolist())
+        if side and len(side) < n:
+            cuts.append(side)
+    rows = []
+    for t in (1, 2, 4, 8):
+        sp = DecrementalSpectralSparsifier(
+            n, edges, t=t, seed=t, instances=5
+        )
+        w = sp.weighted_edges()
+        lo, hi = pencil_eigenvalue_range(n, unit(edges), w)
+        err = max_cut_error(n, unit(edges), w, cuts)
+        rows.append(
+            {
+                "t": t,
+                "n": n,
+                "m": m,
+                "|H|": sp.sparsifier_size(),
+                "lambda_min": round(lo, 3),
+                "lambda_max": round(hi, 3),
+                "spread": round(hi / lo, 3),
+                "cut_err": round(err, 3),
+                "rounds_k": sp.k,
+            }
+        )
+    return rows
+
+
+def test_e7_quality_vs_t(benchmark, report):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    report.append(
+        format_table(
+            rows,
+            "E7: spectral sparsifier quality vs bundle size t "
+            "(Lemma 6.6 / Theorem 1.6)",
+        )
+    )
+    for row in rows:
+        assert row["lambda_min"] > 0, "sparsifier disconnected the graph"
+        assert row["cut_err"] <= max(
+            1 - row["lambda_min"], row["lambda_max"] - 1
+        ) + 1e-6
+    # headline shape: spread tightens as t grows
+    assert rows[-1]["spread"] <= rows[0]["spread"] + 1e-9
+
+
+def test_e7_decremental_recourse(benchmark, report):
+    n, m, t = 40, 400, 2
+    edges = gnm_random_graph(n, m, seed=23)
+
+    def run():
+        sp = DecrementalSpectralSparsifier(n, edges, t=t, seed=23,
+                                           instances=4)
+        rng = random.Random(23)
+        alive = list(edges)
+        rng.shuffle(alive)
+        recourse = 0
+        while alive:
+            batch, alive = alive[:40], alive[40:]
+            ins, dels = sp.batch_delete(batch)
+            recourse += len(ins) + len(dels)
+        return recourse / m
+
+    per_edge = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.append(
+        f"E7 recourse: {per_edge:.3f} sparsifier changes per deleted edge "
+        "(Lemma 6.6 claims O(1) amortized)"
+    )
+    assert per_edge <= 4.0
+
+
+def test_e7_chain_throughput(benchmark):
+    n, m, t = 40, 300, 2
+    edges = gnm_random_graph(n, m, seed=29)
+
+    def run():
+        sp = DecrementalSpectralSparsifier(n, edges, t=t, seed=29,
+                                           instances=4)
+        alive = list(edges)
+        while alive:
+            batch, alive = alive[:60], alive[60:]
+            sp.batch_delete(batch)
+        return sp.sparsifier_size()
+
+    assert benchmark(run) == 0

@@ -1,0 +1,60 @@
+"""E8 — extension: fully-dynamic weighted spanner (weight-class reduction).
+
+Not in the paper (its results are unweighted); this bench validates the
+natural extension built on Theorem 1.1: stretch ≤ (2k−1)(1+ε) under
+weighted mixed streams, with size O(log_{1+ε} W) times the unweighted
+figure and the ε knob trading size for stretch.
+"""
+
+import numpy as np
+
+from repro.graph import gnm_random_graph
+from repro.harness import format_table
+from repro.spanner import WeightedFullyDynamicSpanner
+from repro.spanner.weighted import weighted_spanner_stretch
+
+
+def _series():
+    n, m, k = 60, 1400, 2
+    rng = np.random.default_rng(71)
+    edges = gnm_random_graph(n, m, seed=71)
+    weights = {e: float(w) for e, w in zip(edges, rng.uniform(1, 10, m))}
+    rows = []
+    for eps in (0.25, 0.5, 1.0, 2.0):
+        sp = WeightedFullyDynamicSpanner(
+            n, weights, k=k, epsilon=eps, seed=int(eps * 100),
+            base_capacity=16,
+        )
+        # churn: delete a third, reinsert with fresh weights
+        dels = edges[: m // 3]
+        sp.update(deletions=dels)
+        reins = {
+            e: float(w) for e, w in zip(dels, rng.uniform(1, 10, len(dels)))
+        }
+        sp.update(insertions=reins)
+        current = dict(weights)
+        current.update(reins)
+        s = weighted_spanner_stretch(n, current, sp.spanner_edges())
+        rows.append(
+            {
+                "epsilon": eps,
+                "classes": len(sp.class_sizes()),
+                "|H|": sp.spanner_size(),
+                "stretch": round(s, 2),
+                "guarantee": round(sp.stretch, 2),
+            }
+        )
+    return rows
+
+
+def test_e8_weighted_extension(benchmark, report):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    report.append(
+        format_table(rows, "E8 extension: weighted fully-dynamic spanner "
+                           "(weights in [1, 10], k=2)")
+    )
+    for row in rows:
+        assert row["stretch"] <= row["guarantee"] + 1e-9
+    # the tradeoff: larger epsilon -> fewer classes -> smaller spanner
+    assert rows[-1]["classes"] < rows[0]["classes"]
+    assert rows[-1]["|H|"] <= rows[0]["|H|"]

@@ -1,0 +1,57 @@
+"""F1 — figure: amortized work per update vs n.
+
+The paper's headline efficiency claim: batch updates cost polylog work per
+edge.  We sweep n at fixed average degree and batch fraction and check the
+measured work/update grows like a polylog (quantified as: doubling n at most
+adds a constant factor ~ (log 2n / log n)^c, far below the linear growth a
+non-dynamic algorithm would show).
+"""
+
+import math
+
+from repro.harness import format_table, run_workload
+from repro.spanner import FullyDynamicSpanner
+from repro.workloads import mixed_stream
+
+
+def _series():
+    rows = []
+    k = 2
+    for n in (64, 128, 256, 512):
+        m = 4 * n
+        wl = mixed_stream(n, m, batch_size=n // 4, num_batches=10, seed=n)
+        stats = run_workload(
+            f"n={n}",
+            wl,
+            lambda edges, cost, n=n: FullyDynamicSpanner(
+                n, edges, k=k, seed=n, cost=cost,
+                base_capacity=max(16, n // 2),
+            ),
+        )
+        rows.append(
+            {
+                "n": n,
+                "m": m,
+                "work/upd": round(stats.work_per_update, 1),
+                "polylog_ref(k lg^3 n)": round(k * math.log2(n) ** 3, 1),
+                "ratio": round(
+                    stats.work_per_update / (k * math.log2(n) ** 3), 3
+                ),
+            }
+        )
+    return rows
+
+
+def test_f1_work_scaling(benchmark, report):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    report.append(
+        format_table(rows, "F1: amortized work per update vs n "
+                           "(should track polylog, not n)")
+    )
+    # the work/polylog ratio must stay within a constant band while n
+    # grows 8x — i.e. no linear-in-n blowup.
+    ratios = [row["ratio"] for row in rows]
+    assert max(ratios) <= 6 * min(r for r in ratios if r > 0)
+    # and absolute work/update must be far below m (static recompute cost)
+    for row in rows:
+        assert row["work/upd"] < row["m"]

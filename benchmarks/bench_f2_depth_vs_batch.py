@@ -1,0 +1,113 @@
+"""F2 — figure: depth per batch vs batch size, and Brent simulated time.
+
+The defining property of a *batch*-dynamic parallel algorithm: processing a
+batch of b updates takes poly(log n) depth — independent of b — so the
+simulated runtime W/p + D keeps dropping as processors are added.
+"""
+
+from repro.harness import format_table
+from repro.pram import CostModel, brent_time
+from repro.spanner import FullyDynamicSpanner
+from repro.workloads import deletion_stream
+
+
+def _depth_series():
+    n, m = 200, 1200
+    rows = []
+    for batch_size in (10, 40, 160, 640):
+        wl = deletion_stream(n, m, batch_size=batch_size, seed=31)
+        cost = CostModel()
+        sp = FullyDynamicSpanner(
+            n, wl.initial_edges, k=2, seed=31, cost=cost, base_capacity=128
+        )
+        cost.reset()
+        worst = 0
+        for batch in wl.batches:
+            with cost.frame() as fr:
+                sp.update(deletions=batch.deletions)
+            worst = max(worst, fr.depth)
+        rows.append(
+            {
+                "batch_size": batch_size,
+                "batches": len(wl.batches),
+                "max_depth": worst,
+                "total_work": cost.work,
+            }
+        )
+    return rows
+
+
+def _brent_series():
+    n, m = 200, 1200
+    wl = deletion_stream(n, m, batch_size=100, seed=33)
+    cost = CostModel()
+    sp = FullyDynamicSpanner(
+        n, wl.initial_edges, k=2, seed=33, cost=cost, base_capacity=128
+    )
+    cost.reset()
+    for batch in wl.batches:
+        sp.update(deletions=batch.deletions)
+    snap = cost.snapshot()
+    return [
+        {
+            "p": p,
+            "simulated_time(W/p+D)": round(brent_time(snap, p), 1),
+        }
+        for p in (1, 4, 16, 64, 256, 1024)
+    ], snap
+
+
+def test_f2_depth_flat_in_batch_size(benchmark, report):
+    rows = benchmark.pedantic(_depth_series, rounds=1, iterations=1)
+    report.append(
+        format_table(rows, "F2a: max depth per batch vs batch size "
+                           "(flat = parallel)")
+    )
+    depths = [row["max_depth"] for row in rows]
+    # 64x larger batches may only add a small factor of depth
+    assert depths[-1] <= 4 * depths[0]
+
+
+def _sparse_depth_series():
+    from repro.contraction import SparseSpannerDynamic
+
+    n, m = 150, 900
+    rows = []
+    for batch_size in (10, 40, 160, 640):
+        wl = deletion_stream(n, m, batch_size=batch_size, seed=5)
+        cost = CostModel()
+        sp = SparseSpannerDynamic(n, wl.initial_edges, seed=5, cost=cost,
+                                  base_capacity=64)
+        cost.reset()
+        worst = 0
+        for batch in wl.batches:
+            with cost.frame() as fr:
+                sp.update(deletions=batch.deletions)
+            worst = max(worst, fr.depth)
+        rows.append({"batch_size": batch_size, "max_depth": worst})
+    return rows
+
+
+def test_f2_sparse_spanner_depth(benchmark, report):
+    rows = benchmark.pedantic(_sparse_depth_series, rounds=1, iterations=1)
+    report.append(
+        format_table(rows, "F2c: Theorem 1.3 max depth per batch vs batch "
+                           "size")
+    )
+    depths = [row["max_depth"] for row in rows]
+    # 64x larger batches: depth may grow only by a small constant factor
+    assert depths[-1] <= 2 * depths[0]
+
+
+def test_f2_brent_speedup(benchmark, report):
+    rows, snap = benchmark.pedantic(_brent_series, rounds=1, iterations=1)
+    report.append(
+        format_table(
+            rows,
+            f"F2b: Brent simulated time (total W={snap.work}, D={snap.depth})",
+        )
+    )
+    times = [row["simulated_time(W/p+D)"] for row in rows]
+    assert times == sorted(times, reverse=True)
+    # with enough processors the runtime approaches the depth
+    assert times[-1] <= 1.2 * snap.depth + 1

@@ -1,0 +1,69 @@
+"""F3 — figure: batch-dynamic vs static-recompute crossover.
+
+The reason dynamic algorithms exist: when the batch is small relative to m,
+updating beats recomputing from scratch.  We compare wall-clock per batch of
+(a) Theorem 1.1 updates against (b) rerunning Baswana–Sen / MPVX on the
+whole current graph, across batch sizes, and report the crossover.
+"""
+
+import time
+
+from repro.graph import gnm_random_graph
+from repro.harness import format_table
+from repro.spanner import (
+    FullyDynamicSpanner,
+    baswana_sen_spanner,
+    mpvx_spanner,
+)
+from repro.workloads import churn_stream
+
+
+def _series():
+    n, m, k = 300, 2400, 2
+    rows = []
+    for frac in (0.01, 0.05, 0.2, 0.5):
+        wl = churn_stream(n, m, churn_fraction=frac, num_batches=5, seed=41)
+        # dynamic
+        sp = FullyDynamicSpanner(n, wl.initial_edges, k=k, seed=41,
+                                 base_capacity=256)
+        t0 = time.perf_counter()
+        for batch in wl.batches:
+            sp.update(insertions=batch.insertions,
+                      deletions=batch.deletions)
+        dyn = (time.perf_counter() - t0) / len(wl.batches)
+        # static recompute baselines on the evolving graph
+        t_bs = t_mpvx = 0.0
+        for i, (batch, edges) in enumerate(wl.replay()):
+            t0 = time.perf_counter()
+            baswana_sen_spanner(n, sorted(edges), k=k, seed=i)
+            t_bs += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            mpvx_spanner(n, sorted(edges), k=k, seed=i)
+            t_mpvx += time.perf_counter() - t0
+        t_bs /= len(wl.batches)
+        t_mpvx /= len(wl.batches)
+        rows.append(
+            {
+                "batch_frac": frac,
+                "batch_edges": int(2 * m * frac),
+                "dynamic_ms": round(dyn * 1e3, 2),
+                "static_BS_ms": round(t_bs * 1e3, 2),
+                "static_MPVX_ms": round(t_mpvx * 1e3, 2),
+                "speedup_vs_BS": round(t_bs / dyn, 2),
+            }
+        )
+    return rows
+
+
+def test_f3_crossover(benchmark, report):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    report.append(
+        format_table(rows, "F3: dynamic update vs static recompute per "
+                           "batch (n=300, m=2400, k=2)")
+    )
+    # at the smallest batches, dynamic must win clearly
+    assert rows[0]["speedup_vs_BS"] > 1.0, (
+        "dynamic slower than static even at 1% batches"
+    )
+    # speedup should shrink as batches grow (crossover shape)
+    assert rows[0]["speedup_vs_BS"] >= rows[-1]["speedup_vs_BS"] * 0.8

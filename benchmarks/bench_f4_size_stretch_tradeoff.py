@@ -1,0 +1,54 @@
+"""F4 — figure: size–stretch tradeoff across k.
+
+The (2k−1) / n^{1+1/k} frontier (tight under the Erdős girth conjecture):
+measured spanner size should track n^{1+1/k} as k sweeps, while measured
+stretch stays below 2k−1.
+"""
+
+import random
+
+from repro.graph import gnm_random_graph
+from repro.harness import format_table
+from repro.spanner import FullyDynamicSpanner
+from repro.verify import spanner_stretch
+
+
+def _series():
+    n = 128
+    m = n * (n - 1) // 4  # dense enough that sparsification is visible
+    edges = gnm_random_graph(n, m, seed=43)
+    rows = []
+    for k in (1, 2, 3, 4, 6):
+        # default base capacity = the paper's 2^{l0} >= n^{1+1/k}, so the
+        # initial graph lands in a decremental instance, not verbatim E_0
+        sp = FullyDynamicSpanner(n, edges, k=k, seed=k)
+        h = sp.spanner_edges()
+        stretch = spanner_stretch(n, edges, h)
+        rows.append(
+            {
+                "k": k,
+                "guarantee(2k-1)": 2 * k - 1,
+                "measured_stretch": stretch,
+                "|H|": len(h),
+                "n^{1+1/k}": round(n ** (1 + 1 / k)),
+                "|H|/n^{1+1/k}": round(len(h) / n ** (1 + 1 / k), 2),
+            }
+        )
+    return rows
+
+
+def test_f4_tradeoff(benchmark, report):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    report.append(
+        format_table(rows, "F4: size-stretch tradeoff (n=128, m=4064)")
+    )
+    for row in rows:
+        assert row["measured_stretch"] <= row["guarantee(2k-1)"]
+        assert row["|H|/n^{1+1/k}"] <= 5.0
+    sizes = [row["|H|"] for row in rows]
+    # headline trend: growing k sparsifies hard (individual sizes carry
+    # O(log n)-factor randomness, so only the coarse ordering is asserted)
+    assert sizes[1] < sizes[0] / 1.5  # k=2 well below k=1
+    assert sizes[3] < sizes[1] / 2  # k=4 well below k=2
+    # k = 1 keeps everything
+    assert sizes[0] == len(gnm_random_graph(128, 128 * 127 // 4, seed=43))

@@ -1,0 +1,129 @@
+"""S — substrate microbenchmarks: the building blocks' own claims.
+
+* Lemma 3.1: ``NextWith(k, f)`` costs O((q−k+1) log U) work — linear in
+  the scan distance, log-depth.
+* Lemma 4.1: one contraction gives E|V'| = n/x and E|H| = O(n·x).
+* HDT spanning forest: amortized update cost grows polylogarithmically
+  with n (not linearly).
+"""
+
+import random
+
+from repro.connectivity import DynamicSpanningForest
+from repro.contraction import contract
+from repro.graph import gnm_random_graph
+from repro.harness import format_table
+from repro.pram import CostModel
+from repro.structures import PriorityArray
+
+
+def _nextwith_series():
+    cm = CostModel()
+    size = 4096
+    pa = PriorityArray(1 << 14, [(i, 16000 - i) for i in range(size)],
+                       cost=cm)
+    rows = []
+    for target_pos in (8, 64, 512, 4096):
+        cm.reset()
+        q = pa.next_with(1, lambda v: v == target_pos - 1)
+        assert q == target_pos
+        rows.append(
+            {
+                "scan_distance": target_pos,
+                "work": cm.work,
+                "work/distance": round(cm.work / target_pos, 1),
+                "depth": cm.depth,
+            }
+        )
+    return rows
+
+
+def _contract_series():
+    rows = []
+    n, m = 600, 3000
+    edges = gnm_random_graph(n, m, seed=81)
+    for x in (2.0, 4.0, 8.0):
+        vs, hs = [], []
+        for s in range(5):
+            contracted, kept, head, _ = contract(n, edges, x, seed=s)
+            vs.append(sum(1 for h in set(head) if h != -1))
+            hs.append(len(kept))
+        rows.append(
+            {
+                "x": x,
+                "E|V'|_measured": round(sum(vs) / 5, 1),
+                "n/x": round(n / x, 1),
+                "E|H|_measured": round(sum(hs) / 5, 1),
+                "bound(4nx)": round(4 * n * x),
+            }
+        )
+    return rows
+
+
+def _hdt_series():
+    rows = []
+    for n in (50, 100, 200, 400):
+        rng = random.Random(n)
+        cm = CostModel()
+        dsf = DynamicSpanningForest(n, cost=cm)
+        present: set = set()
+        ops = 1500
+        for _ in range(ops):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            e = (min(u, v), max(u, v))
+            if e in present:
+                dsf.delete(*e)
+                present.remove(e)
+            else:
+                dsf.insert(*e)
+                present.add(e)
+        rows.append(
+            {
+                "n": n,
+                "ops": ops,
+                "work/op": round(cm.work / ops, 2),
+                "polylog_ref(lg^2 n)": round(
+                    (n.bit_length()) ** 2, 1
+                ),
+            }
+        )
+    return rows
+
+
+def test_s_nextwith_work_shape(benchmark, report):
+    rows = benchmark.pedantic(_nextwith_series, rounds=1, iterations=1)
+    report.append(
+        format_table(rows, "S1: Lemma 3.1 NextWith — work linear in scan "
+                           "distance, depth polylog")
+    )
+    ratios = [row["work/distance"] for row in rows]
+    # work per scanned position is a flat O(log U) constant
+    assert max(ratios) <= 3 * min(ratios)
+    for row in rows:
+        assert row["depth"] <= 14 * 14  # O(log^2 U)
+
+
+def test_s_contract_expectations(benchmark, report):
+    rows = benchmark.pedantic(_contract_series, rounds=1, iterations=1)
+    report.append(
+        format_table(rows, "S2: Lemma 4.1 Contract(G, x) — E|V'| = n/x, "
+                           "E|H| = O(n x)  (n=600, m=3000, 5 seeds)")
+    )
+    for row in rows:
+        assert row["E|V'|_measured"] <= 2.0 * row["n/x"] + 10
+        assert row["E|H|_measured"] <= row["bound(4nx)"]
+    # |V'| really shrinks with x
+    assert rows[-1]["E|V'|_measured"] < rows[0]["E|V'|_measured"]
+
+
+def test_s_hdt_scaling(benchmark, report):
+    rows = benchmark.pedantic(_hdt_series, rounds=1, iterations=1)
+    report.append(
+        format_table(rows, "S3: HDT spanning forest — amortized work per "
+                           "update vs n (polylog shape)")
+    )
+    works = [row["work/op"] for row in rows]
+    # 8x more vertices may only add a small factor (polylog, not linear)
+    assert works[-1] <= 4 * works[0]

@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench prints the paper-style table it regenerates (captured with
+``pytest benchmarks/ --benchmark-only -s`` or via the ``bench_output.txt``
+tee) and times one representative configuration with pytest-benchmark.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collector that prints all experiment tables at session end."""
+    tables: list[str] = []
+    yield tables
+    if tables:
+        print("\n\n" + "\n\n".join(tables))

@@ -1,0 +1,63 @@
+"""Quickstart: maintain a (2k-1)-spanner of a changing graph.
+
+The fully-dynamic spanner (Theorem 1.1) ingests arbitrary batches of edge
+insertions and deletions and hands back the *delta* of a provably-sparse
+subgraph whose distances approximate the full graph within 2k-1.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.graph import gnm_random_graph
+from repro.pram import CostModel, brent_time
+from repro.spanner import FullyDynamicSpanner
+from repro.verify import spanner_stretch
+
+
+def main() -> None:
+    n, m, k = 200, 5000, 3
+    edges = gnm_random_graph(n, m, seed=42)
+
+    # A cost model records the PRAM work/depth of everything the structure
+    # does, so you can ask "how long would this take on p processors?"
+    # (base_capacity bounds the verbatim level-0 partition; the default is
+    # the paper's 2^{l0} ~ n^{1+1/k}, which at this tiny scale would hold
+    # the whole graph — cap it lower so the decremental machinery shows.)
+    cost = CostModel()
+    spanner = FullyDynamicSpanner(n, edges, k=k, seed=7, cost=cost,
+                                  base_capacity=256)
+
+    h = spanner.spanner_edges()
+    print(f"graph: n={n}, m={m}")
+    print(f"spanner: {len(h)} edges (stretch guarantee {spanner.stretch})")
+    print(f"measured stretch: {spanner_stretch(n, edges, h):.0f}")
+
+    # Batch update: drop 150 edges, add 100 new ones -- one call.
+    deleted = edges[:150]
+    inserted = [(u, (u + n // 2) % n) for u in range(100)]
+    inserted = [
+        e for e in ({tuple(sorted(e)) for e in inserted} - set(edges))
+    ]
+    cost.reset()
+    d_ins, d_del = spanner.update(insertions=inserted, deletions=deleted)
+    print(
+        f"\nafter one batch of {len(inserted)} insertions + "
+        f"{len(deleted)} deletions:"
+    )
+    print(f"  spanner delta: +{len(d_ins)} / -{len(d_del)} edges")
+    print(f"  spanner size now: {spanner.spanner_size()}")
+
+    snap = cost.snapshot()
+    print(f"  PRAM cost of the batch: work={snap.work}, depth={snap.depth}")
+    for p in (1, 16, 256):
+        print(f"  simulated time on {p:4d} processors: "
+              f"{brent_time(snap, p):10.1f}")
+
+    # The spanner is still valid for the new graph.
+    current = (set(edges) - set(deleted)) | set(inserted)
+    s = spanner_stretch(n, current, spanner.spanner_edges())
+    print(f"  measured stretch after the batch: {s:.0f} "
+          f"(guarantee {spanner.stretch})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Streaming network monitor: a sparse backbone of a sliding-window graph.
+
+Scenario: a monitoring service watches "recent interactions" between hosts
+(the last W observed flows).  Every tick, a batch of new flows arrives and
+the oldest expire — a textbook batch-dynamic workload.  The service keeps
+the Theorem 1.3 sparse spanner as its probe backbone: O(n) edges no matter
+how dense the window gets, with Õ(log n)-approximate distances for latency
+triangulation.
+
+Run:  python examples/streaming_network_monitor.py
+"""
+
+import random
+
+from repro.contraction import SparseSpannerDynamic
+from repro.verify import pairwise_stretch
+from repro.workloads import sliding_window_stream
+
+
+def main() -> None:
+    n_hosts = 150
+    window = 1200
+    ticks = 12
+    flows_per_tick = 300
+
+    stream = sliding_window_stream(
+        n_hosts, window=window, num_batches=ticks,
+        batch_size=flows_per_tick, seed=2024,
+    )
+    backbone = SparseSpannerDynamic(n_hosts, seed=7)
+    rng = random.Random(7)
+
+    print(f"{'tick':>4}  {'live flows':>10}  {'backbone':>8}  "
+          f"{'delta':>11}  {'sampled stretch':>15}")
+    for tick, (batch, live_edges) in enumerate(stream.replay()):
+        d_ins, d_del = backbone.update(
+            insertions=batch.insertions, deletions=batch.deletions
+        )
+        pairs = [
+            (rng.randrange(n_hosts), rng.randrange(n_hosts))
+            for _ in range(25)
+        ]
+        stretch = pairwise_stretch(
+            n_hosts, live_edges, backbone.spanner_edges(), pairs
+        )
+        print(
+            f"{tick:>4}  {len(live_edges):>10}  "
+            f"{backbone.spanner_size():>8}  "
+            f"+{len(d_ins):>4}/-{len(d_del):>4}  {stretch:>15.1f}"
+        )
+
+    print(
+        f"\nbackbone stays ~O(n) = O({n_hosts}) edges while the window "
+        f"holds up to {window} flows;\nworst-case stretch guarantee: "
+        f"{backbone.stretch_bound()} (measured far lower, as usual)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — Parallel batch-dynamic spanners and sparsifiers.
+
+Reproduction of *"Parallel Batch-Dynamic Algorithms for Spanners, and
+Extensions"* (Ghaffari & Koo, SPAA 2025).
+
+Public API highlights
+---------------------
+- :class:`repro.spanner.FullyDynamicSpanner` — Theorem 1.1, fully-dynamic
+  (2k−1)-spanner under batch updates.
+- :class:`repro.bfs.BatchDynamicESTree` — Theorem 1.2, batch-decremental
+  shallow shortest-path tree.
+- :class:`repro.contraction.SparseSpannerDynamic` — Theorem 1.3, O(n)-edge
+  sparse spanner via nested contractions.
+- :class:`repro.ultrasparse.UltraSparseSpannerDynamic` — Theorem 1.4,
+  n + O(n/x)-edge ultra-sparse spanner.
+- :class:`repro.bundle.DecrementalTBundle` — Theorem 1.5, decremental
+  t-bundle spanner.
+- :class:`repro.sparsifier.FullyDynamicSpectralSparsifier` — Theorem 1.6,
+  fully-dynamic (1±ε) spectral sparsifier.
+- :mod:`repro.pram` — the work/depth cost model all of the above report
+  their parallel costs through.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

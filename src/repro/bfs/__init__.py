@@ -1,0 +1,7 @@
+"""Bounded BFS (Lemma 3.2) and the batch-dynamic Even–Shiloach tree
+(Theorem 1.2)."""
+
+from repro.bfs.bounded_bfs import bounded_bfs_directed
+from repro.bfs.es_tree import BatchDynamicESTree, ParentChange
+
+__all__ = ["BatchDynamicESTree", "ParentChange", "bounded_bfs_directed"]

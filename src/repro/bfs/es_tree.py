@@ -1,0 +1,337 @@
+"""Parallel batch-dynamic decremental Even–Shiloach tree (Theorem 1.2).
+
+Maintains a shortest-path tree of depth at most ``L`` from a fixed source in
+a *directed* unweighted graph, under batches of edge deletions, with
+
+* initialization: O(m log n) work, O(L log n + log² n) depth,
+* per deletion batch: O(L log n) amortized work per deleted edge and
+  O(L log² n) worst-case depth.
+
+Structure (Section 3.2 of the paper):
+
+* ``IN(v)`` — a :class:`~repro.structures.PriorityArray` of the in-edges of
+  ``v``, positions ordered by decreasing priority.  Deleted edges stay in the
+  array marked dead so that scan positions remain stable.
+* ``SCAN(v)`` — the scan pointer (Invariant A1: it rests on the parent edge,
+  the first valid in-edge at level ``DIST(v) - 1``).  We store it as the
+  *priority* of the parent edge; the position is recovered with ``count_ge``
+  so that priority reorders elsewhere in the array cannot corrupt it.
+* deletions are processed in phases ``i = 1..L`` over buckets of vertices
+  whose distance may grow past ``i`` (Invariants A2–A4); each phase is one
+  parallel round of ``NextWith`` scans.
+
+Priorities
+----------
+The spanner of Section 3.3 orders each ``IN(v)`` by cluster priority and
+*updates* priorities as clusters move; plain Theorem 1.2 usage does not care.
+Callers may pass per-edge priorities (distinct within each ``IN(v)``); by
+default edges are prioritized arbitrarily.  :meth:`update_edge_priority` and
+:meth:`find_parent_candidate` expose the hooks the spanner layer needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Iterator, Sequence
+
+from repro.pram.cost import NULL_COST_MODEL, CostModel, log2ceil
+from repro.structures.priority_array import PriorityArray
+
+__all__ = ["BatchDynamicESTree", "ParentChange"]
+
+DirEdge = tuple[int, int]
+
+
+class ParentChange:
+    """Record of one parent-pointer change during a deletion batch.
+
+    ``new_parent is None`` means the vertex fell out of the depth-``L`` tree
+    (its distance is now ``L + 1``).
+    """
+
+    __slots__ = ("vertex", "old_parent", "new_parent", "old_dist", "new_dist")
+
+    def __init__(self, vertex, old_parent, new_parent, old_dist, new_dist):
+        self.vertex = vertex
+        self.old_parent = old_parent
+        self.new_parent = new_parent
+        self.old_dist = old_dist
+        self.new_dist = new_dist
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParentChange(v={self.vertex}, {self.old_parent}->"
+            f"{self.new_parent}, d {self.old_dist}->{self.new_dist})"
+        )
+
+
+class BatchDynamicESTree:
+    """Theorem 1.2 data structure.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices (ids ``0..n-1``).
+    edges:
+        Directed edges ``(u, v)`` meaning ``u -> v``.  Duplicates rejected.
+    source:
+        BFS root.
+    limit:
+        Tree depth bound ``L``; vertices farther than ``L`` carry distance
+        ``L + 1`` and no parent.
+    priority:
+        Optional map ``(u, v) -> int`` giving the initial priority of the
+        edge inside ``IN(v)``; priorities must be distinct per target vertex
+        and fit in ``universe``.  Default: arbitrary distinct values.
+    universe:
+        Priority universe size (default ``max(n^2, 4)``, enough for the
+        default assignment).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[DirEdge],
+        source: int,
+        limit: int,
+        priority: dict[DirEdge, int] | None = None,
+        universe: int | None = None,
+        cost: CostModel = NULL_COST_MODEL,
+    ) -> None:
+        self.n = n
+        self.L = limit
+        self.source = source
+        self._cost = cost
+        edges = list(edges)
+        if len(set(edges)) != len(edges):
+            raise ValueError("duplicate directed edges")
+        self._universe = universe if universe is not None else max(n * n, 4)
+
+        self.out_adj: list[set[int]] = [set() for _ in range(n)]
+        in_items: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+        self.edge_pri: dict[DirEdge, int] = {}
+        self.alive: set[DirEdge] = set()
+        default_counter = 0
+        for u, v in edges:
+            if priority is not None:
+                p = priority[(u, v)]
+            else:
+                p = default_counter
+                default_counter += 1
+            if p >= self._universe:
+                raise ValueError("priority exceeds universe")
+            self.out_adj[u].add(v)
+            in_items[v].append((u, p))
+            self.edge_pri[(u, v)] = p
+            self.alive.add((u, v))
+
+        self.in_arr: list[PriorityArray] = [
+            PriorityArray(self._universe, [(u, p) for u, p in in_items[v]], cost=cost)
+            for v in range(n)
+        ]
+
+        # Lemma 3.2 initialization of distances.
+        from repro.bfs.bounded_bfs import bounded_bfs_directed
+
+        self.dist: list[int] = bounded_bfs_directed(
+            n, [sorted(s) for s in self.out_adj], source, limit, cost=cost
+        )
+        self.parent: list[int | None] = [None] * n
+        # scan pointer, stored as the parent edge's priority (None = no
+        # parent / scan from the start of the list).
+        self._scan_pri: list[int | None] = [None] * n
+        with cost.parallel() as par:
+            for v in range(n):
+                if v == source or not 1 <= self.dist[v] <= limit:
+                    continue
+                with par.task():
+                    q = self.in_arr[v].next_with(
+                        1, self._parent_pred(v)
+                    )
+                    assert q <= len(self.in_arr[v]), (
+                        f"no parent for reachable vertex {v}"
+                    )
+                    self._attach(v, q)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _parent_pred(self, v: int) -> Callable[[int], bool]:
+        want = self.dist[v] - 1
+        return lambda u: (u, v) in self.alive and self.dist[u] == want
+
+    def _attach(self, v: int, position: int) -> None:
+        """Make the edge at ``position`` of ``IN(v)`` the parent edge."""
+        u = self.in_arr[v].query(position)
+        self.parent[v] = u
+        self._scan_pri[v] = self.in_arr[v].priority_at(position)
+
+    def _scan_position(self, v: int) -> int:
+        """Current scan position in ``IN(v)`` (1-based)."""
+        sp = self._scan_pri[v]
+        if sp is None:
+            return 1
+        # Number of entries with priority >= sp = position of the scan edge
+        # (or of its successor block if the edge's priority moved).
+        return max(self.in_arr[v].count_ge(sp), 1)
+
+    # -- queries -----------------------------------------------------------
+
+    def dist_of(self, v: int) -> int:
+        """Current distance label of ``v`` (``L + 1`` = beyond the tree)."""
+        return self.dist[v]
+
+    def parent_of(self, v: int) -> int | None:
+        """Current tree parent of ``v`` (None for the source / detached)."""
+        return self.parent[v]
+
+    def distances(self) -> list[int]:
+        """Copy of the full distance array."""
+        return list(self.dist)
+
+    def tree_edges(self) -> Iterator[DirEdge]:
+        """Current shortest-path-tree edges ``(parent, child)``."""
+        for v in range(self.n):
+            if self.parent[v] is not None:
+                yield (self.parent[v], v)
+
+    def is_alive(self, u: int, v: int) -> bool:
+        """Whether the directed edge ``u -> v`` is still present."""
+        return (u, v) in self.alive
+
+    # -- the Theorem 1.2 deletion procedure ---------------------------------
+
+    def batch_delete(self, edges: Iterable[DirEdge]) -> list[ParentChange]:
+        """Delete a batch of directed edges; returns every parent change.
+
+        Phases follow Algorithm 1: bucket ``i`` holds the vertices whose
+        distance-``i`` label must be revalidated; a vertex that finds no
+        parent at level ``i - 1`` moves to bucket ``i + 1`` with its scan
+        pointer reset, orphaning its tree children.
+        """
+        edges = list(edges)
+        logn = log2ceil(max(self.n, 2))
+        changes: list[ParentChange] = []
+        buckets: dict[int, set[int]] = {}
+        old_parent: dict[int, int | None] = {}
+        old_dist: dict[int, int] = {}
+
+        def orphan(v: int) -> None:
+            if v not in old_parent:
+                old_parent[v] = self.parent[v]
+                old_dist[v] = self.dist[v]
+            buckets.setdefault(self.dist[v], set()).add(v)
+
+        # Step 1: mark edges dead; collect orphans (one parallel round).
+        with self._cost.parallel() as par:
+            for u, v in edges:
+                with par.task():
+                    if (u, v) not in self.alive:
+                        raise KeyError(f"edge {(u, v)} not alive")
+                    self.alive.remove((u, v))
+                    self.out_adj[u].discard(v)
+                    self._cost.charge(work=logn, depth=logn)
+                    if self.parent[v] == u:
+                        orphan(v)
+                        self.parent[v] = None
+
+        # Step 2: phases i = 1..L (Invariants A2-A4).
+        for i in range(1, self.L + 1):
+            bucket = buckets.pop(i, None)
+            if not bucket:
+                continue
+            with self._cost.parallel() as par:
+                for v in sorted(bucket):
+                    with par.task():
+                        self._process_vertex(v, i, orphan, changes,
+                                             old_parent, old_dist)
+        assert not buckets, f"unprocessed buckets at levels {sorted(buckets)}"
+        return changes
+
+    def _process_vertex(
+        self,
+        v: int,
+        i: int,
+        orphan: Callable[[int], None],
+        changes: list[ParentChange],
+        old_parent: dict[int, int | None],
+        old_dist: dict[int, int],
+    ) -> None:
+        """Phase-``i`` rescan of vertex ``v`` (current dist ``i``)."""
+        assert self.dist[v] == i
+        arr = self.in_arr[v]
+        pos = self._scan_position(v)
+        q = arr.next_with(pos, self._parent_pred(v))
+        if q <= len(arr):
+            # Found a parent at level i - 1; distance stays i.
+            self._attach(v, q)
+            if self.parent[v] != old_parent[v] or i != old_dist[v]:
+                changes.append(
+                    ParentChange(v, old_parent[v], self.parent[v],
+                                 old_dist[v], i)
+                )
+            else:
+                del old_parent[v], old_dist[v]
+            return
+        # No parent at this level: distance grows, scan resets, children
+        # are orphaned (they sit at level i + 1 and re-bucket there).
+        self.parent[v] = None
+        self._scan_pri[v] = None
+        for w in sorted(self.out_adj[v]):
+            self._cost.charge(work=1, depth=0)
+            if self.parent[w] == v:
+                orphan(w)
+                self.parent[w] = None
+        self._cost.charge(work=0, depth=1)
+        if i + 1 <= self.L:
+            self.dist[v] = i + 1
+            orphan(v)  # rebucket at level i + 1 (orphan() reads dist[v])
+        else:
+            self.dist[v] = self.L + 1
+            changes.append(
+                ParentChange(v, old_parent[v], None, old_dist[v], self.L + 1)
+            )
+
+    # -- hooks for the spanner layer (Section 3.3) ---------------------------
+
+    def update_edge_priority(self, u: int, v: int, new_priority: int) -> None:
+        """Re-key the edge ``u -> v`` inside ``IN(v)``.
+
+        If the edge is ``v``'s parent edge the scan pointer follows it when
+        the priority increases; when it decreases the pointer keeps the *old*
+        slot so that a single :meth:`find_parent_candidate` call from there
+        sees every edge that jumped over the parent (the paper's "single
+        NextWith" detection).
+        """
+        old_p = self.edge_pri[(u, v)]
+        if old_p == new_priority:
+            return
+        _, k = self.in_arr[v].find(old_p)
+        self.in_arr[v].update_priority(k, new_priority)
+        self.edge_pri[(u, v)] = new_priority
+        if self.parent[v] == u and new_priority > (self._scan_pri[v] or 0):
+            self._scan_pri[v] = new_priority
+        # On decrease, _scan_pri[v] intentionally keeps the old value.
+
+    def find_parent_candidate(self, v: int, from_start: bool = False) -> int | None:
+        """Best (highest-priority) valid parent of ``v`` scanning from the
+        current pointer (or the list head).  Returns the vertex or None."""
+        if v == self.source or self.dist[v] > self.L or self.dist[v] == 0:
+            return None
+        arr = self.in_arr[v]
+        pos = 1 if from_start else self._scan_position(v)
+        q = arr.next_with(pos, self._parent_pred(v))
+        if q > len(arr):
+            return None
+        return arr.query(q)
+
+    def set_parent(self, v: int, u: int) -> None:
+        """Adopt ``u`` as parent of ``v`` (must be a valid candidate)."""
+        if (u, v) not in self.alive or self.dist[u] != self.dist[v] - 1:
+            raise ValueError(f"{u} is not a valid parent for {v}")
+        self.parent[v] = u
+        self._scan_pri[v] = self.edge_pri[(u, v)]
+
+    def parent_edge_priority(self, v: int) -> int | None:
+        """Priority of ``v``'s current parent edge (None if no parent)."""
+        if self.parent[v] is None:
+            return None
+        return self.edge_pri[(self.parent[v], v)]

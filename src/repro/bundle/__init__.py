@@ -1,0 +1,6 @@
+"""Monotone decremental spanners (Lemma 6.4) and t-bundles (Theorem 1.5)."""
+
+from repro.bundle.monotone_spanner import MonotoneDecrementalSpanner
+from repro.bundle.tbundle import DecrementalTBundle
+
+__all__ = ["DecrementalTBundle", "MonotoneDecrementalSpanner"]

@@ -1,0 +1,196 @@
+"""Decremental t-bundle spanners (Theorem 1.5).
+
+A t-bundle is ``B = H_1 ∪ ... ∪ H_t`` with each ``H_i`` an O(log n)-spanner
+of ``G ∖ (H_1 ∪ ... ∪ H_{i-1})``.  Level ``i`` is a Lemma 6.4 structure
+``D_i`` plus a stash ``J_i``: when an edge leaves ``D_i``'s maintained
+spanner but remains in the graph it is parked in ``J_i`` (a spanner stays a
+spanner when the underlying graph loses edges it doesn't contain — and H_i
+only ever *grows* apart from true graph deletions, which is the
+monotonicity that bounds the bundle's recourse at O(1) amortized).
+
+Deletion flow per the paper: the graph deletions hit ``D_1``; each level's
+``δH_ins`` (edges newly claimed by ``H_i``) are deleted from level ``i+1``'s
+graph together with the graph deletions that reached it; each level's
+``δH_del`` moves to ``J_i`` (unless the edge is being deleted from G).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.bundle.monotone_spanner import MonotoneDecrementalSpanner
+from repro.graph.dynamic_graph import Edge, norm_edge
+from repro.pram.cost import NULL_COST_MODEL, CostModel
+
+__all__ = ["DecrementalTBundle"]
+
+
+class _Level:
+    __slots__ = ("spanner", "stash")
+
+    def __init__(self, spanner: MonotoneDecrementalSpanner):
+        self.spanner = spanner
+        self.stash: set[Edge] = set()
+
+    def bundle_edges(self) -> set[Edge]:
+        return self.spanner.output_edges() | self.stash
+
+
+class DecrementalTBundle:
+    """Theorem 1.5: decremental t-bundle of O(log n)-spanners."""
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[Edge],
+        t: int,
+        seed: int | None = None,
+        beta: float = 0.25,
+        instances: int | None = None,
+        cap: float | None = None,
+        cost: CostModel = NULL_COST_MODEL,
+    ) -> None:
+        if t < 1:
+            raise ValueError("t must be >= 1")
+        self.n = n
+        self.t = t
+        self._cost = cost
+        rng = np.random.default_rng(seed)
+        edges = [norm_edge(u, v) for u, v in edges]
+        self._graph: set[Edge] = set(edges)
+        self.levels: list[_Level] = []
+        remaining = sorted(self._graph)
+        for _ in range(t):
+            sp = MonotoneDecrementalSpanner(
+                n,
+                remaining,
+                seed=int(rng.integers(0, 2**63 - 1)),
+                beta=beta,
+                instances=instances,
+                cap=cap,
+                cost=cost,
+            )
+            self.levels.append(_Level(sp))
+            taken = sp.output_edges()
+            remaining = sorted(set(remaining) - taken)
+        self._rest: set[Edge] = set(remaining)  # G minus the bundle
+
+    # -- queries -----------------------------------------------------------
+
+    def bundle_edges(self) -> set[Edge]:
+        """The full t-bundle ``H_1 ∪ ... ∪ H_t``."""
+        out: set[Edge] = set()
+        for lv in self.levels:
+            out |= lv.bundle_edges()
+        return out
+
+    def level_edges(self, i: int) -> set[Edge]:
+        """``H_{i+1}`` (0-indexed)."""
+        return self.levels[i].bundle_edges()
+
+    def non_bundle_edges(self) -> set[Edge]:
+        """``G ∖ B`` — what the sparsifier chain samples from."""
+        return set(self._rest)
+
+    def bundle_size(self) -> int:
+        """Total number of edges across all bundle levels."""
+        return sum(len(lv.bundle_edges()) for lv in self.levels)
+
+    def stretch_bound(self) -> float:
+        """Worst per-level stretch guarantee (each H_i is a spanner of its level graph within this factor)."""
+        return max(lv.spanner.stretch_bound() for lv in self.levels)
+
+    @property
+    def m(self) -> int:
+        return len(self._graph)
+
+    # -- updates -----------------------------------------------------------------
+
+    def batch_delete(self, edges: Iterable[Edge]) -> tuple[set[Edge], set[Edge]]:
+        """Delete graph edges; returns the net bundle delta ``(ins, dels)``."""
+        edges = [norm_edge(u, v) for u, v in edges]
+        deleted = set(edges)
+        for e in edges:
+            if e not in self._graph:
+                raise KeyError(f"edge {e} not present")
+            self._graph.remove(e)
+
+        net: dict[Edge, int] = {}
+
+        def bump(e: Edge, d: int) -> None:
+            c = net.get(e, 0) + d
+            if c == 0:
+                net.pop(e, None)
+            else:
+                net[e] = c
+
+        # cascade through the levels
+        pending_del = list(edges)
+        for lv in self.levels:
+            sp = lv.spanner
+            # graph deletions that reached this level = those present in
+            # this level's graph (plus the edges claimed by the previous
+            # level's spanner, already merged into pending_del).
+            level_del = [e for e in pending_del if e in sp]
+            ins_i, dels_i = sp.batch_delete(level_del) if level_del else (
+                set(), set()
+            )
+            # spanner insertions: newly claimed by H_i -> delete from the
+            # next level's graph; they also enter the bundle (unless they
+            # were already parked in J_i, in which case they just move
+            # back into the maintained spanner).
+            for e in ins_i:
+                if e in lv.stash:
+                    lv.stash.remove(e)
+                else:
+                    bump(e, +1)
+            # spanner deletions: leave D_i's spanner; park in J_i unless the
+            # edge left the graph entirely.
+            for e in dels_i:
+                if e in deleted:
+                    bump(e, -1)
+                else:
+                    lv.stash.add(e)
+            # stash cleanup for true deletions
+            for e in level_del:
+                if e in lv.stash:
+                    lv.stash.remove(e)
+                    bump(e, -1)
+            pending_del = [
+                e for e in pending_del if e not in ins_i
+            ] + sorted(ins_i)
+        # edges that fell through every level update the rest set
+        for e in pending_del:
+            if e in self._rest:
+                self._rest.remove(e)
+        ins = {e for e, c in net.items() if c > 0}
+        dels = {e for e, c in net.items() if c < 0}
+        return ins, dels
+
+    # -- invariants (tests) ----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify the chained-spanner property of every level (tests)."""
+        from repro.verify.stretch import is_spanner
+
+        seen: set[Edge] = set()
+        graph = set(self._graph)
+        for i, lv in enumerate(self.levels):
+            lv.spanner.check_invariants()
+            h_i = lv.bundle_edges()
+            assert not (h_i & seen), f"level {i} overlaps earlier levels"
+            assert h_i <= graph, f"level {i} holds deleted edges"
+            # H_i must span G minus the previous levels; D_i's own graph is
+            # exactly that graph (stash edges included — they only left the
+            # *maintained* spanner, not the level's graph).
+            level_graph = graph - seen
+            assert lv.spanner.m == len(level_graph), (
+                "level graph size diverged"
+            )
+            assert is_spanner(
+                self.n, level_graph, h_i, lv.spanner.stretch_bound()
+            ), f"level {i} is not a spanner of its graph"
+            seen |= h_i
+        assert self._rest == graph - seen, "rest set diverged"

@@ -1,0 +1,295 @@
+"""Command-line driver: run any of the paper's structures over a synthetic
+workload and print the measured table.
+
+Examples
+--------
+::
+
+    python -m repro.cli spanner   --n 500 --m 3000 --k 3 --workload churn
+    python -m repro.cli sparse    --n 400 --m 2400 --workload sliding
+    python -m repro.cli ultra     --n 300 --m 3000 --x 3
+    python -m repro.cli bundle    --n 200 --m 1500 --t 3
+    python -m repro.cli sparsifier --n 80 --m 1200 --t 4
+    python -m repro.cli estree    --n 300 --m 2000 --limit 6
+
+Each command builds the structure, drives the requested update stream
+through it, and prints size/recourse/work/depth statistics plus Brent
+simulated runtimes for a few processor counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.harness import format_table, run_workload
+from repro.pram import CostModel
+from repro.workloads import (
+    Workload,
+    churn_stream,
+    deletion_stream,
+    insertion_stream,
+    mixed_stream,
+    sliding_window_stream,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _make_workload(args: argparse.Namespace) -> Workload:
+    n, m, b = args.n, args.m, args.batch_size
+    kind = args.workload
+    if getattr(args, "input", None):
+        # real graph from an edge-list file: stream deletions over it
+        from repro.graph.io import read_edge_list
+        from repro.workloads import UpdateBatch
+
+        n, edges, _weights = read_edge_list(args.input)
+        args.n = n
+        if kind != "delete":
+            print("--input supports the delete workload; forcing it",
+                  file=sys.stderr)
+        batches = [
+            UpdateBatch(deletions=edges[i : i + b])
+            for i in range(0, len(edges), b)
+        ]
+        return Workload(n, edges, batches)
+    if kind == "delete":
+        return deletion_stream(n, m, batch_size=b, seed=args.seed)
+    if kind == "insert":
+        return insertion_stream(n, m, batch_size=b, seed=args.seed)
+    if kind == "mixed":
+        return mixed_stream(
+            n, m, batch_size=b, num_batches=args.batches, seed=args.seed
+        )
+    if kind == "churn":
+        return churn_stream(
+            n, m, churn_fraction=args.churn, num_batches=args.batches,
+            seed=args.seed,
+        )
+    if kind == "sliding":
+        return sliding_window_stream(
+            n, window=m, num_batches=args.batches, batch_size=b,
+            seed=args.seed,
+        )
+    raise ValueError(f"unknown workload {kind!r}")
+
+
+def _finish(label: str, workload: Workload, build,
+            profile: bool = False) -> int:
+    if profile:
+        from repro.harness import profile_workload
+        from repro.pram import NULL_COST_MODEL
+
+        report = profile_workload(
+            workload, lambda edges: build(edges, NULL_COST_MODEL)
+        )
+        print(report)
+    stats = run_workload(label, workload, build)
+    print(format_table([stats.row()], title=f"repro run: {label}"))
+    rows = [
+        {"p": p, "simulated_time(W/p+D)": round(stats.simulated_time(p), 1)}
+        for p in (1, 8, 64, 512)
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            f"Brent runtimes (update work={stats.update_cost.work}, "
+            f"depth={stats.update_cost.depth})",
+        )
+    )
+    return 0
+
+
+def _cmd_spanner(args: argparse.Namespace) -> int:
+    from repro.spanner import FullyDynamicSpanner
+
+    wl = _make_workload(args)
+
+    def build(edges, cost):
+        return FullyDynamicSpanner(
+            args.n, edges, k=args.k, seed=args.seed, cost=cost,
+            base_capacity=args.base_capacity,
+        )
+
+    return _finish(f"spanner k={args.k}", wl, build, profile=args.profile)
+
+
+def _cmd_sparse(args: argparse.Namespace) -> int:
+    from repro.contraction import SparseSpannerDynamic
+
+    wl = _make_workload(args)
+
+    def build(edges, cost):
+        return SparseSpannerDynamic(
+            args.n, edges, seed=args.seed, cost=cost,
+            base_capacity=args.base_capacity,
+        )
+
+    return _finish("sparse spanner", wl, build, profile=args.profile)
+
+
+def _cmd_ultra(args: argparse.Namespace) -> int:
+    from repro.ultrasparse import UltraSparseSpannerDynamic
+
+    wl = _make_workload(args)
+
+    def build(edges, cost):
+        return UltraSparseSpannerDynamic(
+            args.n, edges, x=args.x, seed=args.seed, cost=cost,
+        )
+
+    return _finish(f"ultra-sparse x={args.x}", wl, build, profile=args.profile)
+
+
+def _cmd_bundle(args: argparse.Namespace) -> int:
+    from repro.bundle import DecrementalTBundle
+
+    if args.workload != "delete":
+        print("bundle is decremental; forcing --workload delete",
+              file=sys.stderr)
+        args.workload = "delete"
+    wl = _make_workload(args)
+
+    class _Adapter:
+        def __init__(self, edges, cost):
+            self.inner = DecrementalTBundle(
+                args.n, edges, t=args.t, seed=args.seed,
+                instances=args.instances, cost=cost,
+            )
+
+        def update(self, insertions=(), deletions=()):
+            assert not list(insertions)
+            return self.inner.batch_delete(deletions)
+
+        def output_edges(self):
+            return self.inner.bundle_edges()
+
+    return _finish(
+        f"t-bundle t={args.t}", wl, lambda e, c: _Adapter(e, c),
+        profile=args.profile,
+    )
+
+
+def _cmd_sparsifier(args: argparse.Namespace) -> int:
+    from repro.sparsifier import FullyDynamicSpectralSparsifier
+
+    wl = _make_workload(args)
+
+    def build(edges, cost):
+        return FullyDynamicSpectralSparsifier(
+            args.n, edges, t=args.t, seed=args.seed,
+            instances=args.instances, cost=cost,
+        )
+
+    return _finish(f"sparsifier t={args.t}", wl, build, profile=args.profile)
+
+
+def _cmd_estree(args: argparse.Namespace) -> int:
+    from repro.bfs import BatchDynamicESTree
+
+    if args.workload != "delete":
+        print("estree is decremental; forcing --workload delete",
+              file=sys.stderr)
+        args.workload = "delete"
+    wl = _make_workload(args)
+
+    class _Adapter:
+        def __init__(self, edges, cost):
+            directed = [(u, v) for u, v in edges] + [
+                (v, u) for u, v in edges
+            ]
+            self.tree = BatchDynamicESTree(
+                args.n, directed, source=0, limit=args.limit, cost=cost
+            )
+
+        def update(self, insertions=(), deletions=()):
+            batch = []
+            for u, v in deletions:
+                batch.append((u, v))
+                batch.append((v, u))
+            changes = self.tree.batch_delete(batch)
+            return {(c.vertex, c.vertex) for c in changes}, set()
+
+        def output_edges(self):
+            return set(self.tree.tree_edges())
+
+    return _finish(f"ES tree L={args.limit}", wl,
+                   lambda e, c: _Adapter(e, c), profile=args.profile)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the paper's batch-dynamic structures on synthetic "
+                    "workloads.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--n", type=int, default=200, help="vertex count")
+        p.add_argument("--m", type=int, default=1000,
+                       help="initial edges (or window size for sliding)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--batch-size", type=int, default=50)
+        p.add_argument("--batches", type=int, default=10)
+        p.add_argument("--churn", type=float, default=0.1,
+                       help="fraction replaced per batch (churn workload)")
+        p.add_argument(
+            "--workload",
+            choices=["delete", "insert", "mixed", "churn", "sliding"],
+            default="mixed",
+        )
+        p.add_argument("--profile", action="store_true",
+                       help="cProfile the run and print the hot functions")
+        p.add_argument("--input", type=str, default=None,
+                       help="edge-list file to use instead of a synthetic "
+                            "graph (implies the delete workload)")
+
+    p = sub.add_parser("spanner", help="Theorem 1.1 (2k-1)-spanner")
+    common(p)
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--base-capacity", type=int, default=None)
+    p.set_defaults(func=_cmd_spanner)
+
+    p = sub.add_parser("sparse", help="Theorem 1.3 O(n)-edge spanner")
+    common(p)
+    p.add_argument("--base-capacity", type=int, default=None)
+    p.set_defaults(func=_cmd_sparse)
+
+    p = sub.add_parser("ultra", help="Theorem 1.4 ultra-sparse spanner")
+    common(p)
+    p.add_argument("--x", type=float, default=2.0)
+    p.set_defaults(func=_cmd_ultra)
+
+    p = sub.add_parser("bundle", help="Theorem 1.5 t-bundle (decremental)")
+    common(p)
+    p.add_argument("--t", type=int, default=2)
+    p.add_argument("--instances", type=int, default=4)
+    p.set_defaults(func=_cmd_bundle)
+
+    p = sub.add_parser("sparsifier", help="Theorem 1.6 spectral sparsifier")
+    common(p)
+    p.add_argument("--t", type=int, default=2)
+    p.add_argument("--instances", type=int, default=4)
+    p.set_defaults(func=_cmd_sparsifier)
+
+    p = sub.add_parser("estree", help="Theorem 1.2 decremental BFS")
+    common(p)
+    p.add_argument("--limit", type=int, default=5)
+    p.set_defaults(func=_cmd_estree)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

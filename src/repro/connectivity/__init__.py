@@ -1,0 +1,7 @@
+"""Dynamic connectivity: Euler-tour trees and the HDT spanning forest
+(the [AABD19] stand-in used by Theorem 1.4)."""
+
+from repro.connectivity.euler_tour import EulerTourForest
+from repro.connectivity.hdt import DynamicSpanningForest
+
+__all__ = ["DynamicSpanningForest", "EulerTourForest"]

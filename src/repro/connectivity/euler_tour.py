@@ -1,0 +1,302 @@
+"""Euler-tour trees over randomized treaps.
+
+The substrate for the HDT dynamic-connectivity structure
+(:mod:`repro.connectivity.hdt`), which in turn stands in for the parallel
+batch-dynamic spanning forest of [AABD19] used by Theorem 1.4's ``H_2``.
+
+Each forest tree is stored as the cyclic Euler tour of its arcs, linearized
+into a treap ordered by implicit position; every vertex contributes a loop
+arc ``(v, v)`` and every forest edge two arcs ``(u, v)``/``(v, u)``.
+``link`` and ``cut`` are O(log n) expected via split/merge; ``connected``
+compares treap roots.
+
+For HDT the nodes carry two augmented flags with subtree counters:
+
+* ``vertex_flag`` on loop arcs — "this vertex has non-tree edges at this
+  level",
+* ``edge_flag`` on (one arc of) tree edges — "this tree edge lives at
+  exactly this level",
+
+so the replacement search can enumerate flagged vertices/edges of a
+component in O(log n) per find.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+__all__ = ["EulerTourForest"]
+
+
+class _Node:
+    __slots__ = (
+        "arc",
+        "prio",
+        "left",
+        "right",
+        "parent",
+        "size",
+        "is_loop",
+        "vertex_flag",
+        "edge_flag",
+        "cnt_loop",
+        "cnt_vertex_flag",
+        "cnt_edge_flag",
+    )
+
+    def __init__(self, arc: tuple[int, int], prio: float) -> None:
+        self.arc = arc
+        self.prio = prio
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.parent: Optional[_Node] = None
+        self.size = 1
+        self.is_loop = arc[0] == arc[1]
+        self.vertex_flag = False
+        self.edge_flag = False
+        self.cnt_loop = 1 if self.is_loop else 0
+        self.cnt_vertex_flag = 0
+        self.cnt_edge_flag = 0
+
+
+def _pull(n: _Node) -> None:
+    n.size = 1
+    n.cnt_loop = 1 if n.is_loop else 0
+    n.cnt_vertex_flag = 1 if n.vertex_flag else 0
+    n.cnt_edge_flag = 1 if n.edge_flag else 0
+    for c in (n.left, n.right):
+        if c is not None:
+            n.size += c.size
+            n.cnt_loop += c.cnt_loop
+            n.cnt_vertex_flag += c.cnt_vertex_flag
+            n.cnt_edge_flag += c.cnt_edge_flag
+
+
+def _root(n: _Node) -> _Node:
+    while n.parent is not None:
+        n = n.parent
+    return n
+
+
+def _merge(a: Optional[_Node], b: Optional[_Node]) -> Optional[_Node]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a.prio < b.prio:
+        r = _merge(a.right, b)
+        a.right = r
+        if r is not None:
+            r.parent = a
+        _pull(a)
+        return a
+    left = _merge(a, b.left)
+    b.left = left
+    if left is not None:
+        left.parent = b
+    _pull(b)
+    return b
+
+
+def _split_by_size(
+    n: Optional[_Node], k: int
+) -> tuple[Optional[_Node], Optional[_Node]]:
+    """Split into (first k nodes, rest)."""
+    if n is None:
+        return None, None
+    n.parent = None
+    ls = n.left.size if n.left else 0
+    if k <= ls:
+        a, b = _split_by_size(n.left, k)
+        n.left = b
+        if b is not None:
+            b.parent = n
+        _pull(n)
+        return a, n
+    a, b = _split_by_size(n.right, k - ls - 1)
+    n.right = a
+    if a is not None:
+        a.parent = n
+    _pull(n)
+    return n, b
+
+
+def _position(n: _Node) -> int:
+    """0-based position of ``n`` within its treap."""
+    pos = n.left.size if n.left else 0
+    cur = n
+    while cur.parent is not None:
+        p = cur.parent
+        if p.right is cur:
+            pos += (p.left.size if p.left else 0) + 1
+        cur = p
+    return pos
+
+
+def _update_to_root(n: _Node) -> None:
+    while n is not None:
+        _pull(n)
+        n = n.parent
+
+
+class EulerTourForest:
+    """A forest over vertices ``0..n-1`` under link/cut/connected."""
+
+    def __init__(self, n: int, seed: int | None = None) -> None:
+        self.n = n
+        self._rng = random.Random(seed)
+        self._loop: list[_Node] = [
+            _Node((v, v), self._rng.random()) for v in range(n)
+        ]
+        self._arc: dict[tuple[int, int], _Node] = {}
+
+    # -- core queries ------------------------------------------------------
+
+    def connected(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` are in the same tree."""
+        return _root(self._loop[u]) is _root(self._loop[v])
+
+    def component_size(self, v: int) -> int:
+        """Number of vertices in v's tree."""
+        return _root(self._loop[v]).cnt_loop
+
+    def tree_ref(self, v: int) -> object:
+        """Opaque identity of v's current tree (valid until next update)."""
+        return _root(self._loop[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``(u, v)`` is a forest edge (directed arc check)."""
+        return (u, v) in self._arc
+
+    def component_vertices(self, v: int) -> Iterator[int]:
+        """Iterate the vertices of v's tree (O(size))."""
+        stack = [_root(self._loop[v])]
+        while stack:
+            node = stack.pop()
+            if node.is_loop:
+                yield node.arc[0]
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+
+    # -- restructure -----------------------------------------------------------
+
+    def _reroot(self, v: int) -> _Node:
+        """Rotate v's tour so that it begins with the loop arc of ``v``;
+        returns the treap root."""
+        node = self._loop[v]
+        k = _position(node)
+        tree = _root(node)
+        a, b = _split_by_size(tree, k)
+        out = _merge(b, a)
+        out.parent = None
+        return out
+
+    def link(self, u: int, v: int) -> None:
+        """Join the trees of ``u`` and ``v`` with forest edge (u, v)."""
+        if self.connected(u, v):
+            raise ValueError(f"link({u},{v}): already connected")
+        tu = self._reroot(u)
+        tv = self._reroot(v)
+        auv = _Node((u, v), self._rng.random())
+        avu = _Node((v, u), self._rng.random())
+        self._arc[(u, v)] = auv
+        self._arc[(v, u)] = avu
+        _merge(_merge(_merge(tu, auv), tv), avu)
+
+    def cut(self, u: int, v: int) -> None:
+        """Remove forest edge (u, v), splitting its tree in two."""
+        a = self._arc.pop((u, v), None)
+        b = self._arc.pop((v, u), None)
+        if a is None or b is None:
+            raise KeyError(f"cut({u},{v}): not a forest edge")
+        pa, pb = _position(a), _position(b)
+        if pa > pb:
+            a, b = b, a
+            pa, pb = pb, pa
+        tree = _root(a)
+        left, rest = _split_by_size(tree, pa)
+        mid_a, rest = _split_by_size(rest, 1)  # the (u,v) arc
+        mid, rest2 = _split_by_size(rest, pb - pa - 1)
+        mid_b, right = _split_by_size(rest2, 1)  # the (v,u) arc
+        assert mid_a is a and mid_b is b
+        _merge(left, right)
+        if mid is not None:
+            mid.parent = None
+
+    # -- HDT augmentation hooks ----------------------------------------------------
+
+    def set_vertex_flag(self, v: int, value: bool) -> None:
+        """Set/clear the HDT vertex flag ('has non-tree edges at this level')."""
+        node = self._loop[v]
+        if node.vertex_flag != value:
+            node.vertex_flag = value
+            _update_to_root(node)
+
+    def vertex_flag(self, v: int) -> bool:
+        """Read the HDT vertex flag of ``v``."""
+        return self._loop[v].vertex_flag
+
+    def set_edge_flag(self, u: int, v: int, value: bool) -> None:
+        """Flag is carried by the (u, v) arc with u < v."""
+        arc = (u, v) if u < v else (v, u)
+        node = self._arc[arc]
+        if node.edge_flag != value:
+            node.edge_flag = value
+            _update_to_root(node)
+
+    def flagged_vertices(self, v: int) -> Iterator[int]:
+        """Iterate vertices with vertex_flag in v's tree (O(log n) each)."""
+        root = _root(self._loop[v])
+        yield from self._iter_flagged(root, "cnt_vertex_flag", "vertex_flag")
+
+    def flagged_edges(self, v: int) -> Iterator[tuple[int, int]]:
+        """Iterate flagged tree edges in v's tree."""
+        root = _root(self._loop[v])
+        yield from self._iter_flagged(root, "cnt_edge_flag", "edge_flag")
+
+    def _iter_flagged(self, root: _Node, cnt: str, flag: str):
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if getattr(node, cnt) == 0:
+                continue
+            if getattr(node, flag):
+                yield node.arc if not node.is_loop else node.arc[0]
+            for c in (node.left, node.right):
+                if c is not None and getattr(c, cnt) > 0:
+                    stack.append(c)
+
+    # -- invariants (tests) ------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify treap structure, sizes, and flag counters (tests)."""
+        seen_roots = {}
+        for v in range(self.n):
+            root = _root(self._loop[v])
+            seen_roots.setdefault(id(root), root)
+        for root in seen_roots.values():
+            self._check_node(root, None)
+            # a tour over k vertices has k loop arcs and 2(k-1) edge arcs
+            k = root.cnt_loop
+            assert root.size == 3 * k - 2 or (k == 1 and root.size == 1)
+
+    def _check_node(self, n: _Node, parent: Optional[_Node]) -> None:
+        assert n.parent is parent
+        size, loops, vf, ef = 1, int(n.is_loop), int(n.vertex_flag), int(
+            n.edge_flag
+        )
+        for c in (n.left, n.right):
+            if c is not None:
+                assert c.prio >= n.prio
+                self._check_node(c, n)
+                size += c.size
+                loops += c.cnt_loop
+                vf += c.cnt_vertex_flag
+                ef += c.cnt_edge_flag
+        assert n.size == size
+        assert n.cnt_loop == loops
+        assert n.cnt_vertex_flag == vf
+        assert n.cnt_edge_flag == ef

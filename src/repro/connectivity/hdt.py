@@ -1,0 +1,203 @@
+"""Holm–de Lichtenberg–Thorup fully-dynamic connectivity / spanning forest.
+
+Stands in for the parallel batch-dynamic spanning forest of [AABD19] used by
+the ultra-sparse spanner (Theorem 1.4, structure ``H_2``): maintains a
+spanning forest of an arbitrary graph under edge insertions and deletions in
+O(log² n) amortized per update.
+
+Levels ``0..log n``; every edge carries a level (0 at insertion, only ever
+promoted).  ``forests[i]`` is an Euler-tour forest of the tree edges with
+level >= i.  Deleting a tree edge searches for a replacement from its level
+downward: the smaller side's same-level tree edges are promoted, its
+same-level non-tree edges are scanned — each either reconnects (replacement
+found) or is promoted, paying for itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.connectivity.euler_tour import EulerTourForest
+from repro.graph.dynamic_graph import Edge, norm_edge
+from repro.pram.cost import NULL_COST_MODEL, CostModel, log2ceil
+
+__all__ = ["DynamicSpanningForest"]
+
+
+class DynamicSpanningForest:
+    """Fully-dynamic spanning forest (HDT).
+
+    The reported forest delta of each update lets callers (Theorem 1.4's
+    ``H_2``) mirror the forest edge set incrementally.
+    """
+
+    def __init__(
+        self, n: int, edges: Iterable[Edge] = (),
+        seed: int | None = None, cost: CostModel = NULL_COST_MODEL,
+    ) -> None:
+        self.n = n
+        self._cost = cost
+        self._max_level = log2ceil(max(n, 2))
+        self._forests = [
+            EulerTourForest(n, seed=None if seed is None else seed + i)
+            for i in range(self._max_level + 1)
+        ]
+        self._level: dict[Edge, int] = {}
+        self._tree: set[Edge] = set()
+        # non-tree edges: per (level, vertex) adjacency sets
+        self._nontree: list[list[set[int]]] = [
+            [set() for _ in range(n)] for _ in range(self._max_level + 1)
+        ]
+        for e in edges:
+            self.insert(*e)
+
+    # -- queries ------------------------------------------------------------
+
+    def connected(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` are connected in the current graph."""
+        return self._forests[0].connected(u, v)
+
+    def component_size(self, v: int) -> int:
+        """Number of vertices in ``v``'s component."""
+        return self._forests[0].component_size(v)
+
+    def component_vertices(self, v: int) -> Iterator[int]:
+        """Iterate the vertices of ``v``'s component."""
+        return self._forests[0].component_vertices(v)
+
+    def forest_edges(self) -> set[Edge]:
+        """The current spanning forest's edge set."""
+        return set(self._tree)
+
+    def __contains__(self, edge: Edge) -> bool:
+        return norm_edge(*edge) in self._level
+
+    @property
+    def m(self) -> int:
+        return len(self._level)
+
+    # -- updates ----------------------------------------------------------------
+
+    def insert(self, u: int, v: int) -> Edge | None:
+        """Insert edge; returns the edge if it joined the forest."""
+        e = norm_edge(u, v)
+        if e in self._level:
+            raise ValueError(f"duplicate edge {e}")
+        self._level[e] = 0
+        self._cost.charge_tree_op(self.n)
+        if not self._forests[0].connected(u, v):
+            self._forests[0].link(u, v)
+            self._forests[0].set_edge_flag(u, v, True)
+            self._tree.add(e)
+            return e
+        self._add_nontree(e, 0)
+        return None
+
+    def delete(self, u: int, v: int) -> tuple[Edge | None, Edge | None]:
+        """Delete edge; returns ``(removed_forest_edge, replacement_edge)``
+        (both None for a non-tree deletion)."""
+        e = norm_edge(u, v)
+        if e not in self._level:
+            raise KeyError(f"edge {e} not present")
+        lvl = self._level.pop(e)
+        self._cost.charge_tree_op(self.n)
+        if e not in self._tree:
+            self._remove_nontree(e, lvl)
+            return None, None
+        # tree edge: cut at all levels it participates in, then search
+        self._tree.remove(e)
+        self._forests[lvl].set_edge_flag(*e, False)
+        for i in range(lvl + 1):
+            self._forests[i].cut(*e)
+        replacement = self._replace(e, lvl)
+        return e, replacement
+
+    def _replace(self, e: Edge, lvl: int) -> Edge | None:
+        u, v = e
+        for i in range(lvl, -1, -1):
+            f = self._forests[i]
+            # work on the smaller side
+            side = u if f.component_size(u) <= f.component_size(v) else v
+            # 1. promote level-i tree edges of the small side to i + 1
+            for te in list(f.flagged_edges(side)):
+                a, b = te
+                te_n = norm_edge(a, b)
+                assert self._level[te_n] == i
+                self._level[te_n] = i + 1
+                f.set_edge_flag(a, b, False)
+                self._forests[i + 1].link(a, b)
+                self._forests[i + 1].set_edge_flag(a, b, True)
+                self._cost.charge_tree_op(self.n)
+            # 2. scan level-i non-tree edges incident to the small side
+            for x in list(f.flagged_vertices(side)):
+                for y in list(self._nontree[i][x]):
+                    ne = norm_edge(x, y)
+                    self._cost.charge_tree_op(self.n)
+                    if f.connected(y, side):
+                        # both endpoints inside: promote to level i + 1
+                        self._remove_nontree(ne, i)
+                        self._level[ne] = i + 1
+                        self._add_nontree(ne, i + 1)
+                    else:
+                        # replacement found: becomes a tree edge at level i
+                        self._remove_nontree(ne, i)
+                        self._level[ne] = i
+                        self._tree.add(ne)
+                        for j in range(i + 1):
+                            self._forests[j].link(x, y)
+                        self._forests[i].set_edge_flag(x, y, True)
+                        return ne
+        return None
+
+    # -- non-tree bookkeeping ------------------------------------------------------
+
+    def _add_nontree(self, e: Edge, lvl: int) -> None:
+        u, v = e
+        nt = self._nontree[lvl]
+        nt[u].add(v)
+        nt[v].add(u)
+        f = self._forests[lvl]
+        f.set_vertex_flag(u, True)
+        f.set_vertex_flag(v, True)
+
+    def _remove_nontree(self, e: Edge, lvl: int) -> None:
+        u, v = e
+        nt = self._nontree[lvl]
+        nt[u].remove(v)
+        nt[v].remove(u)
+        f = self._forests[lvl]
+        if not nt[u]:
+            f.set_vertex_flag(u, False)
+        if not nt[v]:
+            f.set_vertex_flag(v, False)
+
+    # -- invariants (tests) -----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify levels, forests, and connectivity against networkx (tests)."""
+        import networkx as nx
+
+        for f in self._forests:
+            f.check_invariants()
+        # forest connectivity equals graph connectivity
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(self._level)
+        fgraph = nx.Graph()
+        fgraph.add_nodes_from(range(self.n))
+        fgraph.add_edges_from(self._tree)
+        want = {frozenset(c) for c in nx.connected_components(g)}
+        got = {frozenset(c) for c in nx.connected_components(fgraph)}
+        assert want == got, "forest components diverge from graph"
+        assert nx.is_forest(fgraph)
+        # levels: tree edge at level l present in forests 0..l
+        for e, lvl in self._level.items():
+            if e in self._tree:
+                for i in range(lvl + 1):
+                    assert self._forests[i].has_edge(*e) or self._forests[
+                        i
+                    ].has_edge(e[1], e[0])
+            else:
+                u, v = e
+                assert v in self._nontree[lvl][u]
+                assert self._forests[lvl].connected(u, v)

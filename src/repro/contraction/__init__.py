@@ -1,0 +1,19 @@
+"""Contractions and the sparse spanner of Theorem 1.3."""
+
+from repro.contraction.contract import contract, pullback_spanner
+from repro.contraction.layer import ContractionLayer, LayerDelta
+from repro.contraction.nested import SparseSpannerDynamic
+from repro.contraction.sequences import (
+    contraction_sequence,
+    sequence_invariants_hold,
+)
+
+__all__ = [
+    "ContractionLayer",
+    "LayerDelta",
+    "SparseSpannerDynamic",
+    "contract",
+    "contraction_sequence",
+    "pullback_spanner",
+    "sequence_invariants_hold",
+]

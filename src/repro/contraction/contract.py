@@ -1,0 +1,58 @@
+"""Static ``Contract(G, x)`` (Lemma 4.1 / Algorithm 3).
+
+A thin functional wrapper over :class:`~repro.contraction.layer.ContractionLayer`
+for one-shot use and for verifying the lemma's guarantees in isolation:
+given a simple graph and a rate ``x``, sample ``D ⊆ V`` with probability
+``1/x``, contract every vertex into a sampled neighbor (``HEAD``), and
+return ``(contracted_edges, H, head)`` such that any ``L``-spanner of the
+contracted graph pulls back (via :func:`pullback_spanner`) to a
+``(3L+2)``-spanner of ``G`` containing all of ``H``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.contraction.layer import ContractionLayer
+from repro.graph.dynamic_graph import Edge, norm_edge
+
+__all__ = ["contract", "pullback_spanner"]
+
+
+def contract(
+    n: int,
+    edges: Iterable[Edge],
+    x: float,
+    seed: int | None = None,
+) -> tuple[set[Edge], set[Edge], list[int], ContractionLayer]:
+    """One-shot Lemma 4.1 contraction.
+
+    Returns ``(contracted_edges, H, head, layer)``; ``head[v] == -1`` means
+    ``f(v) = ⊥``, and the ``layer`` object exposes the representative map
+    needed by :func:`pullback_spanner`.
+    """
+    if x < 1:
+        raise ValueError("x must be >= 1")
+    rng = np.random.default_rng(seed)
+    sampled = (rng.random(n) < 1.0 / x).tolist()
+    layer = ContractionLayer(n, sampled, seed=int(rng.integers(0, 2**63)))
+    layer.update(insertions=[norm_edge(u, v) for u, v in edges])
+    return (
+        layer.contracted_edges(),
+        layer.kept_edges(),
+        list(layer.head),
+        layer,
+    )
+
+
+def pullback_spanner(
+    layer: ContractionLayer, contracted_spanner: Iterable[Edge]
+) -> set[Edge]:
+    """Lemma 4.1's spanner assembly: ``H`` plus one corresponding edge per
+    contracted spanner edge."""
+    out = set(layer.kept_edges())
+    for e in contracted_spanner:
+        out.add(layer.rep_of(norm_edge(*e)))
+    return out

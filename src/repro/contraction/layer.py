@@ -1,0 +1,295 @@
+"""One batch-dynamic contraction layer (Lemma 4.1 + Section 4.3).
+
+A layer holds a graph ``G_i`` on a fixed vertex universe, a *fixed* sample
+``V_{i+1}`` (drawn once, independent of edges — the oblivious-adversary
+invariant of §4.3), per-adjacency-entry random values, and maintains:
+
+* ``HEAD(v)`` — for unsampled ``v``, the sampled neighbor minimizing the
+  ``(unmark, rand)`` key in ``ADJ(v)`` (⊥ = -1 when none); for sampled
+  ``v``, itself,
+* ``H`` — the layer's kept edges: every edge with a ⊥ endpoint plus the
+  head edges ``(v, HEAD(v))``,
+* ``NEXTLEVELEDGES`` — buckets mapping a contracted pair ``(HEAD(u),
+  HEAD(v))`` to the set of underlying edges, with one *representative*
+  (Bwd/FwdCORRESPONDENCE) per nonempty bucket; the bucket keys are exactly
+  ``E_{i+1}``.
+
+One :meth:`update` call implements the paper's cases D1–D4 and I1–I5 at
+once: apply adjacency changes, recompute heads of touched endpoints
+(expected O(1) incident-edge work per update — the min of i.i.d. keys moves
+with probability ``1/deg``), re-image affected edges, and reconcile bucket
+representatives.  It returns the edge updates to forward to layer ``i+1``
+plus the layer's own ``H`` delta and representative swaps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.graph.dynamic_graph import Edge, norm_edge
+from repro.pram.cost import NULL_COST_MODEL, CostModel, log2ceil
+from repro.structures.ordered_list import OrderedMap
+
+__all__ = ["ContractionLayer", "LayerDelta"]
+
+BOTTOM = -1
+
+
+class LayerDelta:
+    """Everything one layer reports for a single update batch."""
+
+    __slots__ = ("next_ins", "next_del", "rep_changes", "h_ins", "h_del")
+
+    def __init__(self, next_ins, next_del, rep_changes, h_ins, h_del):
+        self.next_ins: list[Edge] = next_ins
+        self.next_del: list[Edge] = next_del
+        #: (contracted_edge, old_rep, new_rep) for surviving buckets
+        self.rep_changes: list[tuple[Edge, Edge, Edge]] = rep_changes
+        self.h_ins: list[Edge] = h_ins
+        self.h_del: list[Edge] = h_del
+
+
+class ContractionLayer:
+    """Section 4.3 data structure for one level of NestedContract."""
+
+    def __init__(
+        self,
+        n: int,
+        sampled: Sequence[bool],
+        seed: int | None = None,
+        cost: CostModel = NULL_COST_MODEL,
+    ) -> None:
+        if len(sampled) != n:
+            raise ValueError("sampled flags must cover all vertices")
+        self.n = n
+        self.sampled = list(sampled)
+        self._cost = cost
+        self._rng = np.random.default_rng(seed)
+
+        self.adj: list[OrderedMap] = [
+            OrderedMap(cost=cost, seed=None) for _ in range(n)
+        ]
+        # (unmark, rand, w) key of each directed adjacency entry
+        self._entry_key: dict[tuple[int, int], tuple[int, float, int]] = {}
+        self.head: list[int] = [
+            v if sampled[v] else BOTTOM for v in range(n)
+        ]
+        self.h_edges: set[Edge] = set()
+        # contracted pair -> set of underlying edges
+        self.buckets: dict[Edge, set[Edge]] = {}
+        # contracted pair -> representative underlying edge (Bwd); inverse
+        # is implied (an edge represents at most one pair).
+        self.rep: dict[Edge, Edge] = {}
+        self._edges: set[Edge] = set()
+        self._image: dict[Edge, Edge | None] = {}
+
+    # -- small helpers -----------------------------------------------------
+
+    def _compute_head(self, v: int) -> int:
+        if self.sampled[v]:
+            return v
+        if len(self.adj[v]) == 0:
+            return BOTTOM
+        (unmark, _rand, w), _ = self.adj[v].min_item()
+        return w if unmark == 0 else BOTTOM
+
+    def _image_of(self, e: Edge) -> Edge | None:
+        u, v = e
+        hu, hv = self.head[u], self.head[v]
+        if hu == BOTTOM or hv == BOTTOM or hu == hv:
+            return None
+        return norm_edge(hu, hv)
+
+    def _in_h(self, e: Edge) -> bool:
+        u, v = e
+        hu, hv = self.head[u], self.head[v]
+        return hu == BOTTOM or hv == BOTTOM or hu == v or hv == u
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        return len(self._edges)
+
+    def edges(self) -> set[Edge]:
+        """The layer's current edge set ``E_i``."""
+        return set(self._edges)
+
+    def head_of(self, v: int) -> int:
+        """``HEAD(v)`` (-1 encodes ⊥)."""
+        return self.head[v]
+
+    def contracted_edges(self) -> set[Edge]:
+        """The current ``E_{i+1}`` (bucket keys)."""
+        return set(self.buckets)
+
+    def rep_of(self, contracted: Edge) -> Edge:
+        """The representative (corresponding) edge of a contracted edge."""
+        return self.rep[contracted]
+
+    def kept_edges(self) -> set[Edge]:
+        """The current ``H_i``."""
+        return set(self.h_edges)
+
+    # -- the update procedure (cases D1-D4 / I1-I5) -----------------------------
+
+    def update(
+        self,
+        insertions: Iterable[Edge] = (),
+        deletions: Iterable[Edge] = (),
+    ) -> LayerDelta:
+        """Apply one batch; returns the :class:`LayerDelta` for the next level."""
+        insertions = [norm_edge(u, v) for u, v in insertions]
+        deletions = [norm_edge(u, v) for u, v in deletions]
+        logn = log2ceil(max(self.n, 2))
+
+        touched: set[int] = set()
+        dirty_buckets: set[Edge] = set()
+        h_net: dict[Edge, int] = {}
+
+        def bump_h(e: Edge, d: int) -> None:
+            c = h_net.get(e, 0) + d
+            if c == 0:
+                h_net.pop(e, None)
+            else:
+                h_net[e] = c
+
+        # Phase A: apply deletions (covers D1-D4 bookkeeping on the edge
+        # itself; head recomputation is deferred to phase B).
+        with self._cost.parallel() as par:
+            for e in deletions:
+                with par.task():
+                    if e not in self._edges:
+                        raise KeyError(f"edge {e} not present")
+                    self._edges.remove(e)
+                    u, v = e
+                    self.adj[u].delete(self._entry_key.pop((u, v)))
+                    self.adj[v].delete(self._entry_key.pop((v, u)))
+                    img = self._image.pop(e)
+                    if img is not None:
+                        self.buckets[img].remove(e)
+                        dirty_buckets.add(img)
+                    if e in self.h_edges:
+                        self.h_edges.remove(e)
+                        bump_h(e, -1)
+                    touched.add(u)
+                    touched.add(v)
+                    self._cost.charge(work=4 * logn, depth=logn)
+
+        # Phase A': apply insertions to the adjacency (I1-I5 bookkeeping of
+        # the new entries; imaging in phase C).
+        with self._cost.parallel() as par:
+            for e in insertions:
+                with par.task():
+                    if e in self._edges:
+                        raise ValueError(f"duplicate edge {e}")
+                    self._edges.add(e)
+                    u, v = e
+                    for a, b in ((u, v), (v, u)):
+                        key = (
+                            0 if self.sampled[b] else 1,
+                            float(self._rng.random()),
+                            b,
+                        )
+                        self._entry_key[(a, b)] = key
+                        self.adj[a].insert(key, b)
+                    touched.add(u)
+                    touched.add(v)
+                    self._cost.charge(work=4 * logn, depth=logn)
+
+        # Phase B: recompute heads of touched vertices.  Sampled vertices
+        # never change; an unsampled vertex's head moves only when the
+        # minimum (unmark, rand) key of its adjacency moved.
+        head_changed: list[int] = []
+        with self._cost.parallel() as par:
+            for v in sorted(touched):
+                with par.task():
+                    new = self._compute_head(v)
+                    self._cost.charge(work=logn, depth=logn)
+                    if new != self.head[v]:
+                        self.head[v] = new
+                        head_changed.append(v)
+
+        # Phase C: re-image every edge whose image may have changed: the
+        # new edges plus all edges incident to a head-changed vertex (the
+        # deg(v)-sized work the paper charges to the 1/deg(v) probability).
+        affected: set[Edge] = set(insertions)
+        for v in head_changed:
+            for (_unmark, _rand, w), _ in self.adj[v].items():
+                affected.add(norm_edge(v, w))
+        with self._cost.parallel() as par:
+            for e in sorted(affected):
+                with par.task():
+                    if e not in self._edges:
+                        continue
+                    old_img = self._image.get(e, "absent")
+                    new_img = self._image_of(e)
+                    if old_img != new_img:
+                        if old_img not in (None, "absent"):
+                            self.buckets[old_img].remove(e)
+                            dirty_buckets.add(old_img)
+                        if new_img is not None:
+                            self.buckets.setdefault(new_img, set()).add(e)
+                            dirty_buckets.add(new_img)
+                        self._image[e] = new_img
+                    in_h_now = self._in_h(e)
+                    was_in_h = e in self.h_edges
+                    if in_h_now and not was_in_h:
+                        self.h_edges.add(e)
+                        bump_h(e, +1)
+                    elif was_in_h and not in_h_now:
+                        self.h_edges.remove(e)
+                        bump_h(e, -1)
+                    self._cost.charge(work=3 * logn, depth=logn)
+
+        # Phase D: reconcile bucket representatives; emits the next-level
+        # delta and representative swaps.
+        next_ins: list[Edge] = []
+        next_del: list[Edge] = []
+        rep_changes: list[tuple[Edge, Edge, Edge]] = []
+        with self._cost.parallel() as par:
+            for key in sorted(dirty_buckets):
+                with par.task():
+                    bucket = self.buckets.get(key)
+                    old_rep = self.rep.get(key)
+                    self._cost.charge(work=logn, depth=logn)
+                    if not bucket:
+                        self.buckets.pop(key, None)
+                        if old_rep is not None:
+                            del self.rep[key]
+                            next_del.append(key)
+                    elif old_rep is None:
+                        self.rep[key] = min(bucket)
+                        next_ins.append(key)
+                    elif old_rep not in bucket:
+                        new_rep = min(bucket)
+                        self.rep[key] = new_rep
+                        rep_changes.append((key, old_rep, new_rep))
+
+        h_ins = [e for e, c in h_net.items() if c > 0]
+        h_del = [e for e, c in h_net.items() if c < 0]
+        return LayerDelta(next_ins, next_del, rep_changes, h_ins, h_del)
+
+    # -- invariants (tests) -----------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify heads, images, buckets, H, and representatives (tests)."""
+        for v in range(self.n):
+            assert self.head[v] == self._compute_head(v), f"head[{v}] stale"
+        want_h: set[Edge] = set()
+        want_buckets: dict[Edge, set[Edge]] = {}
+        for e in self._edges:
+            if self._in_h(e):
+                want_h.add(e)
+            img = self._image_of(e)
+            assert self._image[e] == img, f"image[{e}] stale"
+            if img is not None:
+                want_buckets.setdefault(img, set()).add(e)
+        assert want_h == self.h_edges, "H diverged"
+        got_buckets = {k: s for k, s in self.buckets.items() if s}
+        assert got_buckets == want_buckets, "buckets diverged"
+        assert set(self.rep) == set(got_buckets), "rep keys diverge"
+        for key, r in self.rep.items():
+            assert r in self.buckets[key]

@@ -1,0 +1,58 @@
+"""The contraction-rate sequences of Lemmas 4.2 / 4.3.
+
+Theorem 1.3 contracts the graph through ``L = O(log log log n)`` levels with
+rates ``x_0 = 100``, ``x_i = 100^{1.5^i - 1.5^{i-1}}`` such that
+
+* every ``x_i >= 2``,
+* ``prod x_i = Theta(log n)`` (Lemma 4.3 truncates and rescales the last
+  entry), and
+* ``sum x_i / (x_0 ... x_{i-1}) = O(1)`` — which keeps the union of the
+  per-level ``H_i`` sets at ``O(n)`` edges.
+
+At laptop-scale ``n`` the sequence degenerates to one or two entries (``log
+n`` is tiny compared to 100); the functions below handle that regime while
+preserving the lemma's invariants.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["contraction_sequence", "sequence_invariants_hold"]
+
+
+def contraction_sequence(n: int, target: float | None = None) -> list[float]:
+    """Rates per Lemma 4.3: product ``Theta(target)`` (default ``log2 n``),
+    every entry in ``[2, 100^{1.5^i - 1.5^{i-1}}]``."""
+    if target is None:
+        target = math.log2(max(n, 4))
+    if target <= 2.0:
+        return [2.0]
+    xs: list[float] = []
+    prod = 1.0
+    i = 0
+    while prod < target:
+        nominal = 100.0 if i == 0 else 100.0 ** (1.5**i - 1.5 ** (i - 1))
+        if prod * nominal >= target:
+            # Lemma 4.3: scale the final entry so the product lands on
+            # target exactly, but never below 2.
+            xs.append(max(2.0, target / prod))
+            prod *= xs[-1]
+            break
+        xs.append(nominal)
+        prod *= nominal
+        i += 1
+    return xs
+
+
+def sequence_invariants_hold(xs: list[float], n: int) -> bool:
+    """Check the three Lemma 4.2 conditions for a candidate sequence."""
+    if not xs or any(x < 2 for x in xs):
+        return False
+    prod = 1.0
+    overhead = 0.0
+    for x in xs:
+        overhead += x / prod
+        prod *= x
+    logn = math.log2(max(n, 4))
+    return prod >= min(logn, 2.0) - 1e-9 and overhead <= 200.0

@@ -1,0 +1,180 @@
+"""Graph generators for tests, examples, and the benchmark workloads.
+
+All generators take an explicit ``seed`` and return edge lists in normalized
+``(u, v)`` form with ``u < v``; vertex ids are ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graph.dynamic_graph import Edge, norm_edge
+
+__all__ = [
+    "gnm_random_graph",
+    "gnp_random_graph",
+    "random_connected_graph",
+    "grid_graph",
+    "ring_of_cliques",
+    "power_law_graph",
+    "complete_graph",
+    "barbell_graph",
+    "random_tree",
+]
+
+
+def _rng(seed: int | None) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def complete_graph(n: int) -> list[Edge]:
+    """All ``C(n, 2)`` edges of the complete graph ``K_n``."""
+    return [(u, v) for u in range(n) for v in range(u + 1, n)]
+
+
+def gnm_random_graph(n: int, m: int, seed: int | None = None) -> list[Edge]:
+    """Uniform simple graph with exactly ``m`` edges (Erdős–Rényi G(n, m))."""
+    max_m = n * (n - 1) // 2
+    if m > max_m:
+        raise ValueError(f"m={m} exceeds max {max_m} for n={n}")
+    rng = _rng(seed)
+    if m > max_m // 2:
+        # Dense: sample by shuffling all pairs.
+        all_edges = complete_graph(n)
+        idx = rng.permutation(len(all_edges))[:m]
+        return [all_edges[i] for i in idx]
+    edges: set[Edge] = set()
+    while len(edges) < m:
+        # Vectorized rejection sampling.
+        need = m - len(edges)
+        us = rng.integers(0, n, size=2 * need + 8)
+        vs = rng.integers(0, n, size=2 * need + 8)
+        for u, v in zip(us.tolist(), vs.tolist()):
+            if u != v:
+                edges.add(norm_edge(u, v))
+                if len(edges) == m:
+                    break
+    return sorted(edges)
+
+
+def gnp_random_graph(n: int, p: float, seed: int | None = None) -> list[Edge]:
+    """G(n, p) via geometric skipping (O(n + m) expected)."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    if p == 0.0 or n < 2:
+        return []
+    if p == 1.0:
+        return complete_graph(n)
+    rng = _rng(seed)
+    edges: list[Edge] = []
+    lp = math.log1p(-p)
+    # Iterate over the strictly-upper-triangular pair index.
+    v, w = 1, -1
+    while v < n:
+        lr = math.log1p(-rng.random())
+        w = w + 1 + int(lr / lp)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            edges.append((w, v))
+    return edges
+
+
+def random_tree(n: int, seed: int | None = None) -> list[Edge]:
+    """Uniform random labeled tree (random attachment to earlier vertex)."""
+    rng = _rng(seed)
+    if n <= 1:
+        return []
+    parents = [int(rng.integers(0, i)) for i in range(1, n)]
+    return [norm_edge(i + 1, p) for i, p in enumerate(parents)]
+
+
+def random_connected_graph(
+    n: int, m: int, seed: int | None = None
+) -> list[Edge]:
+    """Connected simple graph with exactly ``m >= n-1`` edges: a random tree
+    plus uniformly-sampled extra edges."""
+    if m < n - 1:
+        raise ValueError(f"m={m} too small for connectivity on n={n}")
+    rng = _rng(seed)
+    edges = set(random_tree(n, seed=int(rng.integers(0, 2**31))))
+    max_m = n * (n - 1) // 2
+    if m > max_m:
+        raise ValueError(f"m={m} exceeds max {max_m}")
+    while len(edges) < m:
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        if u != v:
+            edges.add(norm_edge(u, v))
+    return sorted(edges)
+
+
+def grid_graph(rows: int, cols: int) -> list[Edge]:
+    """rows x cols grid; vertex ``(r, c)`` has id ``r * cols + c``."""
+    edges: list[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return edges
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> list[Edge]:
+    """``num_cliques`` cliques of size ``clique_size`` joined in a ring —
+    a classic hard case for stretch (long inter-cluster cycles)."""
+    edges: list[Edge] = []
+    k = clique_size
+    for c in range(num_cliques):
+        base = c * k
+        edges.extend(
+            (base + i, base + j) for i in range(k) for j in range(i + 1, k)
+        )
+    for c in range(num_cliques):
+        a = c * k
+        b = ((c + 1) % num_cliques) * k
+        edges.append(norm_edge(a, b))
+    return sorted(set(edges))
+
+
+def power_law_graph(
+    n: int, m: int, exponent: float = 2.5, seed: int | None = None
+) -> list[Edge]:
+    """Simple graph with ~``m`` edges and power-law degree skew (Chung–Lu
+    style sampling, deduplicated)."""
+    rng = _rng(seed)
+    weights = (np.arange(1, n + 1, dtype=float)) ** (-1.0 / (exponent - 1.0))
+    probs = weights / weights.sum()
+    edges: set[Edge] = set()
+    attempts = 0
+    max_attempts = 50 * m + 1000
+    while len(edges) < m and attempts < max_attempts:
+        need = m - len(edges)
+        us = rng.choice(n, size=2 * need + 8, p=probs)
+        vs = rng.choice(n, size=2 * need + 8, p=probs)
+        attempts += 2 * need + 8
+        for u, v in zip(us.tolist(), vs.tolist()):
+            if u != v:
+                edges.add(norm_edge(int(u), int(v)))
+                if len(edges) == m:
+                    break
+    return sorted(edges)
+
+
+def barbell_graph(clique_size: int, path_len: int) -> list[Edge]:
+    """Two cliques joined by a path — stresses cut sparsifiers (the path
+    edges are all bridges)."""
+    k = clique_size
+    edges: list[Edge] = []
+    for base in (0, k + path_len):
+        edges.extend(
+            (base + i, base + j) for i in range(k) for j in range(i + 1, k)
+        )
+    chain = [k - 1] + [k + i for i in range(path_len)] + [k + path_len]
+    edges.extend(norm_edge(a, b) for a, b in zip(chain, chain[1:]))
+    return sorted(set(edges))

@@ -1,0 +1,76 @@
+"""Edge-list file I/O.
+
+Plain-text edge lists (one ``u v [weight]`` per line, ``#`` comments) so
+real graphs can be fed to the CLI and examples without conversion
+utilities.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.graph.dynamic_graph import Edge, norm_edge
+
+__all__ = ["read_edge_list", "write_edge_list"]
+
+
+def read_edge_list(
+    path: str | Path,
+) -> tuple[int, list[Edge], dict[Edge, float] | None]:
+    """Parse an edge-list file.
+
+    Returns ``(n, edges, weights)`` where ``n`` is one more than the
+    largest vertex id and ``weights`` is None when no line carries a third
+    column.  Duplicate edges are rejected; self-loops are rejected.
+    """
+    edges: list[Edge] = []
+    weights: dict[Edge, float] = {}
+    any_weight = False
+    seen: set[Edge] = set()
+    max_v = -1
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise ValueError(f"{path}:{lineno}: expected 'u v [w]'")
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: bad vertex ids") from exc
+        if u < 0 or v < 0:
+            raise ValueError(f"{path}:{lineno}: negative vertex id")
+        e = norm_edge(u, v)
+        if e in seen:
+            raise ValueError(f"{path}:{lineno}: duplicate edge {e}")
+        seen.add(e)
+        edges.append(e)
+        max_v = max(max_v, u, v)
+        if len(parts) == 3:
+            any_weight = True
+            weights[e] = float(parts[2])
+    if any_weight and len(weights) != len(edges):
+        raise ValueError(f"{path}: mixed weighted/unweighted lines")
+    return max_v + 1, edges, weights if any_weight else None
+
+
+def write_edge_list(
+    path: str | Path,
+    edges: Iterable[Edge],
+    weights: Mapping[Edge, float] | None = None,
+    header: str | None = None,
+) -> None:
+    """Write an edge list (optionally weighted) in the format
+    :func:`read_edge_list` parses."""
+    lines: list[str] = []
+    if header:
+        lines.extend(f"# {h}" for h in header.splitlines())
+    for u, v in edges:
+        e = norm_edge(u, v)
+        if weights is not None:
+            lines.append(f"{e[0]} {e[1]} {weights[e]}")
+        else:
+            lines.append(f"{e[0]} {e[1]}")
+    Path(path).write_text("\n".join(lines) + "\n")

@@ -1,0 +1,86 @@
+"""Plain sequential graph traversals used by oracles and static baselines."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Mapping, Sequence
+
+from repro.graph.dynamic_graph import Edge
+
+__all__ = [
+    "adjacency_from_edges",
+    "bfs_distances",
+    "bfs_distances_bounded",
+    "connected_components",
+]
+
+
+def adjacency_from_edges(
+    n: int, edges: Iterable[Edge]
+) -> list[list[int]]:
+    """Adjacency lists (both directions) from an undirected edge list."""
+    adj: list[list[int]] = [[] for _ in range(n)]
+    for u, v in edges:
+        adj[u].append(v)
+        adj[v].append(u)
+    return adj
+
+
+def bfs_distances(
+    adj: Sequence[Sequence[int]] | Mapping[int, Sequence[int]],
+    source: int,
+    n: int | None = None,
+) -> dict[int, int]:
+    """Unweighted single-source distances; unreachable vertices absent."""
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        for w in adj[u]:
+            if w not in dist:
+                dist[w] = du + 1
+                queue.append(w)
+    return dist
+
+
+def bfs_distances_bounded(
+    adj: Sequence[Sequence[int]] | Mapping[int, Sequence[int]],
+    source: int,
+    limit: int,
+) -> dict[int, int]:
+    """Distances up to ``limit``; vertices farther than ``limit`` absent."""
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        if du == limit:
+            continue
+        for w in adj[u]:
+            if w not in dist:
+                dist[w] = du + 1
+                queue.append(w)
+    return dist
+
+
+def connected_components(n: int, edges: Iterable[Edge]) -> list[list[int]]:
+    """Connected components as sorted vertex lists."""
+    adj = adjacency_from_edges(n, edges)
+    seen = [False] * n
+    comps: list[list[int]] = []
+    for s in range(n):
+        if seen[s]:
+            continue
+        comp = [s]
+        seen[s] = True
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for w in adj[u]:
+                if not seen[w]:
+                    seen[w] = True
+                    comp.append(w)
+                    queue.append(w)
+        comps.append(sorted(comp))
+    return comps

@@ -1,0 +1,97 @@
+"""Plain-text figure rendering for benchmark output.
+
+No plotting dependencies are available offline, so the "figures" of
+EXPERIMENTS.md are rendered as text: :func:`sparkline` for one-line trend
+summaries and :func:`ascii_plot` for small multi-series scatter/line plots
+in bench output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["sparkline", "ascii_plot"]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar sketch of a series (min..max scaled to 8 levels)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if math.isclose(lo, hi):
+        return _BARS[3] * len(vals)
+    span = hi - lo
+    return "".join(
+        _BARS[min(len(_BARS) - 1, int((v - lo) / span * (len(_BARS) - 1)))]
+        for v in vals
+    )
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Render multiple y-series against shared x-values as an ASCII plot.
+
+    Each series gets a marker character; axes are annotated with the data
+    ranges.  Intended for the scaling figures (F1–F4) where the *shape* is
+    the message.
+    """
+    if not xs or not series:
+        return f"{title}\n(no data)"
+    markers = "ox+*#@%&"
+
+    def tx(v: float) -> float:
+        return math.log10(v) if logx else v
+
+    def ty(v: float) -> float:
+        return math.log10(v) if logy else v
+
+    all_y = [ty(v) for ys in series.values() for v in ys]
+    gx = [tx(v) for v in xs]
+    x_lo, x_hi = min(gx), max(gx)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if math.isclose(x_lo, x_hi):
+        x_hi = x_lo + 1.0
+    if math.isclose(y_lo, y_hi):
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        mark = markers[si % len(markers)]
+        for x, y in zip(gx, (ty(v) for v in ys)):
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{10 ** y_hi if logy else y_hi:.3g}"
+    y_lo_label = f"{10 ** y_lo if logy else y_lo:.3g}"
+    lines.append(f"{y_hi_label:>10} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo_label:>10} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    x_lo_label = f"{10 ** x_lo if logx else x_lo:.3g}"
+    x_hi_label = f"{10 ** x_hi if logx else x_hi:.3g}"
+    pad = width - len(x_lo_label) - len(x_hi_label)
+    lines.append(
+        " " * 12 + x_lo_label + " " * max(pad, 1) + x_hi_label
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Profiling helpers — "no optimization without measuring".
+
+Thin wrappers over :mod:`cProfile` that profile a workload run through any
+dynamic structure and report where the time actually goes (the hpc-parallel
+guides' first rule).  Used by ``python -m repro.cli ... --profile`` and
+directly in notebooks/tests.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Any, Callable
+
+from repro.workloads.streams import Workload
+
+__all__ = ["profile_callable", "profile_workload"]
+
+
+def profile_callable(
+    fn: Callable[[], Any],
+    top: int = 15,
+    sort: str = "cumulative",
+) -> tuple[Any, str]:
+    """Run ``fn`` under cProfile; returns ``(result, report_text)``."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    return result, buf.getvalue()
+
+
+def profile_workload(
+    workload: Workload,
+    build: Callable[[list], Any],
+    top: int = 15,
+) -> str:
+    """Profile one full workload run (init + every batch); returns the
+    report text.
+
+    ``build(initial_edges)`` must return a structure exposing
+    ``update(insertions, deletions)``.
+    """
+
+    def run():
+        struct = build(workload.initial_edges)
+        for batch in workload.batches:
+            struct.update(
+                insertions=batch.insertions, deletions=batch.deletions
+            )
+        return struct
+
+    _, report = profile_callable(run, top=top)
+    return report

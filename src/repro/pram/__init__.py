@@ -1,0 +1,35 @@
+"""Work/depth PRAM cost model and batch primitives."""
+
+from repro.pram.cost import (
+    NULL_COST_MODEL,
+    Cost,
+    CostModel,
+    ParallelScope,
+    brent_time,
+    log2ceil,
+)
+from repro.pram.primitives import (
+    pfilter,
+    pmap,
+    pmax_index,
+    preduce,
+    pscan,
+    psemisort,
+    psort,
+)
+
+__all__ = [
+    "Cost",
+    "CostModel",
+    "ParallelScope",
+    "NULL_COST_MODEL",
+    "brent_time",
+    "log2ceil",
+    "pfilter",
+    "pmap",
+    "pmax_index",
+    "preduce",
+    "pscan",
+    "psemisort",
+    "psort",
+]

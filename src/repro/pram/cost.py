@@ -1,0 +1,293 @@
+"""Work/depth cost model for the PRAM algorithms in this package.
+
+The paper analyses every algorithm in the standard work/depth framework
+[Ble96]: *work* is the total number of primitive operations, *depth* is the
+length of the longest chain of sequentially dependent operations.  Python's
+GIL prevents us from running the fine-grained shared-memory parallelism the
+paper assumes, so instead of executing on ``p`` processors we execute
+sequentially and *account* for parallelism explicitly:
+
+* every primitive operation charges ``work`` and ``depth`` to the ambient
+  :class:`CostModel`,
+* logically-parallel loops are wrapped in a :meth:`CostModel.parallel`
+  region; inside it, each iteration runs in its own :meth:`ParallelScope.task`
+  frame, and on exit the region contributes ``sum`` of the branch works but
+  only ``max`` of the branch depths to the parent frame.
+
+This makes the paper's asymptotic claims directly measurable: the benchmark
+harness records ``(work, depth)`` per batch and checks the claimed scaling
+shapes.  Brent's bound [Bre74] converts the pair into a simulated runtime for
+any processor count: ``time(p) <= work/p + depth``.
+
+Example
+-------
+>>> cm = CostModel()
+>>> with cm.frame() as fr:
+...     with cm.parallel() as par:
+...         for _ in range(8):
+...             with par.task():
+...                 cm.charge(work=3, depth=3)
+>>> fr.work, fr.depth
+(24, 3)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+__all__ = [
+    "Cost",
+    "CostModel",
+    "ParallelScope",
+    "NULL_COST_MODEL",
+    "brent_time",
+    "log2ceil",
+]
+
+
+def log2ceil(n: int) -> int:
+    """``ceil(log2(n))`` with the convention ``log2ceil(n) >= 1`` for n >= 1.
+
+    Used throughout as the unit charge for balanced-tree operations on
+    structures of size ``n``.
+    """
+    if n <= 2:
+        return 1
+    return (n - 1).bit_length()
+
+
+@dataclass
+class Cost:
+    """An accumulated (work, depth) pair."""
+
+    work: int = 0
+    depth: int = 0
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.work
+        yield self.depth
+
+    def as_tuple(self) -> tuple[int, int]:
+        """``(work, depth)`` tuple view."""
+        return (self.work, self.depth)
+
+
+@dataclass
+class _Frame:
+    work: int = 0
+    depth: int = 0
+
+
+class _Task:
+    """Context manager for one parallel branch (hand-rolled: these sit on
+    the hottest path, and generator-based context managers cost ~3x)."""
+
+    __slots__ = ("_scope", "_frame")
+
+    def __init__(self, scope: "ParallelScope") -> None:
+        self._scope = scope
+
+    def __enter__(self) -> None:
+        self._frame = _Frame()
+        self._scope._model._stack.append(self._frame)
+
+    def __exit__(self, *exc) -> None:
+        self._scope._model._stack.pop()
+        frame = self._frame
+        self._scope._work += frame.work
+        if frame.depth > self._scope._max_depth:
+            self._scope._max_depth = frame.depth
+
+
+class ParallelScope:
+    """A logically-parallel region; see :meth:`CostModel.parallel`."""
+
+    __slots__ = ("_model", "_work", "_max_depth")
+
+    def __init__(self, model: "CostModel") -> None:
+        self._model = model
+        self._work: int = 0
+        self._max_depth: int = 0
+
+    def task(self) -> _Task:
+        """Run one parallel branch.
+
+        The branch's work adds to the region total; its depth only raises the
+        region's max.
+        """
+        return _Task(self)
+
+    def map(self, items: Iterable[T], fn: Callable[[T], U]) -> list[U]:
+        """Apply ``fn`` to each item, each call in its own parallel task."""
+        out: list[U] = []
+        for item in items:
+            with self.task():
+                out.append(fn(item))
+        return out
+
+    def _total(self) -> tuple[int, int]:
+        return (self._work, self._max_depth)
+
+
+class CostModel:
+    """Mutable accumulator of work/depth along the current call path.
+
+    A stack of frames mirrors the (simulated) fork/join structure.  The root
+    frame holds the grand totals; :meth:`frame` scopes let callers measure
+    sub-computations (e.g. one update batch).
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._root = _Frame()
+        self._stack: list[_Frame] = [self._root]
+
+    # -- charging ---------------------------------------------------------
+
+    def charge(self, work: int = 1, depth: int | None = None) -> None:
+        """Charge ``work`` units of work and ``depth`` of sequential depth.
+
+        ``depth`` defaults to ``work`` (a purely sequential computation).
+        """
+        if not self.enabled:
+            return
+        top = self._stack[-1]
+        top.work += work
+        top.depth += work if depth is None else depth
+
+    def charge_tree_op(self, size: int, count: int = 1) -> None:
+        """Charge ``count`` balanced-tree operations on a size-``size``
+        structure: O(log size) work each, O(log size) combined depth (the
+        ``count`` ops are presumed batched in parallel)."""
+        if not self.enabled:
+            return
+        c = log2ceil(max(size, 2))
+        top = self._stack[-1]
+        top.work += c * count
+        top.depth += c
+
+    def charge_hash_op(self, count: int = 1) -> None:
+        """Charge ``count`` hash-table ops: O(1) work each, O(log* n) ~ O(1)
+        depth for the whole parallel batch [GMV91]."""
+        if not self.enabled:
+            return
+        top = self._stack[-1]
+        top.work += count
+        top.depth += 1
+
+    # -- structure --------------------------------------------------------
+
+    def parallel(self) -> "_ParallelRegion":
+        """Open a parallel region.
+
+        All :meth:`ParallelScope.task` branches created inside run logically
+        in parallel: work adds, depth maxes.
+        """
+        return _ParallelRegion(self)
+
+    def frame(self) -> "_FrameRegion":
+        """Measure the cost of a sub-computation.
+
+        The measured cost also propagates to the enclosing frame (sequential
+        composition).
+        """
+        return _FrameRegion(self)
+
+    def pfor(
+        self,
+        items: Sequence[T] | Iterable[T],
+        fn: Callable[[T], U],
+    ) -> list[U]:
+        """``parallel-for``: run ``fn`` over ``items``, one task each."""
+        with self.parallel() as par:
+            return par.map(items, fn)
+
+    # -- reading ----------------------------------------------------------
+
+    @property
+    def work(self) -> int:
+        return self._root.work
+
+    @property
+    def depth(self) -> int:
+        return self._root.depth
+
+    def snapshot(self) -> Cost:
+        """Copy of the current totals as a :class:`Cost`."""
+        return Cost(self._root.work, self._root.depth)
+
+    def reset(self) -> None:
+        """Zero the accumulated totals and drop any open frames."""
+        self._root.work = 0
+        self._root.depth = 0
+        del self._stack[1:]
+
+
+class _ParallelRegion:
+    """``with``-target of :meth:`CostModel.parallel` (hand-rolled for
+    speed; exceptions propagate, with whatever was tallied so far folded
+    into the parent frame)."""
+
+    __slots__ = ("_model", "_scope")
+
+    def __init__(self, model: CostModel) -> None:
+        self._model = model
+
+    def __enter__(self) -> ParallelScope:
+        self._scope = ParallelScope(self._model)
+        return self._scope
+
+    def __exit__(self, *exc) -> None:
+        if not self._model.enabled:
+            return
+        work, depth = self._scope._total()
+        top = self._model._stack[-1]
+        top.work += work
+        top.depth += depth
+
+
+class _FrameRegion:
+    """``with``-target of :meth:`CostModel.frame`."""
+
+    __slots__ = ("_model", "_frame", "_cost")
+
+    def __init__(self, model: CostModel) -> None:
+        self._model = model
+
+    def __enter__(self) -> Cost:
+        self._frame = _Frame()
+        self._model._stack.append(self._frame)
+        self._cost = Cost()
+        return self._cost
+
+    def __exit__(self, *exc) -> None:
+        self._model._stack.pop()
+        self._cost.work = self._frame.work
+        self._cost.depth = self._frame.depth
+        top = self._model._stack[-1]
+        top.work += self._frame.work
+        top.depth += self._frame.depth
+
+
+class _NullCostModel(CostModel):
+    """A cost model that records nothing; used as the cheap default."""
+
+    enabled = False
+
+
+#: Shared do-nothing cost model; pass a fresh :class:`CostModel` to measure.
+NULL_COST_MODEL = _NullCostModel()
+
+
+def brent_time(cost: Cost, processors: int) -> float:
+    """Brent's theorem [Bre74]: greedy-schedule runtime upper bound
+    ``work/p + depth`` for ``p`` processors."""
+    if processors < 1:
+        raise ValueError("processors must be >= 1")
+    return cost.work / processors + cost.depth

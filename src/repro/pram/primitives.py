@@ -1,0 +1,146 @@
+"""Classic PRAM batch primitives with work/depth charging.
+
+The paper's algorithms freely use the standard parallel toolbox — prefix
+sums, filtering/compaction, parallel sort ([PP01] implies an O(n log n)
+work, O(log n) depth sort), reduction, and semisort/grouping.  This module
+implements them sequentially with the canonical charges, so higher-level
+code (and users extending the library) can stay inside the cost model.
+
+=============  ======================  ==============
+primitive      work                    depth
+=============  ======================  ==============
+preduce        O(n)                    O(log n)
+pscan          O(n)                    O(log n)
+pfilter        O(n)                    O(log n)
+pmap           O(n) (+ body)           O(1) (+ body)
+psort          O(n log n)              O(log n)  [PP01]
+psemisort      O(n) expected           O(log* n) [GMV91]
+pmax_index     O(n)                    O(log n)
+=============  ======================  ==============
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.pram.cost import NULL_COST_MODEL, CostModel, log2ceil
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+__all__ = [
+    "preduce",
+    "pscan",
+    "pfilter",
+    "pmap",
+    "psort",
+    "psemisort",
+    "pmax_index",
+]
+
+
+def _charge(cost: CostModel, n: int, work_factor: int = 1,
+            depth: int | None = None) -> None:
+    n = max(n, 1)
+    cost.charge(
+        work=n * work_factor,
+        depth=log2ceil(n) if depth is None else depth,
+    )
+
+
+def preduce(
+    items: Sequence[T],
+    op: Callable[[T, T], T],
+    identity: T,
+    cost: CostModel = NULL_COST_MODEL,
+) -> T:
+    """Parallel reduction: O(n) work, O(log n) depth."""
+    _charge(cost, len(items))
+    acc = identity
+    for x in items:
+        acc = op(acc, x)
+    return acc
+
+
+def pscan(
+    items: Sequence[T],
+    op: Callable[[T, T], T],
+    identity: T,
+    cost: CostModel = NULL_COST_MODEL,
+) -> tuple[list[T], T]:
+    """Exclusive prefix scan: returns (prefixes, total).
+
+    ``prefixes[i] = op(items[0], ..., items[i-1])``; O(n) work, O(log n)
+    depth (Blelloch scan).
+    """
+    _charge(cost, len(items), work_factor=2)
+    out: list[T] = []
+    acc = identity
+    for x in items:
+        out.append(acc)
+        acc = op(acc, x)
+    return out, acc
+
+
+def pfilter(
+    items: Sequence[T],
+    keep: Callable[[T], bool],
+    cost: CostModel = NULL_COST_MODEL,
+) -> list[T]:
+    """Parallel compaction (filter + pack): O(n) work, O(log n) depth."""
+    _charge(cost, len(items), work_factor=2)
+    return [x for x in items if keep(x)]
+
+
+def pmap(
+    items: Sequence[T],
+    fn: Callable[[T], U],
+    cost: CostModel = NULL_COST_MODEL,
+) -> list[U]:
+    """Parallel map over a flat array: O(n) work, O(1) depth (plus whatever
+    ``fn`` itself charges — run it under ``cost.parallel()`` if it does)."""
+    cost.charge(work=max(len(items), 1), depth=1)
+    return [fn(x) for x in items]
+
+
+def psort(
+    items: Iterable[T],
+    key: Callable[[T], Any] | None = None,
+    cost: CostModel = NULL_COST_MODEL,
+) -> list[T]:
+    """Parallel sort à la [PP01]: O(n log n) work, O(log n) depth."""
+    items = list(items)
+    n = max(len(items), 1)
+    cost.charge(work=n * log2ceil(n), depth=log2ceil(n))
+    return sorted(items, key=key)
+
+
+def psemisort(
+    items: Sequence[T],
+    key: Callable[[T], Any],
+    cost: CostModel = NULL_COST_MODEL,
+) -> dict[Any, list[T]]:
+    """Group by key (semisort): O(n) expected work, O(log* n) depth via the
+    [GMV91] hash table."""
+    cost.charge_hash_op(len(items))
+    out: dict[Any, list[T]] = {}
+    for x in items:
+        out.setdefault(key(x), []).append(x)
+    return out
+
+
+def pmax_index(
+    items: Sequence[T],
+    key: Callable[[T], Any] | None = None,
+    cost: CostModel = NULL_COST_MODEL,
+) -> int:
+    """Index of the maximum element: O(n) work, O(log n) depth.
+
+    Raises ValueError on an empty sequence.
+    """
+    if not items:
+        raise ValueError("pmax_index of empty sequence")
+    _charge(cost, len(items))
+    if key is None:
+        return max(range(len(items)), key=items.__getitem__)
+    return max(range(len(items)), key=lambda i: key(items[i]))

@@ -1,0 +1,6 @@
+"""Query oracles (approximate distances, cuts) over the dynamic
+structures."""
+
+from repro.queries.oracles import DynamicCutOracle, DynamicDistanceOracle
+
+__all__ = ["DynamicCutOracle", "DynamicDistanceOracle"]

@@ -1,0 +1,226 @@
+"""Query oracles on top of the dynamic structures.
+
+Spanners and sparsifiers are *useful* because queries against the small
+subgraph approximate queries against the full graph:
+
+* :class:`DynamicDistanceOracle` — wraps any dynamic spanner; answers
+  (batched) distance and connectivity queries by BFS over the maintained
+  spanner, so every answer is within the spanner's stretch factor of the
+  true distance while touching only Õ(n) edges.
+* :class:`DynamicCutOracle` — wraps the dynamic spectral sparsifier;
+  answers cut-weight and Laplacian quadratic-form queries against the
+  weighted sparsifier.
+
+Both proxy ``update(...)`` to the underlying structure and keep their query
+state synchronized from the returned deltas, so a query never pays a full
+rebuild.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Sequence
+
+import numpy as np
+
+from repro.graph.dynamic_graph import Edge, norm_edge
+from repro.graph.traversal import bfs_distances, bfs_distances_bounded
+from repro.pram.cost import NULL_COST_MODEL, CostModel, log2ceil
+
+__all__ = ["DynamicDistanceOracle", "DynamicCutOracle"]
+
+
+class _SpannerLike(Protocol):
+    def spanner_edges(self) -> set[Edge]: ...
+
+    def update(self, insertions=(), deletions=()): ...
+
+
+class DynamicDistanceOracle:
+    """Approximate distances from a dynamic spanner.
+
+    Every reported distance ``d`` satisfies ``dist_G(u, v) <= d <=
+    stretch * dist_G(u, v)`` (lower bound because the spanner is a
+    subgraph; upper bound by the spanner property).
+
+    Parameters
+    ----------
+    n:
+        Vertex count.
+    spanner:
+        Any structure exposing ``spanner_edges()`` and
+        ``update(insertions, deletions) -> (ins, dels)`` — e.g.
+        :class:`~repro.spanner.FullyDynamicSpanner` or
+        :class:`~repro.contraction.SparseSpannerDynamic`.
+    stretch:
+        The wrapped structure's stretch guarantee (reported alongside
+        answers; also used as the BFS cap for ``within``).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        spanner: _SpannerLike,
+        stretch: float,
+        cost: CostModel = NULL_COST_MODEL,
+    ) -> None:
+        self.n = n
+        self.stretch = stretch
+        self._spanner = spanner
+        self._cost = cost
+        self._adj: list[set[int]] = [set() for _ in range(n)]
+        for u, v in spanner.spanner_edges():
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def update(
+        self, insertions: Iterable[Edge] = (), deletions: Iterable[Edge] = ()
+    ) -> tuple[set[Edge], set[Edge]]:
+        """Apply a graph batch; keeps the query adjacency in sync."""
+        ins, dels = self._spanner.update(
+            insertions=insertions, deletions=deletions
+        )
+        self._cost.charge_hash_op(len(ins) + len(dels))
+        for u, v in dels:
+            self._adj[u].discard(v)
+            self._adj[v].discard(u)
+        for u, v in ins:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+        return ins, dels
+
+    def spanner_size(self) -> int:
+        """Number of spanner edges backing the answers."""
+        return sum(len(a) for a in self._adj) // 2
+
+    # -- queries -----------------------------------------------------------------
+
+    def distance(self, u: int, v: int) -> float:
+        """Approximate distance (inf if disconnected)."""
+        self._check(u)
+        self._check(v)
+        d = bfs_distances(self._adj, u).get(v)
+        self._cost.charge(
+            work=self.spanner_size() + 1, depth=log2ceil(self.n) ** 2
+        )
+        return float("inf") if d is None else float(d)
+
+    def batch_distances(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> list[float]:
+        """Answer many pairs; sources share BFS work, pairs run in
+        parallel rounds."""
+        by_source: dict[int, list[int]] = {}
+        for u, v in pairs:
+            self._check(u)
+            self._check(v)
+            by_source.setdefault(u, []).append(v)
+        dist_maps: dict[int, dict[int, int]] = {}
+        with self._cost.parallel() as par:
+            for u in by_source:
+                with par.task():
+                    dist_maps[u] = bfs_distances(self._adj, u)
+                    self._cost.charge(
+                        work=self.spanner_size() + 1,
+                        depth=log2ceil(self.n) ** 2,
+                    )
+        return [
+            float(dist_maps[u].get(v, float("inf"))) for u, v in pairs
+        ]
+
+    def within(self, u: int, radius: int) -> set[int]:
+        """Vertices within spanner-distance ``radius * stretch`` of ``u`` —
+        a superset of the true ``radius``-ball, subset of the stretched
+        ball."""
+        self._check(u)
+        cap = int(radius * self.stretch)
+        self._cost.charge(
+            work=self.spanner_size() + 1, depth=log2ceil(self.n) ** 2
+        )
+        return set(bfs_distances_bounded(self._adj, u, cap))
+
+    def connected(self, u: int, v: int) -> bool:
+        """Exact connectivity (spanners preserve connectivity)."""
+        return self.distance(u, v) != float("inf")
+
+    def _check(self, v: int) -> None:
+        if not 0 <= v < self.n:
+            raise ValueError(f"vertex {v} outside [0, {self.n})")
+
+
+class _SparsifierLike(Protocol):
+    def weighted_edges(self) -> dict[Edge, float]: ...
+
+    def update(self, insertions=(), deletions=()): ...
+
+
+class DynamicCutOracle:
+    """Approximate cut/quadratic-form queries from a dynamic sparsifier.
+
+    Answers are within the sparsifier's (1±ε) spectral guarantee of the
+    exact values on the current graph.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        sparsifier: _SparsifierLike,
+        cost: CostModel = NULL_COST_MODEL,
+    ) -> None:
+        self.n = n
+        self._sparsifier = sparsifier
+        self._cost = cost
+        self._weights: dict[Edge, float] | None = None
+
+    def update(
+        self, insertions: Iterable[Edge] = (), deletions: Iterable[Edge] = ()
+    ) -> tuple[set[Edge], set[Edge]]:
+        """Apply a graph batch to the wrapped sparsifier (invalidates the weight cache)."""
+        out = self._sparsifier.update(
+            insertions=insertions, deletions=deletions
+        )
+        self._weights = None  # weights can shift levels; re-pull lazily
+        return out
+
+    def _edges(self) -> dict[Edge, float]:
+        if self._weights is None:
+            self._weights = dict(self._sparsifier.weighted_edges())
+            self._cost.charge_hash_op(len(self._weights))
+        return self._weights
+
+    def cut_value(self, side: Iterable[int]) -> float:
+        """Approximate weight of the cut ``(side, V - side)``."""
+        side = set(side)
+        for v in side:
+            if not 0 <= v < self.n:
+                raise ValueError(f"vertex {v} outside [0, {self.n})")
+        w = self._edges()
+        self._cost.charge(work=len(w) + 1, depth=log2ceil(len(w) + 2))
+        return sum(
+            weight
+            for (u, v), weight in w.items()
+            if (u in side) != (v in side)
+        )
+
+    def quadratic_form(self, x: Sequence[float]) -> float:
+        """``x^T L_H x`` on the sparsifier — approximates ``x^T L_G x``."""
+        if len(x) != self.n:
+            raise ValueError("vector length must equal n")
+        xs = np.asarray(x, dtype=float)
+        w = self._edges()
+        self._cost.charge(work=len(w) + 1, depth=log2ceil(len(w) + 2))
+        return float(
+            sum(
+                weight * (xs[u] - xs[v]) ** 2
+                for (u, v), weight in w.items()
+            )
+        )
+
+    def sparsifier_size(self) -> int:
+        """Number of weighted edges backing the answers."""
+        return len(self._edges())
+
+    def total_weight(self) -> float:
+        """Sum of all sparsifier edge weights."""
+        return sum(self._edges().values())

@@ -1,0 +1,40 @@
+"""Spanner algorithms: static baselines, decremental (Lemma 3.3), and the
+fully-dynamic Theorem 1.1 structure."""
+
+from repro.spanner.decremental import DecrementalSpanner
+from repro.spanner.dynamizer import BentleySaxeDynamizer
+from repro.spanner.fully_dynamic import FullyDynamicSpanner
+from repro.spanner.shift_clustering import (
+    ShiftedClustering,
+    sample_shifts,
+    static_clusters,
+)
+from repro.spanner.incremental_greedy import IncrementalGreedySpanner
+from repro.spanner.ldd import (
+    LowDiameterDecomposition,
+    low_diameter_decomposition,
+)
+from repro.spanner.static_baswana_sen import baswana_sen_spanner
+from repro.spanner.static_mpvx import mpvx_spanner
+from repro.spanner.weighted import (
+    baswana_sen_weighted_spanner,
+    weighted_spanner_stretch,
+)
+from repro.spanner.weighted_dynamic import WeightedFullyDynamicSpanner
+
+__all__ = [
+    "BentleySaxeDynamizer",
+    "IncrementalGreedySpanner",
+    "LowDiameterDecomposition",
+    "low_diameter_decomposition",
+    "DecrementalSpanner",
+    "FullyDynamicSpanner",
+    "ShiftedClustering",
+    "baswana_sen_spanner",
+    "baswana_sen_weighted_spanner",
+    "mpvx_spanner",
+    "sample_shifts",
+    "static_clusters",
+    "WeightedFullyDynamicSpanner",
+    "weighted_spanner_stretch",
+]

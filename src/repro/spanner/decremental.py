@@ -1,0 +1,237 @@
+"""Decremental (2k−1)-spanner (Lemma 3.3).
+
+The spanner has two parts:
+
+* **intra-cluster edges** — the original-graph edges of the shortest-path
+  forest maintained by :class:`~repro.spanner.shift_clustering.ShiftedClustering`,
+* **inter-cluster edges** — one representative edge per nonempty
+  ``INTERCLUSTER[(v, c)]`` bucket with ``c != CLUSTER(v)`` (the paper's hash
+  table of hash tables).
+
+Each deletion batch updates the clustering, moves bucket memberships for
+every endpoint whose cluster changed, refreshes representatives of touched
+buckets, and reports the net spanner delta ``(δH_ins, δH_del)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graph.dynamic_graph import Edge, norm_edge
+from repro.pram.cost import NULL_COST_MODEL, CostModel
+from repro.spanner.shift_clustering import ShiftedClustering, sample_shifts
+
+__all__ = ["DecrementalSpanner"]
+
+
+class DecrementalSpanner:
+    """Lemma 3.3 data structure.
+
+    Parameters
+    ----------
+    n, edges:
+        The initial unweighted simple graph.
+    k:
+        Stretch parameter; the spanner has stretch ``2k - 1`` w.h.p. and
+        O(n^{1+1/k}) expected edges.
+    seed:
+        Randomness for the exponential shifts.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        edges,
+        k: int,
+        seed: int | None = None,
+        cost: CostModel = NULL_COST_MODEL,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.n = n
+        self.k = k
+        self._cost = cost
+        edges = [norm_edge(u, v) for u, v in edges]
+        rng = np.random.default_rng(seed)
+        beta = math.log(10 * max(n, 2)) / k
+        deltas = sample_shifts(n, beta=beta, cap=float(k), rng=rng)
+        self.deltas = deltas
+        self.sc = ShiftedClustering(n, edges, deltas, cost=cost)
+
+        self._adj: list[set[int]] = [set() for _ in range(n)]
+        # bucket (v, c) -> set of neighbors u of v with CLUSTER(u) == c
+        self._inter: dict[tuple[int, int], set[int]] = {}
+        # chosen representative neighbor per eligible bucket
+        self._rep: dict[tuple[int, int], int] = {}
+        # spanner edge refcounts (forest edge and/or representative(s))
+        self._span: dict[Edge, int] = {}
+
+        for u, v in edges:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._bucket(u, self.sc.cluster_of(v)).add(v)
+            self._bucket(v, self.sc.cluster_of(u)).add(u)
+        for e in self.sc.tree_edges():
+            self._inc(e, None)
+        for key in list(self._inter):
+            self._refresh(key, None)
+
+    # -- bucket / refcount plumbing ----------------------------------------
+
+    def _bucket(self, v: int, c: int) -> set[int]:
+        return self._inter.setdefault((v, c), set())
+
+    def _inc(self, e: Edge, delta: tuple[set, set] | None) -> None:
+        cnt = self._span.get(e, 0)
+        self._span[e] = cnt + 1
+        if cnt == 0 and delta is not None:
+            ins, dels = delta
+            if e in dels:
+                dels.remove(e)
+            else:
+                ins.add(e)
+
+    def _dec(self, e: Edge, delta: tuple[set, set] | None) -> None:
+        cnt = self._span[e]
+        if cnt == 1:
+            del self._span[e]
+            if delta is not None:
+                ins, dels = delta
+                if e in ins:
+                    ins.remove(e)
+                else:
+                    dels.add(e)
+        else:
+            self._span[e] = cnt - 1
+
+    def _refresh(self, key: tuple[int, int], delta) -> None:
+        """Reconcile one bucket's representative with its contents and
+        eligibility (c != CLUSTER(v))."""
+        v, c = key
+        bucket = self._inter.get(key)
+        eligible = bool(bucket) and c != self.sc.cluster_of(v)
+        cur = self._rep.get(key)
+        if not eligible:
+            if cur is not None:
+                del self._rep[key]
+                self._dec(norm_edge(v, cur), delta)
+            if not bucket and key in self._inter:
+                del self._inter[key]
+            return
+        if cur is not None and cur in bucket:
+            return
+        new = min(bucket)
+        self._rep[key] = new
+        if cur is not None:
+            self._dec(norm_edge(v, cur), delta)
+        self._inc(norm_edge(v, new), delta)
+        self._cost.charge_hash_op()
+
+    # -- queries ---------------------------------------------------------------
+
+    def spanner_edges(self) -> set[Edge]:
+        """The maintained (2k−1)-spanner."""
+        return set(self._span)
+
+    def spanner_size(self) -> int:
+        """Number of edges in the maintained spanner."""
+        return len(self._span)
+
+    def cluster_of(self, v: int) -> int:
+        """Current cluster (center vertex) of ``v``."""
+        return self.sc.cluster_of(v)
+
+    # -- updates ---------------------------------------------------------------
+
+    def batch_delete(self, edges) -> tuple[set[Edge], set[Edge]]:
+        """Delete a batch of edges; returns the net ``(δH_ins, δH_del)``."""
+        edges = [norm_edge(u, v) for u, v in edges]
+        ins: set[Edge] = set()
+        dels: set[Edge] = set()
+        delta = (ins, dels)
+        touched: set[tuple[int, int]] = set()
+
+        # 1. remove edges from adjacency and buckets (pre-cascade clusters)
+        with self._cost.parallel() as par:
+            for u, v in edges:
+                if v not in self._adj[u]:
+                    raise KeyError(f"edge {(u, v)} not present")
+                with par.task():
+                    self._adj[u].remove(v)
+                    self._adj[v].remove(u)
+                    cu, cv = self.sc.cluster_of(u), self.sc.cluster_of(v)
+                    self._bucket(u, cv).discard(v)
+                    self._bucket(v, cu).discard(u)
+                    touched.add((u, cv))
+                    touched.add((v, cu))
+                    self._cost.charge_hash_op(2)
+
+        # 2. clustering/ES update
+        tree_changes, cluster_changes = self.sc.batch_delete(edges)
+
+        # 3. intra-cluster forest delta
+        for ch in tree_changes:
+            if ch.old is not None:
+                self._dec(ch.old, delta)
+            if ch.new is not None:
+                self._inc(ch.new, delta)
+
+        # 4. bucket moves for every cluster change.  Events are applied in
+        # order (a vertex may change cluster more than once per batch) but
+        # charged as one parallel round per change over its neighborhood,
+        # with the changes themselves also grouped in parallel — matching
+        # the paper's per-cascade-wave accounting.
+        with self._cost.parallel() as par:
+            for ch in cluster_changes:
+                v, oldc, newc = ch.vertex, ch.old_cluster, ch.new_cluster
+                with par.task():
+                    with self._cost.parallel() as inner:
+                        for u in sorted(self._adj[v]):
+                            with inner.task():
+                                self._bucket(u, oldc).discard(v)
+                                self._bucket(u, newc).add(v)
+                                touched.add((u, oldc))
+                                touched.add((u, newc))
+                                self._cost.charge_hash_op(2)
+                # v's own buckets flip eligibility
+                touched.add((v, oldc))
+                touched.add((v, newc))
+
+        # 5. refresh every touched bucket
+        with self._cost.parallel() as par:
+            for key in sorted(touched):
+                with par.task():
+                    self._refresh(key, delta)
+
+        return ins, dels
+
+    # -- invariant check (used by tests) ----------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify bucket/representative/refcount consistency (O(n + m))."""
+        # buckets partition the adjacency by neighbor cluster
+        want: dict[tuple[int, int], set[int]] = {}
+        for v in range(self.n):
+            for u in self._adj[v]:
+                want.setdefault((v, self.sc.cluster_of(u)), set()).add(u)
+        got = {k: s for k, s in self._inter.items() if s}
+        assert got == want, "bucket contents diverged"
+        # representatives: exactly the eligible buckets, member of bucket
+        for key, s in want.items():
+            v, c = key
+            if c != self.sc.cluster_of(v):
+                assert key in self._rep, f"missing rep for {key}"
+                assert self._rep[key] in s
+            else:
+                assert key not in self._rep
+        assert set(self._rep) <= set(want)
+        # refcounts = forest + representative multiset
+        want_counts: dict[Edge, int] = {}
+        for e in self.sc.tree_edges():
+            want_counts[e] = want_counts.get(e, 0) + 1
+        for (v, _c), u in self._rep.items():
+            e = norm_edge(v, u)
+            want_counts[e] = want_counts.get(e, 0) + 1
+        assert want_counts == self._span, "refcounts diverged"

@@ -1,0 +1,110 @@
+"""Incremental greedy (2k−1)-spanner — the classic [ADD+93] construction
+as an insertion-only dynamic baseline.
+
+On inserting edge (u, v): if the current spanner already connects u and v
+within 2k−1 hops, discard the edge; otherwise keep it.  The kept graph has
+girth > 2k, hence at most O(n^{1+1/k}) edges — the *optimal* size bound
+(no log factor), and it never removes a spanner edge (zero recourse).
+
+This is the natural comparison point for the paper's Theorem 1.1 on
+insertion-only streams (cf. Elkin [Elk11]'s O(1)-expected-time incremental
+algorithm): greedy has the best possible size/stretch but pays a BFS per
+insertion and cannot handle deletions at all — exactly the gap the
+batch-dynamic algorithm closes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.graph.dynamic_graph import Edge, norm_edge
+from repro.graph.traversal import bfs_distances_bounded
+from repro.pram.cost import NULL_COST_MODEL, CostModel, log2ceil
+
+__all__ = ["IncrementalGreedySpanner"]
+
+
+class IncrementalGreedySpanner:
+    """Insertion-only greedy (2k−1)-spanner.
+
+    Supports the same ``update`` signature as the dynamic structures so
+    harness code can drive it, but raises on deletions.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[Edge] = (),
+        k: int = 2,
+        cost: CostModel = NULL_COST_MODEL,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.n = n
+        self.k = k
+        self._cost = cost
+        self._adj: list[set[int]] = [set() for _ in range(n)]
+        self._edges: set[Edge] = set()
+        self._spanner: set[Edge] = set()
+        if edges:
+            self.update(insertions=edges)
+
+    @property
+    def stretch(self) -> int:
+        return 2 * self.k - 1
+
+    @property
+    def m(self) -> int:
+        return len(self._edges)
+
+    def spanner_edges(self) -> set[Edge]:
+        """The kept (greedy) spanner edges."""
+        return set(self._spanner)
+
+    def spanner_size(self) -> int:
+        """Number of kept edges."""
+        return len(self._spanner)
+
+    def update(
+        self,
+        insertions: Iterable[Edge] = (),
+        deletions: Iterable[Edge] = (),
+    ) -> tuple[set[Edge], set[Edge]]:
+        """Insert a batch (sorted for determinism); deletions unsupported."""
+        deletions = list(deletions)
+        if deletions:
+            raise NotImplementedError(
+                "greedy spanner is insertion-only — this is precisely the "
+                "limitation Theorem 1.1 removes"
+            )
+        ins: set[Edge] = set()
+        for e in sorted(norm_edge(u, v) for u, v in insertions):
+            u, v = e
+            if e in self._edges:
+                raise ValueError(f"duplicate edge {e}")
+            self._edges.add(e)
+            # one bounded BFS in the current spanner per insertion
+            dist = bfs_distances_bounded(self._adj, u, self.stretch)
+            self._cost.charge(
+                work=len(self._spanner) + 1,
+                depth=self.stretch * log2ceil(max(self.n, 2)),
+            )
+            if dist.get(v, self.stretch + 1) > self.stretch:
+                self._spanner.add(e)
+                self._adj[u].add(v)
+                self._adj[v].add(u)
+                ins.add(e)
+        return ins, set()
+
+    def check_invariants(self) -> None:
+        """Verify the girth property that bounds greedy's size (tests)."""
+        assert self._spanner <= self._edges
+        # girth > 2k: every spanner edge, when removed, leaves its
+        # endpoints at distance > 2k - 2 in the remaining spanner
+        for u, v in self._spanner:
+            self._adj[u].discard(v)
+            self._adj[v].discard(u)
+            d = bfs_distances_bounded(self._adj, u, 2 * self.k - 1).get(v)
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            assert d is None or d > 2 * self.k - 2

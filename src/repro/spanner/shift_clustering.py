@@ -1,0 +1,424 @@
+"""Exponential start-time clustering, maintained under deletion batches.
+
+This is the engine of Section 3.3: the clustering of [MPVX15]/[EN18b] is
+reduced to a shortest-path tree in the *augmented* digraph G′
+
+* vertices ``0..n-1`` are the original graph, ``n..n+t-1`` are the path
+  vertices ``p_0..p_{t-1}`` (``p_i`` has id ``n + i``),
+* every undirected edge contributes both directions,
+* ``p_i -> p_{i+1}`` chains the path, and ``p_{t-1-d_v} -> v`` gives vertex
+  ``v`` its head start ``d_v = floor(delta_v)``,
+
+so that the parent chain from ``p_0`` encodes ``CLUSTER(v) = argmin_u
+(dist(u, v) - delta_u)``, with ties broken toward the largest fractional part
+``f_u`` (implemented as the PRIORITY permutation).  Each ``IN(v)`` is ordered
+by the *composite priority* ``PRIORITY(CLUSTER(w)) * (n + 1) + tiebreak`` so
+the Even–Shiloach scan pointer always rests on the maximum-priority valid
+parent.
+
+Under a deletion batch, the ES tree fixes distances/parents first (stale
+priorities are fine: the cluster cascade re-examines every edge it re-keys),
+then the cluster-change cascade of the paper runs: a vertex that changed
+cluster re-keys all its out-edges, each re-keyed target either keeps,
+switches, or re-scans its parent, and inherited cluster changes propagate
+recursively.
+
+The structure is Las Vegas: with the randomness (``deltas``) fixed, the
+maintained ``cluster`` array always equals :func:`static_clusters` of the
+remaining graph — which is exactly how the tests verify it.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.graph.dynamic_graph import Edge, norm_edge
+from repro.bfs.es_tree import BatchDynamicESTree
+from repro.pram.cost import NULL_COST_MODEL, CostModel
+
+__all__ = [
+    "ShiftedClustering",
+    "static_clusters",
+    "sample_shifts",
+    "ClusterChange",
+    "TreeEdgeChange",
+]
+
+
+class ClusterChange:
+    """Record of one vertex's cluster reassignment."""
+    __slots__ = ("vertex", "old_cluster", "new_cluster")
+
+    def __init__(self, vertex: int, old_cluster: int, new_cluster: int):
+        self.vertex = vertex
+        self.old_cluster = old_cluster
+        self.new_cluster = new_cluster
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ClusterChange({self.vertex}: {self.old_cluster}->{self.new_cluster})"
+
+
+class TreeEdgeChange:
+    """A change of the *real* (original-graph) parent edge of a vertex.
+
+    ``old``/``new`` are normalized undirected edges or None (None means the
+    vertex was/is attached directly to a path vertex, i.e. is a center)."""
+
+    __slots__ = ("vertex", "old", "new")
+
+    def __init__(self, vertex: int, old: Edge | None, new: Edge | None):
+        self.vertex = vertex
+        self.old = old
+        self.new = new
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TreeEdgeChange({self.vertex}: {self.old}->{self.new})"
+
+
+def sample_shifts(
+    n: int,
+    beta: float,
+    cap: float,
+    rng: np.random.Generator,
+    max_retries: int = 1000,
+) -> np.ndarray:
+    """Sample ``delta_u ~ Exp(beta)`` i.i.d., resampling the whole vector
+    until ``max delta_u < cap`` (the Las Vegas loop of Algorithm 2)."""
+    for _ in range(max_retries):
+        deltas = rng.exponential(scale=1.0 / beta, size=n)
+        if n == 0 or deltas.max() < cap:
+            return deltas
+    raise RuntimeError(
+        f"failed to sample shifts below cap={cap} after {max_retries} tries"
+    )
+
+
+def _priority_ranks(deltas: Sequence[float]) -> list[int]:
+    """PRIORITY permutation: rank 1..n by increasing fractional part, so a
+    larger fractional part means a larger (better) priority."""
+    n = len(deltas)
+    fracs = [(d - math.floor(d), v) for v, d in enumerate(deltas)]
+    pri = [0] * n
+    for rank, (_, v) in enumerate(sorted(fracs), start=1):
+        pri[v] = rank
+    return pri
+
+
+def static_clusters(
+    n: int,
+    edges: Iterable[Edge],
+    deltas: Sequence[float],
+) -> tuple[list[int], list[int | None], list[int]]:
+    """Reference (static) computation of the clustering.
+
+    Returns ``(cluster, parent, dist)`` where ``dist`` is the distance from
+    ``p_0`` in G′, ``parent`` the G′-parent restricted to original vertices
+    (None when the parent is a path vertex), and ``cluster[v]`` the center
+    whose shifted distance ``dist(u, v) - delta_u`` is minimal, ties broken
+    by the PRIORITY permutation.  Runs a level-by-level sweep; used as the
+    oracle for :class:`ShiftedClustering`.
+    """
+    pri = _priority_ranks(deltas)
+    d_int = [int(math.floor(d)) for d in deltas]
+    t = (max(d_int) + 1) if n else 1
+
+    adj: list[list[int]] = [[] for _ in range(n)]
+    for u, v in edges:
+        adj[u].append(v)
+        adj[v].append(u)
+
+    # dist'(v) in G': BFS by levels. Level of p_i is i; vertex v gets a
+    # "free" arrival at level t - d_v via its head-start edge.
+    INF = t + 1
+    dist = [INF] * n
+    by_level: list[list[int]] = [[] for _ in range(t + 1)]
+    for v in range(n):
+        by_level[t - d_int[v]].append(v)
+
+    cluster = [-1] * n
+    parent: list[int | None] = [None] * n
+    # key(v) = composite priority of v's chosen parent edge; used to pick
+    # max-priority parents deterministically.
+    frontier_key = [-1] * n
+
+    def composite(center: int, tiebreak: int) -> int:
+        return pri[center] * (n + 1) + tiebreak
+
+    settled: list[list[int]] = [[] for _ in range(t + 1)]
+    for level in range(t + 1):
+        # head-start arrivals at this level
+        for v in by_level[level]:
+            if dist[v] > level:
+                dist[v] = level
+                cluster[v] = v
+                parent[v] = None
+                frontier_key[v] = composite(v, n)
+            elif dist[v] == level:
+                key = composite(v, n)
+                if key > frontier_key[v]:
+                    cluster[v] = v
+                    parent[v] = None
+                    frontier_key[v] = key
+        for v in range(n):
+            if dist[v] == level:
+                settled[level].append(v)
+        if level == t:
+            break
+        # relax edges from level to level + 1
+        for u in settled[level]:
+            for w in adj[u]:
+                if dist[w] < level + 1:
+                    continue
+                key = composite(cluster[u], u)
+                if dist[w] > level + 1:
+                    dist[w] = level + 1
+                    cluster[w] = cluster[u]
+                    parent[w] = u
+                    frontier_key[w] = key
+                elif key > frontier_key[w]:
+                    cluster[w] = cluster[u]
+                    parent[w] = u
+                    frontier_key[w] = key
+    return cluster, parent, dist
+
+
+class ShiftedClustering:
+    """Decremental exponential-shift clustering (Section 3.3 machinery)."""
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[Edge],
+        deltas: Sequence[float],
+        cost: CostModel = NULL_COST_MODEL,
+        cascade_cap: int | None = None,
+    ) -> None:
+        self.n = n
+        self._cost = cost
+        edges = [norm_edge(u, v) for u, v in edges]
+        if len(set(edges)) != len(edges):
+            raise ValueError("duplicate undirected edges")
+        self.pri = _priority_ranks(deltas)
+        self.d_int = [int(math.floor(d)) for d in deltas]
+        self.t = (max(self.d_int) + 1) if n else 1
+        self._cascade_cap = cascade_cap
+
+        # --- build G' --------------------------------------------------
+        # ids: 0..n-1 originals, n+i = p_i.
+        n_aug = n + self.t
+        self._path0 = n  # p_0
+        # Universe for composite priorities: pri in [1, n], tiebreak in
+        # [0, n] -> composite <= n*(n+1)+n.
+        self._universe = n * (n + 1) + n + 2 if n else 4
+
+        # Clusters must be known before edge priorities can be assigned;
+        # compute them statically first (level sweep), then build the ES
+        # tree with the final composite priorities.  The ES tree's own
+        # parent selection reproduces the same clusters (asserted below).
+        cluster0, _, _ = static_clusters(n, edges, deltas)
+
+        dir_edges: list[tuple[int, int]] = []
+        priority: dict[tuple[int, int], int] = {}
+        for u, v in edges:
+            dir_edges.append((u, v))
+            priority[(u, v)] = self._composite(cluster0[u], u)
+            dir_edges.append((v, u))
+            priority[(v, u)] = self._composite(cluster0[v], v)
+        for i in range(self.t - 1):
+            dir_edges.append((n + i, n + i + 1))
+            priority[(n + i, n + i + 1)] = 1
+        for v in range(n):
+            head = n + (self.t - 1 - self.d_int[v])
+            dir_edges.append((head, v))
+            priority[(head, v)] = self._composite(v, n)
+
+        self.es = BatchDynamicESTree(
+            n_aug,
+            dir_edges,
+            source=self._path0,
+            limit=self.t,
+            priority=priority,
+            universe=self._universe,
+            cost=cost,
+        )
+        # Derive clusters from the tree parents; must agree with the sweep.
+        self.cluster: list[int] = [-1] * n
+        for v in self._vertices_by_level():
+            p = self.es.parent_of(v)
+            assert p is not None, f"vertex {v} unreachable in G'"
+            self.cluster[v] = v if p >= n else self.cluster[p]
+        assert self.cluster == cluster0, "ES-tree clusters diverge from sweep"
+        #: instrumentation: total cluster reassignments over the lifetime
+        #: (Lemma 3.6 bounds the per-vertex expectation by 2 t log n)
+        self.total_cluster_changes = 0
+
+    # -- helpers ------------------------------------------------------------
+
+    def _composite(self, center: int, tiebreak: int) -> int:
+        return self.pri[center] * (self.n + 1) + tiebreak
+
+    def _vertices_by_level(self) -> list[int]:
+        order = [v for v in range(self.n)]
+        order.sort(key=lambda v: self.es.dist_of(v))
+        return order
+
+    def _real_parent_edge(self, v: int) -> Edge | None:
+        p = self.es.parent_of(v)
+        if p is None or p >= self.n:
+            return None
+        return norm_edge(p, v)
+
+    # -- queries --------------------------------------------------------------
+
+    def cluster_of(self, v: int) -> int:
+        """Current cluster (center) of ``v``."""
+        return self.cluster[v]
+
+    def clusters(self) -> list[int]:
+        """Copy of the full cluster array."""
+        return list(self.cluster)
+
+    def tree_edges(self) -> set[Edge]:
+        """Intra-cluster forest edges (original-graph edges only)."""
+        out: set[Edge] = set()
+        for v in range(self.n):
+            e = self._real_parent_edge(v)
+            if e is not None:
+                out.add(e)
+        return out
+
+    def is_alive(self, u: int, v: int) -> bool:
+        """Whether the directed edge ``u -> v`` survives in G′."""
+        return self.es.is_alive(u, v)
+
+    # -- deletion batch --------------------------------------------------------
+
+    def batch_delete(
+        self, edges: Iterable[Edge]
+    ) -> tuple[list[TreeEdgeChange], list[ClusterChange]]:
+        """Delete undirected edges; returns tree-edge and cluster changes in
+        chronological order."""
+        edges = [norm_edge(u, v) for u, v in edges]
+        tree_changes: list[TreeEdgeChange] = []
+        cluster_changes: list[ClusterChange] = []
+
+        dir_batch: list[tuple[int, int]] = []
+        for u, v in edges:
+            dir_batch.append((u, v))
+            dir_batch.append((v, u))
+
+        parent_events = self.es.batch_delete(dir_batch)
+
+        queue: deque[int] = deque()
+        queued: set[int] = set()
+
+        # Every vertex settles at most once per ES batch, so each event's
+        # old_parent is the pre-batch parent and the live parent is the
+        # settle-time parent.
+        for ev in parent_events:
+            v = ev.vertex
+            if v >= self.n:
+                continue
+            before = (
+                None
+                if ev.old_parent is None or ev.old_parent >= self.n
+                else norm_edge(ev.old_parent, v)
+            )
+            after = self._real_parent_edge(v)
+            if after != before:
+                tree_changes.append(TreeEdgeChange(v, before, after))
+            if v not in queued:
+                queue.append(v)
+                queued.add(v)
+
+        # --- cluster cascade, processed in BFS waves -------------------------
+        # Each wave handles all currently-queued vertices "in parallel"
+        # (sum of work, max of depth), so the charged depth scales with the
+        # propagation distance — the paper's O(k log^2 n) — rather than the
+        # number of affected vertices.
+        steps = 0
+        cap = self._cascade_cap or (
+            100 * (self.n + 1) * (self.t + 1) + 100
+        )
+        while queue:
+            wave = list(queue)
+            queue.clear()
+            queued.clear()
+            steps += len(wave)
+            if steps > cap:
+                raise RuntimeError("cluster cascade failed to terminate")
+            with self._cost.parallel() as par:
+                for v in wave:
+                    p = self.es.parent_of(v)
+                    assert p is not None, f"vertex {v} unreachable in G'"
+                    newc = v if p >= self.n else self.cluster[p]
+                    if newc == self.cluster[v]:
+                        continue
+                    oldc = self.cluster[v]
+                    self.cluster[v] = newc
+                    cluster_changes.append(ClusterChange(v, oldc, newc))
+                    with par.task():
+                        # Re-key all out-edges of v and re-examine each
+                        # target's parent (nested parallel loop).
+                        with self._cost.parallel() as inner:
+                            for w in sorted(self.es.out_adj[v]):
+                                if w >= self.n:
+                                    continue
+                                with inner.task():
+                                    self._rekey_edge(
+                                        v, w, newc, queue, queued,
+                                        tree_changes,
+                                    )
+        self.total_cluster_changes += len(cluster_changes)
+        return tree_changes, cluster_changes
+
+    def _rekey_edge(
+        self,
+        v: int,
+        w: int,
+        newc: int,
+        queue: deque[int],
+        queued: set[int],
+        tree_changes: list[TreeEdgeChange],
+    ) -> None:
+        """Update the priority of the edge ``v -> w`` after ``v`` moved to
+        cluster ``newc``, switching ``w``'s parent when the maximum-priority
+        rule demands it (the paper's single-NextWith detection)."""
+        new_pri = self._composite(newc, v)
+        old_pri = self.es.edge_pri[(v, w)]
+        if new_pri == old_pri:
+            return
+        es = self.es
+        before = self._real_parent_edge(w)
+        if es.parent_of(w) == v:
+            es.update_edge_priority(v, w, new_pri)
+            if new_pri < old_pri:
+                # Parent demoted: one rescan from the old slot finds the
+                # best candidate among v and anything that overtook it.
+                cand = es.find_parent_candidate(w)
+                assert cand is not None
+                es.set_parent(w, cand)
+        else:
+            es.update_edge_priority(v, w, new_pri)
+            cur = es.parent_edge_priority(w)
+            if (
+                cur is not None
+                and new_pri > cur
+                and es.is_alive(v, w)
+                and es.dist_of(v) == es.dist_of(w) - 1
+            ):
+                es.set_parent(w, v)
+        after = self._real_parent_edge(w)
+        if after != before:
+            tree_changes.append(TreeEdgeChange(w, before, after))
+        # Whether or not the parent identity changed, w's inherited cluster
+        # may have: re-evaluate w.
+        p = es.parent_of(w)
+        inherited = w if (p is None or p >= self.n) else self.cluster[p]
+        if inherited != self.cluster[w] and w not in queued:
+            queue.append(w)
+            queued.add(w)

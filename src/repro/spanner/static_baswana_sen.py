@@ -1,0 +1,127 @@
+"""Static (2k−1)-spanner of Baswana–Sen [BS07] — the classic baseline.
+
+The randomized clustering algorithm: ``k-1`` rounds of cluster sampling with
+probability ``n^{-1/k}`` followed by a final inter-cluster round.  Expected
+size ``O(k * n^{1+1/k})``; stretch ``2k - 1`` always.
+
+This is the *static recompute* baseline for the dynamic-vs-static crossover
+experiment (F3): a batch-dynamic algorithm must beat rerunning this from
+scratch once batches are small relative to ``m``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.graph.dynamic_graph import Edge, norm_edge
+from repro.pram.cost import NULL_COST_MODEL, CostModel, log2ceil
+
+__all__ = ["baswana_sen_spanner"]
+
+
+def baswana_sen_spanner(
+    n: int,
+    edges: Iterable[Edge],
+    k: int,
+    seed: int | None = None,
+    cost: CostModel = NULL_COST_MODEL,
+) -> set[Edge]:
+    """Compute a (2k−1)-spanner with expected ``O(k n^{1+1/k})`` edges.
+
+    Follows [BS07]: clusters start as singletons; each of the ``k-1``
+    phases samples clusters, joins adjacent vertices to sampled clusters,
+    and discharges unsampled neighborhoods with one edge per adjacent
+    cluster; the final phase discharges everything.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rng = np.random.default_rng(seed)
+    edges = [norm_edge(u, v) for u, v in edges]
+    if k == 1:
+        return set(edges)
+
+    # adjacency as dict-of-dicts: adj[u][v] present iff edge alive
+    adj: list[dict[int, bool]] = [dict() for _ in range(n)]
+    for u, v in edges:
+        adj[u][v] = True
+        adj[v][u] = True
+
+    spanner: set[Edge] = set()
+    # cluster[v]: id of v's cluster, or None if v was discharged
+    cluster: list[int | None] = list(range(n))
+    p = float(n) ** (-1.0 / k) if n > 1 else 0.5
+    logn = log2ceil(max(n, 2))
+
+    def discharge(v: int, sampled_ids: set[int] | None) -> None:
+        """Add one edge from v to each adjacent (unsampled) cluster and
+        remove those neighborhoods from the working graph."""
+        best: dict[int, int] = {}
+        for w in adj[v]:
+            cw = cluster[w]
+            if cw is None:
+                continue
+            if sampled_ids is not None and cw in sampled_ids:
+                continue
+            if cw not in best or w < best[cw]:
+                best[cw] = w
+        for w in best.values():
+            spanner.add(norm_edge(v, w))
+        # remove edges to the discharged clusters
+        gone = [
+            w
+            for w in adj[v]
+            if cluster[w] is not None
+            and (sampled_ids is None or cluster[w] not in sampled_ids)
+        ]
+        for w in gone:
+            del adj[v][w]
+            del adj[w][v]
+        cost.charge(work=(len(gone) + 1) * logn, depth=logn)
+
+    for _phase in range(k - 1):
+        ids = {c for c in cluster if c is not None}
+        sampled_ids = {c for c in ids if rng.random() < p}
+        new_cluster: list[int | None] = list(cluster)
+        with cost.parallel() as par:
+            for v in range(n):
+                if cluster[v] is None or cluster[v] in sampled_ids:
+                    continue
+                with par.task():
+                    # v's cluster was not sampled: join an adjacent sampled
+                    # cluster if any, then discharge the unsampled
+                    # neighborhood (one representative edge per cluster).
+                    join = None
+                    for w in adj[v]:
+                        cw = cluster[w]
+                        if cw is not None and cw in sampled_ids:
+                            if join is None or (cw, w) < join:
+                                join = (cw, w)
+                    cost.charge(work=(len(adj[v]) + 1) * logn, depth=logn)
+                    if join is not None:
+                        # join the sampled cluster; in the unweighted case
+                        # only the edges into the joined cluster get
+                        # discharged (all edges have equal weight, so no
+                        # "strictly shorter" neighborhoods exist).
+                        cid, w = join
+                        spanner.add(norm_edge(v, w))
+                        new_cluster[v] = cid
+                        gone = [x for x in adj[v] if cluster[x] == cid]
+                        for x in gone:
+                            del adj[v][x]
+                            del adj[x][v]
+                        cost.charge(work=(len(gone) + 1) * logn, depth=logn)
+                    else:
+                        # no sampled neighbor: one representative edge per
+                        # adjacent cluster, then retire v entirely.
+                        new_cluster[v] = None
+                        discharge(v, sampled_ids)
+        cluster = new_cluster
+
+    # final phase: discharge every remaining vertex fully
+    with cost.parallel() as par:
+        for v in range(n):
+            with par.task():
+                discharge(v, None)
+    return spanner

@@ -1,0 +1,171 @@
+"""Weighted (2k−1)-spanners — the [BS07] algorithm in its full generality.
+
+The paper's batch-dynamic results are for unweighted graphs (§1.1); the
+static Baswana–Sen algorithm it cites handles arbitrary positive weights,
+so we provide it as the natural extension point (and as the baseline a
+future weighted batch-dynamic variant would be measured against).
+
+Algorithm (phase ``i`` of ``k-1``): clusters sampled with probability
+``n^{-1/k}``; each vertex of an unsampled cluster joins its *lightest*
+sampled neighbor-cluster edge, keeps one lightest edge into every cluster
+with an edge lighter than the joining edge, and discards the rest; the
+final phase keeps one lightest edge per adjacent cluster.  Stretch 2k−1
+w.r.t. weighted distances; expected size O(k n^{1+1/k}).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.graph.dynamic_graph import Edge, norm_edge
+
+__all__ = ["baswana_sen_weighted_spanner", "weighted_spanner_stretch"]
+
+
+def baswana_sen_weighted_spanner(
+    n: int,
+    weights: Mapping[Edge, float],
+    k: int,
+    seed: int | None = None,
+) -> set[Edge]:
+    """Compute a weighted (2k−1)-spanner; returns the kept edge set.
+
+    ``weights`` maps normalized edges to positive weights.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    for e, w in weights.items():
+        if w <= 0:
+            raise ValueError(f"non-positive weight on {e}")
+    weights = {norm_edge(*e): float(w) for e, w in weights.items()}
+    if k == 1:
+        return set(weights)
+    rng = np.random.default_rng(seed)
+
+    adj: list[dict[int, float]] = [dict() for _ in range(n)]
+    for (u, v), w in weights.items():
+        adj[u][v] = w
+        adj[v][u] = w
+
+    spanner: set[Edge] = set()
+    cluster: list[int | None] = list(range(n))
+    p = float(n) ** (-1.0 / k) if n > 1 else 0.5
+
+    def lightest_per_cluster(
+        v: int, restrict: set[int] | None
+    ) -> dict[int, tuple[float, int]]:
+        """cluster -> (weight, neighbor) of the lightest edge from v;
+        restricted to ``restrict`` clusters if given."""
+        best: dict[int, tuple[float, int]] = {}
+        for w, wt in adj[v].items():
+            cw = cluster[w]
+            if cw is None:
+                continue
+            if restrict is not None and cw not in restrict:
+                continue
+            cand = (wt, w)
+            if cw not in best or cand < best[cw]:
+                best[cw] = cand
+        return best
+
+    for _phase in range(k - 1):
+        ids = {c for c in cluster if c is not None}
+        sampled = {c for c in ids if rng.random() < p}
+        new_cluster: list[int | None] = list(cluster)
+        for v in range(n):
+            cv = cluster[v]
+            if cv is None or cv in sampled:
+                continue
+            best_sampled = lightest_per_cluster(v, sampled)
+            if not best_sampled:
+                # no sampled neighbor: keep one lightest edge per adjacent
+                # cluster and retire v
+                for wt, w in lightest_per_cluster(v, None).values():
+                    spanner.add(norm_edge(v, w))
+                for w in list(adj[v]):
+                    if cluster[w] is not None:
+                        del adj[v][w]
+                        del adj[w][v]
+                new_cluster[v] = None
+                continue
+            # join the overall lightest sampled edge
+            join_cid, (join_wt, join_w) = min(
+                best_sampled.items(), key=lambda kv: kv[1]
+            )
+            spanner.add(norm_edge(v, join_w))
+            new_cluster[v] = join_cid
+            # keep one lightest edge into every cluster strictly lighter
+            # than the joining edge, then discard those neighborhoods and
+            # the joined cluster's edges
+            for cid, (wt, w) in lightest_per_cluster(v, None).items():
+                if cid == join_cid:
+                    continue
+                if (wt, w) < (join_wt, join_w):
+                    spanner.add(norm_edge(v, w))
+                    gone = [
+                        x for x in adj[v] if cluster[x] == cid
+                    ]
+                    for x in gone:
+                        del adj[v][x]
+                        del adj[x][v]
+            gone = [x for x in adj[v] if cluster[x] == join_cid]
+            for x in gone:
+                del adj[v][x]
+                del adj[x][v]
+        cluster = new_cluster
+
+    for v in range(n):
+        for wt, w in lightest_per_cluster(v, None).values():
+            spanner.add(norm_edge(v, w))
+        for x in list(adj[v]):
+            del adj[v][x]
+            del adj[x][v]
+    return spanner
+
+
+def weighted_spanner_stretch(
+    n: int,
+    weights: Mapping[Edge, float],
+    spanner: Iterable[Edge],
+    cap_pairs: int | None = None,
+) -> float:
+    """Exact weighted stretch: max over graph edges (u, v) of
+    ``dist_H(u, v) / w(u, v)`` (Dijkstra in the spanner)."""
+    weights = {norm_edge(*e): float(w) for e, w in weights.items()}
+    h_adj: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+    for e in spanner:
+        e = norm_edge(*e)
+        w = weights[e]
+        h_adj[e[0]].append((e[1], w))
+        h_adj[e[1]].append((e[0], w))
+
+    def dijkstra(src: int) -> list[float]:
+        dist = [math.inf] * n
+        dist[src] = 0.0
+        pq = [(0.0, src)]
+        while pq:
+            d, u = heapq.heappop(pq)
+            if d > dist[u]:
+                continue
+            for v, w in h_adj[u]:
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    heapq.heappush(pq, (nd, v))
+        return dist
+
+    by_source: dict[int, list[tuple[int, float]]] = {}
+    for (u, v), w in weights.items():
+        by_source.setdefault(u, []).append((v, w))
+    worst = 0.0
+    for u, targets in by_source.items():
+        dist = dijkstra(u)
+        for v, w in targets:
+            if math.isinf(dist[v]):
+                return math.inf
+            worst = max(worst, dist[v] / w)
+    return worst

@@ -1,0 +1,16 @@
+"""Spectral sparsifiers: decremental chain (Lemma 6.6) and the
+fully-dynamic Theorem 1.6 structure."""
+
+from repro.sparsifier.chain import (
+    DecrementalSpectralSparsifier,
+    paper_bundle_size,
+)
+from repro.sparsifier.fully_dynamic import FullyDynamicSpectralSparsifier
+from repro.sparsifier.uniform_baseline import uniform_sample_sparsifier
+
+__all__ = [
+    "DecrementalSpectralSparsifier",
+    "FullyDynamicSpectralSparsifier",
+    "paper_bundle_size",
+    "uniform_sample_sparsifier",
+]

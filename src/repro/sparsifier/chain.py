@@ -1,0 +1,204 @@
+"""Decremental spectral sparsifier chain (Algorithms 9–10, Lemma 6.6).
+
+``Spectral-Sparsify`` stacks ``k = ceil(log m)`` rounds of
+``Light-Spectral-Sparsify``: round ``i`` peels a t-bundle ``B_i`` off
+``G_{i-1}`` and samples each remaining edge into ``G_i`` with probability
+1/4.  All graphs stay unweighted during maintenance; weights are assigned
+at read time — bundle ``B_i`` edges carry ``4^{i-1}``, the final residual
+``G_k`` carries ``4^k`` (the paper's closing observation in §6.4).
+
+Deletions cascade: a batch hitting ``G_{i-1}`` updates ``B_i``; the edges
+the bundle newly absorbed (``δH_ins``) must leave ``G_i`` together with the
+deleted edges that had been sampled into it.  Edge coins are fixed at
+initialization (decremental structure — no new edges ever enter a level),
+preserving the uniform-and-independent sampling the [ADK+16] analysis
+needs.
+
+The paper's t is ``Θ(ε^{-2} log² m log³ n)`` — astronomically large at
+laptop scale, so ``t`` is an explicit knob here; EXPERIMENTS.md records the
+quality-vs-t tradeoff (bench E7) instead of hardwiring the constant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.bundle.tbundle import DecrementalTBundle
+from repro.graph.dynamic_graph import Edge, norm_edge
+from repro.pram.cost import NULL_COST_MODEL, CostModel
+
+__all__ = ["DecrementalSpectralSparsifier", "paper_bundle_size"]
+
+
+def paper_bundle_size(n: int, m: int, epsilon: float) -> int:
+    """The paper's t = Θ(ε⁻² log² m log³ n) with unit constant."""
+    ln = math.log2(max(n, 2))
+    lm = math.log2(max(m, 2))
+    return max(1, math.ceil(epsilon**-2 * lm**2 * ln**3))
+
+
+class DecrementalSpectralSparsifier:
+    """Lemma 6.6 structure.
+
+    Parameters
+    ----------
+    t:
+        Bundle size per level (see :func:`paper_bundle_size` for the paper's
+        asymptotic choice; benches sweep this).
+    k:
+        Number of sampling rounds (default ``ceil(log2 m)``); rounds stop
+        early once a level's residual is below ``4 log2 n`` edges.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[Edge],
+        t: int = 2,
+        k: int | None = None,
+        seed: int | None = None,
+        instances: int | None = None,
+        beta: float = 0.25,
+        cap: float | None = None,
+        cost: CostModel = NULL_COST_MODEL,
+    ) -> None:
+        self.n = n
+        self._cost = cost
+        edges = [norm_edge(u, v) for u, v in edges]
+        m = len(edges)
+        if k is None:
+            k = max(1, math.ceil(math.log2(max(m, 2))))
+        self.k_requested = k
+        rng = np.random.default_rng(seed)
+        min_residual = 4 * math.log2(max(n, 2))
+
+        self.bundles: list[DecrementalTBundle] = []
+        #: per level: the fixed sampled subset of the level's residual
+        self._levels: list[set[Edge]] = []
+        cur = list(edges)
+        for _i in range(k):
+            if len(cur) <= min_residual:
+                break
+            bundle = DecrementalTBundle(
+                n, cur, t=t,
+                seed=int(rng.integers(0, 2**63 - 1)),
+                beta=beta, instances=instances, cap=cap, cost=cost,
+            )
+            self.bundles.append(bundle)
+            rest = sorted(bundle.non_bundle_edges())
+            coins = rng.random(len(rest)) < 0.25
+            nxt = {e for e, keep in zip(rest, coins) if keep}
+            self._levels.append(nxt)
+            cur = sorted(nxt)
+        self._residual: set[Edge] = set(cur)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Number of Light-Spectral-Sparsify rounds actually built."""
+        return len(self.bundles)
+
+    def weighted_edges(self) -> dict[Edge, float]:
+        """The sparsifier: bundles at ``4^{i-1}``, residual at ``4^k``."""
+        out: dict[Edge, float] = {}
+        for i, bundle in enumerate(self.bundles):
+            w = 4.0**i
+            for e in bundle.bundle_edges():
+                assert e not in out
+                out[e] = w
+        w = 4.0 ** len(self.bundles)
+        for e in self._residual:
+            assert e not in out
+            out[e] = w
+        return out
+
+    def output_edges(self) -> set[Edge]:
+        """The sparsifier's edge set (weights via :meth:`weighted_edges`)."""
+        out: set[Edge] = set(self._residual)
+        for bundle in self.bundles:
+            out |= bundle.bundle_edges()
+        return out
+
+    def weight_of(self, e: Edge) -> float:
+        """Weight of one output edge (``4^i`` by the level holding it)."""
+        e = norm_edge(*e)
+        for i, bundle in enumerate(self.bundles):
+            if e in bundle.bundle_edges():
+                return 4.0**i
+        if e in self._residual:
+            return 4.0 ** len(self.bundles)
+        raise KeyError(e)
+
+    def sparsifier_size(self) -> int:
+        """Number of edges in the sparsifier."""
+        return len(self._residual) + sum(
+            b.bundle_size() for b in self.bundles
+        )
+
+    @property
+    def m(self) -> int:
+        return self.bundles[0].m if self.bundles else len(self._residual)
+
+    # -- updates -----------------------------------------------------------------
+
+    def batch_delete(self, edges: Iterable[Edge]) -> tuple[set[Edge], set[Edge]]:
+        """Delete graph edges; returns the net output-edge delta (weights
+        via :meth:`weight_of`)."""
+        cur_del = [norm_edge(u, v) for u, v in edges]
+        net: dict[Edge, int] = {}
+
+        def bump(e: Edge, d: int) -> None:
+            c = net.get(e, 0) + d
+            if c == 0:
+                net.pop(e, None)
+            else:
+                net[e] = c
+
+        for i, bundle in enumerate(self.bundles):
+            if not cur_del:
+                break
+            ins_b, dels_b = bundle.batch_delete(cur_del)
+            for e in ins_b:
+                bump(e, +1)
+            for e in dels_b:
+                bump(e, -1)
+            # edges leaving level i's residual: deleted-and-sampled, plus
+            # newly absorbed bundle edges that had been sampled.
+            level = self._levels[i]
+            nxt: list[Edge] = []
+            for e in list(cur_del) + sorted(ins_b):
+                if e in level:
+                    level.remove(e)
+                    nxt.append(e)
+            cur_del = nxt
+        for e in cur_del:
+            if e in self._residual:
+                self._residual.remove(e)
+                bump(e, -1)
+            elif not self.bundles:
+                raise KeyError(f"edge {e} not present")
+        ins = {e for e, c in net.items() if c > 0}
+        dels = {e for e, c in net.items() if c < 0}
+        return ins, dels
+
+    # -- invariants (tests) ----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify the level chain and weighted view (tests)."""
+        for i, bundle in enumerate(self.bundles):
+            bundle.check_invariants()
+            # level residual = sampled subset of the bundle's non-bundle
+            assert self._levels[i] <= bundle.non_bundle_edges()
+            nxt_graph = (
+                set(self.bundles[i + 1]._graph)
+                if i + 1 < len(self.bundles)
+                else self._residual
+            )
+            assert nxt_graph == self._levels[i], f"level {i} diverged"
+        # weighted view is consistent
+        w = self.weighted_edges()
+        assert set(w) == self.output_edges()

@@ -1,0 +1,130 @@
+"""Fully-dynamic spectral sparsifier (Theorem 1.6).
+
+Lemma 6.7 makes spectral sparsifiers decomposable, so the same Bentley–Saxe
+dynamization as Theorem 1.1 applies: partitions ``E_0..E_b`` with Invariant
+B2 (``|E_i| <= 2^{i+l_0}``, ``2^{l_0} >= n``), level 0 verbatim in the
+output (weight 1), every other level a decremental chain of Lemma 6.6.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.graph.dynamic_graph import Edge, norm_edge
+from repro.pram.cost import NULL_COST_MODEL, CostModel
+from repro.sparsifier.chain import DecrementalSpectralSparsifier
+from repro.spanner.dynamizer import BentleySaxeDynamizer
+
+__all__ = ["FullyDynamicSpectralSparsifier"]
+
+
+class FullyDynamicSpectralSparsifier:
+    """Theorem 1.6: fully-dynamic (1±ε)-spectral sparsifier.
+
+    The approximation quality is governed by the per-level bundle size
+    ``t`` exactly as in Lemma 6.6 (the paper's asymptotic choice is
+    :func:`repro.sparsifier.chain.paper_bundle_size`).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[Edge] = (),
+        t: int = 2,
+        k: int | None = None,
+        seed: int | None = None,
+        instances: int | None = None,
+        beta: float = 0.25,
+        cap: float | None = None,
+        base_capacity: int | None = None,
+        cost: CostModel = NULL_COST_MODEL,
+    ) -> None:
+        self.n = n
+        self._cost = cost
+        self._rng = np.random.default_rng(seed)
+        self._t = t
+        self._k = k
+        self._instances = instances
+        self._beta = beta
+        self._cap = cap
+        if base_capacity is None:
+            base_capacity = 1 << max(1, math.ceil(math.log2(max(n, 2))))
+        self._dyn = BentleySaxeDynamizer(
+            edges, self._make_instance, base_capacity, cost=cost
+        )
+
+    def _make_instance(self, edges: list[Edge]) -> DecrementalSpectralSparsifier:
+        return DecrementalSpectralSparsifier(
+            self.n,
+            edges,
+            t=self._t,
+            k=self._k,
+            seed=int(self._rng.integers(0, 2**63 - 1)),
+            instances=self._instances,
+            beta=self._beta,
+            cap=self._cap,
+            cost=self._cost,
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    def weighted_edges(self) -> dict[Edge, float]:
+        """The sparsifier with weights (Lemma 6.7 union across partitions;
+        level-0 edges carry weight 1)."""
+        out: dict[Edge, float] = {}
+        for i, part in sorted(self._dyn._parts.items()):
+            if i == 0:
+                for e in part.out:
+                    out[e] = 1.0
+            else:
+                for e, w in part.struct.weighted_edges().items():
+                    assert e not in out
+                    out[e] = w
+        return out
+
+    def output_edges(self) -> set[Edge]:
+        """The sparsifier's edge set (weights via :meth:`weighted_edges`)."""
+        return self._dyn.output_edges()
+
+    def sparsifier_size(self) -> int:
+        """Number of edges in the sparsifier."""
+        return len(self._dyn.output_edges())
+
+    @property
+    def m(self) -> int:
+        return self._dyn.m
+
+    def edges(self) -> set[Edge]:
+        """The current graph's edge set."""
+        return self._dyn.edges()
+
+    def __contains__(self, edge: Edge) -> bool:
+        return edge in self._dyn
+
+    # -- updates --------------------------------------------------------------
+
+    def update(
+        self,
+        insertions: Iterable[Edge] = (),
+        deletions: Iterable[Edge] = (),
+    ) -> tuple[set[Edge], set[Edge]]:
+        """Apply one batch; returns the net output-edge delta."""
+        return self._dyn.update(insertions, deletions)
+
+    def insert_batch(self, edges):
+        """Insert-only convenience wrapper around :meth:`update`."""
+        return self.update(insertions=edges)
+
+    def delete_batch(self, edges):
+        """Delete-only convenience wrapper around :meth:`update`."""
+        return self.update(deletions=edges)
+
+    def check_invariants(self) -> None:
+        """Verify the partitions and every per-partition chain (tests)."""
+        self._dyn.check_invariants()
+        for i, part in self._dyn._parts.items():
+            if i > 0:
+                part.struct.check_invariants()

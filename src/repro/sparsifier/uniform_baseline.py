@@ -1,0 +1,35 @@
+"""Uniform-sampling sparsifier baseline (what the bundles are *for*).
+
+Sampling every edge with probability ``p`` and weight ``1/p`` preserves
+cut *expectations* but catastrophically misses low-connectivity structure:
+a bridge survives only with probability ``p``.  [ADK+16]/Koutis-style
+bundle sparsifiers first secure a t-bundle (which always contains every
+bridge and, more generally, certifies connectivity ``t``) and only sample
+the well-connected remainder — this module provides the naive baseline the
+E7/A5 benches compare against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.graph.dynamic_graph import Edge, norm_edge
+
+__all__ = ["uniform_sample_sparsifier"]
+
+
+def uniform_sample_sparsifier(
+    edges: Iterable[Edge],
+    p: float,
+    seed: int | None = None,
+) -> dict[Edge, float]:
+    """Keep each edge independently with probability ``p`` at weight
+    ``1/p``."""
+    if not 0 < p <= 1:
+        raise ValueError("p must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    edges = [norm_edge(u, v) for u, v in edges]
+    coins = rng.random(len(edges)) < p
+    return {e: 1.0 / p for e, keep in zip(edges, coins) if keep}

@@ -1,0 +1,7 @@
+"""Parallel-charged data structures (Lemma 3.1, [PP01], [GMV91])."""
+
+from repro.structures.hashdict import BatchDict, BatchSet
+from repro.structures.ordered_list import OrderedMap
+from repro.structures.priority_array import PriorityArray
+
+__all__ = ["BatchDict", "BatchSet", "OrderedMap", "PriorityArray"]

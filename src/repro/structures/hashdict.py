@@ -1,0 +1,153 @@
+"""Batch hash table — the stand-in for the parallel hash table of [GMV91].
+
+[GMV91] gives a CRCW-PRAM hash table with O(1) work per element and
+O(log* n) depth per batch operation, w.h.p.  A Python ``dict`` already gives
+O(1) expected work per element; we wrap it so batch operations charge the
+paper's work/depth model and so call sites read like the paper
+(``BatchDict``, ``BatchSet``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator
+
+from repro.pram.cost import NULL_COST_MODEL, CostModel
+
+__all__ = ["BatchDict", "BatchSet"]
+
+
+class BatchDict:
+    """dict with batch insert/delete entry points charged per [GMV91]."""
+
+    def __init__(
+        self,
+        items: Iterable[tuple[Hashable, Any]] = (),
+        cost: CostModel = NULL_COST_MODEL,
+    ) -> None:
+        self._cost = cost
+        self._data: dict[Hashable, Any] = dict(items)
+        if self._data:
+            cost.charge_hash_op(len(self._data))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        self._cost.charge_hash_op()
+        return key in self._data
+
+    def __getitem__(self, key: Hashable) -> Any:
+        self._cost.charge_hash_op()
+        return self._data[key]
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        self._cost.charge_hash_op()
+        self._data[key] = value
+
+    def __delitem__(self, key: Hashable) -> None:
+        self._cost.charge_hash_op()
+        del self._data[key]
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """dict.get with an O(1) hash charge."""
+        self._cost.charge_hash_op()
+        return self._data.get(key, default)
+
+    def pop(self, key: Hashable, *default: Any) -> Any:
+        """dict.pop with an O(1) hash charge."""
+        self._cost.charge_hash_op()
+        return self._data.pop(key, *default)
+
+    def setdefault(self, key: Hashable, default: Any = None) -> Any:
+        """dict.setdefault with an O(1) hash charge."""
+        self._cost.charge_hash_op()
+        return self._data.setdefault(key, default)
+
+    def batch_set(self, items: Iterable[tuple[Hashable, Any]]) -> None:
+        """Insert/overwrite many pairs as one parallel hash batch."""
+        items = list(items)
+        self._cost.charge_hash_op(len(items))
+        self._data.update(items)
+
+    def batch_delete(self, keys: Iterable[Hashable]) -> None:
+        """Delete many keys as one parallel hash batch."""
+        keys = list(keys)
+        self._cost.charge_hash_op(len(keys))
+        for key in keys:
+            del self._data[key]
+
+    def keys(self) -> Iterator[Hashable]:
+        """Iterate keys."""
+        return iter(self._data)
+
+    def values(self) -> Iterator[Any]:
+        """Iterate values."""
+        return iter(self._data.values())
+
+    def items(self) -> Iterator[tuple[Hashable, Any]]:
+        """Iterate items."""
+        return iter(self._data.items())
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._data)
+
+
+class BatchSet:
+    """set with batch entry points charged per [GMV91]."""
+
+    def __init__(
+        self,
+        items: Iterable[Hashable] = (),
+        cost: CostModel = NULL_COST_MODEL,
+    ) -> None:
+        self._cost = cost
+        self._data: set[Hashable] = set(items)
+        if self._data:
+            cost.charge_hash_op(len(self._data))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        self._cost.charge_hash_op()
+        return key in self._data
+
+    def add(self, key: Hashable) -> None:
+        """set.add with an O(1) hash charge."""
+        self._cost.charge_hash_op()
+        self._data.add(key)
+
+    def discard(self, key: Hashable) -> None:
+        """set.discard with an O(1) hash charge."""
+        self._cost.charge_hash_op()
+        self._data.discard(key)
+
+    def remove(self, key: Hashable) -> None:
+        """set.remove with an O(1) hash charge."""
+        self._cost.charge_hash_op()
+        self._data.remove(key)
+
+    def pop_any(self) -> Hashable:
+        """Remove and return an arbitrary element."""
+        self._cost.charge_hash_op()
+        return self._data.pop()
+
+    def peek_any(self) -> Hashable:
+        """Return an arbitrary element without removing it."""
+        self._cost.charge_hash_op()
+        return next(iter(self._data))
+
+    def batch_add(self, keys: Iterable[Hashable]) -> None:
+        """Add many elements as one parallel hash batch."""
+        keys = list(keys)
+        self._cost.charge_hash_op(len(keys))
+        self._data.update(keys)
+
+    def batch_discard(self, keys: Iterable[Hashable]) -> None:
+        """Discard many elements as one parallel hash batch."""
+        keys = list(keys)
+        self._cost.charge_hash_op(len(keys))
+        self._data.difference_update(keys)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._data)

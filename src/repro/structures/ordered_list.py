@@ -1,0 +1,268 @@
+"""Balanced ordered map — the stand-in for the parallel red-black tree [PP01].
+
+The paper uses a parallel red-black tree to maintain ordered lists with
+O(log n) work per element and O(log n) depth per batch operation.  We use a
+randomized treap, which gives the same expected bounds and the same batch
+charge model, and expose batch insert/delete entry points so callers charge
+one O(log n)-depth round per batch rather than per element.
+
+Keys may be any totally-ordered values (the contraction layers use
+``(unmark, rand, vertex)`` tuples).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.pram.cost import NULL_COST_MODEL, CostModel, log2ceil
+
+__all__ = ["OrderedMap"]
+
+
+class _TNode:
+    __slots__ = ("key", "value", "prio", "left", "right", "size")
+
+    def __init__(self, key: Any, value: Any, prio: float) -> None:
+        self.key = key
+        self.value = value
+        self.prio = prio
+        self.left: Optional[_TNode] = None
+        self.right: Optional[_TNode] = None
+        self.size = 1
+
+
+def _size(node: Optional[_TNode]) -> int:
+    return node.size if node is not None else 0
+
+
+def _pull(node: _TNode) -> None:
+    node.size = 1 + _size(node.left) + _size(node.right)
+
+
+def _merge(a: Optional[_TNode], b: Optional[_TNode]) -> Optional[_TNode]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a.prio < b.prio:
+        a.right = _merge(a.right, b)
+        _pull(a)
+        return a
+    b.left = _merge(a, b.left)
+    _pull(b)
+    return b
+
+
+def _split(
+    node: Optional[_TNode], key: Any
+) -> tuple[Optional[_TNode], Optional[_TNode]]:
+    """Split into (< key, >= key)."""
+    if node is None:
+        return None, None
+    if node.key < key:
+        left, right = _split(node.right, key)
+        node.right = left
+        _pull(node)
+        return node, right
+    left, right = _split(node.left, key)
+    node.left = right
+    _pull(node)
+    return left, node
+
+
+class OrderedMap:
+    """Ordered key->value map with order-statistics.
+
+    Supports the operations the contraction layers need: insert, delete,
+    minimum, k-th smallest, rank, and ordered iteration.  Duplicate keys are
+    rejected (the paper guarantees distinct random keys w.h.p.).
+    """
+
+    def __init__(
+        self,
+        items: Iterable[tuple[Any, Any]] = (),
+        cost: CostModel = NULL_COST_MODEL,
+        seed: int | None = None,
+    ) -> None:
+        self._root: Optional[_TNode] = None
+        self._rng = random.Random(seed)
+        self._cost = cost
+        items = list(items)
+        for key, value in items:
+            self._insert_one(key, value)
+        if items:
+            cost.charge(
+                work=len(items) * log2ceil(len(items) + 1),
+                depth=log2ceil(len(items) + 1),
+            )
+
+    def __len__(self) -> int:
+        return _size(self._root)
+
+    def __contains__(self, key: Any) -> bool:
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return True
+        return False
+
+    # -- single-element operations ------------------------------------------
+
+    def _insert_one(self, key: Any, value: Any) -> None:
+        if key in self:
+            raise ValueError(f"duplicate key {key!r}")
+        left, right = _split(self._root, key)
+        node = _TNode(key, value, self._rng.random())
+        self._root = _merge(_merge(left, node), right)
+
+    def insert(self, key: Any, value: Any = None) -> None:
+        """Insert one pair (O(log n) charge); duplicate keys rejected."""
+        self._cost.charge_tree_op(len(self) + 1)
+        self._insert_one(key, value)
+
+    def delete(self, key: Any) -> Any:
+        """Remove a key and return its value (O(log n) charge)."""
+        self._cost.charge_tree_op(max(len(self), 1))
+        # rest holds keys >= key; its leftmost node is the only candidate.
+        left, rest = _split(self._root, key)
+        mid, right = _split_first(rest)
+        if mid is None or mid.key != key:
+            # reassemble before raising
+            self._root = _merge(left, _merge(mid, right))
+            raise KeyError(key)
+        self._root = _merge(left, right)
+        return mid.value
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Value for ``key`` or ``default`` (no charge — read-only probe)."""
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return node.value
+        return default
+
+    # -- batch operations -----------------------------------------------------
+
+    def batch_insert(self, items: Iterable[tuple[Any, Any]]) -> None:
+        """Insert many pairs: O(log n) work/element, O(log n) batch depth."""
+        items = list(items)
+        if not items:
+            return
+        n = len(self) + len(items)
+        self._cost.charge(
+            work=len(items) * log2ceil(n), depth=log2ceil(n)
+        )
+        for key, value in items:
+            self._insert_one(key, value)
+
+    def batch_delete(self, keys: Iterable[Any]) -> list[Any]:
+        """Delete many keys: O(log n) work/element, O(log n) batch depth."""
+        keys = list(keys)
+        if not keys:
+            return []
+        n = max(len(self), 1)
+        self._cost.charge(
+            work=len(keys) * log2ceil(n), depth=log2ceil(n)
+        )
+        out = []
+        for key in keys:
+            left, rest = _split(self._root, key)
+            mid, right = _split_first(rest)
+            if mid is None or mid.key != key:
+                self._root = _merge(left, _merge(mid, right))
+                raise KeyError(key)
+            self._root = _merge(left, right)
+            out.append(mid.value)
+        return out
+
+    # -- order statistics -----------------------------------------------------
+
+    def min_item(self) -> tuple[Any, Any]:
+        """Smallest ``(key, value)``; raises if empty."""
+        if self._root is None:
+            raise KeyError("min of empty OrderedMap")
+        self._cost.charge_tree_op(len(self))
+        node = self._root
+        while node.left is not None:
+            node = node.left
+        return node.key, node.value
+
+    def kth(self, k: int) -> tuple[Any, Any]:
+        """The k-th smallest ``(key, value)`` (1-based)."""
+        if not 1 <= k <= len(self):
+            raise IndexError(k)
+        self._cost.charge_tree_op(len(self))
+        node = self._root
+        while True:
+            ls = _size(node.left)
+            if k <= ls:
+                node = node.left
+            elif k == ls + 1:
+                return node.key, node.value
+            else:
+                k -= ls + 1
+                node = node.right
+
+    def rank(self, key: Any) -> int:
+        """Number of keys strictly smaller than ``key``."""
+        self._cost.charge_tree_op(max(len(self), 1))
+        node, r = self._root, 0
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                r += _size(node.left) + 1
+                node = node.right
+            else:
+                return r + _size(node.left)
+        return r
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """In-order iteration (O(n); charged O(n) work, O(log n) depth)."""
+        self._cost.charge(
+            work=max(len(self), 1), depth=log2ceil(len(self) + 1)
+        )
+        yield from _inorder(self._root)
+
+    def keys(self) -> Iterator[Any]:
+        """In-order key iteration."""
+        for key, _ in self.items():
+            yield key
+
+
+def _split_first(
+    node: Optional[_TNode],
+) -> tuple[Optional[_TNode], Optional[_TNode]]:
+    """Detach the leftmost node: returns (leftmost or None, rest)."""
+    if node is None:
+        return None, None
+    if node.left is None:
+        rest = node.right
+        node.right = None
+        node.size = 1
+        return node, rest
+    first, newleft = _split_first(node.left)
+    node.left = newleft
+    _pull(node)
+    return first, node
+
+
+def _inorder(node: Optional[_TNode]) -> Iterator[tuple[Any, Any]]:
+    stack: list[_TNode] = []
+    cur = node
+    while stack or cur is not None:
+        while cur is not None:
+            stack.append(cur)
+            cur = cur.left
+        cur = stack.pop()
+        yield cur.key, cur.value
+        cur = cur.right

@@ -1,0 +1,257 @@
+"""The priority-indexed array of Lemma 3.1.
+
+The structure stores values keyed by *distinct* integer priorities drawn from
+a bounded universe ``[0, universe)`` and exposes the element list as if it
+were an array sorted in **decreasing** priority order (position 1 holds the
+largest priority, matching the paper's 1-based indexing).
+
+Implementation: a lazily-allocated (sparse) segment tree over the priority
+universe, each node holding the count of stored priorities in its interval,
+plus a dict mapping priority -> value.  ``NextWith`` runs the paper's
+exponential (galloping) search over positions.
+
+Work/depth charges (Lemma 3.1):
+
+=====================  ====================  ===========
+operation              work                  depth
+=====================  ====================  ===========
+initialize(l items)    O(l log U)            O(log U)
+update_value           O(log U)              O(log U)
+update_priority        O(log U)              O(log U)
+query / find           O(log U)              O(log U)
+next_with(k, f)        O((q - k + 1) log U)  O(log^2 U)
+=====================  ====================  ===========
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from repro.pram.cost import NULL_COST_MODEL, CostModel, log2ceil
+
+__all__ = ["PriorityArray"]
+
+
+class _Node:
+    __slots__ = ("count", "left", "right")
+
+    def __init__(self) -> None:
+        self.count: int = 0
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+
+
+class PriorityArray:
+    """Array-of-elements ordered by decreasing priority (Lemma 3.1).
+
+    Parameters
+    ----------
+    universe:
+        Priorities must lie in ``[0, universe)``.
+    items:
+        Optional initial ``(value, priority)`` pairs; priorities must be
+        distinct.
+    cost:
+        Work/depth accounting sink.
+    """
+
+    def __init__(
+        self,
+        universe: int,
+        items: Iterator[tuple[Any, int]] | list[tuple[Any, int]] = (),
+        cost: CostModel = NULL_COST_MODEL,
+    ) -> None:
+        if universe < 1:
+            raise ValueError("universe must be positive")
+        self._universe = universe
+        self._cost = cost
+        self._root = _Node()
+        self._values: dict[int, Any] = {}
+        items = list(items)
+        for value, priority in items:
+            self._insert(priority, value)
+        # Initialization: O(l log U) work, O(log U) depth (parallel descent).
+        cost.charge(
+            work=len(items) * log2ceil(universe), depth=log2ceil(universe)
+        )
+
+    # -- internal segment tree ---------------------------------------------
+
+    def _insert(self, priority: int, value: Any) -> None:
+        self._check_priority(priority)
+        if priority in self._values:
+            raise ValueError(f"duplicate priority {priority}")
+        self._values[priority] = value
+        node, lo, hi = self._root, 0, self._universe
+        node.count += 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if priority < mid:
+                if node.left is None:
+                    node.left = _Node()
+                node, hi = node.left, mid
+            else:
+                if node.right is None:
+                    node.right = _Node()
+                node, lo = node.right, mid
+            node.count += 1
+
+    def _delete(self, priority: int) -> Any:
+        value = self._values.pop(priority)
+        node, lo, hi = self._root, 0, self._universe
+        node.count -= 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if priority < mid:
+                node, hi = node.left, mid
+            else:
+                node, lo = node.right, mid
+            node.count -= 1
+        return value
+
+    def _kth_largest(self, k: int) -> int:
+        """Priority of the element at (1-based) position ``k``."""
+        node, lo, hi = self._root, 0, self._universe
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            right_count = node.right.count if node.right else 0
+            if k <= right_count:
+                node, lo = node.right, mid
+            else:
+                k -= right_count
+                node, hi = node.left, mid
+        return lo
+
+    def _rank_from_top(self, priority: int) -> int:
+        """Number of stored priorities >= ``priority`` (1-based position if
+        ``priority`` itself is stored)."""
+        node, lo, hi = self._root, 0, self._universe
+        rank = 0
+        while hi - lo > 1 and node is not None:
+            mid = (lo + hi) // 2
+            if priority < mid:
+                rank += node.right.count if node.right else 0
+                node, hi = node.left, mid
+            else:
+                node, lo = node.right, mid
+        if node is not None:
+            rank += node.count
+        return rank
+
+    def _check_priority(self, priority: int) -> None:
+        if not 0 <= priority < self._universe:
+            raise ValueError(
+                f"priority {priority} outside universe [0, {self._universe})"
+            )
+
+    # -- Lemma 3.1 interface -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._root.count
+
+    @property
+    def universe(self) -> int:
+        return self._universe
+
+    def query(self, k: int) -> Any:
+        """Return the value of the element with the k-th largest priority
+        (1-based)."""
+        if not 1 <= k <= len(self):
+            raise IndexError(f"position {k} out of range [1, {len(self)}]")
+        self._cost.charge_tree_op(self._universe)
+        return self._values[self._kth_largest(k)]
+
+    def priority_at(self, k: int) -> int:
+        """Priority of the element at position ``k`` (1-based)."""
+        if not 1 <= k <= len(self):
+            raise IndexError(f"position {k} out of range [1, {len(self)}]")
+        self._cost.charge_tree_op(self._universe)
+        return self._kth_largest(k)
+
+    def find(self, priority: int) -> tuple[Any, int]:
+        """Return ``(value, position)`` of the element with ``priority``;
+        the position equals the number of elements with priority >= it."""
+        self._check_priority(priority)
+        if priority not in self._values:
+            raise KeyError(f"no element with priority {priority}")
+        self._cost.charge_tree_op(self._universe)
+        return self._values[priority], self._rank_from_top(priority)
+
+    def count_ge(self, priority: int) -> int:
+        """Number of stored elements with priority >= ``priority`` (which
+        need not itself be stored)."""
+        self._check_priority(priority)
+        self._cost.charge_tree_op(self._universe)
+        return self._rank_from_top(priority)
+
+    def update_value(self, k: int, value: Any) -> None:
+        """Set the value of the element at position ``k``."""
+        if not 1 <= k <= len(self):
+            raise IndexError(f"position {k} out of range [1, {len(self)}]")
+        self._cost.charge_tree_op(self._universe)
+        self._values[self._kth_largest(k)] = value
+
+    def update_priority(self, k: int, priority: int) -> None:
+        """Move the element at position ``k`` to a new (distinct) priority."""
+        if not 1 <= k <= len(self):
+            raise IndexError(f"position {k} out of range [1, {len(self)}]")
+        self._check_priority(priority)
+        old = self._kth_largest(k)
+        if old == priority:
+            return
+        if priority in self._values:
+            raise ValueError(f"duplicate priority {priority}")
+        value = self._delete(old)
+        self._insert(priority, value)
+        self._cost.charge_tree_op(self._universe, count=2)
+
+    def insert(self, value: Any, priority: int) -> None:
+        """Add a new element (extension used by dynamic-graph callers)."""
+        self._insert(priority, value)
+        self._cost.charge_tree_op(self._universe)
+
+    def delete_priority(self, priority: int) -> Any:
+        """Remove and return the element with ``priority`` (extension)."""
+        self._check_priority(priority)
+        if priority not in self._values:
+            raise KeyError(f"no element with priority {priority}")
+        self._cost.charge_tree_op(self._universe)
+        return self._delete(priority)
+
+    def next_with(self, k: int, predicate: Callable[[Any], bool]) -> int:
+        """Smallest position ``q >= k`` whose value satisfies ``predicate``;
+        ``len(self) + 1`` if none exists (the paper's NextWith).
+
+        Runs the exponential-search schedule of Lemma 3.1: phase ``i`` scans
+        positions ``[p, p + 2^i)`` in parallel.
+        """
+        n = len(self)
+        if k < 1:
+            raise IndexError("position must be >= 1")
+        logu = log2ceil(self._universe)
+        pos = k
+        span = 1
+        while pos <= n:
+            end = min(pos + span - 1, n)
+            # One phase: scan positions [pos, end] "in parallel".
+            self._cost.charge(
+                work=(end - pos + 1) * logu, depth=logu
+            )
+            for q in range(pos, end + 1):
+                if predicate(self._values[self._kth_largest(q)]):
+                    return q
+            pos = end + 1
+            span *= 2
+        return n + 1
+
+    # -- iteration helpers (testing / debugging) ----------------------------
+
+    def items_by_position(self) -> Iterator[tuple[int, int, Any]]:
+        """Yield ``(position, priority, value)`` in position order."""
+        for k in range(1, len(self) + 1):
+            p = self._kth_largest(k)
+            yield k, p, self._values[p]
+
+    def priorities(self) -> set[int]:
+        """The set of stored priorities (testing helper)."""
+        return set(self._values)

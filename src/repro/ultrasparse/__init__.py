@@ -1,0 +1,21 @@
+"""Ultra-sparse spanners via a single heavy/light contraction (Theorem 1.4)."""
+
+from repro.ultrasparse.dynamic import UltraSparseSpannerDynamic
+from repro.ultrasparse.heads import (
+    BOTTOM,
+    HeadInfo,
+    compute_all_heads,
+    compute_head_heavy,
+    compute_head_light,
+    threshold,
+)
+
+__all__ = [
+    "BOTTOM",
+    "HeadInfo",
+    "UltraSparseSpannerDynamic",
+    "compute_all_heads",
+    "compute_head_heavy",
+    "compute_head_light",
+    "threshold",
+]

@@ -1,0 +1,416 @@
+"""Batch-dynamic ultra-sparse spanner (Theorem 1.4).
+
+One ``ContractUltra`` level (Section 5) on top of the Theorem 1.3 sparse
+spanner:
+
+* per-vertex randomness ``(unmark, rand)`` fixed at construction (oblivious
+  adversary), heavy/light split by current degree against ``10 x log x``,
+* ``HEAD`` maintained by the update rule of §5.2: recompute the changed
+  heavy endpoints (``R``), then every light vertex the Algorithm 6 bounded
+  BFS reaches from the updated endpoints,
+* the output spanner is ``H_1`` (one ``(par(v), v)`` edge per clustered
+  vertex) ∪ ``H_2`` (HDT spanning forest over the ⊥-induced subgraph —
+  the [AABD19] stand-in) ∪ the pulled-back Theorem 1.3 spanner of the
+  contracted graph.
+
+Substitution note (documented in DESIGN.md): the paper's white-box tweak of
+Theorem 1.3 (squaring the compression rates so the inner spanner has
+``O(n/x)`` edges over the padded vertex set) is replaced by running
+Theorem 1.3 unchanged — its size already scales with the number of
+non-isolated vertices, which is what the tweak buys.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Iterable
+
+import numpy as np
+
+from repro.connectivity import DynamicSpanningForest
+from repro.contraction.nested import SparseSpannerDynamic
+from repro.graph.dynamic_graph import Edge, norm_edge
+from repro.pram.cost import NULL_COST_MODEL, CostModel, log2ceil
+from repro.ultrasparse.heads import (
+    BOTTOM,
+    HeadInfo,
+    compute_all_heads,
+    compute_head_heavy,
+    compute_head_light,
+    threshold,
+)
+
+__all__ = ["UltraSparseSpannerDynamic"]
+
+
+class UltraSparseSpannerDynamic:
+    """Theorem 1.4: n + O(n/x) edges, Õ(x log x · log n) stretch."""
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[Edge] = (),
+        x: float = 2.0,
+        seed: int | None = None,
+        inner_rates: list[float] | None = None,
+        k_final: int | None = None,
+        base_capacity: int | None = None,
+        cost: CostModel = NULL_COST_MODEL,
+    ) -> None:
+        if x < 2:
+            raise ValueError("x must be >= 2")
+        self.n = n
+        self.x = x
+        self.T = threshold(x)
+        self._cost = cost
+        rng = np.random.default_rng(seed)
+        self.unmark: list[int] = (rng.random(n) >= 1.0 / x).astype(int).tolist()
+        self.rand: list[float] = rng.random(n).tolist()
+
+        self.adj: list[set[int]] = [set() for _ in range(n)]
+        self.info: list[HeadInfo] = [
+            HeadInfo(v, None, 0) if self.unmark[v] == 0
+            else HeadInfo(BOTTOM, None, 0)
+            for v in range(n)
+        ]
+        self.head: list[int] = [i.head for i in self.info]
+        # which rule produced each stored info (drives Algorithm 6's R set)
+        self._heavy_flag: list[bool] = [False] * n
+
+        # contracted-edge buckets (NEXTLEVELEDGES + correspondences)
+        self._buckets: dict[Edge, set[Edge]] = {}
+        self._rep: dict[Edge, Edge] = {}
+        self._image: dict[Edge, Edge | None] = {}
+
+        self._dsf = DynamicSpanningForest(
+            n, seed=None if seed is None else seed + 1, cost=cost
+        )
+        self.inner = SparseSpannerDynamic(
+            n,
+            rates=inner_rates,
+            k_final=k_final,
+            seed=None if seed is None else seed + 2,
+            base_capacity=base_capacity,
+            cost=cost,
+        )
+        # output bookkeeping: H1 (par edges) ⊎ H2 (forest) ⊎ pulled reps
+        self._h1: dict[int, Edge] = {}  # vertex -> its (par, v) edge
+        self._pull: dict[Edge, Edge] = {}
+        self._out: dict[Edge, int] = {}
+
+        if edges:
+            self.update(insertions=edges)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _is_heavy(self, v: int) -> bool:
+        return len(self.adj[v]) >= self.T
+
+    def _image_of(self, e: Edge) -> Edge | None:
+        u, v = e
+        hu, hv = self.head[u], self.head[v]
+        if hu == BOTTOM or hv == BOTTOM or hu == hv:
+            return None
+        return norm_edge(hu, hv)
+
+    def _in_dsf(self, e: Edge) -> bool:
+        u, v = e
+        return self.head[u] == BOTTOM and self.head[v] == BOTTOM
+
+    # -- queries --------------------------------------------------------------
+
+    def spanner_edges(self) -> set[Edge]:
+        """The maintained ultra-sparse spanner."""
+        return {e for e, c in self._out.items() if c > 0}
+
+    def spanner_size(self) -> int:
+        """Number of edges in the maintained spanner."""
+        return len(self._out)
+
+    def head_of(self, v: int) -> int:
+        """``HEAD(v)`` (-1 encodes ⊥)."""
+        return self.head[v]
+
+    def stretch_bound(self) -> float:
+        """Lemma 5.1 composition: ``21 x log x * (L + 1)`` where ``L`` is
+        the inner sparse spanner's stretch bound."""
+        inner_l = self.inner.stretch_bound()
+        return 21.0 * self.x * math.log2(max(self.x, 2.0)) * (inner_l + 1)
+
+    @property
+    def m(self) -> int:
+        return sum(len(a) for a in self.adj) // 2
+
+    # -- the update procedure (Section 5.2) --------------------------------------
+
+    def update(
+        self,
+        insertions: Iterable[Edge] = (),
+        deletions: Iterable[Edge] = (),
+    ) -> tuple[set[Edge], set[Edge]]:
+        """Apply one batch (§5.2 procedure); returns the net spanner delta."""
+        insertions = [norm_edge(u, v) for u, v in insertions]
+        deletions = [norm_edge(u, v) for u, v in deletions]
+        logn = log2ceil(max(self.n, 2))
+        net: dict[Edge, int] = {}
+
+        def bump(e: Edge, d: int) -> None:
+            c = net.get(e, 0) + d
+            if c == 0:
+                net.pop(e, None)
+            else:
+                net[e] = c
+
+        def inc(e: Edge) -> None:
+            c = self._out.get(e, 0)
+            self._out[e] = c + 1
+            if c == 0:
+                bump(e, +1)
+
+        def dec(e: Edge) -> None:
+            c = self._out[e]
+            if c == 1:
+                del self._out[e]
+                bump(e, -1)
+            else:
+                self._out[e] = c - 1
+
+        touched: set[int] = set()
+        dirty: set[Edge] = set()
+
+        # Phase A: adjacency + per-edge bookkeeping.
+        for e in deletions:
+            u, v = e
+            if v not in self.adj[u]:
+                raise KeyError(f"edge {e} not present")
+            self.adj[u].remove(v)
+            self.adj[v].remove(u)
+            img = self._image.pop(e)
+            if img is not None:
+                self._buckets[img].remove(e)
+                dirty.add(img)
+            if e in self._dsf:
+                removed, repl = self._dsf.delete(u, v)
+                if removed is not None:
+                    dec(removed)
+                if repl is not None:
+                    inc(repl)
+            touched.add(u)
+            touched.add(v)
+            self._cost.charge(work=4 * logn, depth=0)
+        for e in insertions:
+            u, v = e
+            if v in self.adj[u]:
+                raise ValueError(f"duplicate edge {e}")
+            self.adj[u].add(v)
+            self.adj[v].add(u)
+            touched.add(u)
+            touched.add(v)
+            self._cost.charge(work=4 * logn, depth=0)
+        self._cost.charge(work=0, depth=2 * logn)
+
+        # Phase B: head recomputation.
+        # B1: heavy endpoints first (light BFS reads heavy heads).
+        info_changed: list[int] = []
+        branch_extra: set[int] = set()  # the Algorithm-6 set R
+        for v in sorted(touched):
+            if not self._is_heavy(v):
+                self._heavy_flag[v] = False
+                continue
+            new = compute_head_heavy(v, self.adj[v], self.unmark, self.rand)
+            self._cost.charge(work=logn, depth=0)
+            if new != self.info[v] or not self._heavy_flag[v]:
+                # changed head, or a light->heavy transition: both alter
+                # what nearby light BFS runs can see, so v joins R.
+                branch_extra.add(v)
+            if new != self.info[v]:
+                self._apply_info(v, new, inc, dec)
+                info_changed.append(v)
+            self._heavy_flag[v] = True
+        # heavy->light transitions also sit in `touched`: they seed the
+        # Algorithm 6 BFS and, being light now, it branches through them.
+
+        # B2: Algorithm 6 — light vertices needing recomputation.
+        lights = self._light_need_recomputation(sorted(touched), branch_extra)
+        for v in sorted(lights):
+            new = compute_head_light(
+                v, self.adj, self.unmark, self.rand, self.head,
+                self._is_heavy, self.T,
+            )
+            self._cost.charge(work=self.T * logn, depth=0)
+            self._heavy_flag[v] = False
+            if new != self.info[v]:
+                self._apply_info(v, new, inc, dec)
+                info_changed.append(v)
+        self._cost.charge(work=0, depth=4 * logn)
+
+        # Phase C: re-image edges incident to head-changed vertices (their
+        # head values are already final) and fix DSF membership.
+        head_changed = [
+            v for v in info_changed
+        ]
+        affected: set[Edge] = set(insertions)
+        for v in head_changed:
+            for w in self.adj[v]:
+                affected.add(norm_edge(v, w))
+        for e in sorted(affected):
+            u, v = e
+            if v not in self.adj[u]:
+                continue  # deleted within this batch
+            old_img = self._image.get(e, "absent")
+            new_img = self._image_of(e)
+            if old_img != new_img:
+                if old_img not in (None, "absent"):
+                    self._buckets[old_img].remove(e)
+                    dirty.add(old_img)
+                if new_img is not None:
+                    self._buckets.setdefault(new_img, set()).add(e)
+                    dirty.add(new_img)
+            self._image[e] = new_img
+            want_dsf = self._in_dsf(e)
+            have_dsf = e in self._dsf
+            if want_dsf and not have_dsf:
+                joined = self._dsf.insert(u, v)
+                if joined is not None:
+                    inc(joined)
+            elif have_dsf and not want_dsf:
+                removed, repl = self._dsf.delete(u, v)
+                if removed is not None:
+                    dec(removed)
+                if repl is not None:
+                    inc(repl)
+            self._cost.charge(work=4 * logn, depth=0)
+        self._cost.charge(work=0, depth=2 * logn)
+
+        # Phase D: reconcile buckets, drive the inner Theorem 1.3 spanner,
+        # and fold its delta back through the representatives.
+        next_ins: list[Edge] = []
+        next_del: list[Edge] = []
+        rep_changes: list[tuple[Edge, Edge, Edge]] = []
+        for key in sorted(dirty):
+            bucket = self._buckets.get(key)
+            old_rep = self._rep.get(key)
+            if not bucket:
+                self._buckets.pop(key, None)
+                if old_rep is not None:
+                    del self._rep[key]
+                    next_del.append(key)
+            elif old_rep is None:
+                self._rep[key] = min(bucket)
+                next_ins.append(key)
+            elif old_rep not in bucket:
+                new_rep = min(bucket)
+                self._rep[key] = new_rep
+                rep_changes.append((key, old_rep, new_rep))
+            self._cost.charge(work=logn, depth=0)
+        self._cost.charge(work=0, depth=logn)
+
+        inner_ins, inner_del = self.inner.update(
+            insertions=next_ins, deletions=next_del
+        )
+        for key, old_rep, new_rep in rep_changes:
+            if key in self._pull:
+                assert self._pull[key] == old_rep
+                dec(old_rep)
+                inc(new_rep)
+                self._pull[key] = new_rep
+        for key in inner_del:
+            dec(self._pull.pop(key))
+        for key in inner_ins:
+            e = self._rep[key]
+            assert key not in self._pull
+            self._pull[key] = e
+            inc(e)
+
+        ins = {e for e, c in net.items() if c > 0}
+        dels = {e for e, c in net.items() if c < 0}
+        return ins, dels
+
+    def _apply_info(self, v: int, new: HeadInfo, inc, dec) -> None:
+        old_h1 = self._h1.get(v)
+        new_h1 = (
+            norm_edge(new.par, v) if new.par is not None and new.head != v
+            else None
+        )
+        if old_h1 != new_h1:
+            if old_h1 is not None:
+                del self._h1[v]
+                dec(old_h1)
+            if new_h1 is not None:
+                self._h1[v] = new_h1
+                inc(new_h1)
+        self.info[v] = new
+        self.head[v] = new.head
+
+    def _light_need_recomputation(
+        self, seeds: list[int], branch_extra: set[int]
+    ) -> set[int]:
+        """Algorithm 6: bounded BFS from the updated endpoints, branching
+        on light vertices and on the recomputed heavy set ``R``."""
+        visited: set[int] = set(seeds)
+        frontier = list(seeds)
+        for _depth in range(self.T):
+            nxt: list[int] = []
+            for u in frontier:
+                if self._is_heavy(u) and u not in branch_extra:
+                    continue
+                for w in self.adj[u]:
+                    if w not in visited:
+                        visited.add(w)
+                        nxt.append(w)
+            frontier = nxt
+            self._cost.charge(work=len(nxt) + 1, depth=1)
+        return {v for v in visited if not self._is_heavy(v)}
+
+    # -- invariants (tests) -----------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify heads vs static recompute, buckets, DSF, and output composition (tests)."""
+        infos = compute_all_heads(
+            self.n, self.adj, self.unmark, self.rand, self.x
+        )
+        got = [i.head for i in self.info]
+        want = [i.head for i in infos]
+        assert got == want, (
+            f"heads diverged: {[(v, a, b) for v, (a, b) in enumerate(zip(got, want)) if a != b]}"
+        )
+        # full info equality (par/dist used for H1)
+        assert self.info == infos, "head infos diverged"
+        # buckets/images
+        want_buckets: dict[Edge, set[Edge]] = {}
+        for u in range(self.n):
+            for v in self.adj[u]:
+                if u < v:
+                    e = (u, v)
+                    img = self._image_of(e)
+                    assert self._image[e] == img, f"stale image for {e}"
+                    if img is not None:
+                        want_buckets.setdefault(img, set()).add(e)
+        got_buckets = {k: s for k, s in self._buckets.items() if s}
+        assert got_buckets == want_buckets
+        assert set(self._rep) == set(got_buckets)
+        for k, r in self._rep.items():
+            assert r in self._buckets[k]
+        # DSF holds exactly the bottom-bottom edges
+        for u in range(self.n):
+            for v in self.adj[u]:
+                if u < v:
+                    assert ((u, v) in self._dsf) == self._in_dsf((u, v))
+        self._dsf.check_invariants()
+        # inner graph == contracted edges
+        assert self.inner.graph_edges() == set(got_buckets)
+        # output composition
+        want_out: dict[Edge, int] = {}
+        for e in self._h1.values():
+            want_out[e] = want_out.get(e, 0) + 1
+        for e in self._dsf.forest_edges():
+            want_out[e] = want_out.get(e, 0) + 1
+        inner_span = self.inner.spanner_edges()
+        assert self._pull.keys() == inner_span
+        for key in inner_span:
+            e = self._pull[key]
+            assert e == self._rep[key]
+            want_out[e] = want_out.get(e, 0) + 1
+        assert want_out == self._out, "output refcounts diverged"
+        self.inner.check_invariants()

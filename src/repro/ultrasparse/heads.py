@@ -1,0 +1,177 @@
+"""Head (cluster) assignment rules of Section 5 (ContractUltra).
+
+Given per-vertex randomness (``unmark[v]`` — 0 iff sampled into ``D`` —
+and ``rand[v]``, the tie-breaking permutation ``P``), the head of a vertex
+is a deterministic function of the current graph:
+
+* **heavy** vertices (degree >= ``10 x log x``): the closest sampled vertex
+  in the closed neighborhood, ties by ``rand`` (itself if sampled; a
+  minimum-``rand`` sampled neighbor otherwise; else itself, joining ``D'``).
+  Heavy heads are never ⊥.
+* **light** vertices: Algorithm 5's bounded BFS of depth ``10 x log x``
+  that does not branch on heavy vertices; candidates are visited sampled
+  light vertices (at their BFS distance) and the heads of visited heavy
+  vertices (at the head's own distance when visited, else ``dist(w) + 1``);
+  the candidate minimizing ``(distance, rand, id)`` wins, and ⊥ (-1) is
+  returned when no candidate exists.
+
+Both the static oracle (:func:`compute_all_heads`) and the dynamic
+structure use the same functions, so "dynamic state == static recompute"
+is an exact test.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Sequence
+
+__all__ = [
+    "threshold",
+    "HeadInfo",
+    "compute_head_heavy",
+    "compute_head_light",
+    "compute_all_heads",
+]
+
+BOTTOM = -1
+
+
+def threshold(x: float) -> int:
+    """The heavy/light degree threshold ``10 x log2 x`` (>= 2)."""
+    return max(2, math.ceil(10.0 * x * math.log2(max(x, 2.0))))
+
+
+class HeadInfo:
+    """Result of a head computation: the head, the first hop of a shortest
+    intra-cluster path toward it (the ``par`` vertex feeding ``H_1``), and
+    the realized distance."""
+
+    __slots__ = ("head", "par", "dist")
+
+    def __init__(self, head: int, par: int | None, dist: int):
+        self.head = head
+        self.par = par
+        self.dist = dist
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, HeadInfo)
+            and (self.head, self.par, self.dist)
+            == (other.head, other.par, other.dist)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"HeadInfo(head={self.head}, par={self.par}, dist={self.dist})"
+
+
+def compute_head_heavy(
+    v: int,
+    neighbors,
+    unmark: Sequence[int],
+    rand: Sequence[float],
+) -> HeadInfo:
+    """Head of a heavy vertex: itself if sampled, else the min-``rand``
+    sampled neighbor, else itself (unclustered, member of ``D'``)."""
+    if unmark[v] == 0:
+        return HeadInfo(v, None, 0)
+    best: tuple[float, int] | None = None
+    for w in neighbors:
+        if unmark[w] == 0 and (best is None or (rand[w], w) < best):
+            best = (rand[w], w)
+    if best is None:
+        return HeadInfo(v, None, 0)
+    return HeadInfo(best[1], best[1], 1)
+
+
+def compute_head_light(
+    v: int,
+    adj: Sequence[set[int]] | list[set[int]],
+    unmark: Sequence[int],
+    rand: Sequence[float],
+    head: Sequence[int],
+    is_heavy,
+    limit: int,
+) -> HeadInfo:
+    """Algorithm 5 for a light vertex.
+
+    ``head`` supplies the current heads of heavy vertices; ``is_heavy`` is
+    a predicate on vertex ids.  Returns ``HeadInfo(BOTTOM, None, 0)`` when
+    no candidate is reachable.
+    """
+    dist: dict[int, int] = {v: 0}
+    first_hop: dict[int, int | None] = {v: None}
+    frontier = [v]
+    heavies: list[int] = []
+    # (dist, rand, candidate) ordering; remember the hop realizing it.
+    best: tuple[int, float, int] | None = None
+    best_hop: int | None = None
+
+    def consider(c: int, d: int, hop: int | None) -> None:
+        nonlocal best, best_hop
+        key = (d, rand[c], c)
+        if best is None or key < best:
+            best = key
+            best_hop = hop
+
+    if unmark[v] == 0:
+        consider(v, 0, None)
+    for depth in range(1, limit + 1):
+        nxt: list[int] = []
+        for u in frontier:
+            if u != v and is_heavy(u):
+                continue  # do not branch on heavy vertices
+            for w in adj[u]:
+                if w in dist:
+                    continue
+                dist[w] = depth
+                first_hop[w] = w if u == v else first_hop[u]
+                nxt.append(w)
+                if is_heavy(w):
+                    heavies.append(w)
+                elif unmark[w] == 0:
+                    consider(w, depth, first_hop[w])
+        frontier = nxt
+    # heads of visited heavy vertices (Algorithm 5 lines 21-25)
+    for w in heavies:
+        h = head[w]
+        assert h != BOTTOM, "heavy heads are never bottom"
+        if h in dist:
+            consider(h, dist[h], first_hop[h])
+        else:
+            consider(h, dist[w] + 1, first_hop[w])
+    if best is None:
+        return HeadInfo(BOTTOM, None, 0)
+    d, _r, c = best
+    if c == v:
+        return HeadInfo(v, None, 0)
+    return HeadInfo(c, best_hop, d)
+
+
+def compute_all_heads(
+    n: int,
+    adj: Sequence[set[int]],
+    unmark: Sequence[int],
+    rand: Sequence[float],
+    x: float,
+) -> list[HeadInfo]:
+    """Static oracle: every vertex's head under the Section 5 rules."""
+    t = threshold(x)
+
+    def is_heavy(v: int) -> bool:
+        return len(adj[v]) >= t
+
+    head = [BOTTOM] * n
+    infos: list[HeadInfo | None] = [None] * n
+    # heavy first (light heads read heavy heads)
+    for v in range(n):
+        if is_heavy(v):
+            infos[v] = compute_head_heavy(v, adj[v], unmark, rand)
+            head[v] = infos[v].head
+    for v in range(n):
+        if not is_heavy(v):
+            infos[v] = compute_head_light(
+                v, adj, unmark, rand, head, is_heavy, t
+            )
+            head[v] = infos[v].head
+    return infos  # type: ignore[return-value]

@@ -1,0 +1,35 @@
+"""Verification oracles: stretch, spectral, and cut quality."""
+
+from repro.verify.certificates import (
+    CutViolation,
+    StretchViolation,
+    find_cut_violation,
+    find_stretch_violation,
+    shortest_detour,
+)
+from repro.verify.spectral import (
+    cut_weight,
+    is_spectral_sparsifier,
+    laplacian,
+    max_cut_error,
+    pencil_eigenvalue_range,
+    quadratic_form,
+)
+from repro.verify.stretch import is_spanner, pairwise_stretch, spanner_stretch
+
+__all__ = [
+    "CutViolation",
+    "StretchViolation",
+    "cut_weight",
+    "find_cut_violation",
+    "find_stretch_violation",
+    "shortest_detour",
+    "is_spanner",
+    "is_spectral_sparsifier",
+    "laplacian",
+    "max_cut_error",
+    "pairwise_stretch",
+    "pencil_eigenvalue_range",
+    "quadratic_form",
+    "spanner_stretch",
+]

@@ -1,0 +1,139 @@
+"""Witness-producing verification (certificates).
+
+The plain oracles in :mod:`repro.verify` answer yes/no; these variants
+return *evidence* — the violating pair and its detour for stretch, the
+violating cut for sparsifiers, the witnessing path for valid queries — so
+test failures and user-facing validation reports are actionable.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.graph.dynamic_graph import Edge, norm_edge
+from repro.graph.traversal import adjacency_from_edges
+
+__all__ = [
+    "StretchViolation",
+    "find_stretch_violation",
+    "shortest_detour",
+    "CutViolation",
+    "find_cut_violation",
+]
+
+
+@dataclass
+class StretchViolation:
+    """Certificate that ``H`` is not a ``t``-spanner of ``G``."""
+
+    edge: Edge  #: the graph edge whose endpoints are too far apart in H
+    detour_length: float  #: spanner distance (inf = disconnected)
+    bound: float  #: the violated bound t
+    detour: list[int] | None  #: the best spanner path, if one exists
+
+    def __str__(self) -> str:
+        return (
+            f"edge {self.edge}: spanner detour {self.detour_length} "
+            f"exceeds bound {self.bound} (path: {self.detour})"
+        )
+
+
+def shortest_detour(
+    n: int, h_edges: Iterable[Edge], u: int, v: int, cap: int | None = None
+) -> list[int] | None:
+    """Shortest ``u``→``v`` path in ``H`` (vertex list), or None."""
+    adj = adjacency_from_edges(n, h_edges)
+    limit = cap if cap is not None else n
+    parent: dict[int, int | None] = {u: None}
+    queue = deque([(u, 0)])
+    while queue:
+        x, d = queue.popleft()
+        if x == v:
+            path = [v]
+            while parent[path[-1]] is not None:
+                path.append(parent[path[-1]])
+            return list(reversed(path))
+        if d == limit:
+            continue
+        for w in adj[x]:
+            if w not in parent:
+                parent[w] = x
+                queue.append((w, d + 1))
+    return None
+
+
+def find_stretch_violation(
+    n: int,
+    g_edges: Iterable[Edge],
+    h_edges: Iterable[Edge],
+    t: float,
+) -> StretchViolation | None:
+    """First graph edge whose spanner detour exceeds ``t`` (None = valid
+    spanner).  Checking edges suffices for the spanner property."""
+    g_edges = [norm_edge(u, v) for u, v in g_edges]
+    h_list = [norm_edge(u, v) for u, v in h_edges]
+    cap = int(math.floor(t))
+    from repro.graph.traversal import bfs_distances_bounded
+
+    h_adj = adjacency_from_edges(n, h_list)
+    by_source: dict[int, list[int]] = {}
+    for u, v in g_edges:
+        by_source.setdefault(u, []).append(v)
+    for u, targets in by_source.items():
+        dist = bfs_distances_bounded(h_adj, u, cap)
+        for v in targets:
+            if v not in dist:
+                detour = shortest_detour(n, h_list, u, v)
+                return StretchViolation(
+                    edge=(u, v),
+                    detour_length=(
+                        math.inf if detour is None else len(detour) - 1
+                    ),
+                    bound=t,
+                    detour=detour,
+                )
+    return None
+
+
+@dataclass
+class CutViolation:
+    """Certificate that a weighted ``H`` misestimates a cut of ``G``."""
+
+    side: frozenset[int]
+    exact: float
+    approx: float
+    epsilon: float
+
+    def __str__(self) -> str:
+        return (
+            f"cut {sorted(self.side)}: exact {self.exact}, sparsifier "
+            f"{self.approx}, outside (1±{self.epsilon})"
+        )
+
+
+def find_cut_violation(
+    n: int,
+    g_weighted: Mapping[Edge, float],
+    h_weighted: Mapping[Edge, float],
+    epsilon: float,
+    cuts: Iterable[Iterable[int]],
+) -> CutViolation | None:
+    """First of the given cuts whose sparsifier estimate falls outside
+    ``(1±ε)`` of the exact value (None = all sampled cuts fine)."""
+    from repro.verify.spectral import cut_weight
+
+    for cut in cuts:
+        side = frozenset(cut)
+        if not side or len(side) >= n:
+            continue
+        exact = cut_weight(g_weighted, set(side))
+        approx = cut_weight(h_weighted, set(side))
+        if exact == 0 and approx == 0:
+            continue
+        lo, hi = (1 - epsilon) * approx, (1 + epsilon) * approx
+        if not (lo <= exact <= hi):
+            return CutViolation(side, exact, approx, epsilon)
+    return None

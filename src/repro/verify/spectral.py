@@ -1,0 +1,138 @@
+"""Spectral and cut verification oracles (Definitions 6.1–6.3).
+
+The decisive quality measure for a weighted sparsifier ``H`` of ``G``: the
+generalized eigenvalues of the pencil ``(L_G, L_H)`` restricted to the
+complement of the shared kernel.  ``H`` is a (1±ε)-spectral sparsifier iff
+all of them lie in ``[1-ε, 1+ε]`` (paper's Definition 6.2 sandwiches
+``x^T L_G x`` by ``(1∓ε) x^T L_H x``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.graph.dynamic_graph import Edge, norm_edge
+from repro.graph.traversal import connected_components
+
+__all__ = [
+    "laplacian",
+    "quadratic_form",
+    "pencil_eigenvalue_range",
+    "is_spectral_sparsifier",
+    "cut_weight",
+    "max_cut_error",
+]
+
+
+def laplacian(
+    n: int, weighted_edges: Mapping[Edge, float] | Iterable[tuple[Edge, float]]
+) -> np.ndarray:
+    """Dense weighted graph Laplacian (Definition 6.1)."""
+    if isinstance(weighted_edges, Mapping):
+        items = weighted_edges.items()
+    else:
+        items = list(weighted_edges)
+    L = np.zeros((n, n))
+    for (u, v), w in items:
+        u, v = norm_edge(u, v)
+        L[u, u] += w
+        L[v, v] += w
+        L[u, v] -= w
+        L[v, u] -= w
+    return L
+
+
+def quadratic_form(L: np.ndarray, x: np.ndarray) -> float:
+    """``x^T L x``."""
+    return float(x @ L @ x)
+
+
+def _component_basis(n: int, edges: Iterable[Edge]) -> np.ndarray:
+    """Orthonormal basis of the orthogonal complement of the Laplacian
+    kernel (the span of per-component indicator vectors)."""
+    comps = connected_components(n, edges)
+    K = np.zeros((n, len(comps)))
+    for j, comp in enumerate(comps):
+        for v in comp:
+            K[v, j] = 1.0
+    # null space of K^T = complement of indicators
+    q, _ = np.linalg.qr(K, mode="complete")
+    return q[:, len(comps):]
+
+
+def pencil_eigenvalue_range(
+    n: int,
+    g_weighted: Mapping[Edge, float],
+    h_weighted: Mapping[Edge, float],
+) -> tuple[float, float]:
+    """Range of generalized eigenvalues ``L_G v = λ L_H v`` on the
+    complement of the kernel.
+
+    Returns ``(0.0, inf)`` when the kernels (connected-component
+    structures) differ — e.g. ``H`` disconnects something ``G`` connects.
+    """
+    import scipy.linalg
+
+    g_edges = [e for e, w in g_weighted.items() if w > 0]
+    h_edges = [e for e, w in h_weighted.items() if w > 0]
+    if not g_edges and not h_edges:
+        return (1.0, 1.0)
+    comp_g = connected_components(n, g_edges)
+    comp_h = connected_components(n, h_edges)
+    if comp_g != comp_h:
+        return (0.0, math.inf)
+    Q = _component_basis(n, g_edges)
+    if Q.shape[1] == 0:
+        return (1.0, 1.0)
+    Lg = laplacian(n, g_weighted)
+    Lh = laplacian(n, h_weighted)
+    A = Q.T @ Lg @ Q
+    B = Q.T @ Lh @ Q
+    vals = scipy.linalg.eigh(A, B, eigvals_only=True)
+    return float(vals.min()), float(vals.max())
+
+
+def is_spectral_sparsifier(
+    n: int,
+    g_weighted: Mapping[Edge, float],
+    h_weighted: Mapping[Edge, float],
+    epsilon: float,
+) -> bool:
+    """Definition 6.2 check via the exact pencil eigenvalue range."""
+    lo, hi = pencil_eigenvalue_range(n, g_weighted, h_weighted)
+    return (1.0 - epsilon) <= lo and hi <= (1.0 + epsilon)
+
+
+def cut_weight(
+    weighted_edges: Mapping[Edge, float], side: set[int]
+) -> float:
+    """Total weight crossing the cut ``(side, rest)``."""
+    total = 0.0
+    for (u, v), w in weighted_edges.items():
+        if (u in side) != (v in side):
+            total += w
+    return total
+
+
+def max_cut_error(
+    n: int,
+    g_weighted: Mapping[Edge, float],
+    h_weighted: Mapping[Edge, float],
+    cuts: Iterable[set[int]],
+) -> float:
+    """``max |w_G(cut) / w_H(cut) - 1|`` over the given cuts (sampled cut
+    quality; Definition 6.3).  Cuts crossed by neither graph are skipped;
+    a cut crossed by exactly one yields ``inf``."""
+    worst = 0.0
+    for cut in cuts:
+        wg = cut_weight(g_weighted, cut)
+        wh = cut_weight(h_weighted, cut)
+        if wg == 0 and wh == 0:
+            continue
+        if wh == 0 or wg == 0:
+            return math.inf
+        worst = max(worst, abs(wg / wh - 1.0))
+    return worst

@@ -1,0 +1,91 @@
+"""Stretch verification oracles.
+
+A subgraph ``H`` of ``G`` is a ``t``-spanner iff for every *edge* ``(u, v)``
+of ``G``, ``dist_H(u, v) <= t`` (checking edges suffices: concatenating the
+per-edge detours bounds every path).  :func:`spanner_stretch` returns the
+exact stretch max over edges; :func:`is_spanner` thresholds it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.graph.dynamic_graph import Edge, norm_edge
+from repro.graph.traversal import adjacency_from_edges, bfs_distances_bounded
+
+__all__ = ["spanner_stretch", "is_spanner", "pairwise_stretch"]
+
+
+def spanner_stretch(
+    n: int,
+    g_edges: Iterable[Edge],
+    h_edges: Iterable[Edge],
+    cap: int | None = None,
+) -> float:
+    """Exact stretch of ``H`` w.r.t. ``G``: ``max_{(u,v) in G} dist_H(u, v)``.
+
+    Returns ``inf`` if some ``G``-edge's endpoints are disconnected in ``H``
+    (or farther apart than ``cap``, when given — pass a cap to keep the BFS
+    shallow when you only care whether the stretch is below it).
+    """
+    g_edges = [norm_edge(u, v) for u, v in g_edges]
+    h_adj = adjacency_from_edges(n, h_edges)
+    limit = cap if cap is not None else n
+    # Group queries by source to share BFS work.
+    by_source: dict[int, list[int]] = {}
+    for u, v in g_edges:
+        by_source.setdefault(u, []).append(v)
+    worst = 0.0
+    for u, targets in by_source.items():
+        need = max  # noqa: F841  (documentation: BFS depth needed)
+        dist = bfs_distances_bounded(h_adj, u, limit)
+        for v in targets:
+            d = dist.get(v)
+            if d is None:
+                return math.inf
+            worst = max(worst, float(d))
+    return worst
+
+
+def is_spanner(
+    n: int,
+    g_edges: Iterable[Edge],
+    h_edges: Iterable[Edge],
+    t: float,
+) -> bool:
+    """True iff ``H ⊆ G`` and ``H`` is a ``t``-spanner of ``G``."""
+    g_set = {norm_edge(u, v) for u, v in g_edges}
+    h_list = [norm_edge(u, v) for u, v in h_edges]
+    if any(e not in g_set for e in h_list):
+        return False
+    cap = int(math.floor(t))
+    return spanner_stretch(n, g_set, h_list, cap=cap) <= t
+
+
+def pairwise_stretch(
+    n: int,
+    g_edges: Iterable[Edge],
+    h_edges: Iterable[Edge],
+    pairs: Iterable[tuple[int, int]],
+) -> float:
+    """Max of ``dist_H(u, v) / dist_G(u, v)`` over the given pairs (for
+    sampled stretch estimates on larger graphs)."""
+    g_adj = adjacency_from_edges(n, g_edges)
+    h_adj = adjacency_from_edges(n, h_edges)
+    from repro.graph.traversal import bfs_distances
+
+    worst = 0.0
+    cache_g: dict[int, dict[int, int]] = {}
+    cache_h: dict[int, dict[int, int]] = {}
+    for u, v in pairs:
+        if u == v:
+            continue
+        dg = cache_g.setdefault(u, bfs_distances(g_adj, u)).get(v)
+        if dg is None:
+            continue
+        dh = cache_h.setdefault(u, bfs_distances(h_adj, u)).get(v)
+        if dh is None:
+            return math.inf
+        worst = max(worst, dh / dg)
+    return worst

@@ -1,0 +1,21 @@
+"""Workload (update-stream) generators for benchmarks and examples."""
+
+from repro.workloads.streams import (
+    UpdateBatch,
+    Workload,
+    churn_stream,
+    deletion_stream,
+    insertion_stream,
+    mixed_stream,
+    sliding_window_stream,
+)
+
+__all__ = [
+    "UpdateBatch",
+    "Workload",
+    "churn_stream",
+    "deletion_stream",
+    "insertion_stream",
+    "mixed_stream",
+    "sliding_window_stream",
+]

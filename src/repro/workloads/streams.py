@@ -1,0 +1,213 @@
+"""Update-stream workload generators for the benchmark harness.
+
+A workload is an initial edge list plus a sequence of
+:class:`UpdateBatch` es.  All generators are seeded and never emit
+duplicate insertions or deletions of absent edges, so they can drive any of
+the dynamic structures directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.graph.dynamic_graph import Edge, norm_edge
+from repro.graph.generators import gnm_random_graph
+
+__all__ = [
+    "UpdateBatch",
+    "Workload",
+    "deletion_stream",
+    "insertion_stream",
+    "mixed_stream",
+    "sliding_window_stream",
+    "churn_stream",
+]
+
+
+@dataclass
+class UpdateBatch:
+    insertions: list[Edge] = field(default_factory=list)
+    deletions: list[Edge] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.insertions) + len(self.deletions)
+
+
+@dataclass
+class Workload:
+    """Initial graph + update batches (with replay helper for oracles)."""
+
+    n: int
+    initial_edges: list[Edge]
+    batches: list[UpdateBatch]
+
+    @property
+    def total_updates(self) -> int:
+        return sum(b.size for b in self.batches)
+
+    def replay(self) -> Iterator[tuple[UpdateBatch, set[Edge]]]:
+        """Yield ``(batch, edge set after applying it)``."""
+        current = set(self.initial_edges)
+        for batch in self.batches:
+            for e in batch.deletions:
+                current.remove(e)
+            for e in batch.insertions:
+                if e in current:
+                    raise ValueError(f"duplicate insertion {e}")
+                current.add(e)
+            yield batch, set(current)
+
+
+def deletion_stream(
+    n: int, m: int, batch_size: int, seed: int | None = None,
+    fraction: float = 1.0,
+) -> Workload:
+    """Delete a random ``fraction`` of a G(n, m) graph in fixed batches."""
+    rng = np.random.default_rng(seed)
+    edges = gnm_random_graph(n, m, seed=None if seed is None else seed + 1)
+    order = [edges[i] for i in rng.permutation(len(edges))]
+    order = order[: int(len(order) * fraction)]
+    batches = [
+        UpdateBatch(deletions=order[i : i + batch_size])
+        for i in range(0, len(order), batch_size)
+    ]
+    return Workload(n, edges, batches)
+
+
+def insertion_stream(
+    n: int, m: int, batch_size: int, seed: int | None = None
+) -> Workload:
+    """Start empty; insert a G(n, m) graph in fixed batches."""
+    rng = np.random.default_rng(seed)
+    edges = gnm_random_graph(n, m, seed=None if seed is None else seed + 1)
+    order = [edges[i] for i in rng.permutation(len(edges))]
+    batches = [
+        UpdateBatch(insertions=order[i : i + batch_size])
+        for i in range(0, len(order), batch_size)
+    ]
+    return Workload(n, [], batches)
+
+
+def mixed_stream(
+    n: int,
+    m: int,
+    batch_size: int,
+    num_batches: int,
+    seed: int | None = None,
+    insert_prob: float = 0.5,
+) -> Workload:
+    """Keep ~m edges live while randomly inserting/deleting per batch."""
+    rng = np.random.default_rng(seed)
+    edges = gnm_random_graph(n, m, seed=None if seed is None else seed + 1)
+    present = set(edges)
+    batches: list[UpdateBatch] = []
+    max_m = n * (n - 1) // 2
+    for _ in range(num_batches):
+        batch = UpdateBatch()
+        batch_set_ins: set[Edge] = set()
+        for _ in range(batch_size):
+            do_insert = rng.random() < insert_prob
+            if do_insert and len(present) < max_m:
+                while True:
+                    u = int(rng.integers(0, n))
+                    v = int(rng.integers(0, n))
+                    if u == v:
+                        continue
+                    e = norm_edge(u, v)
+                    if e not in present and e not in batch_set_ins:
+                        break
+                batch.insertions.append(e)
+                batch_set_ins.add(e)
+                present.add(e)
+            else:
+                # never delete an edge inserted in this same batch (updates
+                # apply deletions first)
+                pool = sorted(present - batch_set_ins)
+                if not pool:
+                    continue
+                e = pool[int(rng.integers(0, len(pool)))]
+                present.remove(e)
+                batch.deletions.append(e)
+        batches.append(batch)
+    return Workload(n, edges, batches)
+
+
+def sliding_window_stream(
+    n: int,
+    window: int,
+    num_batches: int,
+    batch_size: int,
+    seed: int | None = None,
+) -> Workload:
+    """Streaming-graph model: every batch inserts ``batch_size`` fresh
+    random edges and expires the oldest ones beyond the window (the classic
+    "recent-interactions graph" workload from the paper's motivation)."""
+    rng = np.random.default_rng(seed)
+    present: set[Edge] = set()
+    fifo: list[Edge] = []
+    batches: list[UpdateBatch] = []
+    max_m = n * (n - 1) // 2
+    for _ in range(num_batches):
+        batch = UpdateBatch()
+        for _ in range(batch_size):
+            if len(present) >= max_m:
+                break
+            while True:
+                u = int(rng.integers(0, n))
+                v = int(rng.integers(0, n))
+                if u == v:
+                    continue
+                e = norm_edge(u, v)
+                if e not in present:
+                    break
+            present.add(e)
+            fifo.append(e)
+            batch.insertions.append(e)
+        while len(fifo) > window:
+            e = fifo.pop(0)
+            present.remove(e)
+            batch.deletions.append(e)
+        batches.append(batch)
+    return Workload(n, [], batches)
+
+
+def churn_stream(
+    n: int,
+    m: int,
+    churn_fraction: float,
+    num_batches: int,
+    seed: int | None = None,
+) -> Workload:
+    """Each batch replaces a fraction of the live edges (delete + insert
+    the same count) — models link churn in an overlay network."""
+    rng = np.random.default_rng(seed)
+    edges = gnm_random_graph(n, m, seed=None if seed is None else seed + 1)
+    present = set(edges)
+    batches: list[UpdateBatch] = []
+    per_batch = max(1, int(m * churn_fraction))
+    max_m = n * (n - 1) // 2
+    for _ in range(num_batches):
+        batch = UpdateBatch()
+        pool = sorted(present)
+        idx = rng.permutation(len(pool))[:per_batch]
+        for i in idx:
+            batch.deletions.append(pool[int(i)])
+            present.remove(pool[int(i)])
+        added = 0
+        while added < per_batch and len(present) < max_m:
+            u = int(rng.integers(0, n))
+            v = int(rng.integers(0, n))
+            if u == v:
+                continue
+            e = norm_edge(u, v)
+            if e in present or e in batch.deletions:
+                continue
+            present.add(e)
+            batch.insertions.append(e)
+            added += 1
+        batches.append(batch)
+    return Workload(n, edges, batches)

@@ -1,0 +1,24 @@
+"""Shared test configuration.
+
+Hypothesis is derandomized so the released suite is fully reproducible:
+every run explores the same example set.  (During development, run with
+``HYPOTHESIS_PROFILE=explore`` to search fresh examples.)
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "explore",
+    derandomize=False,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))

@@ -1,0 +1,188 @@
+"""Adversarial (oblivious) update patterns.
+
+The paper's guarantees hold against an *oblivious* adversary — one that
+fixes the update sequence in advance but may pick it as nastily as it
+likes.  These streams target each structure's weak spots: always deleting
+current tree/spanner edges would require adaptivity, so instead we use the
+legal equivalents — hub wipes, repeated churn of the same edges, long
+cascade chains, and boundary-size batches.
+"""
+
+import random
+
+import pytest
+
+from repro.bfs import BatchDynamicESTree, bounded_bfs_directed
+from repro.bundle import DecrementalTBundle
+from repro.graph import gnm_random_graph, grid_graph, norm_edge
+from repro.spanner import DecrementalSpanner, FullyDynamicSpanner
+from repro.ultrasparse import UltraSparseSpannerDynamic
+from repro.verify import is_spanner
+
+
+class TestESTreeAdversarial:
+    def test_delete_layer_by_layer(self):
+        """Delete the graph level by level from the source outward —
+        maximizes cascade depth per batch."""
+        rows, cols = 6, 8
+        n = rows * cols
+        und = grid_graph(rows, cols)
+        edges = [(u, v) for u, v in und] + [(v, u) for u, v in und]
+        tree = BatchDynamicESTree(n, edges, source=0, limit=n)
+        # deletion order: edges incident to vertices closest to source first
+        adj = [[] for _ in range(n)]
+        for u, v in edges:
+            adj[u].append(v)
+        dist0 = bounded_bfs_directed(n, adj, 0, n)
+        order = sorted(und, key=lambda e: min(dist0[e[0]], dist0[e[1]]))
+        alive = list(order)
+        while alive:
+            batch, alive = alive[:6], alive[6:]
+            dir_batch = [(u, v) for u, v in batch] + [
+                (v, u) for u, v in batch
+            ]
+            tree.batch_delete(dir_batch)
+            adj = [[] for _ in range(n)]
+            for u, v in alive:
+                adj[u].append(v)
+                adj[v].append(u)
+            assert tree.distances() == bounded_bfs_directed(n, adj, 0, n)
+
+    def test_single_long_path_teardown(self):
+        """A path deleted from the far end — every deletion is a tree edge."""
+        n = 60
+        edges = [(i, i + 1) for i in range(n - 1)]
+        dir_edges = edges + [(v, u) for u, v in edges]
+        tree = BatchDynamicESTree(n, dir_edges, source=0, limit=n)
+        for i in reversed(range(n - 1)):
+            tree.batch_delete([(i, i + 1), (i + 1, i)])
+            assert tree.dist_of(i) == i
+            assert tree.dist_of(i + 1) == n + 1  # detached
+
+
+class TestSpannerAdversarial:
+    def test_hub_wipe(self):
+        """Delete every edge of the highest-degree vertex in one batch —
+        maximal single-vertex cascade."""
+        n, m, k = 40, 300, 2
+        edges = gnm_random_graph(n, m, seed=3)
+        sp = DecrementalSpanner(n, edges, k=k, seed=3)
+        deg = [0] * n
+        for u, v in edges:
+            deg[u] += 1
+            deg[v] += 1
+        hub = max(range(n), key=deg.__getitem__)
+        batch = [e for e in edges if hub in e]
+        sp.batch_delete(batch)
+        remaining = [e for e in edges if hub not in e]
+        assert is_spanner(n, remaining, sp.spanner_edges(), 2 * k - 1)
+        sp.check_invariants()
+
+    def test_repeated_same_edge_churn(self):
+        """Insert/delete the same edge 30 times — stresses the dynamizer's
+        INDEX and partition bookkeeping."""
+        n = 12
+        base = gnm_random_graph(n, 30, seed=4)
+        target = None
+        for u in range(n):
+            for v in range(u + 1, n):
+                if (u, v) not in base:
+                    target = (u, v)
+                    break
+            if target:
+                break
+        sp = FullyDynamicSpanner(n, base, k=2, seed=4, base_capacity=4)
+        for _ in range(30):
+            sp.insert_batch([target])
+            assert target in sp
+            sp.delete_batch([target])
+            assert target not in sp
+        sp.check_invariants()
+        assert is_spanner(n, base, sp.spanner_edges(), 3)
+
+    def test_batch_size_boundary_cases(self):
+        """Batches of size exactly base_capacity and base_capacity ± 1 hit
+        the chunking boundaries of the Bentley–Saxe split."""
+        n, base = 20, 4
+        sp = FullyDynamicSpanner(n, k=2, seed=5, base_capacity=base)
+        universe = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        idx = 0
+        for size in (base - 1, base, base + 1, 2 * base, 2 * base + 1):
+            batch = universe[idx : idx + size]
+            idx += size
+            sp.insert_batch(batch)
+            sp.check_invariants()
+        assert sp.m == idx
+
+    def test_alternating_insert_delete_full_graph(self):
+        n = 14
+        edges = gnm_random_graph(n, 50, seed=6)
+        sp = FullyDynamicSpanner(n, k=2, seed=6, base_capacity=4)
+        for _ in range(4):
+            sp.insert_batch(edges)
+            assert is_spanner(n, edges, sp.spanner_edges(), 3)
+            sp.delete_batch(edges)
+            assert sp.spanner_edges() == set()
+        sp.check_invariants()
+
+
+class TestUltraSparseAdversarial:
+    def test_heavy_light_oscillation(self):
+        """Push a vertex's degree back and forth across the heavy/light
+        threshold — the most delicate transition in §5.2."""
+        x = 2.0
+        from repro.ultrasparse import threshold
+
+        t = threshold(x)  # 20
+        n = t + 10
+        hub = 0
+        spokes = [norm_edge(hub, i) for i in range(1, t + 2)]
+        sp = UltraSparseSpannerDynamic(
+            n, spokes, x=x, seed=7, inner_rates=[2.0], k_final=2,
+            base_capacity=4,
+        )
+        assert sp._is_heavy(hub)
+        sp.check_invariants()
+        for _ in range(3):
+            # drop below threshold
+            sp.update(deletions=spokes[: t // 2])
+            assert not sp._is_heavy(hub)
+            sp.check_invariants()
+            # climb back above
+            sp.update(insertions=spokes[: t // 2])
+            assert sp._is_heavy(hub)
+            sp.check_invariants()
+
+    def test_bottom_component_merge_split(self):
+        """Grow and shatter a ⊥-component so the HDT forest (H_2) churns."""
+        n = 16
+        sp = UltraSparseSpannerDynamic(
+            n, x=4.0, seed=1002, inner_rates=[2.0], k_final=2,
+            base_capacity=4,
+        )
+        # find a seed where enough vertices are unsampled (⊥-prone)
+        path = [
+            norm_edge(i, i + 1) for i in range(n - 1)
+        ]
+        sp.update(insertions=path)
+        sp.check_invariants()
+        # shatter the path into pieces
+        sp.update(deletions=path[::2])
+        sp.check_invariants()
+        sp.update(insertions=path[::2])
+        sp.check_invariants()
+
+
+class TestBundleAdversarial:
+    def test_delete_exactly_the_initial_bundle(self):
+        """First wipe out every edge the bundle chose, then the rest."""
+        n, m, t = 24, 150, 2
+        edges = gnm_random_graph(n, m, seed=8)
+        bundle = DecrementalTBundle(n, edges, t=t, seed=8, instances=4)
+        first = sorted(bundle.bundle_edges())
+        bundle.batch_delete(first)
+        bundle.check_invariants()
+        rest = sorted(set(edges) - set(first))
+        bundle.batch_delete(rest)
+        assert bundle.bundle_edges() == set()
+        bundle.check_invariants()

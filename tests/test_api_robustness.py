@@ -1,0 +1,150 @@
+"""API robustness: every public structure rejects bad input with a clear
+error and leaves itself usable afterwards (failure injection)."""
+
+import pytest
+
+from repro.bfs import BatchDynamicESTree
+from repro.bundle import DecrementalTBundle, MonotoneDecrementalSpanner
+from repro.contraction import ContractionLayer, SparseSpannerDynamic
+from repro.graph import gnm_random_graph
+from repro.queries import DynamicDistanceOracle
+from repro.sparsifier import (
+    DecrementalSpectralSparsifier,
+    FullyDynamicSpectralSparsifier,
+    uniform_sample_sparsifier,
+)
+from repro.spanner import DecrementalSpanner, FullyDynamicSpanner
+from repro.structures import OrderedMap, PriorityArray
+from repro.ultrasparse import UltraSparseSpannerDynamic
+from repro.verify import is_spanner
+
+
+EDGES = gnm_random_graph(12, 30, seed=1)
+
+
+class TestErrorsThenRecovery:
+    """A failed call must not corrupt the structure."""
+
+    def test_spanner_survives_failed_delete(self):
+        sp = FullyDynamicSpanner(12, EDGES, k=2, seed=1, base_capacity=4)
+        with pytest.raises(KeyError):
+            sp.update(deletions=[(0, 11), (0, 1) if (0, 1) in sp else (1, 2)]
+                      if (0, 11) not in sp else [(99, 100)])
+        # structure still answers and can keep updating
+        _ = sp.spanner_edges()
+
+    def test_spanner_survives_failed_duplicate_insert(self):
+        sp = FullyDynamicSpanner(12, EDGES, k=2, seed=1, base_capacity=4)
+        existing = next(iter(EDGES))
+        with pytest.raises(ValueError):
+            sp.update(insertions=[existing])
+        deletable = sorted(set(EDGES))[:3]
+        ins, dels = sp.update(deletions=deletable)
+        assert is_spanner(
+            12, set(EDGES) - set(deletable), sp.spanner_edges(), 3
+        )
+
+    def test_decremental_spanner_rejects_unknown_edge(self):
+        sp = DecrementalSpanner(12, EDGES, k=2, seed=1)
+        missing = next(
+            (u, v)
+            for u in range(12)
+            for v in range(u + 1, 12)
+            if (u, v) not in set(EDGES)
+        )
+        with pytest.raises(KeyError):
+            sp.batch_delete([missing])
+
+    def test_es_tree_bad_source_and_limit(self):
+        with pytest.raises(ValueError):
+            BatchDynamicESTree(5, [(0, 1)], source=9, limit=3)
+        with pytest.raises(ValueError):
+            BatchDynamicESTree(5, [(0, 1)], source=0, limit=-1)
+
+    def test_contraction_layer_flag_length_checked(self):
+        with pytest.raises(ValueError):
+            ContractionLayer(5, [True, False])
+
+    def test_bundle_and_chain_param_validation(self):
+        with pytest.raises(ValueError):
+            DecrementalTBundle(5, [], t=0)
+        with pytest.raises(ValueError):
+            MonotoneDecrementalSpanner(5, [], beta=-1)
+
+    def test_uniform_sampler_validation(self):
+        with pytest.raises(ValueError):
+            uniform_sample_sparsifier([(0, 1)], p=0.0)
+        with pytest.raises(ValueError):
+            uniform_sample_sparsifier([(0, 1)], p=1.5)
+
+    def test_sparsifier_rejects_missing_deletion(self):
+        sp = FullyDynamicSpectralSparsifier(12, EDGES, t=2, seed=1,
+                                            instances=2, base_capacity=4)
+        with pytest.raises(KeyError):
+            sp.update(deletions=[(0, 11) if (0, 11) not in sp else (1, 11)])
+
+    def test_ultrasparse_x_validation(self):
+        with pytest.raises(ValueError):
+            UltraSparseSpannerDynamic(5, x=1.0)
+
+    def test_priority_array_full_validation_matrix(self):
+        pa = PriorityArray(8, [("a", 3)])
+        for bad in (-1, 8, 100):
+            with pytest.raises(ValueError):
+                pa.insert("x", bad)
+        with pytest.raises(IndexError):
+            pa.update_value(0, "y")
+        with pytest.raises(IndexError):
+            pa.update_priority(2, 5)
+        with pytest.raises(IndexError):
+            pa.next_with(0, lambda v: True)
+
+    def test_ordered_map_duplicate_then_usable(self):
+        om = OrderedMap([(1, "a")], seed=1)
+        with pytest.raises(ValueError):
+            om.insert(1, "b")
+        om.insert(2, "c")
+        assert om.min_item() == (1, "a")
+
+
+class TestSelfLoopsAndBounds:
+    def test_self_loops_rejected_everywhere(self):
+        from repro.graph import norm_edge
+
+        with pytest.raises(ValueError):
+            norm_edge(3, 3)
+        sp = FullyDynamicSpanner(5, k=2, seed=1)
+        with pytest.raises(ValueError):
+            sp.update(insertions=[(2, 2)])
+
+    def test_vertex_out_of_range_in_oracle(self):
+        sp = FullyDynamicSpanner(5, [(0, 1)], k=2, seed=1)
+        oracle = DynamicDistanceOracle(5, sp, stretch=3)
+        with pytest.raises(ValueError):
+            oracle.batch_distances([(0, 7)])
+
+
+class TestEmptyAndDegenerate:
+    def test_zero_vertex_structures(self):
+        assert FullyDynamicSpanner(0, k=2, seed=1).spanner_edges() == set()
+        assert (
+            SparseSpannerDynamic(0, rates=[2.0], seed=1).spanner_edges()
+            == set()
+        )
+
+    def test_single_vertex(self):
+        sp = UltraSparseSpannerDynamic(1, x=2.0, seed=1, inner_rates=[2.0],
+                                       k_final=2)
+        assert sp.spanner_edges() == set()
+
+    def test_empty_batches_are_noops(self):
+        sp = FullyDynamicSpanner(6, EDGES[:5], k=2, seed=1)
+        before = sp.spanner_edges()
+        ins, dels = sp.update()
+        assert not ins and not dels
+        assert sp.spanner_edges() == before
+
+    def test_chain_on_empty_graph(self):
+        sp = DecrementalSpectralSparsifier(5, [], t=2, seed=1, instances=2)
+        assert sp.weighted_edges() == {}
+        assert sp.output_edges() == set()

@@ -1,0 +1,98 @@
+"""Batch-split invariance: the Las Vegas state is canonical.
+
+With fixed randomness, distances, parents, clusters, and heads are
+functions of the *current graph only* — so applying the same deletions as
+one batch, many small batches, or one-at-a-time must land in exactly the
+same state.  (Representative choices — e.g. inter-cluster spanner edges —
+are deliberately sticky and may differ; the canonical layers must not.)
+"""
+
+import random
+
+import pytest
+
+from repro.bfs import BatchDynamicESTree
+from repro.spanner.shift_clustering import ShiftedClustering, sample_shifts
+from repro.ultrasparse import UltraSparseSpannerDynamic
+from repro.graph import gnm_random_graph
+
+
+def _random_digraph(n, m, seed):
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < m:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.add((u, v))
+    return sorted(edges)
+
+
+def _splits(items, rng):
+    yield [items]  # one batch
+    yield [[e] for e in items]  # singletons
+    mixed, i = [], 0
+    while i < len(items):
+        b = rng.choice([1, 2, 5])
+        mixed.append(items[i : i + b])
+        i += b
+    yield mixed
+
+
+class TestESTreeInvariance:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_distances_and_parents_identical(self, seed):
+        n, m, limit = 25, 120, 6
+        edges = _random_digraph(n, m, seed)
+        rng = random.Random(seed)
+        to_delete = rng.sample(edges, 60)
+        states = []
+        for batching in _splits(to_delete, random.Random(seed + 1)):
+            tree = BatchDynamicESTree(n, edges, source=0, limit=limit)
+            for batch in batching:
+                tree.batch_delete(batch)
+            states.append((tree.distances(), list(tree.parent)))
+        assert states[0] == states[1] == states[2]
+
+
+class TestClusteringInvariance:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_clusters_identical(self, seed):
+        import math
+        import numpy as np
+
+        n, m, k = 20, 60, 3
+        edges = gnm_random_graph(n, m, seed=seed)
+        deltas = sample_shifts(
+            n, beta=math.log(10 * n) / k, cap=float(k),
+            rng=np.random.default_rng(seed),
+        )
+        rng = random.Random(seed)
+        to_delete = rng.sample(edges, 30)
+        states = []
+        for batching in _splits(to_delete, random.Random(seed + 1)):
+            sc = ShiftedClustering(n, edges, deltas)
+            for batch in batching:
+                sc.batch_delete(batch)
+            states.append(
+                (sc.clusters(), sorted(sc.tree_edges()))
+            )
+        assert states[0] == states[1] == states[2]
+
+
+class TestUltraHeadInvariance:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_heads_identical(self, seed):
+        n, m = 16, 50
+        edges = gnm_random_graph(n, m, seed=seed)
+        rng = random.Random(seed)
+        to_delete = rng.sample(edges, 25)
+        states = []
+        for batching in _splits(to_delete, random.Random(seed + 1)):
+            sp = UltraSparseSpannerDynamic(
+                n, edges, x=2.0, seed=seed, inner_rates=[2.0], k_final=2,
+                base_capacity=4,
+            )
+            for batch in batching:
+                sp.update(deletions=batch)
+            states.append((list(sp.head), [i.par for i in sp.info]))
+        assert states[0] == states[1] == states[2]

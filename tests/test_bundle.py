@@ -1,0 +1,138 @@
+"""Tests for Lemma 6.4 (monotone spanner) and Theorem 1.5 (t-bundles)."""
+
+import math
+import random
+
+import pytest
+
+from repro.bundle import DecrementalTBundle, MonotoneDecrementalSpanner
+from repro.graph import gnm_random_graph
+from repro.verify.stretch import is_spanner
+
+
+class TestMonotoneSpanner:
+    def test_initial_spanner_valid(self):
+        n, m = 30, 120
+        edges = gnm_random_graph(n, m, seed=1)
+        sp = MonotoneDecrementalSpanner(n, edges, seed=1, instances=8)
+        assert sp.output_edges() <= set(edges)
+        assert is_spanner(n, edges, sp.output_edges(), sp.stretch_bound())
+        sp.check_invariants()
+
+    def test_forest_union_size(self):
+        """Each instance contributes a forest, so the spanner has at most
+        instances * (n - 1) edges."""
+        n, m = 40, 300
+        edges = gnm_random_graph(n, m, seed=2)
+        sp = MonotoneDecrementalSpanner(n, edges, seed=2, instances=6)
+        assert sp.spanner_size() <= 6 * (n - 1)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_deletion_stream_stays_valid(self, seed):
+        rng = random.Random(seed)
+        n, m = 20, 70
+        edges = gnm_random_graph(n, m, seed=seed + 10)
+        sp = MonotoneDecrementalSpanner(n, edges, seed=seed, instances=8)
+        spanner = sp.output_edges()
+        alive = list(edges)
+        rng.shuffle(alive)
+        while alive:
+            batch, alive = alive[:5], alive[5:]
+            ins, dels = sp.batch_delete(batch)
+            spanner = (spanner - dels) | ins
+            assert spanner == sp.output_edges()
+            assert spanner <= set(alive)
+            assert is_spanner(n, alive, spanner, sp.stretch_bound())
+            sp.check_invariants()
+
+    def test_monotonicity_recourse_bound(self):
+        """Lemma 6.4: total churn over a full deletion run is Õ(n),
+        independent of m (much smaller than m for dense graphs)."""
+        n = 30
+        m = n * (n - 1) // 2  # complete graph
+        edges = gnm_random_graph(n, m, seed=5)
+        sp = MonotoneDecrementalSpanner(n, edges, seed=5, instances=4)
+        rng = random.Random(5)
+        alive = list(edges)
+        rng.shuffle(alive)
+        while alive:
+            batch, alive = alive[:20], alive[20:]
+            sp.batch_delete(batch)
+        # 4 instances, each forest churns O(n log^2 n)
+        bound = 4 * 6 * n * math.log2(n) ** 2
+        assert sp.total_recourse <= bound
+        assert sp.total_recourse < m  # strictly better than per-edge churn
+
+    def test_delete_missing_raises(self):
+        sp = MonotoneDecrementalSpanner(3, [(0, 1)], seed=1, instances=2)
+        with pytest.raises(KeyError):
+            sp.batch_delete([(1, 2)])
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            MonotoneDecrementalSpanner(3, [], beta=0.0)
+
+
+class TestTBundle:
+    def make(self, n=24, m=140, t=3, seed=3):
+        edges = gnm_random_graph(n, m, seed=seed)
+        bundle = DecrementalTBundle(
+            n, edges, t=t, seed=seed, instances=4
+        )
+        return n, edges, bundle
+
+    def test_initial_bundle_levels_are_chained_spanners(self):
+        n, edges, bundle = self.make()
+        bundle.check_invariants()
+        # levels are disjoint and nested correctly
+        all_levels = [bundle.level_edges(i) for i in range(bundle.t)]
+        union = set().union(*all_levels)
+        assert union == bundle.bundle_edges()
+        assert bundle.non_bundle_edges() == set(edges) - union
+
+    def test_invalid_t(self):
+        with pytest.raises(ValueError):
+            DecrementalTBundle(3, [], t=0)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_deletion_stream(self, seed):
+        rng = random.Random(seed)
+        n, m, t = 18, 90, 2
+        edges = gnm_random_graph(n, m, seed=seed + 20)
+        bundle = DecrementalTBundle(n, edges, t=t, seed=seed, instances=5)
+        tracked = bundle.bundle_edges()
+        alive = list(edges)
+        rng.shuffle(alive)
+        while alive:
+            b = min(len(alive), rng.choice([1, 3, 7]))
+            batch, alive = alive[:b], alive[b:]
+            ins, dels = bundle.batch_delete(batch)
+            assert not (ins & dels)
+            tracked = (tracked - dels) | ins
+            assert tracked == bundle.bundle_edges()
+            assert tracked <= set(alive)
+            bundle.check_invariants()
+
+    def test_amortized_recourse_o1(self):
+        """Theorem 1.5: each edge enters/leaves the bundle O(1) times, so
+        the total recourse over a full deletion run is O(m + bundle)."""
+        n, m, t = 30, 300, 2
+        edges = gnm_random_graph(n, m, seed=9)
+        bundle = DecrementalTBundle(n, edges, t=t, seed=9, instances=4)
+        total = 0
+        rng = random.Random(9)
+        alive = list(edges)
+        rng.shuffle(alive)
+        initial = bundle.bundle_size()
+        while alive:
+            batch, alive = alive[:15], alive[15:]
+            ins, dels = bundle.batch_delete(batch)
+            total += len(ins) + len(dels)
+        # every edge can enter once and leave once, plus the initial bundle
+        assert total <= 2 * (m + initial)
+        assert bundle.bundle_edges() == set()
+
+    def test_delete_missing_raises(self):
+        _, _, bundle = self.make()
+        with pytest.raises(KeyError):
+            bundle.batch_delete([(0, 23)])

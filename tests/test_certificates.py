@@ -1,0 +1,97 @@
+"""Tests for the witness-producing verifiers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import gnm_random_graph
+from repro.spanner import mpvx_spanner
+from repro.verify import (
+    find_cut_violation,
+    find_stretch_violation,
+    is_spanner,
+    shortest_detour,
+)
+
+
+class TestShortestDetour:
+    def test_direct_edge(self):
+        assert shortest_detour(3, [(0, 1)], 0, 1) == [0, 1]
+
+    def test_two_hop(self):
+        assert shortest_detour(3, [(0, 1), (1, 2)], 0, 2) == [0, 1, 2]
+
+    def test_disconnected(self):
+        assert shortest_detour(3, [(0, 1)], 0, 2) is None
+
+    def test_same_vertex(self):
+        assert shortest_detour(3, [(0, 1)], 1, 1) == [1]
+
+    def test_cap_respected(self):
+        edges = [(i, i + 1) for i in range(5)]
+        assert shortest_detour(6, edges, 0, 5, cap=3) is None
+        assert shortest_detour(6, edges, 0, 3, cap=3) == [0, 1, 2, 3]
+
+
+class TestStretchViolation:
+    def test_valid_spanner_returns_none(self):
+        n, m = 25, 90
+        edges = gnm_random_graph(n, m, seed=1)
+        h = mpvx_spanner(n, edges, k=2, seed=1)
+        assert find_stretch_violation(n, edges, h, 3) is None
+
+    def test_violation_has_witness(self):
+        # square 0-1-2-3-0; dropping edge (0,3) leaves a 3-hop detour,
+        # which violates a claimed bound of 2.
+        g = [(0, 1), (1, 2), (2, 3), (0, 3)]
+        h = [(0, 1), (1, 2), (2, 3)]
+        v = find_stretch_violation(4, g, h, 2)
+        assert v is not None
+        assert v.edge == (0, 3)
+        assert v.detour_length == 3
+        assert v.detour == [0, 1, 2, 3]
+        assert "exceeds bound" in str(v)
+
+    def test_disconnection_witnessed(self):
+        g = [(0, 1), (1, 2)]
+        h = [(0, 1)]
+        v = find_stretch_violation(3, g, h, 5)
+        assert v is not None
+        assert v.detour is None
+        assert v.detour_length == math.inf
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 12), st.integers(0, 10**6))
+    def test_agrees_with_is_spanner(self, n, seed):
+        import random
+
+        rng = random.Random(seed)
+        cap = n * (n - 1) // 2
+        edges = gnm_random_graph(n, rng.randrange(0, cap + 1), seed=seed)
+        sub = [e for e in edges if rng.random() < 0.6]
+        t = rng.choice([1, 2, 3, 5])
+        cert = find_stretch_violation(n, edges, sub, t)
+        assert (cert is None) == is_spanner(n, edges, sub, t)
+
+
+class TestCutViolation:
+    def test_good_sparsifier_none(self):
+        g = {(0, 1): 1.0, (1, 2): 1.0}
+        h = {(0, 1): 1.05, (1, 2): 0.95}
+        assert find_cut_violation(3, g, h, 0.1, [{0}, {2}, {0, 2}]) is None
+
+    def test_bad_cut_witnessed(self):
+        g = {(0, 1): 1.0, (1, 2): 1.0}
+        h = {(0, 1): 1.0, (1, 2): 3.0}
+        v = find_cut_violation(3, g, h, 0.5, [{0}, {2}])
+        assert v is not None
+        assert v.side == frozenset({2})
+        assert v.exact == 1.0 and v.approx == 3.0
+        assert "outside" in str(v)
+
+    def test_empty_and_full_cuts_skipped(self):
+        g = {(0, 1): 1.0}
+        h = {(0, 1): 9.0}
+        assert find_cut_violation(2, g, h, 0.1, [set(), {0, 1}]) is None

@@ -1,0 +1,89 @@
+"""Tests for the ``python -m repro.cli`` driver."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+BASE = ["--n", "40", "--m", "120", "--batch-size", "20", "--batches", "3",
+        "--seed", "1"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["spanner"])
+        assert args.n == 200 and args.k == 2 and args.workload == "mixed"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["spanner", "--workload", "bogus"])
+
+
+class TestCommands:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["spanner", "--k", "2", "--workload", "mixed"],
+            ["spanner", "--k", "3", "--workload", "delete",
+             "--base-capacity", "8"],
+            ["sparse", "--workload", "churn", "--base-capacity", "8"],
+            ["ultra", "--x", "2", "--workload", "mixed"],
+            ["bundle", "--t", "2", "--workload", "delete"],
+            ["sparsifier", "--t", "2", "--workload", "mixed"],
+            ["estree", "--limit", "4", "--workload", "delete"],
+        ],
+    )
+    def test_command_runs_and_prints_table(self, argv, capsys):
+        assert main(argv + BASE) == 0
+        out = capsys.readouterr().out
+        assert "repro run:" in out
+        assert "Brent runtimes" in out
+        assert "work/upd" in out
+
+    def test_bundle_forces_delete_workload(self, capsys):
+        assert main(["bundle", "--workload", "mixed"] + BASE) == 0
+        err = capsys.readouterr().err
+        assert "forcing --workload delete" in err
+
+    def test_insert_workload(self, capsys):
+        assert main(["spanner", "--workload", "insert"] + BASE) == 0
+        out = capsys.readouterr().out
+        assert "updates" in out
+
+    def test_sliding_workload(self, capsys):
+        assert main(["sparse", "--workload", "sliding",
+                     "--base-capacity", "8"] + BASE) == 0
+        assert "repro run:" in capsys.readouterr().out
+
+
+class TestProfileFlag:
+    def test_profile_prints_report(self, capsys):
+        assert main(["spanner", "--profile"] + BASE) == 0
+        out = capsys.readouterr().out
+        assert "function calls" in out
+        assert "repro run:" in out
+
+
+class TestInputFile:
+    def test_edge_list_input(self, tmp_path, capsys):
+        from repro.graph import gnm_random_graph, write_edge_list
+
+        p = tmp_path / "g.txt"
+        write_edge_list(p, gnm_random_graph(20, 60, seed=2))
+        assert main(["spanner", "--input", str(p), "--workload", "delete",
+                     "--batch-size", "20", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "updates" in out and "60" in out
+
+    def test_input_forces_delete(self, tmp_path, capsys):
+        from repro.graph import write_edge_list
+
+        p = tmp_path / "g.txt"
+        write_edge_list(p, [(0, 1), (1, 2)])
+        assert main(["spanner", "--input", str(p), "--workload", "mixed",
+                     "--batch-size", "2"]) == 0
+        assert "forcing" in capsys.readouterr().err

@@ -1,0 +1,186 @@
+"""Tests for Euler-tour trees and the HDT dynamic spanning forest."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.connectivity import DynamicSpanningForest, EulerTourForest
+
+
+class TestEulerTourForest:
+    def test_initially_disconnected(self):
+        f = EulerTourForest(4, seed=1)
+        assert not f.connected(0, 1)
+        assert f.component_size(0) == 1
+        f.check_invariants()
+
+    def test_link_connects(self):
+        f = EulerTourForest(4, seed=1)
+        f.link(0, 1)
+        assert f.connected(0, 1)
+        assert f.component_size(0) == 2
+        assert not f.connected(0, 2)
+        f.check_invariants()
+
+    def test_link_chain_and_cut_middle(self):
+        f = EulerTourForest(5, seed=2)
+        for i in range(4):
+            f.link(i, i + 1)
+        assert f.component_size(0) == 5
+        f.cut(2, 3)
+        assert f.connected(0, 2)
+        assert f.connected(3, 4)
+        assert not f.connected(0, 3)
+        assert f.component_size(0) == 3
+        assert f.component_size(4) == 2
+        f.check_invariants()
+
+    def test_link_already_connected_raises(self):
+        f = EulerTourForest(3, seed=3)
+        f.link(0, 1)
+        with pytest.raises(ValueError):
+            f.link(1, 0)
+
+    def test_cut_non_edge_raises(self):
+        f = EulerTourForest(3, seed=3)
+        with pytest.raises(KeyError):
+            f.cut(0, 1)
+
+    def test_component_vertices(self):
+        f = EulerTourForest(6, seed=4)
+        f.link(0, 3)
+        f.link(3, 5)
+        assert sorted(f.component_vertices(5)) == [0, 3, 5]
+        assert sorted(f.component_vertices(1)) == [1]
+
+    def test_flags_and_counts(self):
+        f = EulerTourForest(5, seed=5)
+        f.link(0, 1)
+        f.link(1, 2)
+        f.set_vertex_flag(2, True)
+        f.set_edge_flag(0, 1, True)
+        assert sorted(f.flagged_vertices(0)) == [2]
+        assert list(f.flagged_edges(1)) == [(0, 1)]
+        f.set_vertex_flag(2, False)
+        assert list(f.flagged_vertices(0)) == []
+        # flags survive restructuring
+        f.set_vertex_flag(0, True)
+        f.cut(1, 2)
+        assert list(f.flagged_vertices(0)) == [0]
+        assert list(f.flagged_vertices(2)) == []
+        f.check_invariants()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_link_cut_against_networkx(self, seed):
+        rng = random.Random(seed)
+        n = 20
+        f = EulerTourForest(n, seed=seed)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        for _ in range(300):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            if g.has_edge(u, v):
+                f.cut(u, v)
+                g.remove_edge(u, v)
+            elif not nx.has_path(g, u, v):
+                f.link(u, v)
+                g.add_edge(u, v)
+            # spot-check connectivity
+            a, b = rng.randrange(n), rng.randrange(n)
+            assert f.connected(a, b) == nx.has_path(g, a, b)
+            assert f.component_size(a) == len(
+                nx.node_connected_component(g, a)
+            )
+        f.check_invariants()
+
+
+class TestDynamicSpanningForest:
+    def test_insert_builds_forest(self):
+        d = DynamicSpanningForest(4)
+        assert d.insert(0, 1) == (0, 1)
+        assert d.insert(1, 2) == (1, 2)
+        assert d.insert(0, 2) is None  # cycle edge
+        assert d.forest_edges() == {(0, 1), (1, 2)}
+        d.check_invariants()
+
+    def test_delete_nontree_keeps_forest(self):
+        d = DynamicSpanningForest(3, [(0, 1), (1, 2), (0, 2)])
+        forest = d.forest_edges()
+        nontree = ({(0, 1), (1, 2), (0, 2)} - forest).pop()
+        removed, repl = d.delete(*nontree)
+        assert removed is None and repl is None
+        assert d.forest_edges() == forest
+
+    def test_delete_tree_edge_finds_replacement(self):
+        d = DynamicSpanningForest(3, [(0, 1), (1, 2), (0, 2)])
+        forest = sorted(d.forest_edges())
+        removed, repl = d.delete(*forest[0])
+        assert removed == forest[0]
+        assert repl is not None
+        assert d.connected(0, 2) and d.connected(0, 1)
+        d.check_invariants()
+
+    def test_delete_bridge_splits(self):
+        d = DynamicSpanningForest(4, [(0, 1), (2, 3)])
+        removed, repl = d.delete(0, 1)
+        assert removed == (0, 1) and repl is None
+        assert not d.connected(0, 1)
+        d.check_invariants()
+
+    def test_duplicate_and_missing(self):
+        d = DynamicSpanningForest(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            d.insert(1, 0)
+        with pytest.raises(KeyError):
+            d.delete(1, 2)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_stream_against_networkx(self, seed):
+        rng = random.Random(seed)
+        n = 16
+        d = DynamicSpanningForest(n, seed=seed)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        forest = set()
+        for step in range(200):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            if g.has_edge(u, v):
+                e, repl = d.delete(u, v)
+                g.remove_edge(u, v)
+                if e is not None:
+                    forest.remove(e)
+                if repl is not None:
+                    forest.add(repl)
+            else:
+                e = d.insert(u, v)
+                g.add_edge(u, v)
+                if e is not None:
+                    forest.add(e)
+            assert forest == d.forest_edges()
+            a, b = rng.randrange(n), rng.randrange(n)
+            assert d.connected(a, b) == nx.has_path(g, a, b)
+        d.check_invariants()
+
+    def test_heavy_churn_invariants(self):
+        rng = random.Random(123)
+        n = 30
+        d = DynamicSpanningForest(n, seed=7)
+        present = set()
+        for _ in range(500):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            e = (min(u, v), max(u, v))
+            if e in present:
+                d.delete(*e)
+                present.remove(e)
+            else:
+                d.insert(*e)
+                present.add(e)
+        d.check_invariants()
+        assert d.m == len(present)

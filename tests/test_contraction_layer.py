@@ -1,0 +1,184 @@
+"""Tests for one contraction layer (Lemma 4.1 / §4.3 cases D1-D4, I1-I5)."""
+
+import random
+
+import pytest
+
+from repro.contraction import ContractionLayer, contract, pullback_spanner
+from repro.graph import gnm_random_graph, norm_edge
+from repro.verify.stretch import is_spanner, spanner_stretch
+
+
+def fresh_layer(n, sampled, seed=0):
+    return ContractionLayer(n, sampled, seed=seed)
+
+
+class TestHeads:
+    def test_sampled_vertex_is_its_own_head(self):
+        layer = fresh_layer(3, [True, False, False])
+        assert layer.head_of(0) == 0
+        assert layer.head_of(1) == -1  # isolated unsampled
+
+    def test_unsampled_with_sampled_neighbor(self):
+        layer = fresh_layer(3, [True, False, False])
+        layer.update(insertions=[(0, 1)])
+        assert layer.head_of(1) == 0
+        assert layer.head_of(0) == 0
+
+    def test_unsampled_without_sampled_neighbor_is_bottom(self):
+        layer = fresh_layer(3, [False, False, False])
+        layer.update(insertions=[(0, 1), (1, 2)])
+        assert all(layer.head_of(v) == -1 for v in range(3))
+        # all edges kept in H
+        assert layer.kept_edges() == {(0, 1), (1, 2)}
+        assert layer.contracted_edges() == set()
+
+    def test_head_follows_min_random_key_deterministically(self):
+        layer = fresh_layer(4, [True, True, False, False], seed=5)
+        layer.update(insertions=[(0, 2), (1, 2)])
+        h = layer.head_of(2)
+        assert h in (0, 1)
+        # deleting the head edge forces the other sampled neighbor
+        layer.update(deletions=[(h, 2)])
+        assert layer.head_of(2) == 1 - h
+
+    def test_head_loss_moves_edges_into_h(self):
+        layer = fresh_layer(4, [True, False, False, False])
+        layer.update(insertions=[(0, 1), (1, 2), (2, 3)])
+        assert layer.head_of(1) == 0
+        # (1,2): head(2) = -1 -> kept; (2,3) both bottom -> kept
+        assert (1, 2) in layer.kept_edges()
+        assert (2, 3) in layer.kept_edges()
+        layer.update(deletions=[(0, 1)])
+        assert layer.head_of(1) == -1
+        assert layer.kept_edges() == {(1, 2), (2, 3)}
+
+
+class TestContractedGraph:
+    def test_basic_contraction(self):
+        # 0,1 sampled; 2->0, 3->1; edge (2,3) becomes contracted (0,1)
+        layer = fresh_layer(4, [True, True, False, False])
+        d = layer.update(insertions=[(0, 2), (1, 3), (2, 3)])
+        assert layer.contracted_edges() == {(0, 1)}
+        assert d.next_ins == [(0, 1)]
+        assert layer.rep_of((0, 1)) == (2, 3)
+        # head edges are in H
+        assert {(0, 2), (1, 3)} <= layer.kept_edges()
+
+    def test_same_head_edge_not_contracted(self):
+        layer = fresh_layer(3, [True, False, False])
+        layer.update(insertions=[(0, 1), (0, 2), (1, 2)])
+        # all three vertices have head 0 -> no contracted edges
+        assert layer.contracted_edges() == set()
+
+    def test_parallel_contracted_edges_bucket_together(self):
+        layer = fresh_layer(6, [True, True, False, False, False, False])
+        layer.update(
+            insertions=[(0, 2), (0, 3), (1, 4), (1, 5), (2, 4), (3, 5)]
+        )
+        assert layer.contracted_edges() == {(0, 1)}
+        rep = layer.rep_of((0, 1))
+        assert rep in {(2, 4), (3, 5)}
+        # delete the representative: bucket survives, rep swaps
+        d = layer.update(deletions=[rep])
+        assert layer.contracted_edges() == {(0, 1)}
+        assert not d.next_del
+        assert len(d.rep_changes) == 1
+        key, old, new = d.rep_changes[0]
+        assert key == (0, 1) and old == rep and new != rep
+
+    def test_bucket_empties_deletes_contracted_edge(self):
+        layer = fresh_layer(4, [True, True, False, False])
+        layer.update(insertions=[(0, 2), (1, 3), (2, 3)])
+        d = layer.update(deletions=[(2, 3)])
+        assert d.next_del == [(0, 1)]
+        assert layer.contracted_edges() == set()
+
+    def test_direct_edge_between_sampled_vertices(self):
+        layer = fresh_layer(2, [True, True])
+        d = layer.update(insertions=[(0, 1)])
+        assert layer.contracted_edges() == {(0, 1)}
+        assert layer.rep_of((0, 1)) == (0, 1)
+        assert d.next_ins == [(0, 1)]
+
+    def test_duplicate_insert_rejected(self):
+        layer = fresh_layer(2, [True, True])
+        layer.update(insertions=[(0, 1)])
+        with pytest.raises(ValueError):
+            layer.update(insertions=[(1, 0)])
+
+    def test_delete_missing_rejected(self):
+        layer = fresh_layer(2, [True, True])
+        with pytest.raises(KeyError):
+            layer.update(deletions=[(0, 1)])
+
+
+class TestModelBased:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_stream_invariants(self, seed):
+        rng = random.Random(seed)
+        n = 14
+        sampled = [rng.random() < 0.4 for _ in range(n)]
+        layer = ContractionLayer(n, sampled, seed=seed)
+        universe = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        present: set = set()
+        contracted = set()
+        kept = set()
+        for _ in range(30):
+            absent = [e for e in universe if e not in present]
+            ins = rng.sample(absent, min(len(absent), rng.randrange(0, 6)))
+            dels = rng.sample(
+                sorted(present), min(len(present), rng.randrange(0, 6))
+            )
+            d = layer.update(insertions=ins, deletions=dels)
+            present |= set(ins)
+            present -= set(dels)
+            layer.check_invariants()
+            # replay deltas
+            for e in d.next_del:
+                contracted.remove(e)
+            for e in d.next_ins:
+                assert e not in contracted
+                contracted.add(e)
+            for e in d.h_del:
+                kept.remove(e)
+            for e in d.h_ins:
+                assert e not in kept
+                kept.add(e)
+            assert contracted == layer.contracted_edges()
+            assert kept == layer.kept_edges()
+            assert layer.edges() == present
+
+
+class TestLemma41Properties:
+    def test_expected_sizes(self):
+        n, m, x = 400, 1200, 4.0
+        edges = gnm_random_graph(n, m, seed=2)
+        sizes_v, sizes_h = [], []
+        for s in range(5):
+            contracted, kept, head, _ = contract(n, edges, x, seed=s)
+            nonbottom_heads = {h for h in head if h != -1}
+            sizes_v.append(len(nonbottom_heads))
+            sizes_h.append(len(kept))
+        # E[|V'|] = n / x, E[|H|] = O(n x)
+        assert sum(sizes_v) / 5 <= 2.5 * n / x
+        assert sum(sizes_h) / 5 <= 6 * n * x
+
+    def test_pullback_is_3Lplus2_spanner(self):
+        from repro.spanner import baswana_sen_spanner
+
+        n, m, x = 60, 240, 3.0
+        edges = gnm_random_graph(n, m, seed=7)
+        contracted, kept, head, layer = contract(n, edges, x, seed=7)
+        k = 2
+        h_prime = baswana_sen_spanner(n, sorted(contracted), k=k, seed=1)
+        spanner = pullback_spanner(layer, h_prime)
+        L = 2 * k - 1
+        assert is_spanner(n, edges, spanner, 3 * L + 2)
+        assert kept <= spanner
+
+    def test_pullback_contains_h(self):
+        n, m = 30, 90
+        edges = gnm_random_graph(n, m, seed=3)
+        _, kept, _, layer = contract(n, edges, 2.0, seed=3)
+        assert kept <= pullback_spanner(layer, layer.contracted_edges())

@@ -1,0 +1,290 @@
+"""Tests for the batch-dynamic Even–Shiloach tree (Theorem 1.2).
+
+The Las Vegas oracle: after any deletion batch, the maintained distances
+must equal a fresh bounded BFS on the remaining graph, and the tree edges
+must form a valid shortest-path tree.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bfs import BatchDynamicESTree, bounded_bfs_directed
+from repro.pram import CostModel
+
+
+def directed_adj(n, edges):
+    adj = [[] for _ in range(n)]
+    for u, v in edges:
+        adj[u].append(v)
+    return adj
+
+
+def reference_dist(n, edges, source, limit):
+    return bounded_bfs_directed(n, directed_adj(n, edges), source, limit)
+
+
+def check_tree_valid(tree, n, edges_alive, source, limit):
+    """Parents must be alive edges one level up; every vertex within the
+    limit except the source must have a parent."""
+    alive = set(edges_alive)
+    dist = reference_dist(n, list(alive), source, limit)
+    for v in range(n):
+        if v == source:
+            assert tree.parent_of(v) is None
+            continue
+        if dist[v] <= limit:
+            p = tree.parent_of(v)
+            assert p is not None, f"vertex {v} at dist {dist[v]} unparented"
+            assert (p, v) in alive
+            assert dist[p] == dist[v] - 1
+        else:
+            assert tree.parent_of(v) is None
+
+
+class TestBoundedBFS:
+    def test_simple_path(self):
+        n = 5
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4)]
+        d = bounded_bfs_directed(n, directed_adj(n, edges), 0, 2)
+        assert d == [0, 1, 2, 3, 3]  # beyond limit -> L+1 = 3
+
+    def test_directedness(self):
+        n = 3
+        edges = [(1, 0), (1, 2)]
+        d = bounded_bfs_directed(n, directed_adj(n, edges), 0, 2)
+        assert d == [0, 3, 3]
+
+    def test_work_charged(self):
+        cm = CostModel()
+        n = 50
+        edges = [(i, i + 1) for i in range(n - 1)]
+        bounded_bfs_directed(n, directed_adj(n, edges), 0, n, cost=cm)
+        assert cm.work > 0
+        assert cm.depth <= (n + 1) * 10  # O(L log n)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            bounded_bfs_directed(3, [[], [], []], 5, 2)
+        with pytest.raises(ValueError):
+            bounded_bfs_directed(3, [[], [], []], 0, -1)
+
+
+class TestESTreeInit:
+    def test_initial_distances_match_bfs(self):
+        n, edges = 6, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5)]
+        tree = BatchDynamicESTree(n, edges, source=0, limit=4)
+        assert tree.distances() == reference_dist(n, edges, 0, 4)
+        check_tree_valid(tree, n, edges, 0, 4)
+
+    def test_limit_truncates(self):
+        n, edges = 5, [(0, 1), (1, 2), (2, 3), (3, 4)]
+        tree = BatchDynamicESTree(n, edges, source=0, limit=2)
+        assert tree.distances() == [0, 1, 2, 3, 3]
+        assert tree.parent_of(3) is None and tree.parent_of(4) is None
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ValueError):
+            BatchDynamicESTree(3, [(0, 1), (0, 1)], source=0, limit=2)
+
+    def test_tree_edges(self):
+        n, edges = 4, [(0, 1), (1, 2), (2, 3)]
+        tree = BatchDynamicESTree(n, edges, source=0, limit=3)
+        assert sorted(tree.tree_edges()) == [(0, 1), (1, 2), (2, 3)]
+
+
+class TestESTreeDeletions:
+    def test_delete_non_tree_edge_no_changes(self):
+        n, edges = 4, [(0, 1), (0, 2), (1, 3), (2, 3)]
+        tree = BatchDynamicESTree(n, edges, source=0, limit=3)
+        p3 = tree.parent_of(3)
+        other = (2, 3) if p3 == 1 else (1, 3)
+        changes = tree.batch_delete([other])
+        assert changes == []
+        assert tree.parent_of(3) == p3
+
+    def test_delete_tree_edge_with_sibling_parent(self):
+        n, edges = 4, [(0, 1), (0, 2), (1, 3), (2, 3)]
+        tree = BatchDynamicESTree(n, edges, source=0, limit=3)
+        p3 = tree.parent_of(3)
+        changes = tree.batch_delete([(p3, 3)])
+        assert len(changes) == 1
+        ch = changes[0]
+        assert ch.vertex == 3 and ch.old_parent == p3
+        assert ch.new_dist == 2  # distance unchanged
+        assert tree.parent_of(3) in {1, 2} - {p3}
+
+    def test_delete_increases_distance(self):
+        # 0 -> 1 -> 2 and 0 -> 3 -> 4 -> 2: deleting (1,2) moves 2 to dist 3
+        n = 5
+        edges = [(0, 1), (1, 2), (0, 3), (3, 4), (4, 2)]
+        tree = BatchDynamicESTree(n, edges, source=0, limit=4)
+        assert tree.dist_of(2) == 2
+        changes = tree.batch_delete([(1, 2)])
+        assert tree.dist_of(2) == 3
+        assert tree.parent_of(2) == 4
+        assert any(c.vertex == 2 and c.new_dist == 3 for c in changes)
+
+    def test_cascade_detaches_subtree(self):
+        # path 0->1->2->3, limit 3; deleting (0,1) detaches everything.
+        n = 4
+        edges = [(0, 1), (1, 2), (2, 3)]
+        tree = BatchDynamicESTree(n, edges, source=0, limit=3)
+        changes = tree.batch_delete([(0, 1)])
+        assert tree.distances() == [0, 4, 4, 4]
+        assert all(tree.parent_of(v) is None for v in range(4))
+        assert {c.vertex for c in changes} == {1, 2, 3}
+
+    def test_distance_beyond_limit_detaches(self):
+        # cycle detour longer than limit
+        n = 5
+        edges = [(0, 1), (1, 2), (0, 3), (3, 4), (4, 2)]
+        tree = BatchDynamicESTree(n, edges, source=0, limit=2)
+        tree.batch_delete([(1, 2)])
+        assert tree.dist_of(2) == 3  # L+1
+        assert tree.parent_of(2) is None
+
+    def test_batch_of_multiple_deletions(self):
+        n = 6
+        edges = [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 4), (4, 5)]
+        tree = BatchDynamicESTree(n, edges, source=0, limit=5)
+        tree.batch_delete([(1, 3), (2, 3), (2, 4)])
+        alive = [(0, 1), (0, 2), (3, 4), (4, 5)]
+        assert tree.distances() == reference_dist(n, alive, 0, 5)
+        check_tree_valid(tree, n, alive, 0, 5)
+
+    def test_delete_dead_edge_raises(self):
+        tree = BatchDynamicESTree(3, [(0, 1)], source=0, limit=2)
+        tree.batch_delete([(0, 1)])
+        with pytest.raises(KeyError):
+            tree.batch_delete([(0, 1)])
+
+    def test_source_in_edges_deletable(self):
+        tree = BatchDynamicESTree(3, [(1, 0), (0, 1), (1, 2)], source=0, limit=2)
+        tree.batch_delete([(1, 0)])
+        assert tree.dist_of(0) == 0
+
+
+class TestRandomizedOracle:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_deletion_schedule(self, seed):
+        rng = random.Random(seed)
+        n = 30
+        edges = set()
+        while len(edges) < 120:
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                edges.add((u, v))
+        edges = sorted(edges)
+        limit = rng.choice([3, 5, 8, n])
+        tree = BatchDynamicESTree(n, edges, source=0, limit=limit)
+        alive = list(edges)
+        rng.shuffle(alive)
+        while alive:
+            b = min(len(alive), rng.choice([1, 2, 5, 11]))
+            batch, alive = alive[:b], alive[b:]
+            tree.batch_delete(batch)
+            assert tree.distances() == reference_dist(n, alive, 0, limit)
+            check_tree_valid(tree, n, alive, 0, limit)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(2, 18), st.integers(1, 6))
+    def test_property_random_graphs(self, seed, n, limit):
+        rng = random.Random(seed)
+        m = rng.randrange(0, n * (n - 1) + 1)
+        all_pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+        rng.shuffle(all_pairs)
+        edges = all_pairs[:m]
+        tree = BatchDynamicESTree(n, edges, source=0, limit=limit)
+        assert tree.distances() == reference_dist(n, edges, 0, limit)
+        alive = list(edges)
+        while alive:
+            b = rng.randrange(1, len(alive) + 1)
+            batch, alive = alive[:b], alive[b:]
+            tree.batch_delete(batch)
+            assert tree.distances() == reference_dist(n, alive, 0, limit)
+
+
+class TestWorkDepthClaims:
+    def test_amortized_work_bound_shape(self):
+        """Total deletion work should be O(L * m * log n), not O(m^2)."""
+        rng = random.Random(7)
+        n, limit = 60, 4
+        edges = set()
+        while len(edges) < 400:
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                edges.add((u, v))
+        edges = sorted(edges)
+        cm = CostModel()
+        tree = BatchDynamicESTree(n, edges, source=0, limit=limit, cost=cm)
+        cm.reset()
+        alive = list(edges)
+        rng.shuffle(alive)
+        while alive:
+            batch, alive = alive[:20], alive[20:]
+            tree.batch_delete(batch)
+        m, logn = 400, 12
+        assert cm.work <= 60 * limit * m * logn  # generous constant
+
+    def test_depth_per_batch_bounded(self):
+        """Depth of one batch must be O(L log^2 n) regardless of batch size."""
+        rng = random.Random(11)
+        n, limit = 80, 3
+        edges = set()
+        while len(edges) < 600:
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                edges.add((u, v))
+        edges = sorted(edges)
+        cm = CostModel()
+        tree = BatchDynamicESTree(n, edges, source=0, limit=limit, cost=cm)
+        with cm.frame() as fr:
+            tree.batch_delete(edges)  # delete everything in one batch
+        logn = 14
+        assert fr.depth <= 40 * limit * logn * logn
+        assert fr.work > fr.depth  # the batch really was parallel
+
+
+class TestPriorityHooks:
+    def test_priorities_determine_parent_choice(self):
+        # two parents at same level: the higher-priority edge wins at init
+        n = 4
+        edges = [(0, 1), (0, 2), (1, 3), (2, 3)]
+        pri = {(0, 1): 5, (0, 2): 6, (1, 3): 10, (2, 3): 20}
+        tree = BatchDynamicESTree(n, edges, source=0, limit=3,
+                                  priority=pri, universe=64)
+        assert tree.parent_of(3) == 2  # priority 20 > 10
+
+    def test_update_priority_and_rescan(self):
+        n = 4
+        edges = [(0, 1), (0, 2), (1, 3), (2, 3)]
+        pri = {(0, 1): 5, (0, 2): 6, (1, 3): 10, (2, 3): 20}
+        tree = BatchDynamicESTree(n, edges, source=0, limit=3,
+                                  priority=pri, universe=64)
+        assert tree.parent_of(3) == 2
+        # Demote the parent edge below the sibling; a rescan from the old
+        # slot must find the sibling.
+        tree.update_edge_priority(2, 3, 4)
+        cand = tree.find_parent_candidate(3)
+        assert cand == 1
+        tree.set_parent(3, 1)
+        assert tree.parent_of(3) == 1
+        assert tree.parent_edge_priority(3) == 10
+
+    def test_promotion_keeps_parent(self):
+        n = 4
+        edges = [(0, 1), (0, 2), (1, 3), (2, 3)]
+        pri = {(0, 1): 5, (0, 2): 6, (1, 3): 10, (2, 3): 20}
+        tree = BatchDynamicESTree(n, edges, source=0, limit=3,
+                                  priority=pri, universe=64)
+        tree.update_edge_priority(2, 3, 30)
+        assert tree.parent_of(3) == 2
+        assert tree.find_parent_candidate(3) == 2
+
+    def test_set_parent_validates(self):
+        tree = BatchDynamicESTree(3, [(0, 1), (1, 2)], source=0, limit=2)
+        with pytest.raises(ValueError):
+            tree.set_parent(2, 0)  # (0,2) not an edge

@@ -1,0 +1,55 @@
+"""Tests for the ASCII figure helpers."""
+
+import pytest
+
+from repro.harness import ascii_plot, sparkline
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        s = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert s == "▁▂▃▄▅▆▇█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_preserved(self):
+        assert len(sparkline(range(37))) == 37
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        out = ascii_plot(
+            [1, 2, 3, 4],
+            {"work": [10, 20, 30, 40], "depth": [5, 5, 5, 5]},
+            title="T",
+        )
+        assert "T" in out
+        assert "o work" in out and "x depth" in out
+        assert "o" in out.splitlines()[1] or any(
+            "o" in line for line in out.splitlines()
+        )
+
+    def test_log_scales(self):
+        out = ascii_plot(
+            [1, 10, 100],
+            {"y": [1, 100, 10000]},
+            logx=True,
+            logy=True,
+        )
+        assert "1e+04" in out or "10000" in out or "1e+4" in out
+
+    def test_no_data(self):
+        assert "(no data)" in ascii_plot([], {}, title="E")
+
+    def test_single_point(self):
+        out = ascii_plot([1.0], {"y": [2.0]})
+        assert "y" in out
+
+    def test_axis_labels_show_ranges(self):
+        out = ascii_plot([2, 8], {"y": [3, 30]})
+        assert "30" in out and "3" in out
+        assert "2" in out and "8" in out

@@ -1,0 +1,92 @@
+"""Tests for the fully-dynamic (2k−1)-spanner (Theorem 1.1)."""
+
+import random
+
+import pytest
+
+from repro.graph import DynamicGraph, gnm_random_graph
+from repro.spanner.fully_dynamic import FullyDynamicSpanner
+from repro.verify.stretch import is_spanner
+
+
+class TestBasics:
+    def test_initial_spanner(self):
+        n, m, k = 30, 100, 2
+        edges = gnm_random_graph(n, m, seed=1)
+        sp = FullyDynamicSpanner(n, edges, k=k, seed=1)
+        assert is_spanner(n, edges, sp.spanner_edges(), sp.stretch)
+        sp.check_invariants()
+
+    def test_empty_start_insert_only(self):
+        sp = FullyDynamicSpanner(10, k=2, seed=4)
+        ins, dels = sp.insert_batch([(0, 1), (1, 2), (2, 3)])
+        assert sp.spanner_edges() == {(0, 1), (1, 2), (2, 3)}
+        assert ins == {(0, 1), (1, 2), (2, 3)} and not dels
+
+    def test_stretch_property(self):
+        assert FullyDynamicSpanner(5, k=4, seed=0).stretch == 7
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            FullyDynamicSpanner(5, k=0)
+
+    def test_small_base_capacity_forces_decremental_levels(self):
+        """With a tiny base capacity the dynamizer must actually exercise
+        the decremental spanner instances."""
+        n, m, k = 25, 120, 2
+        edges = gnm_random_graph(n, m, seed=3)
+        sp = FullyDynamicSpanner(n, edges, k=k, seed=3, base_capacity=4)
+        assert max(sp.level_sizes()) >= 2
+        assert is_spanner(n, edges, sp.spanner_edges(), sp.stretch)
+        sp.check_invariants()
+
+
+class TestMixedUpdateStream:
+    @pytest.mark.parametrize("seed,k", [(0, 2), (1, 3), (2, 2), (3, 4)])
+    def test_spanner_valid_through_stream(self, seed, k):
+        rng = random.Random(seed)
+        n = 18
+        universe = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        g = DynamicGraph(n)
+        sp = FullyDynamicSpanner(n, k=k, seed=seed, base_capacity=4)
+        spanner: set = set()
+        for step in range(30):
+            absent = [e for e in universe if e not in g]
+            ins = rng.sample(absent, min(len(absent), rng.randrange(0, 8)))
+            present = sorted(g.edges())
+            dels = rng.sample(present, min(len(present), rng.randrange(0, 6)))
+            d_ins, d_dels = sp.update(insertions=ins, deletions=dels)
+            g.insert_batch(ins)
+            g.delete_batch(dels)
+            spanner = (spanner - d_dels) | d_ins
+            assert spanner == sp.spanner_edges()
+            assert sp.m == g.m
+            assert is_spanner(n, g.edge_set(), spanner, sp.stretch), (
+                f"seed={seed} step={step}"
+            )
+            sp.check_invariants()
+
+    def test_delete_everything_then_rebuild(self):
+        n, k = 15, 2
+        edges = gnm_random_graph(n, 50, seed=9)
+        sp = FullyDynamicSpanner(n, edges, k=k, seed=9, base_capacity=4)
+        sp.delete_batch(edges)
+        assert sp.spanner_edges() == set()
+        assert sp.m == 0
+        edges2 = gnm_random_graph(n, 30, seed=10)
+        sp.insert_batch(edges2)
+        assert is_spanner(n, edges2, sp.spanner_edges(), sp.stretch)
+
+
+class TestSizeBound:
+    def test_spanner_much_smaller_than_dense_graph(self):
+        import math
+
+        n, k = 60, 2
+        m = n * (n - 1) // 2  # complete graph
+        edges = gnm_random_graph(n, m, seed=5)
+        sp = FullyDynamicSpanner(n, edges, k=k, seed=5, base_capacity=64)
+        # Theorem 1.1: O(n^{1+1/k} log n) expected; generous constant 8.
+        bound = 8 * n ** (1 + 1 / k) * math.log2(n)
+        assert sp.spanner_size() <= bound
+        assert sp.spanner_size() < m / 2  # actually sparsifies

@@ -1,0 +1,62 @@
+"""Tests for the incremental greedy spanner baseline."""
+
+import pytest
+
+from repro.graph import complete_graph, gnm_random_graph
+from repro.spanner.incremental_greedy import IncrementalGreedySpanner
+from repro.verify import is_spanner
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_stretch_guarantee(self, k):
+        n, m = 30, 150
+        edges = gnm_random_graph(n, m, seed=k)
+        sp = IncrementalGreedySpanner(n, edges, k=k)
+        assert is_spanner(n, edges, sp.spanner_edges(), 2 * k - 1)
+        sp.check_invariants()
+
+    def test_optimal_size_on_complete_graph(self):
+        n, k = 40, 2
+        sp = IncrementalGreedySpanner(n, complete_graph(n), k=k)
+        # greedy meets the girth bound with NO log factor
+        assert sp.spanner_size() <= 2 * n ** (1 + 1 / k)
+        sp.check_invariants()
+
+    def test_never_removes_edges(self):
+        n = 20
+        edges = gnm_random_graph(n, 80, seed=2)
+        sp = IncrementalGreedySpanner(n, k=2)
+        total_ins = 0
+        for i in range(0, len(edges), 10):
+            ins, dels = sp.update(insertions=edges[i : i + 10])
+            assert not dels
+            total_ins += len(ins)
+        assert total_ins == sp.spanner_size()
+
+    def test_deletions_unsupported(self):
+        sp = IncrementalGreedySpanner(4, [(0, 1)], k=2)
+        with pytest.raises(NotImplementedError):
+            sp.update(deletions=[(0, 1)])
+
+    def test_duplicate_rejected(self):
+        sp = IncrementalGreedySpanner(4, [(0, 1)], k=2)
+        with pytest.raises(ValueError):
+            sp.update(insertions=[(1, 0)])
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            IncrementalGreedySpanner(4, k=0)
+
+    def test_k1_keeps_all(self):
+        edges = gnm_random_graph(10, 30, seed=3)
+        sp = IncrementalGreedySpanner(10, edges, k=1)
+        assert sp.spanner_edges() == set(edges)
+
+    def test_triangle_drops_closing_edge(self):
+        sp = IncrementalGreedySpanner(3, k=2)
+        sp.update(insertions=[(0, 1), (1, 2)])
+        ins, _ = sp.update(insertions=[(0, 2)])
+        # 0-2 already connected in 2 <= 3 hops -> dropped
+        assert ins == set()
+        assert sp.spanner_size() == 2

@@ -1,0 +1,122 @@
+"""Tests for edge-list I/O and structure checkpointing (pickle)."""
+
+import pickle
+
+import pytest
+
+from repro.contraction import SparseSpannerDynamic
+from repro.graph import gnm_random_graph
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.sparsifier import FullyDynamicSpectralSparsifier
+from repro.spanner import FullyDynamicSpanner
+from repro.ultrasparse import UltraSparseSpannerDynamic
+from repro.verify import is_spanner
+
+
+class TestEdgeListIO:
+    def test_round_trip_unweighted(self, tmp_path):
+        edges = gnm_random_graph(20, 50, seed=1)
+        p = tmp_path / "g.txt"
+        write_edge_list(p, edges, header="test graph\nseed 1")
+        n, got, weights = read_edge_list(p)
+        assert n == 20 or n == max(max(e) for e in edges) + 1
+        assert got == edges
+        assert weights is None
+
+    def test_round_trip_weighted(self, tmp_path):
+        edges = [(0, 1), (1, 2)]
+        w = {(0, 1): 2.5, (1, 2): 1.0}
+        p = tmp_path / "g.txt"
+        write_edge_list(p, edges, weights=w)
+        n, got, weights = read_edge_list(p)
+        assert weights == w
+
+    def test_comments_and_blanks(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# header\n\n0 1\n1 2  # inline comment\n")
+        n, edges, weights = read_edge_list(p)
+        assert edges == [(0, 1), (1, 2)]
+        assert n == 3
+
+    @pytest.mark.parametrize(
+        "content,msg",
+        [
+            ("0\n", "expected"),
+            ("0 a\n", "bad vertex"),
+            ("-1 2\n", "negative"),
+            ("0 1\n1 0\n", "duplicate"),
+            ("0 1 2.0\n1 2\n", "mixed"),
+        ],
+    )
+    def test_malformed_rejected(self, tmp_path, content, msg):
+        p = tmp_path / "bad.txt"
+        p.write_text(content)
+        with pytest.raises(ValueError, match=msg):
+            read_edge_list(p)
+
+
+class TestCheckpointing:
+    """Structures must survive a pickle round trip mid-stream and keep
+    producing identical results — the checkpoint/restore workflow."""
+
+    def test_fully_dynamic_spanner(self):
+        n = 16
+        edges = gnm_random_graph(n, 50, seed=2)
+        sp = FullyDynamicSpanner(n, edges, k=2, seed=2, base_capacity=4)
+        sp.update(deletions=edges[:10])
+        clone = pickle.loads(pickle.dumps(sp))
+        assert clone.spanner_edges() == sp.spanner_edges()
+        # both continue identically
+        a = sp.update(deletions=edges[10:20])
+        b = clone.update(deletions=edges[10:20])
+        assert a == b
+        assert clone.spanner_edges() == sp.spanner_edges()
+        clone.check_invariants()
+
+    def test_sparse_spanner(self):
+        n = 14
+        edges = gnm_random_graph(n, 40, seed=3)
+        sp = SparseSpannerDynamic(n, edges, rates=[2.0], k_final=2, seed=3,
+                                  base_capacity=4)
+        clone = pickle.loads(pickle.dumps(sp))
+        a = sp.update(deletions=edges[:8])
+        b = clone.update(deletions=edges[:8])
+        assert a == b
+        clone.check_invariants()
+
+    def test_ultrasparse(self):
+        n = 14
+        edges = gnm_random_graph(n, 40, seed=4)
+        sp = UltraSparseSpannerDynamic(
+            n, edges, x=2.0, seed=4, inner_rates=[2.0], k_final=2,
+            base_capacity=4,
+        )
+        clone = pickle.loads(pickle.dumps(sp))
+        a = sp.update(deletions=edges[:8])
+        b = clone.update(deletions=edges[:8])
+        assert a == b
+        clone.check_invariants()
+
+    def test_sparsifier(self):
+        n = 14
+        edges = gnm_random_graph(n, 40, seed=5)
+        sp = FullyDynamicSpectralSparsifier(
+            n, edges, t=2, seed=5, instances=3, base_capacity=4
+        )
+        clone = pickle.loads(pickle.dumps(sp))
+        assert clone.weighted_edges() == sp.weighted_edges()
+        a = sp.update(deletions=edges[:8])
+        b = clone.update(deletions=edges[:8])
+        assert a == b
+
+    def test_restored_spanner_still_valid(self):
+        n = 14
+        edges = gnm_random_graph(n, 40, seed=6)
+        sp = FullyDynamicSpanner(n, edges, k=2, seed=6, base_capacity=4)
+        blob = pickle.dumps(sp)
+        del sp
+        restored = pickle.loads(blob)
+        restored.update(deletions=edges[:15])
+        assert is_spanner(
+            n, set(edges[15:]), restored.spanner_edges(), 3
+        )

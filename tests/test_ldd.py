@@ -1,0 +1,88 @@
+"""Tests for the low-diameter decomposition API ([MPX13], Lemma 6.5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graph import gnm_random_graph, grid_graph, norm_edge
+from repro.spanner.ldd import low_diameter_decomposition
+
+
+class TestBasics:
+    def test_clusters_partition_vertices(self):
+        n, m = 50, 200
+        edges = gnm_random_graph(n, m, seed=1)
+        ldd = low_diameter_decomposition(n, edges, beta=0.3, seed=1)
+        members = [v for vs in ldd.clusters().values() for v in vs]
+        assert sorted(members) == list(range(n))
+        # every center is in its own cluster
+        for c, vs in ldd.clusters().items():
+            assert c in vs
+            assert ldd.cluster[c] == c
+
+    def test_forest_edges_are_graph_edges(self):
+        n, m = 40, 150
+        edges = gnm_random_graph(n, m, seed=2)
+        ldd = low_diameter_decomposition(n, edges, beta=0.4, seed=2)
+        assert ldd.forest_edges() <= {norm_edge(u, v) for u, v in edges}
+
+    def test_forest_spans_clusters_intra(self):
+        n, m = 40, 150
+        edges = gnm_random_graph(n, m, seed=3)
+        ldd = low_diameter_decomposition(n, edges, beta=0.4, seed=3)
+        for v in range(n):
+            p = ldd.parent[v]
+            if p is not None:
+                assert ldd.cluster[p] == ldd.cluster[v]
+
+    def test_radius_within_cap(self):
+        n, m = 60, 240
+        edges = gnm_random_graph(n, m, seed=4)
+        ldd = low_diameter_decomposition(n, edges, beta=0.5, seed=4)
+        assert ldd.max_cluster_radius() <= ldd.radius_bound() + 1
+
+    def test_cut_edges_complement_same_cluster(self):
+        n, m = 30, 90
+        edges = gnm_random_graph(n, m, seed=5)
+        ldd = low_diameter_decomposition(n, edges, beta=0.3, seed=5)
+        cut = ldd.cut_edges(edges)
+        for u, v in edges:
+            assert (norm_edge(u, v) in cut) == (
+                ldd.cluster[u] != ldd.cluster[v]
+            )
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            low_diameter_decomposition(4, [], beta=0.0)
+
+    def test_isolated_vertices_singletons(self):
+        ldd = low_diameter_decomposition(3, [], beta=0.5, seed=6)
+        assert ldd.cluster == [0, 1, 2]
+
+
+class TestLemma65:
+    def test_cut_probability_scales_with_beta(self):
+        """Lemma 6.5: Pr[edge cut] = O(beta).  Average over seeds on a
+        grid (where locality makes the effect visible)."""
+        edges = grid_graph(12, 12)
+        n = 144
+        rates = {}
+        for beta in (0.1, 0.4):
+            cuts = []
+            for s in range(15):
+                ldd = low_diameter_decomposition(
+                    n, edges, beta=beta, seed=s
+                )
+                cuts.append(len(ldd.cut_edges(edges)) / len(edges))
+            rates[beta] = sum(cuts) / len(cuts)
+        assert rates[0.1] < rates[0.4]
+        # O(beta) with a small constant
+        assert rates[0.1] <= 4 * 0.1
+        assert rates[0.4] <= 4 * 0.4
+
+    def test_small_beta_gives_big_clusters(self):
+        edges = grid_graph(10, 10)
+        ldd_small = low_diameter_decomposition(100, edges, beta=0.05, seed=7)
+        ldd_big = low_diameter_decomposition(100, edges, beta=1.5, seed=7)
+        assert len(ldd_small.clusters()) < len(ldd_big.clusters())

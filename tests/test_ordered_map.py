@@ -1,0 +1,106 @@
+"""Tests for the treap-backed OrderedMap ([PP01] stand-in)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import OrderedMap
+
+
+class TestBasics:
+    def test_insert_and_contains(self):
+        om = OrderedMap(seed=1)
+        om.insert(3, "c")
+        om.insert(1, "a")
+        assert 3 in om and 1 in om and 2 not in om
+        assert len(om) == 2
+
+    def test_duplicate_key_rejected(self):
+        om = OrderedMap(seed=1)
+        om.insert(1, "a")
+        with pytest.raises(ValueError):
+            om.insert(1, "b")
+
+    def test_delete_returns_value(self):
+        om = OrderedMap([(i, i * 10) for i in range(8)], seed=1)
+        assert om.delete(3) == 30
+        assert 3 not in om
+        with pytest.raises(KeyError):
+            om.delete(3)
+
+    def test_delete_missing_between_keys(self):
+        om = OrderedMap([(0, "a"), (10, "b")], seed=1)
+        with pytest.raises(KeyError):
+            om.delete(5)
+        assert len(om) == 2 and 0 in om and 10 in om
+
+    def test_get(self):
+        om = OrderedMap([(1, "a")], seed=1)
+        assert om.get(1) == "a"
+        assert om.get(2, "dflt") == "dflt"
+
+    def test_min_item(self):
+        om = OrderedMap([(5, "e"), (2, "b"), (9, "i")], seed=1)
+        assert om.min_item() == (2, "b")
+        om.delete(2)
+        assert om.min_item() == (5, "e")
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(KeyError):
+            OrderedMap(seed=1).min_item()
+
+    def test_tuple_keys_order_lexicographically(self):
+        om = OrderedMap(seed=1)
+        om.insert((1, 0.5, 7), "x")
+        om.insert((0, 0.9, 3), "y")
+        om.insert((0, 0.1, 5), "z")
+        assert om.min_item() == ((0, 0.1, 5), "z")
+
+    def test_kth_and_rank(self):
+        keys = [4, 1, 7, 3, 9]
+        om = OrderedMap([(k, str(k)) for k in keys], seed=1)
+        for i, k in enumerate(sorted(keys), start=1):
+            assert om.kth(i) == (k, str(k))
+            assert om.rank(k) == i - 1
+        assert om.rank(5) == 3  # strictly smaller: 1,3,4
+        with pytest.raises(IndexError):
+            om.kth(0)
+        with pytest.raises(IndexError):
+            om.kth(6)
+
+    def test_items_in_order(self):
+        om = OrderedMap([(k, None) for k in (5, 1, 3)], seed=1)
+        assert [k for k, _ in om.items()] == [1, 3, 5]
+
+    def test_batch_insert_delete(self):
+        om = OrderedMap(seed=1)
+        om.batch_insert([(i, i) for i in range(10)])
+        assert len(om) == 10
+        vals = om.batch_delete([2, 4, 6])
+        assert vals == [2, 4, 6]
+        assert len(om) == 7
+        with pytest.raises(KeyError):
+            om.batch_delete([99])
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("idg"), st.integers(0, 50)), max_size=80
+    )
+)
+def test_model_based_against_dict(operations):
+    om = OrderedMap(seed=7)
+    model: dict[int, int] = {}
+    for op, key in operations:
+        if op == "i" and key not in model:
+            model[key] = key * 2
+            om.insert(key, key * 2)
+        elif op == "d" and key in model:
+            assert om.delete(key) == model.pop(key)
+        elif op == "g":
+            assert om.get(key, -1) == model.get(key, -1)
+        assert len(om) == len(model)
+        assert list(om.items()) == sorted(model.items())
+        if model:
+            assert om.min_item() == min(model.items())

@@ -1,0 +1,173 @@
+"""Unit tests for the work/depth cost model."""
+
+import pytest
+
+from repro.pram import NULL_COST_MODEL, Cost, CostModel, brent_time, log2ceil
+
+
+class TestCharge:
+    def test_sequential_charges_accumulate(self):
+        cm = CostModel()
+        cm.charge(work=3)
+        cm.charge(work=2, depth=1)
+        assert cm.work == 5
+        assert cm.depth == 4  # 3 (defaulted) + 1
+
+    def test_depth_defaults_to_work(self):
+        cm = CostModel()
+        cm.charge(work=7)
+        assert cm.depth == 7
+
+    def test_tree_op_charge(self):
+        cm = CostModel()
+        cm.charge_tree_op(size=1024, count=5)
+        assert cm.work == 5 * 10
+        assert cm.depth == 10  # batched
+
+    def test_hash_op_charge(self):
+        cm = CostModel()
+        cm.charge_hash_op(count=100)
+        assert cm.work == 100
+        assert cm.depth == 1
+
+    def test_reset(self):
+        cm = CostModel()
+        cm.charge(work=5)
+        cm.reset()
+        assert cm.work == 0 and cm.depth == 0
+
+
+class TestParallel:
+    def test_parallel_sums_work_maxes_depth(self):
+        cm = CostModel()
+        with cm.parallel() as par:
+            for d in (3, 7, 2):
+                with par.task():
+                    cm.charge(work=d, depth=d)
+        assert cm.work == 12
+        assert cm.depth == 7
+
+    def test_nested_parallel(self):
+        cm = CostModel()
+        with cm.parallel() as outer:
+            with outer.task():
+                with cm.parallel() as inner:
+                    for _ in range(4):
+                        with inner.task():
+                            cm.charge(work=5, depth=5)
+            with outer.task():
+                cm.charge(work=100, depth=2)
+        assert cm.work == 120
+        assert cm.depth == 5  # max(inner depth 5, 2)
+
+    def test_sequential_then_parallel_composes(self):
+        cm = CostModel()
+        cm.charge(work=1, depth=1)
+        with cm.parallel() as par:
+            with par.task():
+                cm.charge(work=4, depth=4)
+        cm.charge(work=1, depth=1)
+        assert cm.depth == 6
+
+    def test_pfor_returns_results(self):
+        cm = CostModel()
+        out = cm.pfor(range(5), lambda x: x * x)
+        assert out == [0, 1, 4, 9, 16]
+
+    def test_parallel_map(self):
+        cm = CostModel()
+        with cm.parallel() as par:
+            out = par.map([1, 2, 3], lambda x: x + 1)
+        assert out == [2, 3, 4]
+
+    def test_empty_parallel_region_is_free(self):
+        cm = CostModel()
+        with cm.parallel():
+            pass
+        assert cm.work == 0 and cm.depth == 0
+
+
+class TestFrame:
+    def test_frame_measures_subcomputation(self):
+        cm = CostModel()
+        cm.charge(work=2)
+        with cm.frame() as fr:
+            cm.charge(work=5, depth=3)
+        assert fr.work == 5 and fr.depth == 3
+        assert cm.work == 7 and cm.depth == 5
+
+    def test_frame_with_parallel_inside(self):
+        cm = CostModel()
+        with cm.frame() as fr:
+            with cm.parallel() as par:
+                for _ in range(3):
+                    with par.task():
+                        cm.charge(work=4, depth=4)
+        assert fr.work == 12 and fr.depth == 4
+
+
+class TestNullModel:
+    def test_null_records_nothing(self):
+        NULL_COST_MODEL.charge(work=100)
+        NULL_COST_MODEL.charge_tree_op(1000, count=10)
+        with NULL_COST_MODEL.parallel() as par:
+            with par.task():
+                NULL_COST_MODEL.charge(work=9)
+        assert NULL_COST_MODEL.work == 0
+        assert NULL_COST_MODEL.depth == 0
+
+
+class TestBrent:
+    def test_one_processor_is_work_plus_depth(self):
+        assert brent_time(Cost(100, 10), 1) == 110.0
+
+    def test_many_processors_approaches_depth(self):
+        assert brent_time(Cost(1000, 7), 10**9) == pytest.approx(7.0, abs=1e-5)
+
+    def test_invalid_processors(self):
+        with pytest.raises(ValueError):
+            brent_time(Cost(1, 1), 0)
+
+
+class TestLog2Ceil:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (1024, 10)],
+    )
+    def test_values(self, n, expected):
+        assert log2ceil(n) == expected
+
+
+class TestExceptionSafety:
+    def test_frame_propagates_cost_on_exception(self):
+        cm = CostModel()
+        with pytest.raises(RuntimeError):
+            with cm.frame():
+                cm.charge(work=5)
+                raise RuntimeError("boom")
+        # the stack is restored and the work already done is accounted
+        assert cm.work == 5
+        cm.charge(work=1)
+        assert cm.work == 6
+
+    def test_task_pops_frame_on_exception(self):
+        cm = CostModel()
+        with pytest.raises(ValueError):
+            with cm.parallel() as par:
+                with par.task():
+                    cm.charge(work=3)
+                    raise ValueError("boom")
+        # the task frame was popped; subsequent charges hit the root
+        cm.charge(work=2)
+        assert cm.work >= 2
+
+    def test_nested_frames_unwind_cleanly(self):
+        cm = CostModel()
+        try:
+            with cm.frame():
+                with cm.frame():
+                    cm.charge(work=1)
+                    raise KeyError("x")
+        except KeyError:
+            pass
+        assert len(cm._stack) == 1

@@ -1,0 +1,93 @@
+"""Tests for the PRAM batch primitives."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram import (
+    CostModel,
+    pfilter,
+    pmap,
+    pmax_index,
+    preduce,
+    pscan,
+    psemisort,
+    psort,
+)
+
+
+class TestReduceScan:
+    def test_reduce_sum(self):
+        assert preduce([1, 2, 3, 4], operator.add, 0) == 10
+
+    def test_reduce_empty_gives_identity(self):
+        assert preduce([], operator.add, 42) == 42
+
+    def test_scan_exclusive(self):
+        prefixes, total = pscan([1, 2, 3], operator.add, 0)
+        assert prefixes == [0, 1, 3]
+        assert total == 6
+
+    def test_scan_noncommutative(self):
+        prefixes, total = pscan(["a", "b", "c"], operator.add, "")
+        assert prefixes == ["", "a", "ab"]
+        assert total == "abc"
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-100, 100)))
+    def test_scan_property(self, xs):
+        prefixes, total = pscan(xs, operator.add, 0)
+        assert total == sum(xs)
+        for i, p in enumerate(prefixes):
+            assert p == sum(xs[:i])
+
+
+class TestFilterMap:
+    def test_filter(self):
+        assert pfilter(range(10), lambda x: x % 3 == 0) == [0, 3, 6, 9]
+
+    def test_map(self):
+        assert pmap([1, 2, 3], lambda x: x * x) == [1, 4, 9]
+
+    def test_charges(self):
+        cm = CostModel()
+        pfilter(list(range(1000)), lambda x: True, cost=cm)
+        assert cm.work >= 1000
+        assert cm.depth <= 12  # log-depth
+
+
+class TestSort:
+    def test_sort_with_key(self):
+        assert psort([3, 1, 2], key=lambda x: -x) == [3, 2, 1]
+
+    def test_sort_charge_is_nlogn(self):
+        cm = CostModel()
+        psort(list(range(1024)), cost=cm)
+        assert cm.work == 1024 * 10
+        assert cm.depth == 10
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers()))
+    def test_sort_property(self, xs):
+        assert psort(xs) == sorted(xs)
+
+
+class TestSemisortMax:
+    def test_semisort_groups(self):
+        groups = psemisort([1, 2, 3, 4, 5, 6], key=lambda x: x % 2)
+        assert groups == {1: [1, 3, 5], 0: [2, 4, 6]}
+
+    def test_semisort_depth_constant(self):
+        cm = CostModel()
+        psemisort(list(range(10000)), key=lambda x: x % 7, cost=cm)
+        assert cm.depth == 1
+
+    def test_max_index(self):
+        assert pmax_index([3, 9, 1]) == 1
+        assert pmax_index([3, 9, 1], key=lambda x: -x) == 2
+
+    def test_max_index_empty_raises(self):
+        with pytest.raises(ValueError):
+            pmax_index([])

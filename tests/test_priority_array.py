@@ -1,0 +1,200 @@
+"""Tests for the Lemma 3.1 PriorityArray, including a model-based
+hypothesis suite against a sorted-list reference."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram import CostModel
+from repro.structures import PriorityArray
+
+
+def make(items, universe=1 << 12):
+    return PriorityArray(universe, items)
+
+
+class TestBasics:
+    def test_empty(self):
+        pa = make([])
+        assert len(pa) == 0
+        assert pa.next_with(1, lambda v: True) == 1
+
+    def test_positions_sorted_by_decreasing_priority(self):
+        pa = make([("a", 5), ("b", 9), ("c", 1)])
+        assert pa.query(1) == "b"
+        assert pa.query(2) == "a"
+        assert pa.query(3) == "c"
+
+    def test_find_returns_value_and_rank(self):
+        pa = make([("a", 5), ("b", 9), ("c", 1)])
+        assert pa.find(9) == ("b", 1)
+        assert pa.find(5) == ("a", 2)
+        assert pa.find(1) == ("c", 3)
+
+    def test_find_missing_raises(self):
+        pa = make([("a", 5)])
+        with pytest.raises(KeyError):
+            pa.find(6)
+
+    def test_update_value(self):
+        pa = make([("a", 5), ("b", 9)])
+        pa.update_value(2, "a2")
+        assert pa.query(2) == "a2"
+        assert pa.find(5) == ("a2", 2)
+
+    def test_update_priority_moves_element(self):
+        pa = make([("a", 5), ("b", 9), ("c", 1)])
+        pa.update_priority(3, 100)  # "c" jumps to front
+        assert pa.query(1) == "c"
+        assert pa.find(100) == ("c", 1)
+        assert pa.priority_at(1) == 100
+
+    def test_update_priority_to_same_is_noop(self):
+        pa = make([("a", 5)])
+        pa.update_priority(1, 5)
+        assert pa.find(5) == ("a", 1)
+
+    def test_duplicate_priority_rejected(self):
+        with pytest.raises(ValueError):
+            make([("a", 5), ("b", 5)])
+        pa = make([("a", 5), ("b", 9)])
+        with pytest.raises(ValueError):
+            pa.update_priority(1, 5)
+        with pytest.raises(ValueError):
+            pa.insert("c", 9)
+
+    def test_priority_out_of_universe_rejected(self):
+        pa = make([("a", 5)], universe=10)
+        with pytest.raises(ValueError):
+            pa.insert("b", 10)
+        with pytest.raises(ValueError):
+            pa.insert("b", -1)
+
+    def test_insert_and_delete_extensions(self):
+        pa = make([("a", 5)])
+        pa.insert("b", 7)
+        assert pa.query(1) == "b"
+        assert pa.delete_priority(7) == "b"
+        assert len(pa) == 1
+        with pytest.raises(KeyError):
+            pa.delete_priority(7)
+
+    def test_query_out_of_range(self):
+        pa = make([("a", 5)])
+        with pytest.raises(IndexError):
+            pa.query(0)
+        with pytest.raises(IndexError):
+            pa.query(2)
+
+
+class TestNextWith:
+    def test_finds_first_match_at_or_after_k(self):
+        pa = make([(i, 100 - i) for i in range(10)])  # values 0..9 at pos 1..10
+        assert pa.next_with(1, lambda v: v >= 7) == 8
+        assert pa.next_with(9, lambda v: v >= 7) == 9
+        assert pa.next_with(1, lambda v: v == 0) == 1
+
+    def test_returns_len_plus_one_when_absent(self):
+        pa = make([(i, i) for i in range(5)])
+        assert pa.next_with(1, lambda v: v == 99) == 6
+
+    def test_respects_start_position(self):
+        pa = make([(i, 100 - i) for i in range(10)])
+        # value at position 3 is 2; searching from 4 must skip it.
+        assert pa.next_with(4, lambda v: v == 2) == 11
+
+    def test_work_charge_proportional_to_distance(self):
+        cm = CostModel()
+        pa = PriorityArray(1 << 12, [(i, 4000 - i) for i in range(1000)], cost=cm)
+        cm.reset()
+        pa.next_with(1, lambda v: v == 2)  # near: position 3
+        near = cm.work
+        cm.reset()
+        pa.next_with(1, lambda v: v == 900)  # far: position 901
+        far = cm.work
+        assert far > 50 * near / 10  # clearly grows with distance
+        # Depth stays polylog even for the far search.
+        assert cm.depth <= 3 * 12 * 12
+
+
+class TestCostCharges:
+    def test_query_charges_log(self):
+        cm = CostModel()
+        pa = PriorityArray(1 << 10, [(i, i) for i in range(100)], cost=cm)
+        cm.reset()
+        pa.query(50)
+        assert 1 <= cm.work <= 20
+        assert cm.depth <= 20
+
+
+# ---------------------------------------------------------------------------
+# Model-based testing: compare against a plain sorted list.
+# ---------------------------------------------------------------------------
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "query", "find", "reprioritize"]),
+        st.integers(0, 999),
+        st.integers(0, 999),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops)
+def test_model_based_against_sorted_list(operations):
+    universe = 1000
+    pa = PriorityArray(universe)
+    model: dict[int, str] = {}  # priority -> value
+
+    def positions():
+        return sorted(model, reverse=True)
+
+    for op, a, b in operations:
+        if op == "insert" and a not in model:
+            model[a] = f"v{a}"
+            pa.insert(f"v{a}", a)
+        elif op == "delete" and model:
+            p = positions()[a % len(model)]
+            assert pa.delete_priority(p) == model.pop(p)
+        elif op == "query" and model:
+            k = (a % len(model)) + 1
+            assert pa.query(k) == model[positions()[k - 1]]
+        elif op == "find" and model:
+            p = positions()[a % len(model)]
+            value, rank = pa.find(p)
+            assert value == model[p]
+            assert rank == positions().index(p) + 1
+        elif op == "reprioritize" and model and b not in model:
+            k = (a % len(model)) + 1
+            p_old = positions()[k - 1]
+            pa.update_priority(k, b)
+            model[b] = model.pop(p_old)
+        # Global invariant: full position scan matches the model.
+        assert len(pa) == len(model)
+        got = [(k, p, v) for k, p, v in pa.items_by_position()]
+        want = [
+            (i + 1, p, model[p]) for i, p in enumerate(positions())
+        ]
+        assert got == want
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.sets(st.integers(0, 499), min_size=1, max_size=40),
+    st.integers(0, 499),
+)
+def test_next_with_matches_linear_scan(priorities, threshold):
+    pa = PriorityArray(500, [(p, p) for p in priorities])
+    order = sorted(priorities, reverse=True)
+    for k in range(1, len(order) + 2):
+        expect = next(
+            (
+                i + 1
+                for i in range(k - 1, len(order))
+                if order[i] <= threshold
+            ),
+            len(order) + 1,
+        )
+        assert pa.next_with(k, lambda v: v <= threshold) == expect

@@ -1,0 +1,101 @@
+"""Tests for the profiling helpers and repo-wide documentation hygiene."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+from repro.harness import profile_callable, profile_workload
+from repro.spanner import FullyDynamicSpanner
+from repro.workloads import deletion_stream
+
+
+class TestProfiling:
+    def test_profile_callable_returns_result_and_report(self):
+        result, report = profile_callable(lambda: sum(range(1000)))
+        assert result == 499500
+        assert "function calls" in report
+
+    def test_profile_workload_runs_everything(self):
+        wl = deletion_stream(15, 40, batch_size=10, seed=1)
+        report = profile_workload(
+            wl,
+            lambda edges: FullyDynamicSpanner(15, edges, k=2, seed=1,
+                                              base_capacity=4),
+            top=5,
+        )
+        assert "cumulative" in report
+        # the hot path should surface our own modules
+        assert "fully_dynamic" in report or "dynamizer" in report or (
+            "es_tree" in report or "decremental" in report
+        )
+
+
+def _walk_public_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "._" in info.name:
+            continue
+        yield importlib.import_module(info.name)
+
+
+class TestDocumentationHygiene:
+    """Every public module, class, and function carries a docstring —
+    deliverable (e) of the reproduction."""
+
+    def test_all_modules_have_docstrings(self):
+        for mod in _walk_public_modules():
+            assert mod.__doc__ and mod.__doc__.strip(), (
+                f"module {mod.__name__} lacks a docstring"
+            )
+
+    def test_all_public_classes_and_functions_documented(self):
+        missing = []
+        for mod in _walk_public_modules():
+            for name in getattr(mod, "__all__", []):
+                obj = getattr(mod, name)
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    if not (obj.__doc__ and obj.__doc__.strip()):
+                        missing.append(f"{mod.__name__}.{name}")
+                if inspect.isclass(obj):
+                    for mname, meth in vars(obj).items():
+                        if mname.startswith("_"):
+                            continue
+                        if inspect.isfunction(meth) and not (
+                            meth.__doc__ and meth.__doc__.strip()
+                        ):
+                            missing.append(
+                                f"{mod.__name__}.{name}.{mname}"
+                            )
+        assert not missing, f"undocumented public items: {sorted(set(missing))}"
+
+    def test_every_package_exports_all(self):
+        for mod in _walk_public_modules():
+            if hasattr(mod, "__path__"):  # packages only
+                assert hasattr(mod, "__all__"), (
+                    f"package {mod.__name__} lacks __all__"
+                )
+
+
+class TestApiDocGenerator:
+    def test_generator_produces_current_docs(self, tmp_path):
+        """docs/api.md is reproducible from the docstrings."""
+        import pathlib
+        import subprocess
+        import sys
+
+        root = pathlib.Path(__file__).parent.parent
+        before = (root / "docs" / "api.md").read_text()
+        subprocess.run(
+            [sys.executable, str(root / "tools" / "gen_api_docs.py")],
+            check=True,
+            cwd=root,
+            capture_output=True,
+        )
+        after = (root / "docs" / "api.md").read_text()
+        assert before == after, (
+            "docs/api.md is stale — run python tools/gen_api_docs.py"
+        )
+        assert "## `repro.spanner`" in after
+        assert "FullyDynamicSpanner" in after

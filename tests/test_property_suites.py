@@ -1,0 +1,208 @@
+"""Cross-module hypothesis property suites.
+
+Each property here is one the paper's correctness argument leans on;
+hypothesis searches for counterexamples over graph structure, randomness
+seeds, and batch schedules simultaneously.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.bundle import MonotoneDecrementalSpanner
+from repro.graph import gnm_random_graph, norm_edge
+from repro.sparsifier import DecrementalSpectralSparsifier
+from repro.spanner import (
+    baswana_sen_spanner,
+    low_diameter_decomposition,
+    mpvx_spanner,
+    static_clusters,
+)
+from repro.ultrasparse import compute_all_heads, threshold
+from repro.verify import (
+    is_spanner,
+    laplacian,
+    pencil_eigenvalue_range,
+    quadratic_form,
+    spanner_stretch,
+)
+
+
+def graph_strategy(max_n=14, max_m=40):
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(2, max_n))
+        cap = min(n * (n - 1) // 2, max_m)
+        m = draw(st.integers(0, cap))
+        seed = draw(st.integers(0, 10**6))
+        return n, gnm_random_graph(n, m, seed=seed)
+
+    return build()
+
+
+class TestClusteringProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(graph_strategy(), st.integers(0, 10**6))
+    def test_static_clusters_partition_and_self_centers(self, g, seed):
+        n, edges = g
+        rng = np.random.default_rng(seed)
+        deltas = rng.exponential(scale=0.7, size=n)
+        cluster, parent, dist = static_clusters(n, edges, deltas)
+        # every vertex clustered; centers are their own cluster
+        assert all(0 <= c < n for c in cluster)
+        for v in range(n):
+            assert cluster[cluster[v]] == cluster[v]
+            if parent[v] is None:
+                assert cluster[v] == v
+            else:
+                assert cluster[parent[v]] == cluster[v]
+                assert dist[parent[v]] == dist[v] - 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_strategy(), st.integers(0, 10**6))
+    def test_ldd_forest_is_acyclic_and_intra_cluster(self, g, seed):
+        n, edges = g
+        ldd = low_diameter_decomposition(n, edges, beta=0.5, seed=seed)
+        import networkx as nx
+
+        f = nx.Graph(ldd.forest_edges())
+        f.add_nodes_from(range(n))
+        assert nx.is_forest(f)
+        assert ldd.forest_edges() | ldd.cut_edges(edges) <= {
+            norm_edge(u, v) for u, v in edges
+        } | ldd.forest_edges()
+
+
+class TestStaticSpannerProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(graph_strategy(), st.integers(1, 4), st.integers(0, 10**6))
+    def test_both_static_algorithms_valid(self, g, k, seed):
+        n, edges = g
+        for h in (
+            baswana_sen_spanner(n, edges, k=k, seed=seed),
+            mpvx_spanner(n, edges, k=k, seed=seed),
+        ):
+            assert h <= set(edges)
+            assert is_spanner(n, edges, h, 2 * k - 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_strategy(), st.integers(0, 10**6))
+    def test_spanner_preserves_connectivity_exactly(self, g, seed):
+        n, edges = g
+        h = mpvx_spanner(n, edges, k=3, seed=seed)
+        import networkx as nx
+
+        gg = nx.Graph(edges)
+        gg.add_nodes_from(range(n))
+        hh = nx.Graph(h)
+        hh.add_nodes_from(range(n))
+        assert {frozenset(c) for c in nx.connected_components(gg)} == {
+            frozenset(c) for c in nx.connected_components(hh)
+        }
+
+
+class TestUltraHeadProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(graph_strategy(), st.integers(0, 10**6))
+    def test_head_fixpoint_and_sampled_selfheads(self, g, seed):
+        n, edges = g
+        rng = np.random.default_rng(seed)
+        x = 2.0
+        unmark = (rng.random(n) >= 1.0 / x).astype(int).tolist()
+        rand = rng.random(n).tolist()
+        adj = [set() for _ in range(n)]
+        for u, v in edges:
+            adj[u].add(v)
+            adj[v].add(u)
+        infos = compute_all_heads(n, adj, unmark, rand, x)
+        t = threshold(x)
+        for v, info in enumerate(infos):
+            if unmark[v] == 0:
+                assert info.head == v  # sampled vertices head themselves
+            if info.head not in (-1, v):
+                h = info.head
+                # heads are fixpoints: head(head(v)) == head(v)
+                assert infos[h].head == h
+                # and the head is sampled or an unclustered heavy vertex
+                assert unmark[h] == 0 or len(adj[h]) >= t
+            if info.par is not None:
+                assert info.par in adj[v]  # parent is a real neighbor
+
+
+class TestMonotonicityProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**5))
+    def test_spanner_only_shrinks_or_swaps_bounded(self, seed):
+        """Lemma 6.4 monotonicity: the total number of edges EVER in the
+        maintained spanner over a full deletion run is bounded by the
+        per-vertex churn budget, not by m."""
+        rng = random.Random(seed)
+        n, m = 16, 60
+        edges = gnm_random_graph(n, m, seed=seed)
+        sp = MonotoneDecrementalSpanner(n, edges, seed=seed, instances=3)
+        ever = set(sp.output_edges())
+        alive = list(edges)
+        rng.shuffle(alive)
+        while alive:
+            batch, alive = alive[:7], alive[7:]
+            ins, _ = sp.batch_delete(batch)
+            ever |= ins
+        cap = 3 * 2 * (sp.cap + 1) * n * math.log2(max(n, 2))
+        assert len(ever) <= cap
+
+
+class TestSpectralProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(graph_strategy(max_n=10, max_m=25), st.integers(0, 10**6))
+    def test_pencil_range_bounds_random_quadratic_forms(self, g, seed):
+        n, edges = g
+        assume(edges)
+        rng = np.random.default_rng(seed)
+        h = {e: float(w) for e, w in zip(edges, rng.uniform(0.5, 2.0, len(edges)))}
+        g_w = {e: 1.0 for e in edges}
+        lo, hi = pencil_eigenvalue_range(n, g_w, h)
+        Lg, Lh = laplacian(n, g_w), laplacian(n, h)
+        for _ in range(5):
+            x = rng.normal(size=n)
+            qg, qh = quadratic_form(Lg, x), quadratic_form(Lh, x)
+            if qh > 1e-9:
+                ratio = qg / qh
+                assert lo - 1e-6 <= ratio <= hi + 1e-6
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(0, 10**5))
+    def test_chain_weights_partition_the_kept_edges(self, seed):
+        n, m = 14, 45
+        edges = gnm_random_graph(n, m, seed=seed)
+        sp = DecrementalSpectralSparsifier(n, edges, t=2, seed=seed,
+                                           instances=3)
+        w = sp.weighted_edges()
+        # each kept edge appears in exactly one level (weights consistent)
+        for e, weight in w.items():
+            assert sp.weight_of(e) == weight
+        sp.check_invariants()
+
+
+class TestStretchOracleProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(graph_strategy(max_n=12, max_m=30))
+    def test_subgraph_stretch_at_least_one(self, g):
+        n, edges = g
+        assume(edges)
+        # any spanning subgraph has stretch >= 1; the full graph exactly 1
+        assert spanner_stretch(n, edges, edges) == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_strategy(max_n=12, max_m=30), st.integers(0, 10**6))
+    def test_stretch_monotone_in_subgraph(self, g, seed):
+        n, edges = g
+        assume(len(edges) >= 2)
+        rng = random.Random(seed)
+        sub = rng.sample(edges, len(edges) // 2)
+        s_small = spanner_stretch(n, edges, sub)
+        s_big = spanner_stretch(n, edges, edges)
+        assert s_small >= s_big

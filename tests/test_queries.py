@@ -1,0 +1,153 @@
+"""Tests for the distance and cut query oracles."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.graph import DynamicGraph, adjacency_from_edges, bfs_distances, gnm_random_graph
+from repro.pram import CostModel
+from repro.queries import DynamicCutOracle, DynamicDistanceOracle
+from repro.sparsifier import FullyDynamicSpectralSparsifier
+from repro.spanner import FullyDynamicSpanner
+from repro.verify import cut_weight, laplacian, quadratic_form
+
+
+def make_distance_oracle(n, edges, k=2, seed=1, cost=None):
+    sp = FullyDynamicSpanner(n, edges, k=k, seed=seed, base_capacity=8)
+    return DynamicDistanceOracle(
+        n, sp, stretch=sp.stretch, cost=cost or CostModel()
+    )
+
+
+class TestDistanceOracle:
+    def test_answers_within_stretch(self):
+        n, m, k = 40, 160, 2
+        edges = gnm_random_graph(n, m, seed=3)
+        oracle = make_distance_oracle(n, edges, k=k, seed=3)
+        adj = adjacency_from_edges(n, edges)
+        for u in range(0, n, 7):
+            true = bfs_distances(adj, u)
+            for v in range(0, n, 5):
+                d = oracle.distance(u, v)
+                if v in true:
+                    assert true[v] <= d <= (2 * k - 1) * true[v] or (
+                        true[v] == 0 and d == 0
+                    )
+                else:
+                    assert d == float("inf")
+
+    def test_batch_matches_single(self):
+        n, m = 30, 90
+        edges = gnm_random_graph(n, m, seed=4)
+        oracle = make_distance_oracle(n, edges, seed=4)
+        pairs = [(0, 5), (0, 9), (3, 7), (10, 10)]
+        batch = oracle.batch_distances(pairs)
+        assert batch == [oracle.distance(u, v) for u, v in pairs]
+
+    def test_stays_in_sync_through_updates(self):
+        rng = random.Random(5)
+        n = 20
+        universe = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        g = DynamicGraph(n)
+        oracle = make_distance_oracle(n, [], seed=5)
+        for _ in range(15):
+            absent = [e for e in universe if e not in g]
+            ins = rng.sample(absent, min(len(absent), rng.randrange(0, 6)))
+            present = sorted(g.edges())
+            dels = rng.sample(present, min(len(present), rng.randrange(0, 4)))
+            oracle.update(insertions=ins, deletions=dels)
+            g.insert_batch(ins)
+            g.delete_batch(dels)
+            # connectivity is preserved exactly by any spanner
+            adj = adjacency_from_edges(n, g.edges())
+            comp0 = set(bfs_distances(adj, 0))
+            for v in range(n):
+                assert oracle.connected(0, v) == (v in comp0)
+
+    def test_within_ball(self):
+        # path graph: within(0, 2) must include the true 2-ball
+        n = 10
+        edges = [(i, i + 1) for i in range(n - 1)]
+        oracle = make_distance_oracle(n, edges, seed=6)
+        ball = oracle.within(0, 2)
+        assert {0, 1, 2} <= ball
+
+    def test_vertex_validation(self):
+        oracle = make_distance_oracle(4, [(0, 1)], seed=7)
+        with pytest.raises(ValueError):
+            oracle.distance(0, 4)
+        with pytest.raises(ValueError):
+            oracle.within(-1, 2)
+
+    def test_cost_charged(self):
+        cost = CostModel()
+        oracle = make_distance_oracle(20, gnm_random_graph(20, 50, seed=8),
+                                      seed=8, cost=cost)
+        cost.reset()
+        oracle.distance(0, 5)
+        assert cost.work > 0
+
+
+class TestCutOracle:
+    def make(self, n, edges, t=100, seed=1):
+        sp = FullyDynamicSpectralSparsifier(
+            n, edges, t=t, seed=seed, instances=4, base_capacity=4
+        )
+        return DynamicCutOracle(n, sp)
+
+    def test_exact_with_huge_t(self):
+        """t >= m keeps every edge at weight 1 -> exact answers."""
+        n, m = 14, 40
+        edges = gnm_random_graph(n, m, seed=9)
+        oracle = self.make(n, edges, t=m)
+        g_w = {e: 1.0 for e in edges}
+        rng = np.random.default_rng(9)
+        for _ in range(10):
+            side = set(np.flatnonzero(rng.random(n) < 0.5).tolist())
+            assert oracle.cut_value(side) == pytest.approx(
+                cut_weight(g_w, side)
+            )
+
+    def test_quadratic_form_matches_laplacian(self):
+        n, m = 12, 30
+        edges = gnm_random_graph(n, m, seed=10)
+        oracle = self.make(n, edges, t=m)
+        L = laplacian(n, {e: 1.0 for e in edges})
+        rng = np.random.default_rng(10)
+        for _ in range(5):
+            x = rng.normal(size=n)
+            assert oracle.quadratic_form(x) == pytest.approx(
+                quadratic_form(L, x)
+            )
+
+    def test_update_invalidates_cache(self):
+        n, m = 12, 30
+        edges = gnm_random_graph(n, m, seed=11)
+        oracle = self.make(n, edges, t=m)
+        before = oracle.total_weight()
+        oracle.update(deletions=edges[:10])
+        after = oracle.total_weight()
+        assert after < before
+
+    def test_validation(self):
+        oracle = self.make(4, [(0, 1)], t=5)
+        with pytest.raises(ValueError):
+            oracle.cut_value({9})
+        with pytest.raises(ValueError):
+            oracle.quadratic_form([1.0, 2.0])
+
+    def test_approximate_mode_bounded_error(self):
+        n, m = 30, 300
+        edges = gnm_random_graph(n, m, seed=12)
+        oracle = self.make(n, edges, t=4, seed=12)
+        g_w = {e: 1.0 for e in edges}
+        rng = np.random.default_rng(12)
+        for _ in range(10):
+            side = set(np.flatnonzero(rng.random(n) < 0.5).tolist())
+            exact = cut_weight(g_w, side)
+            if exact == 0:
+                continue
+            approx = oracle.cut_value(side)
+            assert 0.3 * exact <= approx <= 3.0 * exact

@@ -1,0 +1,77 @@
+"""Non-toy-scale smoke tests: the structures must handle thousands of
+vertices / tens of thousands of edges in reasonable time.
+
+These runs only assert coarse guarantees (sizes, sampled stretch,
+consistency) — the heavyweight oracles stay in the small-n tests.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.contraction import SparseSpannerDynamic
+from repro.graph import gnm_random_graph
+from repro.spanner import FullyDynamicSpanner
+from repro.bfs import BatchDynamicESTree
+from repro.verify import pairwise_stretch
+
+
+class TestScale:
+    def test_spanner_n800_dense(self):
+        # dense enough that m >> n^{1+1/k}: real compression is mandatory
+        n, m, k = 800, 30000, 3
+        edges = gnm_random_graph(n, m, seed=1)
+        t0 = time.perf_counter()
+        sp = FullyDynamicSpanner(n, edges, k=k, seed=1)
+        build = time.perf_counter() - t0
+        assert build < 60
+        assert sp.spanner_size() < m / 2
+        rng = random.Random(1)
+        # a few mixed batches
+        alive = list(edges)
+        rng.shuffle(alive)
+        t0 = time.perf_counter()
+        for i in range(3):
+            batch, alive = alive[:500], alive[500:]
+            sp.update(deletions=batch)
+        assert time.perf_counter() - t0 < 60
+        current = set(alive)
+        pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(15)]
+        assert pairwise_stretch(
+            n, current, sp.spanner_edges(), pairs
+        ) <= 2 * k - 1
+
+    def test_sparse_spanner_n1500(self):
+        n, m = 1500, 12000
+        edges = gnm_random_graph(n, m, seed=2)
+        t0 = time.perf_counter()
+        sp = SparseSpannerDynamic(n, edges, seed=2)
+        assert time.perf_counter() - t0 < 90
+        assert sp.spanner_size() <= 10 * n
+        sp.update(deletions=edges[:400])
+        assert sp.spanner_size() <= 10 * n
+
+    def test_es_tree_n3000(self):
+        rng = random.Random(3)
+        n, m, limit = 3000, 15000, 6
+        edges = set()
+        while len(edges) < m:
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                edges.add((u, v))
+        edges = sorted(edges)
+        t0 = time.perf_counter()
+        tree = BatchDynamicESTree(n, edges, source=0, limit=limit)
+        for i in range(0, 4500, 1500):
+            tree.batch_delete(edges[i : i + 1500])
+        assert time.perf_counter() - t0 < 60
+        # spot check a few distances against fresh BFS
+        from repro.bfs import bounded_bfs_directed
+
+        alive = edges[4500:]
+        adj = [[] for _ in range(n)]
+        for u, v in alive:
+            adj[u].append(v)
+        want = bounded_bfs_directed(n, adj, 0, limit)
+        assert tree.distances() == want

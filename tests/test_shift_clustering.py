@@ -1,0 +1,192 @@
+"""Tests for the exponential start-time clustering (Section 3.3 engine).
+
+The decisive oracle: with fixed shifts, the dynamically maintained clusters
+must equal the static recomputation on the remaining graph after every batch.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.spanner.shift_clustering import (
+    ShiftedClustering,
+    sample_shifts,
+    static_clusters,
+)
+
+
+def random_graph(rng, n, m):
+    edges = set()
+    while len(edges) < m:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return sorted(edges)
+
+
+class TestSampleShifts:
+    def test_respects_cap(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            d = sample_shifts(50, beta=math.log(500) / 4, cap=4.0, rng=rng)
+            assert d.max() < 4.0
+            assert len(d) == 50
+
+    def test_zero_vertices(self):
+        rng = np.random.default_rng(0)
+        assert len(sample_shifts(0, 1.0, 1.0, rng)) == 0
+
+    def test_impossible_cap_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(RuntimeError):
+            sample_shifts(1000, beta=0.01, cap=0.0001, rng=rng,
+                          max_retries=5)
+
+
+class TestStaticClusters:
+    def test_isolated_vertices_self_cluster(self):
+        cluster, parent, dist = static_clusters(3, [], [0.5, 0.2, 0.9])
+        assert cluster == [0, 1, 2]
+        assert parent == [None, None, None]
+
+    def test_single_edge_higher_shift_wins(self):
+        # delta_0 = 1.6, delta_1 = 0.1: vertex 0 reaches 1 with shifted
+        # distance 1 - 1.6 = -0.6 < 0 - 0.1, so both join cluster 0.
+        cluster, parent, dist = static_clusters(2, [(0, 1)], [1.6, 0.1])
+        assert cluster == [0, 0]
+        assert parent == [None, 0]
+
+    def test_tie_broken_by_fraction(self):
+        # Equal integer parts; larger fractional part wins the tie at v=1?
+        # delta_0 = 0.9, delta_1 = 0.8: shifted distances to vertex 1 are
+        # 1 - 0.9 = 0.1 (via 0) vs 0 - 0.8 = -0.8 (self) -> self wins.
+        cluster, _, _ = static_clusters(2, [(0, 1)], [0.9, 0.8])
+        assert cluster == [1, 1] or cluster[1] == 1
+
+    def test_path_graph_clusters_are_contiguous(self):
+        rng = np.random.default_rng(42)
+        n = 30
+        edges = [(i, i + 1) for i in range(n - 1)]
+        deltas = sample_shifts(n, beta=math.log(10 * n) / 3, cap=3.0, rng=rng)
+        cluster, parent, dist = static_clusters(n, edges, deltas)
+        # Exponential-shift clusters on a path are intervals.
+        for v in range(n):
+            c = cluster[v]
+            lo, hi = min(v, c), max(v, c)
+            for w in range(lo, hi + 1):
+                assert cluster[w] == c
+
+    def test_matches_bruteforce_argmin(self):
+        rng = random.Random(3)
+        nprng = np.random.default_rng(3)
+        for trial in range(20):
+            n = rng.randrange(2, 14)
+            m = rng.randrange(0, n * (n - 1) // 2 + 1)
+            edges = random_graph(rng, n, m)
+            k = rng.choice([2, 3, 4])
+            deltas = sample_shifts(
+                n, beta=math.log(10 * n) / k, cap=float(k), rng=nprng
+            )
+            cluster, _, _ = static_clusters(n, edges, deltas)
+            # brute force: all-pairs BFS
+            import networkx as nx
+
+            g = nx.Graph(edges)
+            g.add_nodes_from(range(n))
+            spl = dict(nx.all_pairs_shortest_path_length(g))
+            for v in range(n):
+                best = min(
+                    (
+                        (spl[u][v] - deltas[u], u)
+                        for u in range(n)
+                        if v in spl.get(u, {}) or u == v
+                    ),
+                )
+                # among centers achieving floor-minimum, max fractional wins
+                d_int = [int(math.floor(d)) for d in deltas]
+                cands = [
+                    u
+                    for u in range(n)
+                    if v in spl[u]
+                    and spl[u][v] - d_int[u]
+                    == min(
+                        spl[w][v] - d_int[w]
+                        for w in range(n)
+                        if v in spl[w]
+                    )
+                ]
+                frac = lambda u: deltas[u] - math.floor(deltas[u])
+                want = max(cands, key=frac)
+                assert cluster[v] == want, (trial, v, cands)
+
+
+class TestDynamicMatchesStatic:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_deletion_schedule(self, seed):
+        rng = random.Random(seed)
+        nprng = np.random.default_rng(seed)
+        n = rng.randrange(8, 28)
+        m = rng.randrange(n, 3 * n)
+        edges = random_graph(rng, n, m)
+        k = rng.choice([2, 3, 5])
+        deltas = sample_shifts(
+            n, beta=math.log(10 * n) / k, cap=float(k), rng=nprng
+        )
+        sc = ShiftedClustering(n, edges, deltas)
+        assert sc.clusters() == static_clusters(n, edges, deltas)[0]
+
+        alive = list(edges)
+        rng.shuffle(alive)
+        while alive:
+            b = min(len(alive), rng.choice([1, 2, 3, 7]))
+            batch, alive = alive[:b], alive[b:]
+            sc.batch_delete(batch)
+            want_cluster, _, want_dist = static_clusters(n, alive, deltas)
+            got_dist = [sc.es.dist_of(v) for v in range(n)]
+            assert got_dist == want_dist, f"dist mismatch, alive={alive}"
+            assert sc.clusters() == want_cluster, f"alive={alive}"
+
+    def test_tree_change_events_track_forest(self):
+        rng = random.Random(99)
+        nprng = np.random.default_rng(99)
+        n, m = 16, 40
+        edges = random_graph(rng, n, m)
+        deltas = sample_shifts(n, beta=math.log(10 * n) / 3, cap=3.0, rng=nprng)
+        sc = ShiftedClustering(n, edges, deltas)
+        forest = sc.tree_edges()
+        alive = list(edges)
+        rng.shuffle(alive)
+        while alive:
+            batch, alive = alive[:3], alive[3:]
+            tree_changes, _ = sc.batch_delete(batch)
+            for ch in tree_changes:
+                if ch.old is not None:
+                    assert ch.old in forest
+                    forest.remove(ch.old)
+                if ch.new is not None:
+                    assert ch.new not in forest
+                    forest.add(ch.new)
+            assert forest == sc.tree_edges()
+
+    def test_cluster_change_events_track_clusters(self):
+        rng = random.Random(5)
+        nprng = np.random.default_rng(5)
+        n, m = 14, 30
+        edges = random_graph(rng, n, m)
+        deltas = sample_shifts(n, beta=math.log(10 * n) / 4, cap=4.0, rng=nprng)
+        sc = ShiftedClustering(n, edges, deltas)
+        clusters = sc.clusters()
+        alive = list(edges)
+        while alive:
+            batch, alive = alive[:5], alive[5:]
+            _, cluster_changes = sc.batch_delete(batch)
+            for ch in cluster_changes:
+                assert clusters[ch.vertex] == ch.old_cluster
+                clusters[ch.vertex] = ch.new_cluster
+            assert clusters == sc.clusters()
+
+    def test_duplicate_edges_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftedClustering(3, [(0, 1), (1, 0)], [0.1, 0.2, 0.3])

@@ -1,0 +1,140 @@
+"""Tests for the nested-contraction sparse spanner (Theorem 1.3)."""
+
+import math
+import random
+
+import pytest
+
+from repro.contraction import (
+    SparseSpannerDynamic,
+    contraction_sequence,
+    sequence_invariants_hold,
+)
+from repro.graph import DynamicGraph, gnm_random_graph
+from repro.verify.stretch import is_spanner
+
+
+class TestSequences:
+    @pytest.mark.parametrize("n", [4, 100, 10**4, 10**6, 10**9, 10**18])
+    def test_sequence_invariants(self, n):
+        xs = contraction_sequence(n)
+        assert sequence_invariants_hold(xs, n)
+        prod = math.prod(xs)
+        assert prod >= min(math.log2(n), 2.0) - 1e-9
+        # Lemma 4.3: product is Theta(log n), not wildly larger
+        assert prod <= 4 * max(math.log2(n), 2.0)
+
+    def test_small_target(self):
+        assert contraction_sequence(4) == [2.0]
+
+    def test_huge_n_multiple_levels(self):
+        xs = contraction_sequence(10**30)
+        assert len(xs) >= 1
+        assert all(x >= 2 for x in xs)
+
+
+class TestInitialSpanner:
+    def test_initial_valid_and_sparse(self):
+        n, m = 80, 600
+        edges = gnm_random_graph(n, m, seed=1)
+        sp = SparseSpannerDynamic(n, edges, rates=[2.0], seed=1,
+                                  base_capacity=16)
+        h = sp.spanner_edges()
+        assert h <= set(edges)
+        assert is_spanner(n, edges, h, sp.stretch_bound())
+        sp.check_invariants()
+
+    def test_two_levels(self):
+        n, m = 60, 400
+        edges = gnm_random_graph(n, m, seed=2)
+        sp = SparseSpannerDynamic(n, edges, rates=[2.0, 2.0], seed=2,
+                                  base_capacity=16)
+        assert sp.num_levels == 2
+        assert is_spanner(n, edges, sp.spanner_edges(), sp.stretch_bound())
+        sp.check_invariants()
+
+    def test_stretch_bound_composition(self):
+        sp = SparseSpannerDynamic(10, rates=[2.0], k_final=2, seed=0)
+        # top stretch 3 -> one contraction gives 3*3+2 = 11
+        assert sp.stretch_bound() == 11
+
+    def test_empty_graph(self):
+        sp = SparseSpannerDynamic(10, rates=[2.0], seed=3)
+        assert sp.spanner_edges() == set()
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            SparseSpannerDynamic(5, rates=[0.5])
+
+
+class TestDynamicStream:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mixed_stream_stays_valid(self, seed):
+        rng = random.Random(seed)
+        n = 16
+        universe = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        g = DynamicGraph(n)
+        sp = SparseSpannerDynamic(
+            n, rates=[2.0], k_final=2, seed=seed, base_capacity=4
+        )
+        spanner: set = set()
+        for step in range(25):
+            absent = [e for e in universe if e not in g]
+            ins = rng.sample(absent, min(len(absent), rng.randrange(0, 7)))
+            present = sorted(g.edges())
+            dels = rng.sample(present, min(len(present), rng.randrange(0, 5)))
+            d_ins, d_dels = sp.update(insertions=ins, deletions=dels)
+            g.insert_batch(ins)
+            g.delete_batch(dels)
+            assert not (d_ins & d_dels)
+            spanner = (spanner - d_dels) | d_ins
+            assert spanner == sp.spanner_edges(), f"step {step}"
+            assert spanner <= g.edge_set()
+            assert is_spanner(n, g.edge_set(), spanner, sp.stretch_bound()), (
+                f"seed={seed} step={step}"
+            )
+            sp.check_invariants()
+
+    def test_two_level_stream(self):
+        rng = random.Random(42)
+        n = 20
+        universe = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        g = DynamicGraph(n)
+        sp = SparseSpannerDynamic(
+            n, rates=[2.0, 2.0], k_final=2, seed=11, base_capacity=4
+        )
+        for step in range(20):
+            absent = [e for e in universe if e not in g]
+            ins = rng.sample(absent, min(len(absent), rng.randrange(0, 9)))
+            present = sorted(g.edges())
+            dels = rng.sample(present, min(len(present), rng.randrange(0, 6)))
+            sp.update(insertions=ins, deletions=dels)
+            g.insert_batch(ins)
+            g.delete_batch(dels)
+            assert is_spanner(
+                n, g.edge_set(), sp.spanner_edges(), sp.stretch_bound()
+            )
+            sp.check_invariants()
+
+    def test_delete_everything(self):
+        n, m = 30, 120
+        edges = gnm_random_graph(n, m, seed=6)
+        sp = SparseSpannerDynamic(n, edges, rates=[2.0], seed=6,
+                                  base_capacity=8)
+        sp.delete_batch(edges)
+        assert sp.spanner_edges() == set()
+        assert all(c == 0 for c in sp.level_edge_counts())
+        sp.check_invariants()
+
+
+class TestSizeClaim:
+    def test_linear_size_on_dense_graph(self):
+        """Theorem 1.3: O(n) edges.  On a dense graph the sparse spanner
+        must be dramatically smaller than both the graph and a plain
+        Theorem 1.1 spanner with small k."""
+        n = 120
+        m = n * (n - 1) // 3
+        edges = gnm_random_graph(n, m, seed=9)
+        sp = SparseSpannerDynamic(n, edges, seed=9)
+        assert sp.spanner_size() <= 12 * n
+        assert sp.spanner_size() < m / 5

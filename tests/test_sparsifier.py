@@ -1,0 +1,179 @@
+"""Tests for the decremental sparsifier chain (Lemma 6.6) and the
+fully-dynamic spectral sparsifier (Theorem 1.6)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.graph import DynamicGraph, gnm_random_graph, barbell_graph
+from repro.sparsifier import (
+    DecrementalSpectralSparsifier,
+    FullyDynamicSpectralSparsifier,
+    paper_bundle_size,
+)
+from repro.verify import max_cut_error, pencil_eigenvalue_range
+
+
+def unit(edges):
+    return {tuple(e): 1.0 for e in edges}
+
+
+class TestPaperBundleSize:
+    def test_grows_with_inverse_epsilon(self):
+        assert paper_bundle_size(100, 1000, 0.1) > paper_bundle_size(
+            100, 1000, 0.5
+        )
+        assert paper_bundle_size(100, 1000, 0.5) >= 1
+
+
+class TestDecrementalChain:
+    def test_huge_t_reproduces_graph_exactly(self):
+        """With t >= m the first bundle absorbs the whole graph, so the
+        sparsifier is G itself at weight 1 (ratio exactly 1)."""
+        n, m = 14, 40
+        edges = gnm_random_graph(n, m, seed=1)
+        sp = DecrementalSpectralSparsifier(n, edges, t=m, seed=1, instances=6)
+        w = sp.weighted_edges()
+        assert set(w) == set(edges)
+        assert all(v == 1.0 for v in w.values())
+        lo, hi = pencil_eigenvalue_range(n, unit(edges), w)
+        assert lo == pytest.approx(1.0) and hi == pytest.approx(1.0)
+
+    def test_structure_and_invariants(self):
+        n, m = 20, 120
+        edges = gnm_random_graph(n, m, seed=2)
+        sp = DecrementalSpectralSparsifier(n, edges, t=2, seed=2, instances=4)
+        sp.check_invariants()
+        assert sp.k >= 1
+        w = sp.weighted_edges()
+        assert set(w) <= set(edges)
+        # weights are powers of four
+        assert all(
+            abs(v - 4 ** round(np.log(v) / np.log(4))) < 1e-9
+            for v in w.values()
+        )
+
+    def test_connectivity_preserved(self):
+        """Bundle level 1 contains a spanner, so the sparsifier can never
+        disconnect the graph."""
+        import math
+
+        n, m = 18, 70
+        edges = gnm_random_graph(n, m, seed=3)
+        sp = DecrementalSpectralSparsifier(n, edges, t=2, seed=3, instances=5)
+        lo, hi = pencil_eigenvalue_range(
+            n, unit(edges), sp.weighted_edges()
+        )
+        assert lo > 0 and math.isfinite(hi)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_deletion_stream_consistency(self, seed):
+        rng = random.Random(seed)
+        n, m = 16, 60
+        edges = gnm_random_graph(n, m, seed=seed + 5)
+        sp = DecrementalSpectralSparsifier(
+            n, edges, t=2, seed=seed, instances=4
+        )
+        tracked = sp.output_edges()
+        alive = list(edges)
+        rng.shuffle(alive)
+        while alive:
+            b = min(len(alive), rng.choice([1, 4, 9]))
+            batch, alive = alive[:b], alive[b:]
+            ins, dels = sp.batch_delete(batch)
+            assert not (ins & dels)
+            tracked = (tracked - dels) | ins
+            assert tracked == sp.output_edges()
+            assert tracked <= set(alive)
+            sp.check_invariants()
+        assert tracked == set()
+
+    def test_quality_improves_with_t(self):
+        """Bench E7's shape in miniature: larger bundles -> tighter
+        eigenvalue range."""
+        n, m = 16, 90
+        edges = gnm_random_graph(n, m, seed=7)
+        spreads = []
+        for t in (1, 4, 16):
+            sp = DecrementalSpectralSparsifier(
+                n, edges, t=t, seed=7, instances=5
+            )
+            lo, hi = pencil_eigenvalue_range(
+                n, unit(edges), sp.weighted_edges()
+            )
+            spreads.append(hi / lo)
+        assert spreads[-1] <= spreads[0] + 1e-9
+        assert spreads[-1] == pytest.approx(1.0, abs=1e-6)  # t=16: all bundled
+
+    def test_delete_missing_raises(self):
+        sp = DecrementalSpectralSparsifier(4, [(0, 1)], t=1, seed=1,
+                                           instances=2)
+        with pytest.raises(KeyError):
+            sp.batch_delete([(1, 2)])
+
+
+class TestFullyDynamic:
+    def test_insert_then_delete_consistency(self):
+        n = 14
+        sp = FullyDynamicSpectralSparsifier(
+            n, t=2, seed=1, instances=4, base_capacity=4
+        )
+        edges = gnm_random_graph(n, 40, seed=1)
+        sp.insert_batch(edges)
+        assert sp.m == 40
+        sp.check_invariants()
+        sp.delete_batch(edges[:20])
+        assert sp.m == 20
+        sp.check_invariants()
+        assert sp.output_edges() <= set(edges[20:])
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_mixed_stream(self, seed):
+        rng = random.Random(seed)
+        n = 12
+        universe = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        g = DynamicGraph(n)
+        sp = FullyDynamicSpectralSparsifier(
+            n, t=2, seed=seed, instances=3, base_capacity=4
+        )
+        tracked: set = set()
+        for _ in range(15):
+            absent = [e for e in universe if e not in g]
+            ins = rng.sample(absent, min(len(absent), rng.randrange(0, 6)))
+            present = sorted(g.edges())
+            dels = rng.sample(present, min(len(present), rng.randrange(0, 4)))
+            d_ins, d_dels = sp.update(insertions=ins, deletions=dels)
+            g.insert_batch(ins)
+            g.delete_batch(dels)
+            tracked = (tracked - d_dels) | d_ins
+            assert tracked == sp.output_edges()
+            assert tracked <= g.edge_set()
+            sp.check_invariants()
+
+    def test_weighted_union_quality(self):
+        """Lemma 6.7: the per-partition weighted union approximates the
+        whole graph; with large t it is exact."""
+        n = 12
+        edges = gnm_random_graph(n, 40, seed=9)
+        sp = FullyDynamicSpectralSparsifier(
+            n, t=100, seed=9, instances=4, base_capacity=4
+        )
+        sp.insert_batch(edges)
+        w = sp.weighted_edges()
+        assert set(w) == set(edges)
+        lo, hi = pencil_eigenvalue_range(n, unit(edges), w)
+        assert lo == pytest.approx(1.0) and hi == pytest.approx(1.0)
+
+    def test_cut_quality_on_barbell(self):
+        """The bridge cut of a barbell must be preserved exactly — bundles
+        always claim bridges (a spanner must keep every bridge)."""
+        edges = barbell_graph(5, 3)
+        n = 13
+        sp = FullyDynamicSpectralSparsifier(
+            n, t=2, seed=4, instances=4, base_capacity=64
+        )
+        sp.insert_batch(edges)
+        w = sp.weighted_edges()
+        err = max_cut_error(n, unit(edges), w, [set(range(5))])
+        assert err == pytest.approx(0.0)

@@ -1,0 +1,110 @@
+"""Tests for the spectral/cut verification oracles."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graph import complete_graph, gnm_random_graph
+from repro.verify import (
+    cut_weight,
+    is_spectral_sparsifier,
+    laplacian,
+    max_cut_error,
+    pencil_eigenvalue_range,
+    quadratic_form,
+)
+
+
+def unit(edges):
+    return {e: 1.0 for e in edges}
+
+
+class TestLaplacian:
+    def test_triangle(self):
+        L = laplacian(3, unit([(0, 1), (1, 2), (0, 2)]))
+        assert np.allclose(L, [[2, -1, -1], [-1, 2, -1], [-1, -1, 2]])
+
+    def test_weighted(self):
+        L = laplacian(2, {(0, 1): 3.0})
+        assert np.allclose(L, [[3, -3], [-3, 3]])
+
+    def test_quadratic_form_is_cut_for_indicators(self):
+        edges = gnm_random_graph(8, 16, seed=1)
+        L = laplacian(8, unit(edges))
+        side = {0, 2, 5}
+        x = np.array([1.0 if v in side else 0.0 for v in range(8)])
+        assert quadratic_form(L, x) == pytest.approx(
+            cut_weight(unit(edges), side)
+        )
+
+
+class TestPencil:
+    def test_identical_graphs_ratio_one(self):
+        edges = gnm_random_graph(10, 25, seed=2)
+        lo, hi = pencil_eigenvalue_range(10, unit(edges), unit(edges))
+        assert lo == pytest.approx(1.0) and hi == pytest.approx(1.0)
+
+    def test_uniform_scaling(self):
+        edges = gnm_random_graph(10, 25, seed=3)
+        h = {e: 2.0 for e in edges}
+        lo, hi = pencil_eigenvalue_range(10, unit(edges), h)
+        assert lo == pytest.approx(0.5) and hi == pytest.approx(0.5)
+
+    def test_disconnection_detected(self):
+        g = unit([(0, 1), (1, 2)])
+        h = {(0, 1): 1.0}
+        lo, hi = pencil_eigenvalue_range(3, g, h)
+        assert lo == 0.0 and hi == math.inf
+
+    def test_spanning_tree_of_complete_graph(self):
+        n = 8
+        g = unit(complete_graph(n))
+        h = unit([(0, i) for i in range(1, n)])  # star
+        lo, hi = pencil_eigenvalue_range(n, g, h)
+        # star of K_n: quadratic forms differ by at most factor n
+        assert 0 < lo <= hi <= n + 1e-9
+
+    def test_is_spectral_sparsifier(self):
+        edges = gnm_random_graph(10, 30, seed=4)
+        assert is_spectral_sparsifier(10, unit(edges), unit(edges), 0.01)
+        h = {e: 1.3 for e in edges}
+        assert not is_spectral_sparsifier(10, unit(edges), h, 0.1)
+        assert is_spectral_sparsifier(10, unit(edges), h, 0.5)
+
+    def test_empty_graphs(self):
+        assert pencil_eigenvalue_range(4, {}, {}) == (1.0, 1.0)
+
+
+class TestCuts:
+    def test_cut_weight(self):
+        w = {(0, 1): 2.0, (1, 2): 3.0, (0, 2): 5.0}
+        assert cut_weight(w, {0}) == 7.0
+        assert cut_weight(w, {1}) == 5.0
+        assert cut_weight(w, {0, 1}) == 8.0
+
+    def test_max_cut_error(self):
+        g = unit([(0, 1), (1, 2)])
+        h = {(0, 1): 1.0, (1, 2): 2.0}
+        err = max_cut_error(3, g, h, [{0}, {2}, {0, 2}])
+        assert err == pytest.approx(0.5)  # cut {2}: 1 vs 2
+
+    def test_one_sided_zero_cut_is_inf(self):
+        g = unit([(0, 1)])
+        h = {}
+        assert max_cut_error(2, g, h, [{0}]) == math.inf
+
+    def test_spectral_implies_cut(self):
+        """Every (1±ε)-spectral sparsifier is a (1±ε)-cut sparsifier (the
+        paper's indicator-vector remark)."""
+        rng = np.random.default_rng(5)
+        n = 9
+        edges = gnm_random_graph(n, 22, seed=5)
+        h = {e: float(w) for e, w in zip(edges, rng.uniform(0.9, 1.1, len(edges)))}
+        lo, hi = pencil_eigenvalue_range(n, unit(edges), h)
+        cuts = [set(np.flatnonzero(rng.random(n) < 0.5).tolist())
+                for _ in range(40)]
+        cuts = [c for c in cuts if c and len(c) < n]
+        err = max_cut_error(n, unit(edges), h, cuts)
+        # every cut ratio lies within the pencil eigenvalue range
+        assert err <= max(1.0 - lo, hi - 1.0) + 1e-9

@@ -1,0 +1,174 @@
+"""Hypothesis rule-based state machines driving the dynamic structures.
+
+Each machine mixes arbitrary batch operations and checks the structure's
+full invariant set plus its defining guarantee after every step — the
+strongest form of randomized testing the Las Vegas design permits.
+"""
+
+import math
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.connectivity import DynamicSpanningForest
+from repro.graph import norm_edge
+from repro.spanner import FullyDynamicSpanner
+from repro.spanner.dynamizer import BentleySaxeDynamizer
+from repro.verify import is_spanner
+
+N = 10
+UNIVERSE = [(u, v) for u in range(N) for v in range(u + 1, N)]
+
+edge_strategy = st.sampled_from(UNIVERSE)
+batch_strategy = st.lists(edge_strategy, max_size=6, unique=True)
+
+
+class SpannerMachine(RuleBasedStateMachine):
+    """Fully-dynamic spanner vs a mirrored edge set."""
+
+    @initialize(seed=st.integers(0, 2**20))
+    def setup(self, seed):
+        self.sp = FullyDynamicSpanner(N, k=2, seed=seed, base_capacity=3)
+        self.present: set = set()
+        self.spanner: set = set()
+
+    @rule(batch=batch_strategy)
+    def insert(self, batch):
+        batch = [e for e in batch if e not in self.present]
+        ins, dels = self.sp.update(insertions=batch)
+        self.present |= set(batch)
+        self.spanner = (self.spanner - dels) | ins
+
+    @rule(batch=batch_strategy)
+    def delete(self, batch):
+        batch = [e for e in batch if e in self.present]
+        ins, dels = self.sp.update(deletions=batch)
+        self.present -= set(batch)
+        self.spanner = (self.spanner - dels) | ins
+
+    @rule(ins=batch_strategy, dels=batch_strategy)
+    def mixed(self, ins, dels):
+        dels = [e for e in dels if e in self.present]
+        ins = [e for e in ins if e not in self.present and e not in dels]
+        # same-batch delete+reinsert is allowed; avoid only pure dupes
+        d_ins, d_dels = self.sp.update(insertions=ins, deletions=dels)
+        self.present = (self.present - set(dels)) | set(ins)
+        self.spanner = (self.spanner - d_dels) | d_ins
+
+    @invariant()
+    def spanner_is_valid(self):
+        if not hasattr(self, "sp"):
+            return
+        assert self.spanner == self.sp.spanner_edges()
+        assert self.sp.m == len(self.present)
+        assert self.spanner <= self.present
+        assert is_spanner(N, self.present, self.spanner, self.sp.stretch)
+        self.sp.check_invariants()
+
+
+class DynamizerMachine(RuleBasedStateMachine):
+    """Bentley–Saxe partition bookkeeping under arbitrary batches."""
+
+    class _Struct:
+        def __init__(self, edges):
+            self.edges = set(edges)
+
+        def output_edges(self):
+            return set(self.edges)
+
+        def batch_delete(self, batch):
+            dels = set()
+            for e in batch:
+                self.edges.remove(e)
+                dels.add(e)
+            return set(), dels
+
+    @initialize()
+    def setup(self):
+        self.dyn = BentleySaxeDynamizer([], self._Struct, base_capacity=2)
+        self.present: set = set()
+
+    @rule(ins=batch_strategy, dels=batch_strategy)
+    def update(self, ins, dels):
+        dels = [e for e in dels if e in self.present]
+        ins = [e for e in ins if e not in self.present and e not in dels]
+        self.dyn.update(insertions=ins, deletions=dels)
+        self.present = (self.present - set(dels)) | set(ins)
+
+    @invariant()
+    def partitions_consistent(self):
+        if not hasattr(self, "dyn"):
+            return
+        self.dyn.check_invariants()
+        assert self.dyn.output_edges() == self.present
+        # Invariant B1 shape: at most O(log m) nonempty levels
+        if self.present:
+            assert len(self.dyn.level_sizes()) <= int(
+                math.log2(len(self.present)) + 3
+            )
+
+
+class ForestMachine(RuleBasedStateMachine):
+    """HDT spanning forest vs exhaustive connectivity recomputation."""
+
+    @initialize(seed=st.integers(0, 2**20))
+    def setup(self, seed):
+        self.dsf = DynamicSpanningForest(N, seed=seed)
+        self.present: set = set()
+        self.forest: set = set()
+
+    @rule(e=edge_strategy)
+    def toggle(self, e):
+        if e in self.present:
+            removed, repl = self.dsf.delete(*e)
+            self.present.remove(e)
+            if removed is not None:
+                self.forest.remove(removed)
+            if repl is not None:
+                self.forest.add(repl)
+        else:
+            joined = self.dsf.insert(*e)
+            self.present.add(e)
+            if joined is not None:
+                self.forest.add(joined)
+
+    @invariant()
+    def forest_tracks_graph(self):
+        if not hasattr(self, "dsf"):
+            return
+        assert self.forest == self.dsf.forest_edges()
+        assert self.forest <= self.present
+        # connectivity oracle agrees with union-find recomputation
+        parent = list(range(N))
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for u, v in self.present:
+            parent[find(u)] = find(v)
+        for u in range(N):
+            for v in range(u + 1, N):
+                assert self.dsf.connected(u, v) == (find(u) == find(v))
+
+
+TestSpannerMachine = SpannerMachine.TestCase
+TestSpannerMachine.settings = settings(
+    max_examples=25, stateful_step_count=12, deadline=None
+)
+TestDynamizerMachine = DynamizerMachine.TestCase
+TestDynamizerMachine.settings = settings(
+    max_examples=40, stateful_step_count=20, deadline=None
+)
+TestForestMachine = ForestMachine.TestCase
+TestForestMachine.settings = settings(
+    max_examples=30, stateful_step_count=25, deadline=None
+)

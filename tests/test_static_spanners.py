@@ -1,0 +1,81 @@
+"""Tests for the static spanner baselines (Baswana–Sen, MPVX)."""
+
+import math
+
+import pytest
+
+from repro.graph import (
+    complete_graph,
+    gnm_random_graph,
+    grid_graph,
+    ring_of_cliques,
+)
+from repro.spanner import baswana_sen_spanner, mpvx_spanner
+from repro.verify.stretch import is_spanner, spanner_stretch
+
+
+class TestBaswanaSen:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_stretch_guarantee(self, k, seed):
+        n, m = 30, 120
+        edges = gnm_random_graph(n, m, seed=seed)
+        h = baswana_sen_spanner(n, edges, k=k, seed=seed)
+        assert is_spanner(n, edges, h, 2 * k - 1), f"k={k} seed={seed}"
+
+    def test_k1_identity(self):
+        edges = gnm_random_graph(10, 20, seed=0)
+        assert baswana_sen_spanner(10, edges, k=1, seed=0) == set(edges)
+
+    def test_size_on_complete_graph(self):
+        n, k = 40, 2
+        edges = complete_graph(n)
+        sizes = [
+            len(baswana_sen_spanner(n, edges, k=k, seed=s)) for s in range(5)
+        ]
+        avg = sum(sizes) / len(sizes)
+        # expected O(k n^{1+1/k}); generous constant
+        assert avg <= 6 * k * n ** (1 + 1 / k)
+        assert avg < len(edges) / 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            baswana_sen_spanner(5, [], k=0)
+
+    def test_grid(self):
+        edges = grid_graph(6, 6)
+        h = baswana_sen_spanner(36, edges, k=3, seed=1)
+        assert is_spanner(36, edges, h, 5)
+
+
+class TestMPVX:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_las_vegas_stretch_guarantee(self, k, seed):
+        n, m = 30, 120
+        edges = gnm_random_graph(n, m, seed=seed + 50)
+        h = mpvx_spanner(n, edges, k=k, seed=seed, las_vegas=True)
+        assert is_spanner(n, edges, h, 2 * k - 1), f"k={k} seed={seed}"
+
+    def test_monte_carlo_is_still_a_subgraph_spanner_of_some_stretch(self):
+        n, m, k = 25, 100, 3
+        edges = gnm_random_graph(n, m, seed=7)
+        h = mpvx_spanner(n, edges, k=k, seed=7, las_vegas=False)
+        assert h <= set(edges)
+        assert math.isfinite(spanner_stretch(n, edges, h))
+
+    def test_size_on_complete_graph(self):
+        n, k = 40, 2
+        edges = complete_graph(n)
+        sizes = [len(mpvx_spanner(n, edges, k=k, seed=s)) for s in range(5)]
+        avg = sum(sizes) / len(sizes)
+        assert avg <= 8 * n ** (1 + 1 / k)
+
+    def test_ring_of_cliques(self):
+        edges = ring_of_cliques(5, 6)
+        h = mpvx_spanner(30, edges, k=2, seed=3)
+        assert is_spanner(30, edges, h, 3)
+        assert len(h) < len(edges)
+
+    def test_empty_graph(self):
+        assert mpvx_spanner(5, [], k=2, seed=0) == set()

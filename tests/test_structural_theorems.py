@@ -1,0 +1,98 @@
+"""Structural facts every maintained spanner must satisfy — theorem-level
+properties that hold for *all* of the paper's constructions at once."""
+
+import networkx as nx
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.contraction import SparseSpannerDynamic
+from repro.graph import gnm_random_graph
+from repro.spanner import FullyDynamicSpanner
+from repro.ultrasparse import UltraSparseSpannerDynamic
+
+
+def graphs(max_n=16, max_m=50):
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(3, max_n))
+        cap = min(n * (n - 1) // 2, max_m)
+        m = draw(st.integers(0, cap))
+        seed = draw(st.integers(0, 10**6))
+        return n, gnm_random_graph(n, m, seed=seed)
+
+    return build()
+
+
+def all_spanners(n, edges, seed):
+    yield FullyDynamicSpanner(
+        n, edges, k=2, seed=seed, base_capacity=4
+    ).spanner_edges()
+    yield SparseSpannerDynamic(
+        n, edges, rates=[2.0], k_final=2, seed=seed, base_capacity=4
+    ).spanner_edges()
+    yield UltraSparseSpannerDynamic(
+        n, edges, x=2.0, seed=seed, inner_rates=[2.0], k_final=2,
+        base_capacity=4,
+    ).spanner_edges()
+
+
+class TestBridgesAlwaysKept:
+    """A spanner of any finite stretch must contain every bridge — the
+    cheapest universal sanity check for all three constructions."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(graphs(), st.integers(0, 10**6))
+    def test_bridges_in_every_spanner(self, g, seed):
+        n, edges = g
+        assume(edges)
+        gg = nx.Graph(edges)
+        bridges = {tuple(sorted(e)) for e in nx.bridges(gg)}
+        assume(bridges)
+        for h in all_spanners(n, edges, seed):
+            assert bridges <= h
+
+
+class TestConnectivityPreserved:
+    @settings(max_examples=20, deadline=None)
+    @given(graphs(), st.integers(0, 10**6))
+    def test_components_identical(self, g, seed):
+        n, edges = g
+        gg = nx.Graph(edges)
+        gg.add_nodes_from(range(n))
+        want = {frozenset(c) for c in nx.connected_components(gg)}
+        for h in all_spanners(n, edges, seed):
+            hh = nx.Graph(h)
+            hh.add_nodes_from(range(n))
+            got = {frozenset(c) for c in nx.connected_components(hh)}
+            assert got == want
+
+
+class TestTreeInputsKeptVerbatim:
+    """On a forest, every spanner must be the forest itself (nothing can
+    be dropped without breaking connectivity)."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(3, 20), st.integers(0, 10**6))
+    def test_forest_identity(self, n, seed):
+        from repro.graph import random_tree
+
+        edges = random_tree(n, seed=seed)
+        for h in all_spanners(n, edges, seed):
+            assert h == set(edges)
+
+
+class TestDegenerateRates:
+    def test_empty_rate_sequence_degenerates_to_thm11(self):
+        n, m = 18, 70
+        edges = gnm_random_graph(n, m, seed=3)
+        sp = SparseSpannerDynamic(n, edges, rates=[], k_final=2, seed=3,
+                                  base_capacity=4)
+        assert sp.num_levels == 0
+        from repro.verify import is_spanner
+
+        assert is_spanner(n, edges, sp.spanner_edges(), sp.stretch_bound())
+        sp.update(deletions=edges[:20])
+        assert is_spanner(
+            n, set(edges[20:]), sp.spanner_edges(), sp.stretch_bound()
+        )

@@ -1,0 +1,172 @@
+"""Tests for the ultra-sparse spanner (Theorem 1.4) and its head rules."""
+
+import math
+import random
+
+import pytest
+
+from repro.graph import DynamicGraph, gnm_random_graph, grid_graph
+from repro.ultrasparse import (
+    BOTTOM,
+    UltraSparseSpannerDynamic,
+    compute_all_heads,
+    compute_head_heavy,
+    threshold,
+)
+from repro.verify.stretch import is_spanner, spanner_stretch
+
+
+class TestThreshold:
+    def test_values(self):
+        assert threshold(2) == 20
+        assert threshold(4) == 80
+        assert threshold(2) >= 2
+
+
+class TestHeavyRule:
+    def test_sampled_vertex_heads_itself(self):
+        info = compute_head_heavy(0, {1, 2}, [0, 1, 1], [0.5, 0.1, 0.2])
+        assert info.head == 0 and info.par is None
+
+    def test_min_rand_sampled_neighbor(self):
+        info = compute_head_heavy(0, {1, 2}, [1, 0, 0], [0.5, 0.3, 0.1])
+        assert info.head == 2 and info.par == 2 and info.dist == 1
+
+    def test_no_sampled_neighbor_joins_dprime(self):
+        info = compute_head_heavy(0, {1, 2}, [1, 1, 1], [0.5, 0.3, 0.1])
+        assert info.head == 0 and info.par is None
+
+
+class TestStaticHeads:
+    def test_light_finds_sampled_within_radius(self):
+        # path graph, all light; vertex 4 sampled
+        n = 6
+        adj = [set() for _ in range(n)]
+        for i in range(n - 1):
+            adj[i].add(i + 1)
+            adj[i + 1].add(i)
+        unmark = [1, 1, 1, 1, 0, 1]
+        rand = [0.1 * i for i in range(n)]
+        infos = compute_all_heads(n, adj, unmark, rand, x=2.0)
+        assert all(i.head == 4 for i in infos)
+        # parents point along the path toward 4
+        assert infos[0].par == 1 and infos[5].par == 4
+        assert infos[4].par is None
+
+    def test_no_candidates_gives_bottom(self):
+        n = 3
+        adj = [set() for _ in range(n)]
+        adj[0].add(1)
+        adj[1].update({0, 2})
+        adj[2].add(1)
+        infos = compute_all_heads(n, adj, [1, 1, 1], [0.1, 0.2, 0.3], x=2.0)
+        assert all(i.head == BOTTOM for i in infos)
+
+    def test_light_uses_heavy_head_as_candidate(self):
+        # star center 0 (heavy), leaf 1 sampled, plus a light tail 2-3
+        # attached to the star center.
+        x = 2.0
+        t = threshold(x)  # 20
+        n = t + 4
+        adj = [set() for _ in range(n)]
+        for leaf in range(1, t + 1):
+            adj[0].add(leaf)
+            adj[leaf].add(0)
+        adj[0].add(t + 1)
+        adj[t + 1].update({0, t + 2})
+        adj[t + 2].add(t + 1)
+        unmark = [1] * n
+        unmark[1] = 0  # only vertex 1 is sampled
+        rand = [(i * 0.37) % 1.0 for i in range(n)]
+        infos = compute_all_heads(n, adj, unmark, rand, x=x)
+        assert len(adj[0]) >= t  # heavy center
+        assert infos[0].head == 1  # sampled neighbor
+        # the tail vertex t+2 is light; its BFS reaches heavy 0 (distance 2
+        # via t+1) and uses HEAD(0) = 1
+        assert infos[t + 2].head == 1
+
+
+class TestDynamicMatchesStatic:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_stream(self, seed):
+        rng = random.Random(seed)
+        n = 14
+        universe = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        sp = UltraSparseSpannerDynamic(
+            n, x=2.0, seed=seed, inner_rates=[2.0], k_final=2,
+            base_capacity=4,
+        )
+        g = DynamicGraph(n)
+        spanner: set = set()
+        for step in range(20):
+            absent = [e for e in universe if e not in g]
+            ins = rng.sample(absent, min(len(absent), rng.randrange(0, 6)))
+            present = sorted(g.edges())
+            dels = rng.sample(present, min(len(present), rng.randrange(0, 4)))
+            d_ins, d_dels = sp.update(insertions=ins, deletions=dels)
+            g.insert_batch(ins)
+            g.delete_batch(dels)
+            spanner = (spanner - d_dels) | d_ins
+            assert spanner == sp.spanner_edges(), f"step {step}"
+            assert spanner <= g.edge_set()
+            sp.check_invariants()
+
+    def test_spanner_property_through_stream(self):
+        rng = random.Random(31)
+        n = 18
+        universe = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        sp = UltraSparseSpannerDynamic(
+            n, x=2.0, seed=31, inner_rates=[2.0], k_final=2, base_capacity=4
+        )
+        g = DynamicGraph(n)
+        for step in range(15):
+            absent = [e for e in universe if e not in g]
+            ins = rng.sample(absent, min(len(absent), rng.randrange(0, 8)))
+            present = sorted(g.edges())
+            dels = rng.sample(present, min(len(present), rng.randrange(0, 4)))
+            sp.update(insertions=ins, deletions=dels)
+            g.insert_batch(ins)
+            g.delete_batch(dels)
+            assert is_spanner(
+                n, g.edge_set(), sp.spanner_edges(), sp.stretch_bound()
+            ), f"step {step}"
+
+    def test_heavy_vertices_appear(self):
+        """A dense enough graph must actually exercise the heavy path."""
+        n = 60
+        edges = gnm_random_graph(n, 800, seed=4)  # avg degree ~ 26 > 20
+        sp = UltraSparseSpannerDynamic(
+            n, edges, x=2.0, seed=4, inner_rates=[2.0], k_final=2,
+            base_capacity=8,
+        )
+        assert any(sp._is_heavy(v) for v in range(n))
+        sp.check_invariants()
+        assert is_spanner(n, edges, sp.spanner_edges(), sp.stretch_bound())
+
+    def test_grid_all_light(self):
+        edges = grid_graph(5, 6)
+        n = 30
+        sp = UltraSparseSpannerDynamic(
+            n, edges, x=2.0, seed=9, inner_rates=[2.0], k_final=2,
+            base_capacity=4,
+        )
+        assert not any(sp._is_heavy(v) for v in range(n))
+        sp.check_invariants()
+        assert is_spanner(n, edges, sp.spanner_edges(), sp.stretch_bound())
+
+
+class TestSizeClaim:
+    def test_ultra_sparse_size(self):
+        """Theorem 1.4: at most n + O(n/x) edges.  On a dense graph the
+        spanner must be close to a spanning tree."""
+        n = 150
+        m = n * (n - 1) // 4
+        edges = gnm_random_graph(n, m, seed=12)
+        sp = UltraSparseSpannerDynamic(n, edges, x=3.0, seed=12)
+        size = sp.spanner_size()
+        assert size <= n + 8 * n / 3.0
+        assert size < m / 10
+
+    def test_invalid_x(self):
+        with pytest.raises(ValueError):
+            UltraSparseSpannerDynamic(5, x=1.5)

@@ -1,0 +1,115 @@
+"""Tests for the fully-dynamic weighted spanner (weight-class extension)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.graph import gnm_random_graph
+from repro.spanner.weighted import weighted_spanner_stretch
+from repro.spanner.weighted_dynamic import WeightedFullyDynamicSpanner
+
+
+def random_weighted(n, m, seed, low=1.0, high=50.0):
+    rng = np.random.default_rng(seed)
+    edges = gnm_random_graph(n, m, seed=seed)
+    return {e: float(w) for e, w in zip(edges, rng.uniform(low, high, m))}
+
+
+class TestConstruction:
+    def test_initial_stretch_guarantee(self):
+        n, m, k = 25, 100, 2
+        weights = random_weighted(n, m, seed=1)
+        sp = WeightedFullyDynamicSpanner(n, weights, k=k, epsilon=0.5,
+                                         seed=1, base_capacity=8)
+        s = weighted_spanner_stretch(n, weights, sp.spanner_edges())
+        assert s <= sp.stretch + 1e-9
+        sp.check_invariants()
+
+    def test_classes_are_geometric(self):
+        sp = WeightedFullyDynamicSpanner(4, k=2, epsilon=1.0)
+        assert sp._class_of(1.0) == 0
+        assert sp._class_of(2.0) == 1
+        assert sp._class_of(4.0) == 2
+        assert sp._class_of(3.9) == 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            WeightedFullyDynamicSpanner(4, epsilon=0.0)
+        with pytest.raises(ValueError):
+            WeightedFullyDynamicSpanner(4, k=0)
+        sp = WeightedFullyDynamicSpanner(4)
+        with pytest.raises(ValueError):
+            sp.update(insertions={(0, 1): -2.0})
+
+    def test_uniform_weights_single_class(self):
+        n, m = 15, 40
+        weights = {e: 1.0 for e in gnm_random_graph(n, m, seed=2)}
+        sp = WeightedFullyDynamicSpanner(n, weights, k=2, seed=2,
+                                         base_capacity=8)
+        assert len(sp.class_sizes()) == 1
+
+    def test_wide_weight_range_many_classes(self):
+        n, m = 20, 60
+        weights = random_weighted(n, m, seed=3, low=1.0, high=10**4)
+        sp = WeightedFullyDynamicSpanner(n, weights, k=2, epsilon=0.5,
+                                         seed=3, base_capacity=8)
+        assert len(sp.class_sizes()) > 3
+        sp.check_invariants()
+
+
+class TestUpdates:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mixed_stream_keeps_guarantee(self, seed):
+        rng = random.Random(seed)
+        nprng = np.random.default_rng(seed)
+        n, k = 14, 2
+        universe = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        sp = WeightedFullyDynamicSpanner(n, k=k, epsilon=0.5, seed=seed,
+                                         base_capacity=4)
+        weights: dict = {}
+        for step in range(12):
+            absent = [e for e in universe if e not in weights]
+            ins = {
+                e: float(nprng.uniform(1, 100))
+                for e in rng.sample(absent, min(len(absent),
+                                                rng.randrange(0, 6)))
+            }
+            dels = rng.sample(
+                sorted(weights), min(len(weights), rng.randrange(0, 4))
+            )
+            d_ins, d_dels = sp.update(insertions=ins, deletions=dels)
+            for e in dels:
+                del weights[e]
+            weights.update(ins)
+            assert sp.m == len(weights)
+            assert sp.spanner_edges() <= set(weights)
+            if weights:
+                s = weighted_spanner_stretch(n, weights, sp.spanner_edges())
+                assert s <= sp.stretch + 1e-9, f"seed={seed} step={step}"
+            sp.check_invariants()
+
+    def test_delete_missing_raises(self):
+        sp = WeightedFullyDynamicSpanner(4, {(0, 1): 2.0}, seed=1)
+        with pytest.raises(KeyError):
+            sp.update(deletions=[(1, 2)])
+
+    def test_duplicate_insert_raises(self):
+        sp = WeightedFullyDynamicSpanner(4, {(0, 1): 2.0}, seed=1)
+        with pytest.raises(ValueError):
+            sp.update(insertions={(1, 0): 3.0})
+
+    def test_reinsert_with_new_weight_moves_class(self):
+        sp = WeightedFullyDynamicSpanner(4, {(0, 1): 1.0}, k=2,
+                                         epsilon=1.0, seed=1)
+        assert sp._class_of(sp.weight_of((0, 1))) == 0
+        sp.update(deletions=[(0, 1)])
+        sp.update(insertions={(0, 1): 8.0})
+        assert sp._class_of(sp.weight_of((0, 1))) == 3
+        sp.check_invariants()
+
+    def test_weighted_spanner_view(self):
+        weights = {(0, 1): 2.0, (1, 2): 5.0}
+        sp = WeightedFullyDynamicSpanner(3, weights, k=2, seed=1)
+        view = sp.weighted_spanner()
+        assert view == {e: weights[e] for e in sp.spanner_edges()}

@@ -1,0 +1,78 @@
+"""Tests for the weighted Baswana–Sen spanner extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graph import complete_graph, gnm_random_graph
+from repro.spanner.weighted import (
+    baswana_sen_weighted_spanner,
+    weighted_spanner_stretch,
+)
+
+
+def random_weights(edges, seed, low=1.0, high=10.0):
+    rng = np.random.default_rng(seed)
+    return {e: float(w) for e, w in zip(edges, rng.uniform(low, high, len(edges)))}
+
+
+class TestWeightedSpanner:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_stretch_guarantee(self, k, seed):
+        n, m = 30, 140
+        edges = gnm_random_graph(n, m, seed=seed)
+        weights = random_weights(edges, seed)
+        h = baswana_sen_weighted_spanner(n, weights, k=k, seed=seed)
+        assert h <= set(edges)
+        s = weighted_spanner_stretch(n, weights, h)
+        assert s <= 2 * k - 1 + 1e-9, f"k={k} seed={seed} stretch={s}"
+
+    def test_k1_keeps_everything(self):
+        edges = gnm_random_graph(10, 20, seed=1)
+        weights = random_weights(edges, 1)
+        assert baswana_sen_weighted_spanner(10, weights, k=1) == set(edges)
+
+    def test_unit_weights_match_unweighted_size_scale(self):
+        n, k = 40, 2
+        edges = complete_graph(n)
+        weights = {e: 1.0 for e in edges}
+        sizes = [
+            len(baswana_sen_weighted_spanner(n, weights, k=k, seed=s))
+            for s in range(5)
+        ]
+        avg = sum(sizes) / len(sizes)
+        assert avg <= 6 * k * n ** (1 + 1 / k)
+        assert avg < len(edges) / 2
+
+    def test_extreme_weight_skew(self):
+        """Heavy edges should be dropped preferentially: with one huge-
+        weight edge parallel to a light path, the spanner may drop the
+        heavy edge but must keep its stretch."""
+        n = 4
+        weights = {
+            (0, 1): 1.0,
+            (1, 2): 1.0,
+            (2, 3): 1.0,
+            (0, 3): 100.0,
+        }
+        h = baswana_sen_weighted_spanner(n, weights, k=2, seed=0)
+        s = weighted_spanner_stretch(n, weights, h)
+        assert s <= 3.0 + 1e-9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            baswana_sen_weighted_spanner(3, {(0, 1): 1.0}, k=0)
+        with pytest.raises(ValueError):
+            baswana_sen_weighted_spanner(3, {(0, 1): -1.0}, k=2)
+
+    def test_disconnection_detected_by_stretch_oracle(self):
+        weights = {(0, 1): 1.0, (2, 3): 1.0}
+        assert weighted_spanner_stretch(4, weights, [(0, 1)]) == math.inf
+
+    def test_stretch_oracle_exact_on_triangle(self):
+        weights = {(0, 1): 1.0, (1, 2): 1.0, (0, 2): 1.5}
+        # dropping (0,2) leaves detour 2.0 -> stretch 2/1.5
+        s = weighted_spanner_stretch(3, weights, [(0, 1), (1, 2)])
+        assert s == pytest.approx(2.0 / 1.5)

@@ -1,0 +1,102 @@
+"""Tests for the workload generators and the experiment harness."""
+
+import pytest
+
+from repro.harness import RunStats, format_table, run_workload
+from repro.pram import CostModel
+from repro.spanner import FullyDynamicSpanner
+from repro.workloads import (
+    churn_stream,
+    deletion_stream,
+    insertion_stream,
+    mixed_stream,
+    sliding_window_stream,
+)
+
+
+class TestStreams:
+    def test_deletion_stream_deletes_everything(self):
+        w = deletion_stream(20, 60, batch_size=7, seed=1)
+        assert len(w.initial_edges) == 60
+        assert w.total_updates == 60
+        final = None
+        for _, edges in w.replay():
+            final = edges
+        assert final == set()
+
+    def test_deletion_stream_fraction(self):
+        w = deletion_stream(20, 60, batch_size=10, seed=1, fraction=0.5)
+        assert w.total_updates == 30
+
+    def test_insertion_stream_builds_graph(self):
+        w = insertion_stream(15, 40, batch_size=9, seed=2)
+        assert w.initial_edges == []
+        *_, (batch, final) = w.replay()
+        assert len(final) == 40
+
+    def test_mixed_stream_replayable(self):
+        w = mixed_stream(12, 30, batch_size=6, num_batches=20, seed=3)
+        sizes = [len(edges) for _, edges in w.replay()]
+        assert len(sizes) == 20
+        assert all(s >= 0 for s in sizes)
+
+    def test_sliding_window_bounds_live_edges(self):
+        w = sliding_window_stream(
+            20, window=25, num_batches=15, batch_size=10, seed=4
+        )
+        for _, edges in w.replay():
+            assert len(edges) <= 25
+
+    def test_churn_keeps_size_stable(self):
+        w = churn_stream(20, 50, churn_fraction=0.2, num_batches=10, seed=5)
+        for _, edges in w.replay():
+            assert 40 <= len(edges) <= 60
+
+    def test_streams_drive_real_structure(self):
+        w = mixed_stream(14, 25, batch_size=5, num_batches=10, seed=6)
+        sp = FullyDynamicSpanner(14, w.initial_edges, k=2, seed=6)
+        for batch, edges in w.replay():
+            sp.update(insertions=batch.insertions, deletions=batch.deletions)
+            assert sp.m == len(edges)
+
+
+class TestHarness:
+    def test_run_workload_collects_stats(self):
+        w = deletion_stream(20, 60, batch_size=10, seed=7)
+        stats = run_workload(
+            "spanner",
+            w,
+            lambda edges, cost: FullyDynamicSpanner(
+                20, edges, k=2, seed=7, cost=cost
+            ),
+        )
+        assert stats.total_updates == 60
+        assert stats.update_cost.work > 0
+        assert stats.max_batch_depth > 0
+        assert stats.output_size_final == 0  # everything deleted
+        assert stats.recourse_per_update >= 0
+        assert stats.simulated_time(1) >= stats.simulated_time(100)
+        row = stats.row()
+        assert row["label"] == "spanner" and row["updates"] == 60
+
+    def test_per_batch_hook(self):
+        w = deletion_stream(10, 20, batch_size=10, seed=8)
+        stats = run_workload(
+            "spanner",
+            w,
+            lambda edges, cost: FullyDynamicSpanner(10, edges, k=2, seed=8),
+            per_batch=lambda s, i: {"last_size": s.spanner_size()},
+        )
+        assert "last_size" in stats.extra
+
+    def test_format_table(self):
+        rows = [
+            {"label": "a", "n": 10, "work/upd": 1.5},
+            {"label": "bb", "n": 1000, "extra": "x"},
+        ]
+        out = format_table(rows, title="T")
+        assert "T" in out and "label" in out and "bb" in out
+        assert "extra" in out
+
+    def test_format_empty(self):
+        assert "(no rows)" in format_table([], "E")
