@@ -1,0 +1,114 @@
+"""S1 — serving engine: throughput vs. flush deadline and shard count.
+
+Not a paper table: this measures the *serving layer* (PR 1,
+``repro.service``) that turns single-edge client requests into the batch
+updates the paper's structures amortize over.  Two sweeps:
+
+* flush deadline (the micro-batching latency knob) at fixed shards —
+  longer deadlines form bigger coalesced batches, trading request latency
+  for throughput;
+* shard count at a fixed deadline, with real worker processes — shards
+  hold disjoint edge partitions, so update work parallelizes across the
+  GIL boundary.  Wall-clock gains require real cores (CI containers often
+  pin one), so the scaling assertion uses the cost model: per-flush
+  *summed* shard work over *critical-path* (max-shard) work is the
+  simulated parallel speedup sharding buys.
+
+Run: pytest benchmarks/bench_srv_service_throughput.py --benchmark-only -s
+"""
+
+import multiprocessing as mp
+
+from repro.harness import format_table
+from repro.service import ServeConfig, run_serve
+
+_HAS_FORK = "fork" in mp.get_all_start_methods()
+
+
+def _row(label: str, cfg: ServeConfig) -> dict:
+    report = run_serve(cfg, verify=True)
+    assert report.verified, f"{label}: replay verification failed"
+    m = report.metrics
+    total_work = m.get("batch_work.mean", 0.0) * m.get(
+        "batch_work.count", 0
+    )
+    critical = m.get("batch_critical_work.mean", 0.0) * m.get(
+        "batch_critical_work.count", 0
+    )
+    return {
+        "label": label,
+        "shards": cfg.shards,
+        "deadline_ms": cfg.max_delay * 1000,
+        "served": report.served,
+        "applied": report.applied_ops,
+        "shed": report.shed,
+        "batch_p50": m.get("batch_size.p50", 0.0),
+        "coalesce%": round(
+            100 * m.get("coalesce_ratio.p50", 0.0), 1
+        ),
+        "flush_p99_ms": round(
+            1000 * m.get("flush_latency_s.p99", 0.0), 2
+        ),
+        "sim_speedup": round(total_work / critical, 2) if critical else 1.0,
+        "wall_s": round(report.wall_seconds, 3),
+        "req/s": round(report.throughput_rps),
+    }
+
+
+def _deadline_series() -> list[dict]:
+    rows = []
+    for deadline_ms in (0.5, 2.0, 8.0):
+        cfg = ServeConfig(
+            n=192, m=768, requests=6000, seed=11, shards=2,
+            processes=_HAS_FORK, max_delay=deadline_ms / 1000.0,
+            queue_capacity=4096, max_batch=100_000,  # deadline-driven
+        )
+        rows.append(_row(f"deadline={deadline_ms}ms", cfg))
+    return rows
+
+
+def _shard_series() -> list[dict]:
+    # heavier per-flush work than the deadline sweep: the shard win only
+    # shows once per-shard batch work amortizes the pipe round-trip
+    rows = []
+    for shards in (1, 2, 4):
+        cfg = ServeConfig(
+            n=384, m=2304, requests=6000, seed=11, shards=shards,
+            processes=_HAS_FORK, max_delay=8e-3, query_prob=0.02,
+            queue_capacity=8192, max_batch=100_000, base_capacity=64,
+        )
+        rows.append(_row(f"shards={shards}", cfg))
+    return rows
+
+
+def test_s1_throughput_vs_deadline(benchmark, report):
+    rows = benchmark.pedantic(_deadline_series, rounds=1, iterations=1)
+    report.append(format_table(
+        rows, "S1a: serving throughput vs flush deadline (2 shards)"
+    ))
+    # longer deadlines must form bigger batches
+    assert rows[-1]["batch_p50"] > rows[0]["batch_p50"]
+
+
+def test_s1_throughput_vs_shards(benchmark, report):
+    rows = benchmark.pedantic(_shard_series, rounds=1, iterations=1)
+    report.append(format_table(
+        rows, "S1b: serving throughput vs shard count (8ms deadline)"
+    ))
+    for row in rows:
+        assert row["applied"] > 0
+    # disjoint shards parallelize: critical-path work must shrink
+    assert rows[0]["sim_speedup"] == 1.0
+    assert rows[-1]["sim_speedup"] > 1.5
+
+
+def test_s1_serve_throughput(benchmark):
+    cfg = ServeConfig(
+        n=128, m=512, requests=2000, seed=7, shards=2, processes=False,
+    )
+
+    def run():
+        return run_serve(cfg, verify=False)
+
+    report = benchmark(run)
+    assert report.applied_ops > 0

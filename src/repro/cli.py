@@ -11,10 +11,15 @@ Examples
     python -m repro.cli bundle    --n 200 --m 1500 --t 3
     python -m repro.cli sparsifier --n 80 --m 1200 --t 4
     python -m repro.cli estree    --n 300 --m 2000 --limit 6
+    python -m repro.cli serve     --requests 10000 --shards 2
 
-Each command builds the structure, drives the requested update stream
-through it, and prints size/recourse/work/depth statistics plus Brent
-simulated runtimes for a few processor counts.
+Each structure command builds the structure, drives the requested update
+stream through it, and prints size/recourse/work/depth statistics plus
+Brent simulated runtimes for a few processor counts.  ``serve`` instead
+runs the asynchronous serving engine (``repro.service``): a stream of
+single-edge client requests is coalesced into batches, sharded over
+worker processes, answered with snapshot-consistent queries, and finally
+verified against a synchronous replay of the same batches.
 """
 
 from __future__ import annotations
@@ -220,6 +225,55 @@ def _cmd_estree(args: argparse.Namespace) -> int:
                    lambda e, c: _Adapter(e, c), profile=args.profile)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServeConfig, run_serve
+
+    cfg = ServeConfig(
+        n=args.n,
+        m=args.m,
+        requests=args.requests,
+        seed=args.seed,
+        query_prob=args.query_prob,
+        backend=args.backend,
+        k=args.k,
+        shards=args.shards,
+        processes=args.processes,
+        max_batch=args.max_batch,
+        max_delay=args.deadline_ms / 1000.0,
+        target_batch_work=args.target_batch_work,
+        queue_capacity=args.queue_capacity,
+    )
+    report = run_serve(cfg, verify=not args.no_verify)
+    rows = [{
+        "backend": cfg.backend,
+        "shards": cfg.shards,
+        "procs": cfg.processes,
+        "served": report.served,
+        "applied": report.applied_ops,
+        "coalesced": report.coalesced,
+        "shed": report.shed,
+        "rejected": report.rejected,
+        "queries": report.queries,
+        "flushes": report.flushes,
+        "wall_s": round(report.wall_seconds, 3),
+        "req/s": round(report.throughput_rps),
+    }]
+    print(format_table(rows, "repro serve: batch-dynamic serving engine"))
+    print(f"\nper-shard output sizes: {report.shard_sizes}")
+    print()
+    print(report.metrics_text)
+    if args.no_verify:
+        print("\nverification: skipped (--no-verify)")
+        return 0
+    status = "OK" if report.verified else "FAILED"
+    print(
+        f"\nverification: {status} — replaying the applied coalesced "
+        "batches synchronously reproduces the served edge set "
+        f"{'exactly' if report.verified else '!= served snapshot'}"
+    )
+    return 0 if report.verified else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -281,6 +335,35 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--limit", type=int, default=5)
     p.set_defaults(func=_cmd_estree)
+
+    p = sub.add_parser(
+        "serve",
+        help="asynchronous serving engine: coalescing batcher + shards",
+    )
+    p.add_argument("--n", type=int, default=256, help="vertex count")
+    p.add_argument("--m", type=int, default=1024, help="initial edges")
+    p.add_argument("--requests", type=int, default=10_000,
+                   help="client requests to serve (updates + queries)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", choices=["spanner", "sparse", "sparsifier"],
+                   default="spanner")
+    p.add_argument("--k", type=int, default=2,
+                   help="spanner stretch parameter (2k-1)")
+    p.add_argument("--shards", type=int, default=2)
+    p.add_argument("--no-processes", dest="processes", action="store_false",
+                   help="run shards in-process instead of worker processes")
+    p.add_argument("--max-batch", type=int, default=256,
+                   help="flush when this many ops are pending")
+    p.add_argument("--deadline-ms", type=float, default=2.0,
+                   help="max (simulated) ms the oldest op may wait")
+    p.add_argument("--target-batch-work", type=int, default=None,
+                   help="adapt max-batch toward this cost-model work/batch")
+    p.add_argument("--queue-capacity", type=int, default=192,
+                   help="queue depth beyond which updates are shed")
+    p.add_argument("--query-prob", type=float, default=0.1)
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the synchronous replay verification")
+    p.set_defaults(func=_cmd_serve, processes=True)
 
     return parser
 

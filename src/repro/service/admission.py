@@ -1,0 +1,52 @@
+"""Admission control: bounded queues, load shedding, request timeouts.
+
+The serving queue is bounded; once its depth crosses ``max_pending`` the
+controller sheds new updates with a ``retry_after`` hint instead of letting
+latency grow without bound (classic backpressure).  Each admitted update
+also carries a per-request timeout — if it is still undrained when the
+timeout passes, the queue drops it at flush time rather than applying a
+stale op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AdmissionConfig", "AdmissionDecision", "AdmissionController"]
+
+
+@dataclass
+class AdmissionConfig:
+    max_pending: int = 1024        # queue depth beyond which updates shed
+    request_timeout: float | None = None  # seconds an op may wait, None = ∞
+    # retry_after = time for the backlog overflow to drain, estimated as
+    # (overflow / max_pending) * flush_interval, floored at flush_interval.
+    min_retry_after: float = 0.001
+
+
+@dataclass
+class AdmissionDecision:
+    admitted: bool
+    retry_after: float | None = None  # seconds; set when shed
+
+
+class AdmissionController:
+    """Decides whether an update request may enter the queue."""
+
+    def __init__(self, config: AdmissionConfig | None = None) -> None:
+        self.config = config or AdmissionConfig()
+        self.shed_count = 0
+
+    def admit(self, depth: int, flush_interval: float) -> AdmissionDecision:
+        """``depth`` is the current queue depth; ``flush_interval`` the
+        batcher's latency deadline (used to size the retry hint)."""
+        cfg = self.config
+        if depth < cfg.max_pending:
+            return AdmissionDecision(admitted=True)
+        self.shed_count += 1
+        overflow = depth - cfg.max_pending + 1
+        retry = max(
+            cfg.min_retry_after,
+            flush_interval * (1 + overflow / max(cfg.max_pending, 1)),
+        )
+        return AdmissionDecision(admitted=False, retry_after=retry)

@@ -1,0 +1,86 @@
+"""Adaptive micro-batching policy for the serving engine.
+
+Decides *when* the ingestion queue flushes into the structure: on reaching
+the current max batch size, or when the oldest pending op has waited past
+the latency deadline.  The size limit adapts: the batcher tracks measured
+cost-model work per op (EWMA over recent flushes) and, given a per-batch
+work budget, grows batches while they are cheap and shrinks them when the
+structure's per-op work rises (e.g. during Bentley–Saxe rebuild storms) —
+keeping flush latency roughly level instead of batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BatcherConfig", "AdaptiveBatcher"]
+
+
+@dataclass
+class BatcherConfig:
+    """Tuning knobs (see docs/service.md for guidance)."""
+
+    max_batch: int = 256          # starting / default flush size
+    max_delay: float = 0.005      # seconds the oldest op may wait
+    target_batch_work: int | None = None  # adapt max_batch toward this
+    min_batch: int = 16           # adaptive floor
+    max_batch_cap: int = 8192     # adaptive ceiling
+    ewma_alpha: float = 0.3       # smoothing for work-per-op estimate
+
+
+class AdaptiveBatcher:
+    """Flush policy: size- or deadline-triggered, with adaptive sizing."""
+
+    def __init__(self, config: BatcherConfig | None = None) -> None:
+        self.config = config or BatcherConfig()
+        self._current_max = self.config.max_batch
+        self._work_per_op: float | None = None
+
+    @property
+    def current_max_batch(self) -> int:
+        return self._current_max
+
+    @property
+    def work_per_op(self) -> float | None:
+        """EWMA of measured cost-model work per applied op (None until the
+        first flush)."""
+        return self._work_per_op
+
+    def should_flush(
+        self, depth: int, oldest_enqueued_at: float | None, now: float
+    ) -> bool:
+        """True when the pending queue must drain now."""
+        if depth <= 0:
+            return False
+        if depth >= self._current_max:
+            return True
+        return (
+            oldest_enqueued_at is not None
+            and now - oldest_enqueued_at >= self.config.max_delay
+        )
+
+    def seconds_until_deadline(
+        self, oldest_enqueued_at: float | None, now: float
+    ) -> float:
+        """Time until the latency deadline forces a flush (for sleepers)."""
+        if oldest_enqueued_at is None:
+            return self.config.max_delay
+        return max(0.0, oldest_enqueued_at + self.config.max_delay - now)
+
+    def record_flush(self, batch_size: int, work: int) -> None:
+        """Feed back one flush's measured size/work; adapts the size limit."""
+        if batch_size <= 0:
+            return
+        sample = work / batch_size
+        if self._work_per_op is None:
+            self._work_per_op = sample
+        else:
+            a = self.config.ewma_alpha
+            self._work_per_op = a * sample + (1 - a) * self._work_per_op
+        target = self.config.target_batch_work
+        if target is not None and self._work_per_op > 0:
+            ideal = int(target / self._work_per_op)
+            self._current_max = max(
+                self.config.min_batch,
+                min(self.config.max_batch_cap, ideal),
+            )

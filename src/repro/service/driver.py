@@ -1,0 +1,204 @@
+"""End-to-end serve demo: request stream → service → verification.
+
+Drives a seeded stream of single-edge update and query requests through a
+:class:`~repro.service.engine.SpannerService` over a sharded executor,
+then *verifies* the result: every per-shard coalesced batch the service
+applied is replayed synchronously through a freshly built structure (same
+spec, same seed), and the replayed output edge set must equal the
+service's snapshot exactly.  Used by ``python -m repro.cli serve`` and by
+``benchmarks/bench_srv_service_throughput.py``.
+
+Arrival timing is simulated (a :class:`SimClock` advanced a fixed tick per
+request, with periodic zero-gap bursts), so flush-deadline behaviour and
+backpressure shedding are reproducible; flush *latency* metrics still
+measure real wall time inside the engine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.pram.cost import CostModel
+from repro.service.admission import AdmissionConfig
+from repro.service.batcher import BatcherConfig
+from repro.service.engine import ServiceConfig, SpannerService, build_backend
+from repro.service.shard import ShardedExecutor
+from repro.workloads.streams import Workload, request_stream
+
+__all__ = ["ServeConfig", "ServeReport", "SimClock", "run_serve"]
+
+
+class SimClock:
+    """Deterministic monotonic clock the driver advances per request."""
+
+    def __init__(self, t0: float = 0.0) -> None:
+        self.t = t0
+
+    def now(self) -> float:
+        """Current simulated time (pass as the service clock)."""
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        """Move simulated time forward by ``dt`` seconds."""
+        self.t += dt
+
+
+@dataclass
+class ServeConfig:
+    # workload
+    n: int = 256
+    m: int = 1024
+    requests: int = 10_000
+    seed: int = 0
+    query_prob: float = 0.1
+    churn_prob: float = 0.15
+    # backend
+    backend: str = "spanner"
+    k: int = 2
+    base_capacity: int | None = None
+    shards: int = 2
+    processes: bool = False
+    # serving knobs
+    max_batch: int = 256
+    max_delay: float = 0.002       # flush deadline (simulated seconds)
+    target_batch_work: int | None = None
+    queue_capacity: int = 192      # < arrivals per burst → backpressure
+    request_timeout: float | None = None
+    # simulated arrivals: one request per `tick`, with a zero-gap burst of
+    # `burst_size` requests closing every `burst_every` requests
+    tick: float = 2e-5
+    burst_every: int = 1000
+    burst_size: int = 300
+
+
+@dataclass
+class ServeReport:
+    config: ServeConfig
+    served: int = 0
+    applied_ops: int = 0
+    shed: int = 0
+    rejected: int = 0
+    coalesced: int = 0
+    queries: int = 0
+    flushes: int = 0
+    wall_seconds: float = 0.0
+    verified: bool = False
+    shard_sizes: list[int] = field(default_factory=list)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    metrics_text: str = ""
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.served / self.wall_seconds if self.wall_seconds else 0.0
+
+
+def run_serve(cfg: ServeConfig, verify: bool = True) -> ServeReport:
+    """Run the full demo; returns the report (never prints)."""
+    initial_edges, requests = request_stream(
+        cfg.n, cfg.m, cfg.requests, seed=cfg.seed,
+        query_prob=cfg.query_prob, churn_prob=cfg.churn_prob,
+    )
+    spec: dict[str, Any] = {
+        "kind": cfg.backend, "n": cfg.n, "edges": initial_edges,
+        "seed": cfg.seed + 1000,
+    }
+    if cfg.backend in ("spanner", "sparse"):
+        spec["k"] = cfg.k
+        # small enough to engage the Bentley-Saxe decremental levels at
+        # demo scale (the library default would hold everything in level 0)
+        spec["base_capacity"] = (
+            cfg.base_capacity
+            if cfg.base_capacity is not None
+            else max(16, cfg.m // max(1, 4 * cfg.shards))
+        )
+    executor = ShardedExecutor(
+        spec, cfg.shards, processes=cfg.processes
+    )
+    clock = SimClock()
+    service = SpannerService(
+        executor,
+        config=ServiceConfig(
+            batcher=BatcherConfig(
+                max_batch=cfg.max_batch,
+                max_delay=cfg.max_delay,
+                target_batch_work=cfg.target_batch_work,
+            ),
+            admission=AdmissionConfig(
+                max_pending=cfg.queue_capacity,
+                request_timeout=cfg.request_timeout,
+            ),
+        ),
+        clock=clock.now,
+    )
+    report = ServeReport(config=cfg)
+    quiet_len = max(0, cfg.burst_every - cfg.burst_size)
+    t0 = time.perf_counter()
+    with service:
+        for i, (op, payload) in enumerate(requests):
+            in_burst = (
+                cfg.burst_every > 0 and i % cfg.burst_every >= quiet_len
+            )
+            if not in_burst:
+                clock.advance(cfg.tick)
+            service.pump()
+            if op == "query":
+                u, v = payload
+                service.query("distance", (u, v))
+                report.queries += 1
+            else:
+                resp = service.submit_update(op, *payload)
+                if resp.outcome == "shed":
+                    report.shed += 1
+                elif not resp.accepted:
+                    report.rejected += 1
+            report.served += 1
+        service.flush()
+        report.wall_seconds = time.perf_counter() - t0
+
+        m = service.metrics.snapshot()
+        report.metrics = m
+        report.metrics_text = service.metrics.render()
+        report.applied_ops = m.get("ops_applied", 0)
+        report.coalesced = m.get("ops_coalesced_away", 0)
+        report.flushes = m.get("flushes", 0)
+        report.shard_sizes = executor.scatter_sizes()
+
+        if verify:
+            report.verified = _verify(service, executor)
+    return report
+
+
+def _verify(service: SpannerService, executor: ShardedExecutor) -> bool:
+    """Replay every shard's applied batches synchronously; compare outputs.
+
+    Three checks: (1) the union of per-shard replayed output edges equals
+    the service snapshot byte-for-byte, (2) it equals a fresh scatter/
+    gather from the live workers, (3) the graph edge set implied by
+    :meth:`Workload.replay` over the same batches equals the queue's
+    membership view.
+    """
+    replay_output: set = set()
+    replay_graph: set = set()
+    for shard_spec, batches in zip(
+        executor.shard_specs, executor.applied_batches
+    ):
+        rebuilt = build_backend(shard_spec, CostModel())
+        for batch in batches:
+            rebuilt.update(
+                insertions=batch.insertions, deletions=batch.deletions
+            )
+        replay_output |= rebuilt.output_edges()
+        wl = Workload(
+            shard_spec["n"], list(shard_spec["edges"]), list(batches)
+        )
+        current = set(shard_spec["edges"])
+        for _, current in wl.replay():
+            pass
+        replay_graph |= current
+    return (
+        replay_output == service.snapshot_edges()
+        and replay_output == executor.gather_edges()
+        and replay_graph == service.graph_edges()
+    )

@@ -1,0 +1,402 @@
+"""`SpannerService`: the serving facade tying queue → batcher → executor.
+
+One uniform ``submit_update`` / ``query`` API over any of the paper's
+structures (fully-dynamic spanner, sparse spanner, spectral sparsifier),
+run either in-process (:class:`LocalExecutor`) or across sharded worker
+processes (:class:`repro.service.shard.ShardedExecutor`).
+
+Consistency model: updates are queued, coalesced, and applied in batches;
+queries are answered from the engine's *snapshot* — the structure's output
+edge set as of the last flush, kept current via the ``(δ_ins, δ_del)``
+deltas every structure returns.  A query therefore never interleaves with
+a half-applied batch (snapshot consistency); pass ``consistency="fresh"``
+to force a flush first and read your own writes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.graph.dynamic_graph import Edge
+from repro.graph.traversal import bfs_distances
+from repro.pram.cost import CostModel
+from repro.service.admission import AdmissionConfig, AdmissionController
+from repro.service.batcher import AdaptiveBatcher, BatcherConfig
+from repro.service.metrics import MetricsRegistry
+from repro.service.queue import CoalescingQueue, DrainResult
+from repro.workloads.streams import UpdateBatch
+
+__all__ = [
+    "ApplyResult",
+    "LocalExecutor",
+    "ServiceConfig",
+    "SpannerService",
+    "SubmitResponse",
+    "build_backend",
+]
+
+
+# -- backends ----------------------------------------------------------------
+
+
+class _SpannerAdapter:
+    """Uniform ``update``/``output_edges`` view over a spanner facade."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+
+    def update(self, insertions=(), deletions=()):
+        return self.inner.update(insertions=insertions, deletions=deletions)
+
+    def output_edges(self) -> set[Edge]:
+        return self.inner.spanner_edges()
+
+
+class _SparsifierAdapter:
+    def __init__(self, inner) -> None:
+        self.inner = inner
+
+    def update(self, insertions=(), deletions=()):
+        return self.inner.update(insertions=insertions, deletions=deletions)
+
+    def output_edges(self) -> set[Edge]:
+        return self.inner.output_edges()
+
+
+def build_backend(spec: dict[str, Any], cost: CostModel):
+    """Construct a structure from a picklable spec dict.
+
+    ``spec`` keys: ``kind`` ("spanner" | "sparse" | "sparsifier"), ``n``,
+    ``edges`` (initial edge list), ``seed``, plus per-kind parameters
+    (``k``, ``base_capacity``, ``t``).  Kept picklable so sharded workers
+    can rebuild the backend in a spawned process, and so the serve demo
+    can re-run the identical construction for verification.
+    """
+    kind = spec.get("kind", "spanner")
+    n = spec["n"]
+    edges = [tuple(e) for e in spec.get("edges", ())]
+    seed = spec.get("seed", 0)
+    if kind == "spanner":
+        from repro.spanner import FullyDynamicSpanner
+
+        return _SpannerAdapter(FullyDynamicSpanner(
+            n, edges, k=spec.get("k", 2), seed=seed,
+            base_capacity=spec.get("base_capacity"), cost=cost,
+        ))
+    if kind == "sparse":
+        from repro.contraction import SparseSpannerDynamic
+
+        return _SpannerAdapter(SparseSpannerDynamic(
+            n, edges, seed=seed,
+            base_capacity=spec.get("base_capacity"), cost=cost,
+        ))
+    if kind == "sparsifier":
+        from repro.sparsifier import FullyDynamicSpectralSparsifier
+
+        return _SparsifierAdapter(FullyDynamicSpectralSparsifier(
+            n, edges, t=spec.get("t", 2), seed=seed, cost=cost,
+        ))
+    raise ValueError(f"unknown backend kind {kind!r}")
+
+
+# -- executors ---------------------------------------------------------------
+
+
+@dataclass
+class ApplyResult:
+    """Outcome of applying one coalesced batch to the structure(s).
+
+    ``work`` sums over shards; ``depth`` and ``critical_work`` take the
+    max (shards run in parallel, so the slowest shard is the critical
+    path — ``work / critical_work`` is the batch's parallel speedup).
+    """
+
+    delta_ins: set[Edge]
+    delta_del: set[Edge]
+    work: int
+    depth: int
+    critical_work: int = 0
+
+
+class LocalExecutor:
+    """Single in-process structure (the unsharded fast path)."""
+
+    def __init__(self, spec: dict[str, Any]) -> None:
+        self.spec = dict(spec)
+        self._cost = CostModel()
+        self._backend = build_backend(self.spec, self._cost)
+        self.applied_batches: list[UpdateBatch] = []
+
+    def initial_edges(self) -> set[Edge]:
+        """Edge set the backend was constructed with."""
+        return {tuple(e) for e in self.spec.get("edges", ())}
+
+    def output_edges(self) -> set[Edge]:
+        """The structure's current output (spanner/sparsifier) edges."""
+        return self._backend.output_edges()
+
+    def apply(self, batch: UpdateBatch) -> ApplyResult:
+        """Apply one coalesced batch; returns deltas plus measured cost."""
+        with self._cost.frame() as fr:
+            ins, dels = self._backend.update(
+                insertions=batch.insertions, deletions=batch.deletions
+            )
+        self.applied_batches.append(batch)
+        return ApplyResult(set(ins), set(dels), fr.work, fr.depth,
+                           critical_work=fr.work)
+
+    def gather_edges(self) -> set[Edge]:
+        """Uniform with :meth:`ShardedExecutor.gather_edges`."""
+        return self.output_edges()
+
+    def close(self) -> None:
+        """No-op (uniform with :meth:`ShardedExecutor.close`)."""
+
+
+# -- the service -------------------------------------------------------------
+
+
+@dataclass
+class SubmitResponse:
+    """What a client gets back from :meth:`SpannerService.submit_update`."""
+
+    accepted: bool
+    outcome: str                    # queue outcome or "shed"
+    retry_after: float | None = None
+
+
+@dataclass
+class ServiceConfig:
+    batcher: BatcherConfig = field(default_factory=BatcherConfig)
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+
+
+class SpannerService:
+    """Asynchronous batch-dynamic serving engine (see module docstring).
+
+    Thread-safe: all public methods serialize on one lock, so a background
+    flusher thread (:meth:`start`) can share the engine with client
+    threads.  Determinism note: with a fixed request sequence the *applied
+    batches* depend on flush timing, but replaying the logged batches
+    always reproduces the structure exactly — that is what the serve
+    demo's verification checks.
+    """
+
+    def __init__(
+        self,
+        executor,
+        config: ServiceConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.executor = executor
+        self.config = config or ServiceConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self._clock = clock
+        self._lock = threading.RLock()
+        self.queue = CoalescingQueue(executor.initial_edges(), clock=clock)
+        self.batcher = AdaptiveBatcher(self.config.batcher)
+        self.admission = AdmissionController(self.config.admission)
+        # snapshot = structure output as of the last flush
+        self._snapshot: set[Edge] = set(executor.output_edges())
+        self._adj: dict[int, set[int]] | None = None  # lazy BFS adjacency
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- client API ----------------------------------------------------------
+
+    def submit_update(
+        self, op: str, u: int, v: int, now: float | None = None
+    ) -> SubmitResponse:
+        """Submit one edge insert/delete; may trigger an inline flush."""
+        with self._lock:
+            if now is None:
+                now = self._clock()
+            m = self.metrics
+            m.counter("requests_update").inc()
+            decision = self.admission.admit(
+                self.queue.depth, self.config.batcher.max_delay
+            )
+            if not decision.admitted:
+                m.counter("shed").inc()
+                return SubmitResponse(False, "shed", decision.retry_after)
+            outcome = self.queue.offer(
+                op, (u, v), now=now,
+                timeout=self.config.admission.request_timeout,
+            )
+            m.counter(f"offer_{outcome}").inc()
+            m.gauge("queue_depth").set(self.queue.depth)
+            accepted = outcome in (
+                "accepted", "coalesced_dedup", "coalesced_cancel"
+            )
+            if accepted and self.batcher.should_flush(
+                self.queue.depth, self.queue.oldest_enqueued_at(), now
+            ):
+                self._flush_locked(now)
+            return SubmitResponse(accepted, outcome)
+
+    def query(
+        self,
+        kind: str,
+        payload: Any = None,
+        consistency: str = "snapshot",
+    ) -> Any:
+        """Answer a read against the maintained output.
+
+        Kinds: ``"size"``, ``"edges"``, ``"contains"`` (payload = edge),
+        ``"distance"`` / ``"connected"`` (payload = ``(u, v)``, BFS over
+        the snapshot).  ``consistency="fresh"`` flushes pending updates
+        first (read-your-writes); the default answers from the last
+        flushed snapshot.
+        """
+        with self._lock:
+            if consistency == "fresh":
+                self.flush()
+            elif consistency != "snapshot":
+                raise ValueError(f"unknown consistency {consistency!r}")
+            self.metrics.counter("requests_query").inc()
+            snap = self._snapshot
+            if kind == "size":
+                return len(snap)
+            if kind == "edges":
+                return set(snap)
+            if kind == "contains":
+                u, v = payload
+                e = (u, v) if u < v else (v, u)
+                return e in snap
+            if kind in ("distance", "connected"):
+                u, v = payload
+                adj = self._adjacency()
+                if u == v:
+                    d = 0
+                elif u not in adj:
+                    d = None  # isolated vertex: unreachable
+                else:
+                    d = bfs_distances(adj, u).get(v)
+                if kind == "connected":
+                    return d is not None
+                return float("inf") if d is None else float(d)
+            raise ValueError(f"unknown query kind {kind!r}")
+
+    # -- flushing ------------------------------------------------------------
+
+    def pump(self, now: float | None = None) -> bool:
+        """Flush if the batcher says it is due; returns True if it flushed."""
+        with self._lock:
+            if now is None:
+                now = self._clock()
+            if self.batcher.should_flush(
+                self.queue.depth, self.queue.oldest_enqueued_at(), now
+            ):
+                self._flush_locked(now)
+                return True
+            return False
+
+    def flush(self) -> DrainResult | None:
+        """Unconditionally drain and apply whatever is pending."""
+        with self._lock:
+            if self.queue.depth == 0:
+                return None
+            return self._flush_locked(self._clock())
+
+    def _flush_locked(self, now: float) -> DrainResult:
+        drained = self.queue.drain(now=now)
+        m = self.metrics
+        if drained.batch.size:
+            # latency is real wall time even when flush *decisions* run on
+            # an injected (possibly simulated) clock
+            t0 = time.perf_counter()
+            result = self.executor.apply(drained.batch)
+            latency = time.perf_counter() - t0
+            self.batcher.record_flush(drained.batch.size, result.work)
+            self._snapshot -= result.delta_del
+            self._snapshot |= result.delta_ins
+            if self._adj is not None:
+                for a, b in result.delta_del:
+                    self._adj[a].discard(b)
+                    self._adj[b].discard(a)
+                for a, b in result.delta_ins:
+                    self._adj.setdefault(a, set()).add(b)
+                    self._adj.setdefault(b, set()).add(a)
+            m.counter("flushes").inc()
+            m.counter("ops_applied").inc(drained.batch.size)
+            m.histogram("batch_size").observe(drained.batch.size)
+            m.histogram("flush_latency_s").observe(latency)
+            m.histogram("batch_work").observe(result.work)
+            m.histogram("batch_critical_work").observe(result.critical_work)
+            m.histogram("batch_depth").observe(result.depth)
+        m.counter("ops_coalesced_away").inc(drained.coalesced_away)
+        m.counter("ops_expired").inc(drained.expired_ops)
+        m.histogram("coalesce_ratio").observe(drained.coalesce_ratio)
+        m.gauge("queue_depth").set(self.queue.depth)
+        m.gauge("adaptive_max_batch").set(self.batcher.current_max_batch)
+        return drained
+
+    # -- background flusher --------------------------------------------------
+
+    def start(self) -> None:
+        """Run a daemon thread that enforces the latency deadline."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.is_set():
+                with self._lock:
+                    now = self._clock()
+                    wait = self.batcher.seconds_until_deadline(
+                        self.queue.oldest_enqueued_at(), now
+                    )
+                    if wait <= 0.0:
+                        self._flush_locked(now)
+                        wait = self.config.batcher.max_delay
+                self._stop.wait(min(wait, self.config.batcher.max_delay))
+
+        self._thread = threading.Thread(
+            target=loop, name="repro-service-flusher", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the background flusher and apply any remaining updates."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self.flush()
+
+    def close(self) -> None:
+        """Stop the flusher and shut the executor down."""
+        self.stop()
+        self.executor.close()
+
+    def __enter__(self) -> "SpannerService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- inspection ----------------------------------------------------------
+
+    def snapshot_edges(self) -> set[Edge]:
+        """The output edge set as of the last flush."""
+        with self._lock:
+            return set(self._snapshot)
+
+    def graph_edges(self) -> set[Edge]:
+        """The *graph* edge set implied by every applied batch."""
+        with self._lock:
+            return self.queue.live_edges
+
+    def _adjacency(self) -> dict[int, set[int]]:
+        if self._adj is None:
+            adj: dict[int, set[int]] = {}
+            for a, b in self._snapshot:
+                adj.setdefault(a, set()).add(b)
+                adj.setdefault(b, set()).add(a)
+            self._adj = adj
+        return self._adj

@@ -1,0 +1,185 @@
+"""Lightweight counters/histograms registry for the serving engine.
+
+No external metrics stack: a :class:`Counter` is an integer, a
+:class:`Histogram` keeps a bounded reservoir of observations plus exact
+count/sum/min/max, and a :class:`MetricsRegistry` names them and renders a
+summary table.  The engine exports queue depth, batch size, coalesce
+ratio, flush latency, shed count, and per-batch work/depth through one
+registry (see :meth:`repro.service.engine.SpannerService.metrics`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (>= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A metric that can go up and down (e.g. current queue depth)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the gauge's current value."""
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Distribution metric with exact count/sum/min/max and sampled
+    percentiles.
+
+    Keeps at most ``reservoir`` observations; once full, every k-th
+    observation replaces a rotating slot (deterministic decimation, so
+    summaries reproduce run-to-run for seeded workloads).
+    """
+
+    __slots__ = ("name", "_samples", "_reservoir", "_count", "_sum",
+                 "_min", "_max", "_slot")
+
+    def __init__(self, name: str, reservoir: int = 4096) -> None:
+        self.name = name
+        self._reservoir = reservoir
+        self._samples: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._slot = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if len(self._samples) < self._reservoir:
+            self._samples.append(value)
+        else:
+            self._samples[self._slot] = value
+            self._slot = (self._slot + 1) % self._reservoir
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Sampled p-th percentile (0 <= p <= 100); 0.0 when empty."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def summary(self) -> dict[str, float]:
+        """count/mean/p50/p99/min/max of the distribution."""
+        if not self._count:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0,
+                    "min": 0.0, "max": 0.0}
+        return {
+            "count": self._count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "min": self._min,
+            "max": self._max,
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with a printable summary."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str, reservoir: int = 4096) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name, reservoir=reservoir)
+        return self._histograms[name]
+
+    def snapshot(self) -> dict[str, Any]:
+        """All metric values as one flat dict (tests, JSON export)."""
+        out: dict[str, Any] = {}
+        for name, c in sorted(self._counters.items()):
+            out[name] = c.value
+        for name, g in sorted(self._gauges.items()):
+            out[name] = g.value
+        for name, h in sorted(self._histograms.items()):
+            for key, val in h.summary().items():
+                out[f"{name}.{key}"] = val
+        return out
+
+    def render(self) -> str:
+        """Human-readable metrics summary (the CLI's closing table)."""
+        from repro.harness import format_table
+
+        lines: list[str] = []
+        scalar_rows = [
+            {"metric": name, "value": c.value}
+            for name, c in sorted(self._counters.items())
+        ] + [
+            {"metric": name, "value": round(g.value, 4)}
+            for name, g in sorted(self._gauges.items())
+        ]
+        if scalar_rows:
+            lines.append(format_table(scalar_rows, "service counters"))
+        hist_rows = []
+        for name, h in sorted(self._histograms.items()):
+            row: dict[str, Any] = {"histogram": name}
+            row.update(
+                {k: round(v, 4) for k, v in h.summary().items()}
+            )
+            hist_rows.append(row)
+        if hist_rows:
+            lines.append(format_table(hist_rows, "service histograms"))
+        return "\n\n".join(lines) if lines else "(no metrics)"

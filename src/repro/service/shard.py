@@ -1,0 +1,253 @@
+"""Sharded executor: S independent structure instances in worker processes.
+
+The paper's structures share no state across disjoint edge sets, so the
+engine can escape the GIL by hash-partitioning edges over ``S`` shards,
+each a full structure instance on the common vertex set, running in its
+own ``multiprocessing`` worker.  A flush scatters the coalesced batch into
+per-shard sub-batches (shards apply them in parallel), then gathers the
+``(δ_ins, δ_del)`` deltas plus cost-model work/depth; shard work *sums*
+while shard depth *maxes*, exactly the cost model's parallel-composition
+rule.
+
+``processes=False`` runs the same protocol in-process (deterministic, no
+fork needed) — tests and the benchmark baseline use it; the CLI demo uses
+real processes where the platform provides them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Any
+
+from repro.graph.dynamic_graph import Edge
+from repro.pram.cost import CostModel
+from repro.service.engine import ApplyResult, build_backend
+from repro.workloads.streams import UpdateBatch
+
+__all__ = ["ShardedExecutor", "edge_shard", "split_by_shard"]
+
+
+def edge_shard(edge: Edge, shards: int) -> int:
+    """Deterministic edge → shard router (stable across processes)."""
+    u, v = edge
+    return (u * 1_000_003 + v * 8_191) % shards
+
+
+def split_by_shard(
+    edges: list[Edge] | tuple[Edge, ...], shards: int
+) -> list[list[Edge]]:
+    """Partition ``edges`` into per-shard lists via :func:`edge_shard`."""
+    out: list[list[Edge]] = [[] for _ in range(shards)]
+    for e in edges:
+        out[edge_shard(e, shards)].append(e)
+    return out
+
+
+def _serve_backend(conn, spec: dict[str, Any]) -> None:
+    """Worker loop: build the backend, answer update/query messages."""
+    cost = CostModel()
+    backend = build_backend(spec, cost)
+    while True:
+        msg = conn.recv()
+        cmd = msg[0]
+        if cmd == "update":
+            _, ins, dels = msg
+            with cost.frame() as fr:
+                d_ins, d_del = backend.update(insertions=ins, deletions=dels)
+            conn.send((set(d_ins), set(d_del), fr.work, fr.depth))
+        elif cmd == "edges":
+            conn.send(backend.output_edges())
+        elif cmd == "size":
+            conn.send(len(backend.output_edges()))
+        elif cmd == "stop":
+            conn.send(("bye",))
+            conn.close()
+            return
+        else:  # pragma: no cover - protocol misuse
+            conn.send(ValueError(f"unknown command {cmd!r}"))
+
+
+class _ProcessShard:
+    """One worker process plus its parent-side pipe end."""
+
+    def __init__(self, spec: dict[str, Any], ctx) -> None:
+        self.conn, child = ctx.Pipe()
+        self.proc = ctx.Process(
+            target=_serve_backend, args=(child, spec), daemon=True
+        )
+        self.proc.start()
+        child.close()
+
+    def send(self, msg) -> None:
+        self.conn.send(msg)
+
+    def recv(self):
+        return self.conn.recv()
+
+    def close(self) -> None:
+        try:
+            self.conn.send(("stop",))
+            self.conn.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+        self.proc.join(timeout=5.0)
+        if self.proc.is_alive():  # pragma: no cover - hung worker
+            self.proc.terminate()
+        self.conn.close()
+
+
+class _InprocShard:
+    """Same message protocol, executed synchronously in-process."""
+
+    def __init__(self, spec: dict[str, Any]) -> None:
+        self._cost = CostModel()
+        self._backend = build_backend(spec, self._cost)
+        self._reply = None
+
+    def send(self, msg) -> None:
+        cmd = msg[0]
+        if cmd == "update":
+            _, ins, dels = msg
+            with self._cost.frame() as fr:
+                d_ins, d_del = self._backend.update(
+                    insertions=ins, deletions=dels
+                )
+            self._reply = (set(d_ins), set(d_del), fr.work, fr.depth)
+        elif cmd == "edges":
+            self._reply = self._backend.output_edges()
+        elif cmd == "size":
+            self._reply = len(self._backend.output_edges())
+        elif cmd == "stop":
+            self._reply = ("bye",)
+        else:
+            raise ValueError(f"unknown command {cmd!r}")
+
+    def recv(self):
+        reply, self._reply = self._reply, None
+        return reply
+
+    def close(self) -> None:
+        pass
+
+
+class ShardedExecutor:
+    """Partition one backend spec across ``shards`` independent workers.
+
+    Parameters
+    ----------
+    spec:
+        Backend spec as for :func:`repro.service.engine.build_backend`;
+        its ``edges`` are routed to shards, and shard ``i`` gets
+        ``seed + i`` so instances stay independent yet reproducible.
+    shards:
+        Number of partitions (>= 1).
+    processes:
+        Run workers as real processes (parallel, needs a working
+        ``multiprocessing`` start method) or in-process (deterministic).
+    start_method:
+        Forwarded to :func:`multiprocessing.get_context`; defaults to
+        ``fork`` where available (cheap, inherits the parent image) else
+        the platform default.
+    """
+
+    def __init__(
+        self,
+        spec: dict[str, Any],
+        shards: int,
+        processes: bool = False,
+        start_method: str | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        self.processes = processes
+        base_seed = spec.get("seed", 0)
+        initial = [tuple(e) for e in spec.get("edges", ())]
+        parts = split_by_shard(initial, shards)
+        self.shard_specs: list[dict[str, Any]] = []
+        for i in range(shards):
+            sub = dict(spec)
+            sub["edges"] = parts[i]
+            sub["seed"] = base_seed + i
+            self.shard_specs.append(sub)
+        if processes:
+            if start_method is None:
+                methods = mp.get_all_start_methods()
+                start_method = "fork" if "fork" in methods else None
+            ctx = mp.get_context(start_method)
+            self._shards = [
+                _ProcessShard(s, ctx) for s in self.shard_specs
+            ]
+        else:
+            self._shards = [_InprocShard(s) for s in self.shard_specs]
+        # per-shard applied sub-batches, for offline replay verification
+        self.applied_batches: list[list[UpdateBatch]] = [
+            [] for _ in range(shards)
+        ]
+
+    # -- executor protocol ---------------------------------------------------
+
+    def initial_edges(self) -> set[Edge]:
+        """Union of every shard's construction edge set."""
+        return {e for s in self.shard_specs for e in s["edges"]}
+
+    def output_edges(self) -> set[Edge]:
+        """Alias for :meth:`gather_edges` (executor protocol)."""
+        return self.gather_edges()
+
+    def apply(self, batch: UpdateBatch) -> ApplyResult:
+        """Scatter the batch, apply on every touched shard, gather deltas."""
+        ins_parts = split_by_shard(batch.insertions, self.shards)
+        del_parts = split_by_shard(batch.deletions, self.shards)
+        touched = [
+            i for i in range(self.shards)
+            if ins_parts[i] or del_parts[i]
+        ]
+        for i in touched:  # scatter first: process shards run in parallel
+            self._shards[i].send(("update", ins_parts[i], del_parts[i]))
+        delta_ins: set[Edge] = set()
+        delta_del: set[Edge] = set()
+        work = 0
+        depth = 0
+        critical = 0
+        for i in touched:
+            d_ins, d_del, w, d = self._shards[i].recv()
+            self.applied_batches[i].append(
+                UpdateBatch(insertions=ins_parts[i], deletions=del_parts[i])
+            )
+            delta_ins |= d_ins
+            delta_del |= d_del
+            work += w
+            # shards are parallel: depth and critical-path work max
+            depth = max(depth, d)
+            critical = max(critical, w)
+        return ApplyResult(delta_ins, delta_del, work, depth,
+                           critical_work=critical)
+
+    # -- scatter/gather queries ----------------------------------------------
+
+    def gather_edges(self) -> set[Edge]:
+        """Union of every shard's output edges (scatter/gather)."""
+        for s in self._shards:
+            s.send(("edges",))
+        out: set[Edge] = set()
+        for s in self._shards:
+            out |= s.recv()
+        return out
+
+    def scatter_sizes(self) -> list[int]:
+        """Per-shard output sizes (occupancy diagnostics)."""
+        for s in self._shards:
+            s.send(("size",))
+        return [s.recv() for s in self._shards]
+
+    def close(self) -> None:
+        """Stop every worker and release their pipes."""
+        for s in self._shards:
+            s.close()
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,21 +1,27 @@
 """Workload (update-stream) generators for benchmarks and examples."""
 
 from repro.workloads.streams import (
+    OP_DELETE,
+    OP_INSERT,
     UpdateBatch,
     Workload,
     churn_stream,
     deletion_stream,
     insertion_stream,
     mixed_stream,
+    request_stream,
     sliding_window_stream,
 )
 
 __all__ = [
+    "OP_DELETE",
+    "OP_INSERT",
     "UpdateBatch",
     "Workload",
     "churn_stream",
     "deletion_stream",
     "insertion_stream",
     "mixed_stream",
+    "request_stream",
     "sliding_window_stream",
 ]

@@ -17,6 +17,8 @@ from repro.graph.dynamic_graph import Edge, norm_edge
 from repro.graph.generators import gnm_random_graph
 
 __all__ = [
+    "OP_INSERT",
+    "OP_DELETE",
     "UpdateBatch",
     "Workload",
     "deletion_stream",
@@ -24,7 +26,13 @@ __all__ = [
     "mixed_stream",
     "sliding_window_stream",
     "churn_stream",
+    "request_stream",
 ]
+
+#: Canonical op names for pending-operation sequences (see
+#: :meth:`UpdateBatch.coalesce` and :mod:`repro.service.queue`).
+OP_INSERT = "insert"
+OP_DELETE = "delete"
 
 
 @dataclass
@@ -35,6 +43,51 @@ class UpdateBatch:
     @property
     def size(self) -> int:
         return len(self.insertions) + len(self.deletions)
+
+    @classmethod
+    def coalesce(
+        cls, pending_ops: Iterable[tuple[str, Edge]]
+    ) -> "UpdateBatch":
+        """Fold an ordered ``(op, edge)`` sequence into one minimal batch.
+
+        This is the canonical coalescing routine shared by the workload
+        generators and the serving queue (:mod:`repro.service.queue`).  Per
+        edge, ops fold left-to-right:
+
+        * duplicate ops dedupe (``insert; insert`` → one insert),
+        * an insert followed by a delete cancels to nothing,
+        * a delete followed by an insert becomes a delete + re-insert (the
+          edge lands in *both* lists, which :meth:`Workload.replay` applies
+          deletions-first, so the batch stays legal).
+
+        If the input sequence is sequentially legal against some edge set
+        ``P`` (never deletes an absent edge, never inserts a present one),
+        the coalesced batch is legal against ``P`` too.
+        """
+        # per-edge net state: +1 insert, -1 delete, 2 delete-then-reinsert
+        state: dict[Edge, int] = {}
+        for op, edge in pending_ops:
+            s = state.get(edge)
+            if op == OP_INSERT:
+                if s is None:
+                    state[edge] = +1
+                elif s == -1:
+                    state[edge] = 2
+                # +1 or 2: duplicate insert dedupes
+            elif op == OP_DELETE:
+                if s is None:
+                    state[edge] = -1
+                elif s == +1:
+                    del state[edge]  # insert + delete cancel
+                elif s == 2:
+                    state[edge] = -1  # the re-insert cancels
+                # -1: duplicate delete dedupes
+            else:
+                raise ValueError(f"unknown op {op!r}")
+        return cls(
+            insertions=[e for e, s in state.items() if s in (+1, 2)],
+            deletions=[e for e, s in state.items() if s in (-1, 2)],
+        )
 
 
 @dataclass
@@ -54,6 +107,8 @@ class Workload:
         current = set(self.initial_edges)
         for batch in self.batches:
             for e in batch.deletions:
+                if e not in current:
+                    raise ValueError(f"deletion of absent edge {e}")
                 current.remove(e)
             for e in batch.insertions:
                 if e in current:
@@ -211,3 +266,72 @@ def churn_stream(
             added += 1
         batches.append(batch)
     return Workload(n, edges, batches)
+
+
+def request_stream(
+    n: int,
+    m: int,
+    num_requests: int,
+    seed: int | None = None,
+    query_prob: float = 0.1,
+    insert_prob: float = 0.5,
+    churn_prob: float = 0.15,
+    dup_prob: float = 0.02,
+) -> tuple[list[Edge], list[tuple[str, tuple[int, int]]]]:
+    """Client-request stream for the serving engine (:mod:`repro.service`).
+
+    Returns ``(initial_edges, requests)`` where each request is one of
+    ``("insert", edge)``, ``("delete", edge)``, or ``("query", (u, v))``.
+    Update requests are sequentially legal against the evolving edge set
+    (so a serving queue that applies them in order never sees an illegal
+    op), and with probability ``churn_prob`` a request targets an edge
+    touched by one of the last few updates — deliberately creating the
+    insert/delete bounce pairs that update coalescing collapses.  With
+    probability ``dup_prob`` an update is delivered twice back-to-back
+    (client retry), exercising the queue's dedup path.
+    """
+    rng = np.random.default_rng(seed)
+    edges = gnm_random_graph(n, m, seed=None if seed is None else seed + 1)
+    present = set(edges)
+    recent: list[Edge] = []
+    requests: list[tuple[str, tuple[int, int]]] = []
+    max_m = n * (n - 1) // 2
+    for _ in range(num_requests):
+        r = rng.random()
+        if r < query_prob:
+            u = int(rng.integers(0, n))
+            v = int(rng.integers(0, n))
+            requests.append(("query", (u, v)))
+            continue
+        edge: Edge | None = None
+        if recent and rng.random() < churn_prob:
+            edge = recent[int(rng.integers(0, len(recent)))]
+            op = OP_DELETE if edge in present else OP_INSERT
+        elif rng.random() < insert_prob and len(present) < max_m:
+            while True:
+                u = int(rng.integers(0, n))
+                v = int(rng.integers(0, n))
+                if u == v:
+                    continue
+                edge = norm_edge(u, v)
+                if edge not in present:
+                    break
+            op = OP_INSERT
+        elif present:
+            pool = sorted(present)
+            edge = pool[int(rng.integers(0, len(pool)))]
+            op = OP_DELETE
+        else:
+            continue
+        assert edge is not None
+        if op == OP_INSERT:
+            present.add(edge)
+        else:
+            present.remove(edge)
+        recent.append(edge)
+        if len(recent) > 16:
+            recent.pop(0)
+        requests.append((op, edge))
+        if rng.random() < dup_prob:
+            requests.append((op, edge))  # duplicate delivery
+    return edges, requests

@@ -1,0 +1,560 @@
+"""Tests for the asynchronous serving engine (``repro.service``).
+
+Covers the satellite checklist: coalescing correctness (cancellation,
+dedup), deadline-triggered flush, the backpressure rejection path, and a
+multiprocessing shard round trip (skip-marked on platforms without
+``fork``), plus snapshot consistency and the end-to-end serve demo.
+"""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.graph import gnm_random_graph
+from repro.service import (
+    AdmissionConfig,
+    AdmissionController,
+    AdaptiveBatcher,
+    BatcherConfig,
+    CoalescingQueue,
+    LocalExecutor,
+    MetricsRegistry,
+    ServeConfig,
+    ServiceConfig,
+    ShardedExecutor,
+    SpannerService,
+    build_backend,
+    edge_shard,
+    run_serve,
+    split_by_shard,
+)
+from repro.pram import CostModel
+from repro.service.queue import (
+    ACCEPTED,
+    COALESCED_CANCEL,
+    COALESCED_DEDUP,
+    REJECTED_ABSENT,
+    REJECTED_DUPLICATE,
+)
+from repro.workloads import UpdateBatch, Workload, request_stream
+
+_HAS_FORK = "fork" in mp.get_all_start_methods()
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+# -- UpdateBatch.coalesce ----------------------------------------------------
+
+
+class TestCoalesceClassmethod:
+    def test_empty(self):
+        b = UpdateBatch.coalesce([])
+        assert b.insertions == [] and b.deletions == []
+
+    def test_plain_ops_pass_through(self):
+        b = UpdateBatch.coalesce(
+            [("insert", (0, 1)), ("delete", (2, 3))]
+        )
+        assert b.insertions == [(0, 1)]
+        assert b.deletions == [(2, 3)]
+
+    def test_insert_then_delete_cancels(self):
+        b = UpdateBatch.coalesce(
+            [("insert", (0, 1)), ("delete", (0, 1))]
+        )
+        assert b.size == 0
+
+    def test_duplicate_inserts_dedupe(self):
+        b = UpdateBatch.coalesce(
+            [("insert", (0, 1)), ("insert", (0, 1))]
+        )
+        assert b.insertions == [(0, 1)] and b.deletions == []
+
+    def test_duplicate_deletes_dedupe(self):
+        b = UpdateBatch.coalesce(
+            [("delete", (0, 1)), ("delete", (0, 1))]
+        )
+        assert b.deletions == [(0, 1)] and b.insertions == []
+
+    def test_delete_then_insert_is_replace(self):
+        b = UpdateBatch.coalesce(
+            [("delete", (0, 1)), ("insert", (0, 1))]
+        )
+        assert b.insertions == [(0, 1)] and b.deletions == [(0, 1)]
+
+    def test_replace_then_delete_collapses_to_delete(self):
+        b = UpdateBatch.coalesce(
+            [("delete", (0, 1)), ("insert", (0, 1)), ("delete", (0, 1))]
+        )
+        assert b.deletions == [(0, 1)] and b.insertions == []
+
+    def test_cancel_then_fresh_insert_survives(self):
+        b = UpdateBatch.coalesce(
+            [("insert", (0, 1)), ("delete", (0, 1)), ("insert", (0, 1))]
+        )
+        assert b.insertions == [(0, 1)] and b.deletions == []
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            UpdateBatch.coalesce([("upsert", (0, 1))])
+
+    def test_coalesced_batch_is_replay_legal(self):
+        ops = [
+            ("insert", (0, 2)), ("delete", (0, 1)), ("insert", (0, 1)),
+            ("insert", (1, 2)), ("delete", (1, 2)), ("delete", (2, 3)),
+        ]
+        batch = UpdateBatch.coalesce(ops)
+        w = Workload(5, [(0, 1), (2, 3)], [batch])
+        (_, final), = list(w.replay())
+        assert final == {(0, 1), (0, 2)}
+
+
+# -- CoalescingQueue ---------------------------------------------------------
+
+
+class TestCoalescingQueue:
+    def test_offer_outcomes(self):
+        q = CoalescingQueue(present=[(0, 1)], clock=FakeClock())
+        assert q.offer("insert", (1, 2)) == ACCEPTED
+        assert q.offer("insert", (1, 2)) == COALESCED_DEDUP
+        assert q.offer("delete", (1, 2)) == COALESCED_CANCEL
+        assert q.offer("insert", (0, 1)) == REJECTED_DUPLICATE
+        assert q.offer("delete", (4, 5)) == REJECTED_ABSENT
+        assert q.offer("delete", (0, 1)) == ACCEPTED
+        assert q.offer("delete", (0, 1)) == COALESCED_DEDUP
+
+    def test_offer_normalizes_edges(self):
+        q = CoalescingQueue(clock=FakeClock())
+        q.offer("insert", (3, 1))
+        assert q.pending_ops() == [("insert", (1, 3))]
+
+    def test_drain_applies_to_live_view(self):
+        q = CoalescingQueue(present=[(0, 1)], clock=FakeClock())
+        q.offer("delete", (0, 1))
+        q.offer("insert", (1, 2))
+        res = q.drain()
+        assert res.batch.deletions == [(0, 1)]
+        assert res.batch.insertions == [(1, 2)]
+        assert q.live_edges == {(1, 2)}
+        assert q.depth == 0
+
+    def test_cancelled_pair_never_reaches_batch(self):
+        q = CoalescingQueue(clock=FakeClock())
+        q.offer("insert", (1, 2))
+        q.offer("delete", (1, 2))
+        res = q.drain()
+        assert res.batch.size == 0
+        assert res.raw_ops == 2
+        assert res.coalesced_away == 2
+        assert res.coalesce_ratio == 1.0
+
+    def test_validation_tracks_pending_not_just_live(self):
+        q = CoalescingQueue(present=[(0, 1)], clock=FakeClock())
+        q.offer("delete", (0, 1))
+        # effectively absent now: a delete is a dedupe, an insert is legal
+        assert not q.effectively_present((0, 1))
+        assert q.offer("insert", (0, 1)) == COALESCED_CANCEL
+        assert q.effectively_present((0, 1))
+
+    def test_drained_batches_replay_against_initial_edges(self):
+        edges, requests = request_stream(24, 60, 400, seed=9)
+        q = CoalescingQueue(present=edges, clock=FakeClock())
+        batches = []
+        for i, (op, payload) in enumerate(requests):
+            if op == "query":
+                continue
+            q.offer(op, payload)
+            if i % 37 == 0:
+                batches.append(q.drain().batch)
+        batches.append(q.drain().batch)
+        w = Workload(24, edges, batches)
+        final = set(edges)
+        for _, final in w.replay():
+            pass
+        assert final == q.live_edges
+
+    def test_timeout_expires_whole_edge_groups(self):
+        clk = FakeClock()
+        q = CoalescingQueue(clock=clk)
+        q.offer("insert", (0, 1), timeout=0.5)
+        clk.advance(1.0)
+        q.offer("insert", (2, 3), timeout=0.5)
+        res = q.drain()
+        assert res.expired_ops == 1
+        assert q.expired == 1
+        assert res.batch.insertions == [(2, 3)]
+        # the expired insert never applied: membership unchanged
+        assert q.live_edges == {(2, 3)}
+
+    def test_partial_group_expiry_keeps_group(self):
+        clk = FakeClock()
+        q = CoalescingQueue(present=[(0, 1)], clock=clk)
+        q.offer("delete", (0, 1), timeout=0.5)
+        clk.advance(1.0)
+        # fresh re-insert on the same edge: group must NOT be dropped,
+        # otherwise the (still wanted) re-insert would vanish
+        q.offer("insert", (0, 1), timeout=0.5)
+        res = q.drain()
+        assert res.expired_ops == 0
+        assert res.batch.deletions == [(0, 1)]
+        assert res.batch.insertions == [(0, 1)]
+
+
+# -- AdaptiveBatcher ---------------------------------------------------------
+
+
+class TestAdaptiveBatcher:
+    def test_size_trigger(self):
+        b = AdaptiveBatcher(BatcherConfig(max_batch=4, max_delay=10.0))
+        assert not b.should_flush(3, 0.0, 0.0)
+        assert b.should_flush(4, 0.0, 0.0)
+
+    def test_deadline_trigger(self):
+        b = AdaptiveBatcher(BatcherConfig(max_batch=100, max_delay=0.01))
+        assert not b.should_flush(1, 0.0, 0.005)
+        assert b.should_flush(1, 0.0, 0.01)
+
+    def test_empty_queue_never_flushes(self):
+        b = AdaptiveBatcher(BatcherConfig())
+        assert not b.should_flush(0, None, 1e9)
+
+    def test_adapts_max_batch_to_work(self):
+        cfg = BatcherConfig(
+            max_batch=64, target_batch_work=1000, min_batch=8,
+            max_batch_cap=512, ewma_alpha=1.0,
+        )
+        b = AdaptiveBatcher(cfg)
+        b.record_flush(batch_size=10, work=100)   # 10 work/op -> ideal 100
+        assert b.current_max_batch == 100
+        b.record_flush(batch_size=10, work=10000)  # 1000 work/op -> floor
+        assert b.current_max_batch == 8
+        b.record_flush(batch_size=10, work=10)     # 1 work/op -> ceiling
+        assert b.current_max_batch == 512
+
+    def test_seconds_until_deadline(self):
+        b = AdaptiveBatcher(BatcherConfig(max_delay=0.01))
+        assert b.seconds_until_deadline(None, 5.0) == 0.01
+        assert b.seconds_until_deadline(5.0, 5.004) == pytest.approx(0.006)
+        assert b.seconds_until_deadline(5.0, 6.0) == 0.0
+
+
+# -- AdmissionController -----------------------------------------------------
+
+
+class TestAdmission:
+    def test_admits_below_capacity(self):
+        a = AdmissionController(AdmissionConfig(max_pending=10))
+        d = a.admit(depth=9, flush_interval=0.01)
+        assert d.admitted and d.retry_after is None
+        assert a.shed_count == 0
+
+    def test_sheds_at_capacity_with_retry_after(self):
+        a = AdmissionController(AdmissionConfig(max_pending=10))
+        d = a.admit(depth=10, flush_interval=0.01)
+        assert not d.admitted
+        assert d.retry_after is not None and d.retry_after >= 0.01
+        assert a.shed_count == 1
+
+    def test_retry_after_grows_with_overflow(self):
+        a = AdmissionController(AdmissionConfig(max_pending=10))
+        small = a.admit(depth=10, flush_interval=0.01).retry_after
+        large = a.admit(depth=100, flush_interval=0.01).retry_after
+        assert large > small
+
+
+# -- metrics -----------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        m = MetricsRegistry()
+        m.counter("x").inc()
+        m.counter("x").inc(4)
+        m.gauge("g").set(2.5)
+        snap = m.snapshot()
+        assert snap["x"] == 5 and snap["g"] == 2.5
+        with pytest.raises(ValueError):
+            m.counter("x").inc(-1)
+
+    def test_histogram_percentiles(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat")
+        for i in range(1, 101):
+            h.observe(i)
+        assert h.count == 100
+        assert h.percentile(50) == pytest.approx(50, abs=1)
+        assert h.percentile(99) == pytest.approx(99, abs=1)
+        assert h.summary()["max"] == 100
+
+    def test_histogram_reservoir_bounded(self):
+        h = MetricsRegistry().histogram("x", reservoir=8)
+        for i in range(1000):
+            h.observe(i)
+        assert h.count == 1000
+        assert len(h._samples) == 8
+
+    def test_render_mentions_everything(self):
+        m = MetricsRegistry()
+        m.counter("shed").inc(3)
+        m.histogram("batch_size").observe(17)
+        out = m.render()
+        assert "shed" in out and "batch_size" in out and "p99" in out
+
+
+# -- SpannerService over a LocalExecutor -------------------------------------
+
+
+def _local_service(n=32, m=96, seed=5, **batcher_kw):
+    edges = gnm_random_graph(n, m, seed=seed)
+    spec = {"kind": "spanner", "n": n, "edges": edges, "seed": seed,
+            "k": 2, "base_capacity": 16}
+    clk = FakeClock()
+    svc = SpannerService(
+        LocalExecutor(spec),
+        config=ServiceConfig(
+            batcher=BatcherConfig(**batcher_kw) if batcher_kw
+            else BatcherConfig(max_batch=8, max_delay=0.01),
+        ),
+        clock=clk,
+    )
+    return svc, clk, edges, spec
+
+
+class TestSpannerService:
+    def test_snapshot_hides_pending_updates(self):
+        svc, clk, edges, _ = _local_service()
+        before = svc.query("size")
+        svc.submit_update("delete", *edges[0])
+        assert svc.query("size") == before  # not flushed yet
+        svc.flush()
+        assert svc.graph_edges() == set(edges[1:])
+
+    def test_fresh_consistency_reads_own_writes(self):
+        svc, clk, edges, _ = _local_service()
+        e = edges[0]
+        assert svc.query("contains", e)
+        svc.submit_update("delete", *e)
+        assert not svc.query("contains", e, consistency="fresh")
+
+    def test_size_trigger_flushes_inline(self):
+        svc, clk, edges, _ = _local_service()
+        for e in edges[:8]:  # max_batch=8
+            svc.submit_update("delete", *e)
+        assert svc.queue.depth == 0
+        assert svc.metrics.snapshot()["flushes"] == 1
+
+    def test_deadline_trigger_via_pump(self):
+        svc, clk, edges, _ = _local_service()
+        svc.submit_update("delete", *edges[0])
+        assert not svc.pump()          # deadline not reached
+        clk.advance(0.02)              # > max_delay=0.01
+        assert svc.pump()
+        assert svc.graph_edges() == set(edges[1:])
+
+    def test_backpressure_sheds_with_retry_after(self):
+        edges = gnm_random_graph(16, 40, seed=1)
+        spec = {"kind": "spanner", "n": 16, "edges": edges, "seed": 1,
+                "k": 2, "base_capacity": 16}
+        svc = SpannerService(
+            LocalExecutor(spec),
+            config=ServiceConfig(
+                batcher=BatcherConfig(max_batch=100, max_delay=10.0),
+                admission=AdmissionConfig(max_pending=4),
+            ),
+            clock=FakeClock(),
+        )
+        responses = [
+            svc.submit_update("delete", *e) for e in edges[:6]
+        ]
+        assert [r.accepted for r in responses] == [True] * 4 + [False] * 2
+        shed = responses[-1]
+        assert shed.outcome == "shed"
+        assert shed.retry_after is not None and shed.retry_after > 0
+        assert svc.metrics.snapshot()["shed"] == 2
+        # after a flush the queue has room again
+        svc.flush()
+        assert svc.submit_update("delete", *edges[4]).accepted
+
+    def test_rejected_ops_do_not_enter_queue(self):
+        svc, clk, edges, _ = _local_service()
+        present = set(edges)
+        absent = next(
+            (u, v)
+            for u in range(32) for v in range(u + 1, 32)
+            if (u, v) not in present
+        )
+        bogus = svc.submit_update("delete", *absent)
+        assert not bogus.accepted
+        assert bogus.outcome == "rejected_absent"
+        assert svc.queue.depth == 0
+
+    def test_distance_query_matches_snapshot_bfs(self):
+        svc, clk, edges, _ = _local_service()
+        u, v = edges[0]
+        assert svc.query("distance", (u, v)) >= 1.0
+        assert svc.query("distance", (u, u)) == 0
+        assert svc.query("connected", (u, v))
+
+    def test_service_equivalent_to_synchronous_replay(self):
+        svc, clk, edges, spec = _local_service()
+        _, requests = request_stream(32, 0, 300, seed=8)
+        # drive requests whose edges exist/absent per the service view
+        for op, payload in requests:
+            if op == "query":
+                continue
+            clk.advance(0.001)
+            svc.pump()
+            svc.submit_update(op, *payload)
+        svc.flush()
+        rebuilt = build_backend(spec, CostModel())
+        for batch in svc.executor.applied_batches:
+            rebuilt.update(
+                insertions=batch.insertions, deletions=batch.deletions
+            )
+        assert rebuilt.output_edges() == svc.snapshot_edges()
+
+    def test_background_flusher_thread(self):
+        import time as _time
+
+        edges = gnm_random_graph(16, 40, seed=2)
+        spec = {"kind": "spanner", "n": 16, "edges": edges, "seed": 2,
+                "k": 2, "base_capacity": 16}
+        svc = SpannerService(
+            LocalExecutor(spec),
+            config=ServiceConfig(
+                batcher=BatcherConfig(max_batch=1000, max_delay=0.01),
+            ),
+        )  # real clock
+        svc.start()
+        try:
+            svc.submit_update("delete", *edges[0])
+            deadline = _time.monotonic() + 2.0
+            while svc.queue.depth and _time.monotonic() < deadline:
+                _time.sleep(0.005)
+            assert svc.queue.depth == 0, "flusher thread never fired"
+        finally:
+            svc.stop()
+        assert svc.graph_edges() == set(edges[1:])
+
+
+# -- sharded executor --------------------------------------------------------
+
+
+class TestShardRouting:
+    def test_router_is_total_and_stable(self):
+        edges = gnm_random_graph(40, 200, seed=3)
+        for s in (1, 2, 5):
+            parts = split_by_shard(edges, s)
+            assert sum(len(p) for p in parts) == len(edges)
+            for i, part in enumerate(parts):
+                for e in part:
+                    assert edge_shard(e, s) == i
+
+    def test_reasonable_balance(self):
+        edges = gnm_random_graph(64, 600, seed=4)
+        parts = split_by_shard(edges, 4)
+        sizes = [len(p) for p in parts]
+        assert min(sizes) > 0.5 * (600 / 4)
+
+
+class TestShardedExecutorInproc:
+    def test_matches_unsharded_graph(self):
+        edges = gnm_random_graph(32, 120, seed=6)
+        spec = {"kind": "spanner", "n": 32, "edges": edges, "seed": 6,
+                "k": 2, "base_capacity": 16}
+        ex = ShardedExecutor(spec, shards=3, processes=False)
+        assert ex.initial_edges() == set(edges)
+        batch = UpdateBatch(deletions=edges[:30])
+        res = ex.apply(batch)
+        assert res.work >= res.critical_work > 0
+        # graph semantics: shards jointly hold exactly the surviving edges
+        union_after = ex.gather_edges()
+        w = Workload(32, edges, [batch])
+        (_, final), = list(w.replay())
+        # spanner edges are a subgraph of the survivors
+        assert union_after <= final
+        assert sum(ex.scatter_sizes()) == len(union_after)
+        ex.close()
+
+    def test_per_shard_seeds_differ(self):
+        spec = {"kind": "spanner", "n": 8, "edges": [], "seed": 5, "k": 2}
+        ex = ShardedExecutor(spec, shards=3, processes=False)
+        assert [s["seed"] for s in ex.shard_specs] == [5, 6, 7]
+        ex.close()
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            ShardedExecutor({"kind": "spanner", "n": 4}, shards=0)
+
+
+@pytest.mark.skipif(not _HAS_FORK, reason="platform lacks fork")
+class TestShardedExecutorMultiprocessing:
+    def test_round_trip_smoke(self):
+        edges = gnm_random_graph(24, 80, seed=7)
+        spec = {"kind": "spanner", "n": 24, "edges": edges, "seed": 7,
+                "k": 2, "base_capacity": 16}
+        with ShardedExecutor(
+            spec, shards=2, processes=True, start_method="fork"
+        ) as ex:
+            before = ex.gather_edges()
+            assert before  # workers answered
+            res = ex.apply(UpdateBatch(deletions=edges[:10]))
+            assert res.work > 0
+            after = ex.gather_edges()
+            assert after == (before - res.delta_del) | res.delta_ins
+            # identical to the in-process execution of the same batches
+            ref = ShardedExecutor(spec, shards=2, processes=False)
+            ref.apply(UpdateBatch(deletions=edges[:10]))
+            assert ref.gather_edges() == after
+            ref.close()
+
+
+# -- end-to-end serve demo ---------------------------------------------------
+
+
+class TestServeDemo:
+    def test_small_run_verifies(self):
+        cfg = ServeConfig(
+            n=48, m=160, requests=1200, shards=2, processes=False, seed=13
+        )
+        report = run_serve(cfg)
+        assert report.verified
+        assert report.served >= 1200
+        assert report.applied_ops > 0
+        assert report.flushes > 0
+        assert report.coalesced > 0
+        assert report.shed > 0  # bursts overflow the bounded queue
+        assert report.metrics["coalesce_ratio.count"] > 0
+        assert "flush_latency_s" in report.metrics_text
+
+    def test_sparsifier_backend(self):
+        cfg = ServeConfig(
+            n=32, m=120, requests=400, shards=2, processes=False,
+            seed=2, backend="sparsifier", burst_every=0,
+        )
+        report = run_serve(cfg)
+        assert report.verified
+        assert report.applied_ops > 0
+
+    def test_cli_serve_command(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "serve", "--n", "48", "--m", "160", "--requests", "800",
+            "--shards", "2", "--no-processes", "--seed", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "repro serve" in out
+        assert "coalesce_ratio" in out
+        assert "shed" in out
+        assert "verification: OK" in out

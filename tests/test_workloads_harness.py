@@ -6,6 +6,8 @@ from repro.harness import RunStats, format_table, run_workload
 from repro.pram import CostModel
 from repro.spanner import FullyDynamicSpanner
 from repro.workloads import (
+    UpdateBatch,
+    Workload,
     churn_stream,
     deletion_stream,
     insertion_stream,
@@ -58,6 +60,27 @@ class TestStreams:
         for batch, edges in w.replay():
             sp.update(insertions=batch.insertions, deletions=batch.deletions)
             assert sp.m == len(edges)
+
+
+class TestReplayValidation:
+    def test_duplicate_insertion_raises_value_error(self):
+        w = Workload(4, [(0, 1)], [UpdateBatch(insertions=[(0, 1)])])
+        with pytest.raises(ValueError, match="duplicate insertion"):
+            list(w.replay())
+
+    def test_absent_deletion_raises_value_error_with_edge(self):
+        # regression: used to surface as a bare KeyError from set.remove
+        w = Workload(4, [(0, 1)], [UpdateBatch(deletions=[(2, 3)])])
+        with pytest.raises(ValueError, match=r"absent edge \(2, 3\)"):
+            list(w.replay())
+
+    def test_delete_then_reinsert_in_one_batch_is_legal(self):
+        w = Workload(
+            4, [(0, 1)],
+            [UpdateBatch(insertions=[(0, 1)], deletions=[(0, 1)])],
+        )
+        (_, final), = list(w.replay())
+        assert final == {(0, 1)}
 
 
 class TestHarness:
