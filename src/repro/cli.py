@@ -265,13 +265,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.no_verify:
         print("\nverification: skipped (--no-verify)")
         return 0
-    status = "OK" if report.verified else "FAILED"
-    print(
-        f"\nverification: {status} — replaying the applied coalesced "
-        "batches synchronously reproduces the served edge set "
-        f"{'exactly' if report.verified else '!= served snapshot'}"
+    if report.verified:
+        print(
+            "\nverification: OK — the differential oracle replayed every "
+            "applied coalesced batch and reproduced the served state exactly"
+        )
+        return 0
+    print(f"\n{report.verification}")
+    return 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.oracle import STRUCTURES, emit_pytest_case, write_pytest_case
+    from repro.oracle.fuzz import FuzzConfig, run_fuzz
+
+    structures = tuple(sorted(STRUCTURES))
+    if args.structures:
+        structures = tuple(args.structures.split(","))
+        unknown = [s for s in structures if s not in STRUCTURES]
+        if unknown:
+            print(f"unknown structures {unknown}; "
+                  f"choose from {sorted(STRUCTURES)}", file=sys.stderr)
+            return 2
+    seeds = args.seeds
+    time_budget = args.time_budget
+    if args.smoke:
+        # CI-friendly: small deterministic sweep, hard-capped at a minute
+        seeds = min(seeds, 10)
+        time_budget = 60.0 if time_budget is None else min(time_budget, 60.0)
+    cfg = FuzzConfig(
+        seeds=seeds,
+        structures=structures,
+        time_budget=time_budget,
+        max_n=args.max_n,
+        shrink=not args.no_shrink,
     )
-    return 0 if report.verified else 1
+    report = run_fuzz(cfg, log=lambda msg: print(f"[fuzz] {msg}"))
+    print(format_table(
+        report.rows(),
+        title=f"repro fuzz: differential oracle, {seeds} seed(s)/structure",
+    ))
+    print(f"\nwall time: {report.wall_seconds:.1f}s")
+    if report.ok:
+        print("no divergences — every structure matches the replay oracle, "
+              "the static baselines, and the paper envelopes")
+        return 0
+    for div in report.divergences:
+        print(f"\nDIVERGENCE {div}")
+        if args.emit_dir:
+            path = write_pytest_case(div, args.emit_dir)
+            print(f"reproducer written to {path}")
+        else:
+            print("--- minimized pytest reproducer ---")
+            print(emit_pytest_case(div))
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -364,6 +411,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-verify", action="store_true",
                    help="skip the synchronous replay verification")
     p.set_defaults(func=_cmd_serve, processes=True)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing oracle: cross-check every dynamic "
+             "structure against replay + static baselines + envelopes",
+    )
+    p.add_argument("--seeds", type=int, default=20,
+                   help="random workloads per structure")
+    p.add_argument("--structures", type=str, default=None,
+                   help="comma-separated subset (default: all registered)")
+    p.add_argument("--max-n", type=int, default=40,
+                   help="largest vertex count to fuzz")
+    p.add_argument("--time-budget", type=float, default=None,
+                   help="soft wall-clock cap in seconds")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI mode: at most 10 seeds and a 60s budget")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report divergences without minimizing them")
+    p.add_argument("--emit-dir", type=str, default=None,
+                   help="write minimized reproducers as pytest files here")
+    p.set_defaults(func=_cmd_fuzz)
 
     return parser
 

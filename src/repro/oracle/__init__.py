@@ -1,0 +1,34 @@
+"""Differential fuzzing and invariant-checking oracle.
+
+Cross-checks every dynamic structure in the package against (a) the
+:meth:`Workload.replay` edge-set ground truth, (b) from-scratch static
+baselines (Baswana–Sen, incremental greedy, union-find), and (c) the
+paper's quantitative invariants (stretch, size, recourse, depth).  On
+divergence the workload is shrunk to a minimal reproducer and emitted as
+a pytest case.  See ``docs/fuzzing.md``.
+"""
+
+from repro.oracle.adapters import STRUCTURES, OracleAdapter, make_adapter
+from repro.oracle.emit import emit_pytest_case, write_pytest_case
+from repro.oracle.fuzz import FuzzConfig, FuzzReport, check_workload, run_fuzz
+from repro.oracle.service import ServiceVerification, verify_service
+from repro.oracle.shrink import shrink_divergence, shrink_workload
+from repro.oracle.violations import Divergence, Violation
+
+__all__ = [
+    "Divergence",
+    "FuzzConfig",
+    "FuzzReport",
+    "OracleAdapter",
+    "STRUCTURES",
+    "ServiceVerification",
+    "Violation",
+    "check_workload",
+    "emit_pytest_case",
+    "make_adapter",
+    "run_fuzz",
+    "shrink_divergence",
+    "shrink_workload",
+    "verify_service",
+    "write_pytest_case",
+]

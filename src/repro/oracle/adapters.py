@@ -1,0 +1,564 @@
+"""Uniform oracle adapters over every dynamic structure in the package.
+
+Each adapter wraps one structure behind the same four-method surface the
+differential fuzzer drives:
+
+* ``apply(batch)`` — one update batch, returning the net output delta,
+* ``output_edges()`` — the maintained output (spanner / sparsifier /
+  forest),
+* ``graph_edges()`` — the structure's *own* view of the current graph
+  (``None`` when the structure does not track one; the fuzzer then only
+  checks the output against the replay ground truth),
+* ``violations(graph, batch_index, deep)`` — structure-specific checks:
+  internal invariants every batch, plus the expensive differential ones
+  (stretch via :mod:`repro.verify`, static Baswana–Sen / greedy baseline,
+  union-find connectivity) when ``deep`` is set.
+
+Adapters also run under a :class:`~repro.pram.cost.CostModel` so the fuzz
+loop can hold per-batch depth against the paper's poly(log n) envelope.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.graph.dynamic_graph import Edge, norm_edge
+from repro.oracle.invariants import (
+    check_forest,
+    check_output_subset,
+    check_same_components,
+    check_size,
+    check_spanner_stretch,
+    components_of,
+    depth_envelope,
+    recourse_envelope,
+    size_envelope_spanner,
+    size_envelope_ultrasparse,
+)
+from repro.oracle.violations import Violation
+from repro.pram.cost import CostModel
+from repro.workloads.streams import UpdateBatch
+
+__all__ = ["OracleAdapter", "STRUCTURES", "make_adapter"]
+
+
+class OracleAdapter:
+    """Base adapter; subclasses wrap one concrete structure."""
+
+    name = "abstract"
+    deletions_only = False
+
+    def __init__(self, n: int, edges: list[Edge], seed: int,
+                 params: dict[str, Any]) -> None:
+        self.n = n
+        self.seed = seed
+        self.params = dict(params)
+        self.cost = CostModel()
+        self.last_depth = 0
+        self.total_recourse = 0
+        self.total_updates = 0
+        self.initial_output = 0
+        self._build(n, edges, seed)
+        self.initial_output = len(self.output_edges())
+
+    # -- to implement --------------------------------------------------------
+
+    def _build(self, n: int, edges: list[Edge], seed: int) -> None:
+        raise NotImplementedError
+
+    def _apply(self, batch: UpdateBatch) -> tuple[set[Edge], set[Edge]]:
+        raise NotImplementedError
+
+    def output_edges(self) -> set[Edge]:
+        """The maintained output (spanner / sparsifier / forest) edges."""
+        raise NotImplementedError
+
+    def graph_edges(self) -> set[Edge] | None:
+        """The structure's own graph view; ``None`` if it tracks none."""
+        return None
+
+    def check_internal(self) -> None:
+        """Run the structure's own ``check_invariants`` (may raise)."""
+
+    def _structure_violations(
+        self, graph: set[Edge], deep: bool
+    ) -> list[Violation]:
+        return []
+
+    # -- driver surface ------------------------------------------------------
+
+    def apply(self, batch: UpdateBatch) -> tuple[set[Edge], set[Edge]]:
+        """Apply one batch under cost accounting; tracks recourse/depth."""
+        with self.cost.frame() as fr:
+            ins, dels = self._apply(batch)
+        self.last_depth = fr.depth
+        self.total_recourse += len(ins) + len(dels)
+        self.total_updates += batch.size
+        return set(ins), set(dels)
+
+    def violations(
+        self, graph: set[Edge], batch_index: int, deep: bool
+    ) -> list[Violation]:
+        """All structure-specific violations against ground truth ``graph``."""
+        out: list[Violation] = []
+        try:
+            self.check_internal()
+        except AssertionError as exc:
+            out.append(Violation(
+                "internal-invariant", f"check_invariants failed: {exc!r}"
+            ))
+        v = self._depth_violation()
+        if v is not None:
+            out.append(v)
+        out.extend(self._structure_violations(graph, deep))
+        for viol in out:
+            viol.batch_index = batch_index
+        return out
+
+    def _depth_bound(self) -> float:
+        return depth_envelope(self.n, int(self.params.get("k", 2)))
+
+    def _depth_violation(self) -> Violation | None:
+        bound = self._depth_bound()
+        if self.last_depth > bound:
+            return Violation(
+                "depth-envelope",
+                f"batch depth {self.last_depth} > poly(log n) envelope "
+                f"{bound:.0f}",
+            )
+        return None
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def _graph_view_violation(
+    tracked: set[Edge] | None, graph: set[Edge]
+) -> Violation | None:
+    if tracked is None or tracked == graph:
+        return None
+    missing = graph - tracked
+    extra = tracked - graph
+    return Violation(
+        "graph-view-drift",
+        f"structure's edge view drifted from replay: missing "
+        f"{sorted(missing)[:3]} extra {sorted(extra)[:3]}",
+    )
+
+
+def _spanner_baseline_violations(
+    n: int, graph: set[Edge], out_size: int, k: int, seed: int
+) -> list[Violation]:
+    """Differential comparison against trusted static constructions.
+
+    Baswana–Sen and incremental greedy rebuilt from scratch on the current
+    edge set give an independent size reference: the dynamic structure may
+    pay its O(log n) dynamization overhead but must stay within a generous
+    multiple of the static result.
+    """
+    from repro.spanner.incremental_greedy import IncrementalGreedySpanner
+    from repro.spanner.static_baswana_sen import baswana_sen_spanner
+
+    viols: list[Violation] = []
+    static = baswana_sen_spanner(n, sorted(graph), k, seed=seed)
+    v = check_spanner_stretch(
+        n, graph, static, 2 * k - 1, what="static Baswana-Sen baseline"
+    )
+    if v is not None:
+        # the trusted baseline itself failing means the verifier and the
+        # baseline disagree — either way the toolchain is broken
+        v.kind = "baseline-broken"
+        viols.append(v)
+    greedy = IncrementalGreedySpanner(n, sorted(graph), k=k)
+    ref = max(len(static), greedy.spanner_size(), n)
+    lg = math.log2(max(n, 4))
+    if out_size > 16.0 * lg * ref + 64.0:
+        viols.append(Violation(
+            "size-vs-static",
+            f"dynamic spanner has {out_size} edges vs static baselines "
+            f"(BS={len(static)}, greedy={greedy.spanner_size()}) — "
+            f"exceeds the O(log n) dynamization envelope",
+        ))
+    return viols
+
+
+# -- concrete adapters -------------------------------------------------------
+
+
+class FullyDynamicSpannerAdapter(OracleAdapter):
+    """Theorem 1.1 fully-dynamic (2k−1)-spanner."""
+
+    name = "spanner"
+
+    def _build(self, n, edges, seed):
+        from repro.spanner.fully_dynamic import FullyDynamicSpanner
+
+        self.k = int(self.params.get("k", 2))
+        self.s = FullyDynamicSpanner(
+            n, edges, k=self.k, seed=seed, cost=self.cost,
+            base_capacity=self.params.get("base_capacity"),
+            restart_every=self.params.get("restart_every"),
+        )
+
+    def _apply(self, batch):
+        return self.s.update(batch.insertions, batch.deletions)
+
+    def output_edges(self):
+        return self.s.spanner_edges()
+
+    def graph_edges(self):
+        return self.s.edges()
+
+    def check_internal(self):
+        self.s.check_invariants()
+        assert self.s.spanner_size() == len(self.s.spanner_edges()), \
+            "spanner_size() disagrees with spanner_edges()"
+
+    def _structure_violations(self, graph, deep):
+        out = self.output_edges()
+        viols: list[Violation] = []
+        for v in (
+            _graph_view_violation(self.graph_edges(), graph),
+            check_output_subset(graph, out),
+            check_size(len(out), size_envelope_spanner(self.n, self.k)),
+            Violation(
+                "recourse-envelope",
+                f"cumulative recourse {self.total_recourse} > envelope",
+            ) if self.total_recourse > recourse_envelope(
+                self.n, self.k, self.total_updates, self.initial_output
+            ) else None,
+        ):
+            if v is not None:
+                viols.append(v)
+        if deep:
+            v = check_spanner_stretch(self.n, graph, out, 2 * self.k - 1)
+            if v is not None:
+                viols.append(v)
+            viols.extend(_spanner_baseline_violations(
+                self.n, graph, len(out), self.k, self.seed
+            ))
+        return viols
+
+
+class DecrementalSpannerAdapter(OracleAdapter):
+    """Lemma 3.3 decremental (2k−1)-spanner (deletion streams only)."""
+
+    name = "decremental"
+    deletions_only = True
+
+    def _build(self, n, edges, seed):
+        from repro.spanner.decremental import DecrementalSpanner
+
+        self.k = int(self.params.get("k", 2))
+        self._graph = set(edges)
+        self.s = DecrementalSpanner(n, edges, self.k, seed=seed,
+                                    cost=self.cost)
+
+    def _apply(self, batch):
+        assert not batch.insertions, "decremental structure fed insertions"
+        self._graph -= set(batch.deletions)
+        return self.s.batch_delete(batch.deletions)
+
+    def output_edges(self):
+        return self.s.spanner_edges()
+
+    def graph_edges(self):
+        return set(self._graph)
+
+    def check_internal(self):
+        self.s.check_invariants()
+
+    def _structure_violations(self, graph, deep):
+        out = self.output_edges()
+        viols: list[Violation] = []
+        for v in (
+            check_output_subset(graph, out),
+            check_size(len(out), size_envelope_spanner(self.n, self.k)),
+        ):
+            if v is not None:
+                viols.append(v)
+        if deep:
+            v = check_spanner_stretch(self.n, graph, out, 2 * self.k - 1)
+            if v is not None:
+                viols.append(v)
+            viols.extend(_spanner_baseline_violations(
+                self.n, graph, len(out), self.k, self.seed
+            ))
+        return viols
+
+
+class _IdentityDecremental:
+    """Trivial decremental structure whose output *is* its edge set.
+
+    Plugged into the Bentley–Saxe dynamizer it turns the dynamizer into a
+    (slow) dynamic *set*: the composed output must equal the replay edge
+    set exactly, isolating partition/INDEX bookkeeping bugs from spanner
+    logic.
+    """
+
+    def __init__(self, edges: Iterable[Edge]) -> None:
+        self._edges = set(edges)
+
+    def output_edges(self) -> set[Edge]:
+        return set(self._edges)
+
+    def batch_delete(self, edges):
+        dels = set(edges)
+        assert dels <= self._edges
+        self._edges -= dels
+        return set(), dels
+
+
+class DynamizerAdapter(OracleAdapter):
+    """§3.4 Bentley–Saxe dynamizer over the identity structure."""
+
+    name = "dynamizer"
+
+    def _build(self, n, edges, seed):
+        from repro.spanner.dynamizer import BentleySaxeDynamizer
+
+        self.s = BentleySaxeDynamizer(
+            edges, _IdentityDecremental,
+            base_capacity=int(self.params.get("base_capacity", 4)),
+            cost=self.cost,
+            restart_every=self.params.get("restart_every"),
+        )
+
+    def _apply(self, batch):
+        return self.s.update(batch.insertions, batch.deletions)
+
+    def output_edges(self):
+        return self.s.output_edges()
+
+    def graph_edges(self):
+        return self.s.edges()
+
+    def check_internal(self):
+        self.s.check_invariants()
+
+    def _structure_violations(self, graph, deep):
+        viols: list[Violation] = []
+        v = _graph_view_violation(self.graph_edges(), graph)
+        if v is not None:
+            viols.append(v)
+        out = self.output_edges()
+        if out != graph:
+            viols.append(Violation(
+                "identity-output",
+                f"dynamizer over the identity structure must output the "
+                f"graph verbatim; missing {sorted(graph - out)[:3]}, "
+                f"extra {sorted(out - graph)[:3]}",
+            ))
+        if self.s.m != len(graph):
+            viols.append(Violation(
+                "m-drift", f"m={self.s.m} but replay has {len(graph)} edges"
+            ))
+        return viols
+
+
+class SparsifierAdapter(OracleAdapter):
+    """Theorem 1.6 fully-dynamic spectral sparsifier."""
+
+    name = "sparsifier"
+
+    def _build(self, n, edges, seed):
+        from repro.sparsifier.fully_dynamic import (
+            FullyDynamicSpectralSparsifier,
+        )
+
+        # instances stays at the structure's Θ(log n) default: fewer
+        # instances weaken the w.h.p. per-level spanner property the
+        # internal invariant asserts, and the oracle must not fuzz
+        # structures outside their guarantee regime
+        self.s = FullyDynamicSpectralSparsifier(
+            n, edges, t=int(self.params.get("t", 2)), seed=seed,
+            instances=self.params.get("instances"), cost=self.cost,
+        )
+
+    def _apply(self, batch):
+        return self.s.update(batch.insertions, batch.deletions)
+
+    def output_edges(self):
+        return self.s.output_edges()
+
+    def graph_edges(self):
+        return self.s.edges()
+
+    def check_internal(self):
+        self.s.check_invariants()
+
+    def _depth_bound(self) -> float:
+        # a rebuild constructs the full chain: ceil(log m) sampling rounds
+        # x t bundle levels, each a clustering of depth O(log^2 n) — the
+        # generic k log^3 n envelope misses the log m chain factor
+        t = int(self.params.get("t", 2))
+        lg_m = math.log2(max(self.s.m, 4))
+        lg_n = math.log2(max(self.n, 4))
+        return 32.0 * t * lg_m * lg_n ** 3 + 256.0
+
+    def _structure_violations(self, graph, deep):
+        out = self.output_edges()
+        viols: list[Violation] = []
+        for v in (
+            _graph_view_violation(self.graph_edges(), graph),
+            check_output_subset(graph, out, what="sparsifier"),
+        ):
+            if v is not None:
+                viols.append(v)
+        weighted = self.s.weighted_edges()
+        if set(weighted) != out:
+            viols.append(Violation(
+                "weighted-keys",
+                "weighted_edges() keys disagree with output_edges()",
+            ))
+        if any(w <= 0 for w in weighted.values()):
+            viols.append(Violation(
+                "nonpositive-weight", "sparsifier contains weight <= 0"
+            ))
+        if deep:
+            # a (1±ε)-spectral sparsifier preserves connectivity exactly
+            v = check_same_components(self.n, graph, out, what="sparsifier")
+            if v is not None:
+                viols.append(v)
+        return viols
+
+
+class UltraSparseAdapter(OracleAdapter):
+    """Theorem 1.4 batch-dynamic ultra-sparse spanner."""
+
+    name = "ultrasparse"
+
+    def _build(self, n, edges, seed):
+        from repro.ultrasparse.dynamic import UltraSparseSpannerDynamic
+
+        self.x = float(self.params.get("x", 2.0))
+        self.s = UltraSparseSpannerDynamic(
+            n, edges, x=self.x, seed=seed, cost=self.cost,
+        )
+
+    def _apply(self, batch):
+        return self.s.update(batch.insertions, batch.deletions)
+
+    def output_edges(self):
+        return self.s.spanner_edges()
+
+    def graph_edges(self):
+        adj = self.s.adj
+        return {
+            norm_edge(u, v)
+            for u in range(self.n) for v in adj[u] if u < v
+        }
+
+    def check_internal(self):
+        self.s.check_invariants()
+        assert self.s.spanner_size() == len(self.s.spanner_edges()), \
+            "spanner_size() disagrees with spanner_edges()"
+
+    def _structure_violations(self, graph, deep):
+        out = self.output_edges()
+        viols: list[Violation] = []
+        for v in (
+            _graph_view_violation(self.graph_edges(), graph),
+            check_output_subset(graph, out),
+            check_size(
+                len(out), size_envelope_ultrasparse(self.n, self.x)
+            ),
+        ):
+            if v is not None:
+                viols.append(v)
+        if deep:
+            # the Lemma 5.1 stretch bound usually exceeds n at fuzz scale,
+            # in which case this degenerates to connectivity preservation —
+            # still the paper's headline property
+            v = check_spanner_stretch(
+                self.n, graph, out, self.s.stretch_bound()
+            )
+            if v is not None:
+                viols.append(v)
+        return viols
+
+
+class ConnectivityAdapter(OracleAdapter):
+    """HDT fully-dynamic spanning forest (``connectivity.hdt``)."""
+
+    name = "hdt"
+
+    def _build(self, n, edges, seed):
+        from repro.connectivity.hdt import DynamicSpanningForest
+
+        self.s = DynamicSpanningForest(n, edges, seed=seed, cost=self.cost)
+        self._rng = np.random.default_rng(seed ^ 0x5EED)
+
+    def _apply(self, batch):
+        # replay semantics: deletions first, then insertions
+        before = self.s.forest_edges()
+        for u, v in batch.deletions:
+            self.s.delete(u, v)
+        for u, v in batch.insertions:
+            self.s.insert(u, v)
+        after = self.s.forest_edges()
+        return after - before, before - after
+
+    def output_edges(self):
+        return self.s.forest_edges()
+
+    def graph_edges(self):
+        return {e for e in self.s._level}
+
+    def check_internal(self):
+        self.s.check_invariants()
+
+    def _structure_violations(self, graph, deep):
+        viols: list[Violation] = []
+        for v in (
+            _graph_view_violation(self.graph_edges(), graph),
+            check_forest(self.n, graph, self.output_edges()),
+        ):
+            if v is not None:
+                viols.append(v)
+        # differential connectivity queries against the union-find baseline
+        labels = components_of(self.n, graph)
+        pairs = max(8, self.n // 2) if deep else 8
+        for _ in range(pairs):
+            u = int(self._rng.integers(0, self.n))
+            v = int(self._rng.integers(0, self.n))
+            want = labels[u] == labels[v]
+            if self.s.connected(u, v) != want:
+                viols.append(Violation(
+                    "connected-query",
+                    f"connected({u}, {v}) = {not want}, union-find "
+                    f"baseline says {want}",
+                ))
+                break
+        return viols
+
+
+STRUCTURES: dict[str, Callable[..., OracleAdapter]] = {
+    "spanner": FullyDynamicSpannerAdapter,
+    "decremental": DecrementalSpannerAdapter,
+    "dynamizer": DynamizerAdapter,
+    "sparsifier": SparsifierAdapter,
+    "ultrasparse": UltraSparseAdapter,
+    "hdt": ConnectivityAdapter,
+}
+
+
+def make_adapter(
+    structure: str,
+    n: int,
+    edges: Iterable[Edge],
+    seed: int = 0,
+    params: dict[str, Any] | None = None,
+) -> OracleAdapter:
+    """Build the named structure wrapped in its oracle adapter."""
+    try:
+        cls = STRUCTURES[structure]
+    except KeyError:
+        raise ValueError(
+            f"unknown structure {structure!r}; "
+            f"choose from {sorted(STRUCTURES)}"
+        ) from None
+    return cls(n, [norm_edge(u, v) for u, v in edges], seed, params or {})

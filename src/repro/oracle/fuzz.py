@@ -1,0 +1,288 @@
+"""Differential fuzzing campaign driver.
+
+``check_workload`` is the core oracle loop: drive one workload through one
+structure and, after *every* batch, cross-check it against
+
+(a) the :meth:`~repro.workloads.streams.Workload.replay` edge-set oracle
+    (ground truth for the graph, and for the output via the maintained
+    delta mirror — the same mirror the serving engine's snapshot relies
+    on),
+(b) a from-scratch static baseline (Baswana–Sen / incremental greedy /
+    union-find, per structure), and
+(c) the paper's quantitative invariants (stretch, size, recourse, and the
+    PRAM depth envelope) via :mod:`repro.verify` and
+    :mod:`repro.oracle.invariants`.
+
+``run_fuzz`` runs seeded random workloads from
+:mod:`repro.workloads.streams` across all registered structures, shrinks
+any divergence to a minimal reproducer, and renders the campaign report.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.oracle.adapters import STRUCTURES, make_adapter
+from repro.oracle.violations import Divergence, Violation
+from repro.workloads.streams import (
+    UpdateBatch,
+    Workload,
+    churn_stream,
+    deletion_stream,
+    insertion_stream,
+    mixed_stream,
+    sliding_window_stream,
+)
+
+__all__ = ["FuzzConfig", "FuzzReport", "check_workload", "run_fuzz"]
+
+#: Deep (expensive) checks run every this many batches, and on the last.
+DEEP_EVERY = 4
+
+
+def check_workload(
+    structure: str,
+    workload: Workload,
+    params: dict[str, Any] | None = None,
+    seed: int = 0,
+    deep_every: int = DEEP_EVERY,
+) -> Divergence | None:
+    """Run ``workload`` through ``structure`` under the full oracle.
+
+    Returns the first :class:`Divergence` found, or ``None`` when every
+    batch passes every check.  Deterministic for fixed arguments.
+    """
+    params = dict(params or {})
+    try:
+        adapter = make_adapter(
+            structure, workload.n, workload.initial_edges, seed=seed,
+            params=params,
+        )
+    except Exception as exc:  # noqa: BLE001 - any crash is a finding
+        return Divergence(structure, params, workload, Violation(
+            "crash", f"construction raised {type(exc).__name__}: {exc}"
+        ), seed=seed)
+
+    def diverge(violation: Violation) -> Divergence:
+        return Divergence(structure, params, workload, violation, seed=seed)
+
+    mirror = set(adapter.output_edges())
+    last = len(workload.batches) - 1
+    for idx, (batch, graph) in enumerate(_iter_replay(workload.replay())):
+        if isinstance(graph, Exception):
+            return diverge(Violation(
+                "illegal-workload", f"replay rejected batch {idx}: {graph}",
+                batch_index=idx,
+            ))
+        try:
+            ins, dels = adapter.apply(batch)
+        except Exception as exc:  # noqa: BLE001
+            return diverge(Violation(
+                "crash",
+                f"update raised {type(exc).__name__}: {exc}\n"
+                + traceback.format_exc(limit=4),
+                batch_index=idx,
+            ))
+        # the reported delta must be a consistent diff: the mirror a
+        # consumer (e.g. the serving engine snapshot) maintains from the
+        # deltas must track the structure's actual output exactly
+        if ins & dels:
+            return diverge(Violation(
+                "delta-overlap",
+                f"update returned {len(ins & dels)} edge(s) in both the "
+                f"insert and delete delta",
+                batch_index=idx,
+            ))
+        mirror -= dels
+        mirror |= ins
+        out = adapter.output_edges()
+        if mirror != out:
+            return diverge(Violation(
+                "delta-drift",
+                f"delta mirror drifted from output_edges(): missing "
+                f"{sorted(out - mirror)[:3]}, extra "
+                f"{sorted(mirror - out)[:3]}",
+                batch_index=idx,
+            ))
+        deep = (idx % max(deep_every, 1) == 0) or idx == last
+        viols = adapter.violations(graph, idx, deep=deep)
+        if viols:
+            return diverge(viols[0])
+    return None
+
+
+def _iter_replay(replay) -> Iterable[tuple[UpdateBatch, Any]]:
+    """Iterate a replay generator, yielding the exception in-band if one
+    batch is illegal (so the caller can attribute it to an index)."""
+    while True:
+        try:
+            yield next(replay)
+        except StopIteration:
+            return
+        except ValueError as exc:
+            yield None, exc
+            return
+
+
+# -- campaign ----------------------------------------------------------------
+
+
+@dataclass
+class FuzzConfig:
+    """Knobs for one fuzz campaign (all defaults CI-safe)."""
+
+    seeds: int = 20
+    structures: tuple[str, ...] = tuple(sorted(STRUCTURES))
+    time_budget: float | None = None      # seconds, soft cap per campaign
+    max_n: int = 40
+    shrink: bool = True
+    deep_every: int = DEEP_EVERY
+
+
+@dataclass
+class StructureStats:
+    structure: str
+    workloads: int = 0
+    batches: int = 0
+    ops: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+
+
+@dataclass
+class FuzzReport:
+    config: FuzzConfig
+    stats: dict[str, StructureStats] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def divergences(self) -> list[Divergence]:
+        return [d for s in self.stats.values() for d in s.divergences]
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Table rows for :func:`repro.harness.format_table`."""
+        return [
+            {
+                "structure": s.structure,
+                "workloads": s.workloads,
+                "batches": s.batches,
+                "ops": s.ops,
+                "divergences": len(s.divergences),
+            }
+            for s in self.stats.values()
+        ]
+
+
+def _random_workload(
+    structure: str, rng: np.random.Generator, max_n: int
+) -> tuple[Workload, dict[str, Any]]:
+    """One random-but-legal workload + structure params for a fuzz seed."""
+    dense = rng.random() < 0.25
+    # dense graphs only at small n: they exercise saturation edge cases
+    # without making the deep (BFS / baseline) checks dominate the run
+    n = int(rng.integers(6, (12 if dense else max_n) + 1))
+    max_m = n * (n - 1) // 2
+    cap_m = max_m if dense else min(4 * n, max_m)
+    m = int(rng.integers(min(n, cap_m), cap_m + 1))
+    b = int(rng.integers(1, 9))
+    batches = int(rng.integers(4, 13))
+    seed = int(rng.integers(0, 2**31))
+    deletions_only = STRUCTURES[structure].deletions_only
+    kinds = (
+        ("delete",) if deletions_only
+        else ("delete", "insert", "mixed", "churn", "sliding")
+    )
+    kind = kinds[int(rng.integers(0, len(kinds)))]
+    if kind == "delete":
+        frac = float(rng.choice([0.1, 0.5, 1.0]))
+        wl = deletion_stream(n, m, batch_size=b, seed=seed, fraction=frac)
+    elif kind == "insert":
+        wl = insertion_stream(n, m, batch_size=b, seed=seed)
+    elif kind == "mixed":
+        wl = mixed_stream(n, m, batch_size=b, num_batches=batches, seed=seed)
+    elif kind == "churn":
+        wl = churn_stream(n, m, churn_fraction=0.2, num_batches=batches,
+                          seed=seed)
+    else:
+        wl = sliding_window_stream(n, window=m, num_batches=batches,
+                                   batch_size=max(b, 2), seed=seed)
+    params: dict[str, Any] = {}
+    if structure in ("spanner", "decremental"):
+        params["k"] = int(rng.integers(2, 4))
+    if structure == "spanner":
+        # small capacities force the Bentley-Saxe levels to engage
+        params["base_capacity"] = int(rng.choice([2, 4, 8, 16]))
+        if rng.random() < 0.25:
+            params["restart_every"] = int(rng.integers(8, 64))
+    if structure == "dynamizer":
+        params["base_capacity"] = int(rng.choice([1, 2, 4, 8]))
+        if rng.random() < 0.25:
+            params["restart_every"] = int(rng.integers(4, 32))
+    if structure == "sparsifier":
+        params["t"] = int(rng.integers(1, 3))
+    if structure == "ultrasparse":
+        params["x"] = float(rng.choice([2.0, 3.0]))
+    return wl, params
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    log: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Run the campaign; shrinks every divergence before reporting it."""
+    from repro.oracle.shrink import shrink_divergence
+
+    report = FuzzReport(config=config)
+    t0 = time.perf_counter()
+    out_of_time = False
+    for structure in config.structures:
+        stats = report.stats.setdefault(
+            structure, StructureStats(structure)
+        )
+        for i in range(config.seeds):
+            if (
+                config.time_budget is not None
+                and time.perf_counter() - t0 > config.time_budget
+            ):
+                out_of_time = True
+                break
+            # stable per-structure stream (str hash() is salted per process)
+            rng = np.random.default_rng(
+                (zlib.crc32(structure.encode()) & 0xFFFF, i)
+            )
+            wl, params = _random_workload(structure, rng, config.max_n)
+            seed = int(rng.integers(0, 2**31))
+            div = check_workload(
+                structure, wl, params=params, seed=seed,
+                deep_every=config.deep_every,
+            )
+            stats.workloads += 1
+            stats.batches += len(wl.batches)
+            stats.ops += wl.total_updates
+            if div is not None:
+                if log:
+                    log(f"divergence: {div}")
+                if config.shrink:
+                    div = shrink_divergence(div,
+                                            deep_every=config.deep_every)
+                    if log:
+                        log(f"shrunk to: {div}")
+                stats.divergences.append(div)
+        if out_of_time:
+            break
+    report.wall_seconds = time.perf_counter() - t0
+    if log and out_of_time:
+        log(
+            f"time budget {config.time_budget:.0f}s exhausted after "
+            f"{report.wall_seconds:.1f}s — campaign truncated"
+        )
+    return report

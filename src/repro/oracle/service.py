@@ -1,0 +1,132 @@
+"""Oracle verification for the serving engine (:mod:`repro.service`).
+
+Replaces the serve demo's bespoke replay compare with the shared oracle:
+every per-shard coalesced batch the service applied is replayed
+synchronously through a freshly built backend (same spec, same seed) and
+cross-checked against
+
+1. the service's snapshot (the delta-maintained output view),
+2. a fresh scatter/gather from the live workers,
+3. the :meth:`Workload.replay` edge-set ground truth vs the coalescing
+   queue's membership view,
+4. (``deep=True``) the structure-level invariants: output ⊆ graph per
+   shard and the (2k−1) stretch bound on each shard's replayed spanner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.oracle.invariants import check_output_subset, check_spanner_stretch
+from repro.oracle.violations import Violation
+from repro.pram.cost import CostModel
+from repro.workloads.streams import Workload
+
+__all__ = ["ServiceVerification", "verify_service"]
+
+
+@dataclass
+class ServiceVerification:
+    """Outcome of one service cross-check."""
+
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.ok:
+            return "service verification: OK"
+        return "service verification FAILED:\n" + "\n".join(
+            f"  - {v}" for v in self.violations
+        )
+
+
+def verify_service(service, executor, deep: bool = False,
+                   ) -> ServiceVerification:
+    """Cross-check a :class:`~repro.service.engine.SpannerService` against
+    a synchronous replay of its applied batches (see module docstring).
+
+    ``executor`` must expose ``shard_specs`` / ``applied_batches`` /
+    ``gather_edges`` (both :class:`LocalExecutor` via a single-shard view
+    and :class:`ShardedExecutor` do).
+    """
+    from repro.service.engine import build_backend
+
+    result = ServiceVerification()
+    shard_specs = getattr(executor, "shard_specs", None)
+    applied = getattr(executor, "applied_batches", None)
+    if shard_specs is None:  # LocalExecutor: one implicit shard
+        shard_specs = [executor.spec]
+        applied = [applied or []]
+
+    replay_output: set = set()
+    replay_graph: set = set()
+    for shard_idx, (spec, batches) in enumerate(zip(shard_specs, applied)):
+        rebuilt = build_backend(spec, CostModel())
+        mirror = set(rebuilt.output_edges())
+        for batch in batches:
+            ins, dels = rebuilt.update(
+                insertions=batch.insertions, deletions=batch.deletions
+            )
+            mirror -= set(dels)
+            mirror |= set(ins)
+        out = rebuilt.output_edges()
+        if mirror != out:
+            result.violations.append(Violation(
+                "delta-drift",
+                f"shard {shard_idx}: replayed deltas drift from the "
+                f"rebuilt output ({len(mirror ^ out)} edge(s) differ)",
+            ))
+        replay_output |= out
+        wl = Workload(spec["n"], [tuple(e) for e in spec["edges"]],
+                      list(batches))
+        graph = set(wl.initial_edges)
+        try:
+            for _, graph in wl.replay():
+                pass
+        except ValueError as exc:
+            result.violations.append(Violation(
+                "illegal-batch-log",
+                f"shard {shard_idx}: applied batches are not sequentially "
+                f"legal: {exc}",
+            ))
+            continue
+        replay_graph |= graph
+        if deep:
+            v = check_output_subset(graph, out,
+                                    what=f"shard {shard_idx} output")
+            if v is not None:
+                result.violations.append(v)
+            if spec.get("kind", "spanner") == "spanner":
+                k = int(spec.get("k", 2))
+                v = check_spanner_stretch(
+                    spec["n"], graph, out, 2 * k - 1,
+                    what=f"shard {shard_idx} spanner",
+                )
+                if v is not None:
+                    result.violations.append(v)
+
+    snapshot = service.snapshot_edges()
+    if replay_output != snapshot:
+        result.violations.append(Violation(
+            "snapshot-drift",
+            f"synchronous replay output != service snapshot "
+            f"({len(replay_output ^ snapshot)} edge(s) differ)",
+        ))
+    live = executor.gather_edges()
+    if replay_output != live:
+        result.violations.append(Violation(
+            "live-drift",
+            f"synchronous replay output != live worker gather "
+            f"({len(replay_output ^ live)} edge(s) differ)",
+        ))
+    queue_view = service.graph_edges()
+    if replay_graph != queue_view:
+        result.violations.append(Violation(
+            "queue-drift",
+            f"replayed graph edge set != coalescing queue membership "
+            f"view ({len(replay_graph ^ queue_view)} edge(s) differ)",
+        ))
+    return result

@@ -1,0 +1,211 @@
+"""Workload shrinking: reduce a divergence to a minimal reproducer.
+
+Strategy (ddmin-flavoured, each pass validated for replay legality):
+
+1. **Truncate** to the first divergent batch — later batches are noise.
+2. **Batch bisection**: remove contiguous chunks of whole batches,
+   halving the chunk size until single batches.
+3. **Per-op removal**: drop individual operations inside each batch,
+   re-coalescing the survivors with :meth:`UpdateBatch.coalesce` so the
+   batch stays minimal and legal.
+4. **Initial-edge reduction**: the same chunked removal over the initial
+   edge list, then **vertex compaction** (relabel to ``0..n'-1``).
+
+A candidate counts only if it still produces a divergence with the *same*
+violation kind on the same structure; candidates whose replay is illegal
+(an earlier removal orphaned a later delete) are skipped.  The whole
+search is budgeted by predicate evaluations, so shrinking a pathological
+case degrades to a partial shrink, never a hang.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.oracle.violations import Divergence
+from repro.workloads.streams import (
+    OP_DELETE,
+    OP_INSERT,
+    UpdateBatch,
+    Workload,
+)
+
+__all__ = ["shrink_divergence", "shrink_workload"]
+
+#: Default cap on oracle re-runs during one shrink.
+DEFAULT_BUDGET = 400
+
+
+def _is_legal(workload: Workload) -> bool:
+    try:
+        for _ in workload.replay():
+            pass
+    except ValueError:
+        return False
+    return True
+
+
+def _clone(n: int, initial: list, batches: list[UpdateBatch]) -> Workload:
+    return Workload(
+        n,
+        [tuple(e) for e in initial],
+        [
+            UpdateBatch(list(b.insertions), list(b.deletions))
+            for b in batches
+        ],
+    )
+
+
+def _compact_vertices(workload: Workload) -> Workload:
+    """Relabel the vertices actually used to ``0..n'-1``."""
+    used = sorted({
+        v
+        for e in workload.initial_edges for v in e
+    } | {
+        v
+        for b in workload.batches
+        for e in (*b.insertions, *b.deletions)
+        for v in e
+    })
+    if not used:
+        return Workload(1, [], list(workload.batches))
+    remap = {v: i for i, v in enumerate(used)}
+
+    def m(e):
+        a, b = remap[e[0]], remap[e[1]]
+        return (a, b) if a < b else (b, a)
+
+    return Workload(
+        len(used),
+        [m(e) for e in workload.initial_edges],
+        [
+            UpdateBatch([m(e) for e in b.insertions],
+                        [m(e) for e in b.deletions])
+            for b in workload.batches
+        ],
+    )
+
+
+def shrink_workload(
+    workload: Workload,
+    still_fails: Callable[[Workload], bool],
+    budget: int = DEFAULT_BUDGET,
+) -> tuple[Workload, dict[str, int]]:
+    """Minimize ``workload`` under the ``still_fails`` predicate.
+
+    Returns the smallest failing workload found plus search statistics.
+    ``still_fails`` must be deterministic and is never called on an
+    illegal workload.
+    """
+    evals = 0
+
+    def fails(cand: Workload) -> bool:
+        nonlocal evals
+        if evals >= budget:
+            return False
+        if not _is_legal(cand):
+            return False
+        evals += 1
+        return still_fails(cand)
+
+    best = _clone(workload.n, workload.initial_edges, workload.batches)
+
+    # 1+2. chunked removal over whole batches (ddmin)
+    chunk = max(1, len(best.batches) // 2)
+    while chunk >= 1:
+        i = 0
+        while i < len(best.batches):
+            cand = _clone(
+                best.n,
+                best.initial_edges,
+                best.batches[:i] + best.batches[i + chunk:],
+            )
+            if cand.batches != best.batches and fails(cand):
+                best = cand  # keep position: the next chunk shifted in
+            else:
+                i += chunk
+        chunk //= 2
+
+    # 3. per-op removal, re-coalescing the survivors per batch
+    for bi in range(len(best.batches) - 1, -1, -1):
+        ops = (
+            [(OP_DELETE, e) for e in best.batches[bi].deletions]
+            + [(OP_INSERT, e) for e in best.batches[bi].insertions]
+        )
+        oi = 0
+        while oi < len(ops):
+            kept = ops[:oi] + ops[oi + 1:]
+            cand_batches = list(best.batches)
+            cand_batches[bi] = UpdateBatch.coalesce(kept)
+            cand = _clone(best.n, best.initial_edges, cand_batches)
+            if fails(cand):
+                best = cand
+                ops = kept
+            else:
+                oi += 1
+        if not ops:
+            cand = _clone(
+                best.n, best.initial_edges,
+                best.batches[:bi] + best.batches[bi + 1:],
+            )
+            if fails(cand):
+                best = cand
+
+    # 4. chunked removal over the initial edges, then vertex compaction
+    chunk = max(1, len(best.initial_edges) // 2)
+    while chunk >= 1:
+        i = 0
+        while i < len(best.initial_edges):
+            cand = _clone(
+                best.n,
+                best.initial_edges[:i] + best.initial_edges[i + chunk:],
+                best.batches,
+            )
+            if fails(cand):
+                best = cand
+            else:
+                i += chunk
+        chunk //= 2
+    compacted = _compact_vertices(best)
+    if compacted.n < best.n and fails(compacted):
+        best = compacted
+
+    return best, {"predicate_evals": evals, "budget": budget}
+
+
+def shrink_divergence(
+    div: Divergence,
+    budget: int = DEFAULT_BUDGET,
+    deep_every: int | None = None,
+) -> Divergence:
+    """Shrink a divergence found by :func:`repro.oracle.fuzz.check_workload`.
+
+    The predicate re-runs the full oracle and matches on the violation
+    *kind*, so the minimized workload reproduces the same class of bug.
+    """
+    from repro.oracle.fuzz import DEEP_EVERY, check_workload
+
+    deep = deep_every if deep_every is not None else DEEP_EVERY
+
+    def still_fails(cand: Workload) -> bool:
+        got = check_workload(
+            div.structure, cand, params=div.params, seed=div.seed or 0,
+            deep_every=deep,
+        )
+        return got is not None and got.violation.kind == div.violation.kind
+
+    small, stats = shrink_workload(div.workload, still_fails, budget=budget)
+    final = check_workload(
+        div.structure, small, params=div.params, seed=div.seed or 0,
+        deep_every=deep,
+    )
+    if final is None:  # paranoia: shrinking must preserve failure
+        return div
+    final.shrink_stats = {
+        **stats,
+        "batches": f"{len(div.workload.batches)}→{len(small.batches)}",
+        "ops": f"{div.workload.total_updates}→{small.total_updates}",
+        "initial_edges":
+            f"{len(div.workload.initial_edges)}→{len(small.initial_edges)}",
+    }
+    return final

@@ -1,0 +1,57 @@
+"""Violation and divergence records for the differential oracle.
+
+A :class:`Violation` is one failed check at one point of a workload run; a
+:class:`Divergence` bundles the violation with the workload that produced
+it (possibly already shrunk) so it can be replayed, minimized further, or
+emitted as a pytest regression case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.workloads.streams import Workload
+
+__all__ = ["Divergence", "Violation"]
+
+
+@dataclass
+class Violation:
+    """One failed oracle check.
+
+    ``kind`` is a stable machine-readable tag (shrinking matches on it so
+    the minimized workload reproduces the *same* failure, not just any
+    failure); ``detail`` is the human-readable explanation.
+    """
+
+    kind: str
+    detail: str
+    batch_index: int = -1  # -1: during construction / final checks
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = (
+            "construction" if self.batch_index < 0
+            else f"batch {self.batch_index}"
+        )
+        return f"[{self.kind} @ {where}] {self.detail}"
+
+
+@dataclass
+class Divergence:
+    """A reproducible oracle failure: structure + workload + violation."""
+
+    structure: str
+    params: dict[str, Any]
+    workload: Workload
+    violation: Violation
+    seed: int | None = None
+    shrink_stats: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        wl = self.workload
+        return (
+            f"{self.structure}{self.params}: {self.violation} "
+            f"(workload: n={wl.n}, {len(wl.initial_edges)} initial edges, "
+            f"{len(wl.batches)} batches / {wl.total_updates} ops)"
+        )

@@ -2,10 +2,13 @@
 
 Drives a seeded stream of single-edge update and query requests through a
 :class:`~repro.service.engine.SpannerService` over a sharded executor,
-then *verifies* the result: every per-shard coalesced batch the service
-applied is replayed synchronously through a freshly built structure (same
-spec, same seed), and the replayed output edge set must equal the
-service's snapshot exactly.  Used by ``python -m repro.cli serve`` and by
+then *verifies* the result via the shared differential oracle
+(:meth:`SpannerService.self_check`, i.e.
+:func:`repro.oracle.verify_service`): every per-shard coalesced batch the
+service applied is replayed synchronously through a freshly built backend
+(same spec, same seed) and cross-checked against the service snapshot,
+the live workers, the queue's membership view, and the structure-level
+invariants.  Used by ``python -m repro.cli serve`` and by
 ``benchmarks/bench_srv_service_throughput.py``.
 
 Arrival timing is simulated (a :class:`SimClock` advanced a fixed tick per
@@ -20,12 +23,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.pram.cost import CostModel
 from repro.service.admission import AdmissionConfig
 from repro.service.batcher import BatcherConfig
-from repro.service.engine import ServiceConfig, SpannerService, build_backend
+from repro.service.engine import ServiceConfig, SpannerService
 from repro.service.shard import ShardedExecutor
-from repro.workloads.streams import Workload, request_stream
+from repro.workloads.streams import request_stream
 
 __all__ = ["ServeConfig", "ServeReport", "SimClock", "run_serve"]
 
@@ -85,6 +87,7 @@ class ServeReport:
     flushes: int = 0
     wall_seconds: float = 0.0
     verified: bool = False
+    verification: Any = None  # ServiceVerification from the oracle
     shard_sizes: list[int] = field(default_factory=list)
     metrics: dict[str, Any] = field(default_factory=dict)
     metrics_text: str = ""
@@ -166,39 +169,7 @@ def run_serve(cfg: ServeConfig, verify: bool = True) -> ServeReport:
         report.shard_sizes = executor.scatter_sizes()
 
         if verify:
-            report.verified = _verify(service, executor)
+            verification = service.self_check(deep=True)
+            report.verified = verification.ok
+            report.verification = verification
     return report
-
-
-def _verify(service: SpannerService, executor: ShardedExecutor) -> bool:
-    """Replay every shard's applied batches synchronously; compare outputs.
-
-    Three checks: (1) the union of per-shard replayed output edges equals
-    the service snapshot byte-for-byte, (2) it equals a fresh scatter/
-    gather from the live workers, (3) the graph edge set implied by
-    :meth:`Workload.replay` over the same batches equals the queue's
-    membership view.
-    """
-    replay_output: set = set()
-    replay_graph: set = set()
-    for shard_spec, batches in zip(
-        executor.shard_specs, executor.applied_batches
-    ):
-        rebuilt = build_backend(shard_spec, CostModel())
-        for batch in batches:
-            rebuilt.update(
-                insertions=batch.insertions, deletions=batch.deletions
-            )
-        replay_output |= rebuilt.output_edges()
-        wl = Workload(
-            shard_spec["n"], list(shard_spec["edges"]), list(batches)
-        )
-        current = set(shard_spec["edges"])
-        for _, current in wl.replay():
-            pass
-        replay_graph |= current
-    return (
-        replay_output == service.snapshot_edges()
-        and replay_output == executor.gather_edges()
-        and replay_graph == service.graph_edges()
-    )

@@ -392,6 +392,19 @@ class SpannerService:
         with self._lock:
             return self.queue.live_edges
 
+    def self_check(self, deep: bool = False):
+        """Cross-check the served state against the shared oracle
+        (:func:`repro.oracle.verify_service`): flush pending updates, then
+        replay every applied batch through a freshly built backend and
+        compare output/graph views.  Returns a
+        :class:`~repro.oracle.service.ServiceVerification`.
+        """
+        from repro.oracle.service import verify_service
+
+        with self._lock:
+            self.flush()
+            return verify_service(self, self.executor, deep=deep)
+
     def _adjacency(self) -> dict[int, set[int]]:
         if self._adj is None:
             adj: dict[int, set[int]] = {}

@@ -8,8 +8,9 @@ the dynamic structures directly.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -125,7 +126,12 @@ def deletion_stream(
     rng = np.random.default_rng(seed)
     edges = gnm_random_graph(n, m, seed=None if seed is None else seed + 1)
     order = [edges[i] for i in rng.permutation(len(edges))]
-    order = order[: int(len(order) * fraction)]
+    # round half-up, and never truncate a positive fraction of a nonempty
+    # graph down to an empty workload
+    take = int(math.floor(len(order) * fraction + 0.5))
+    if take == 0 and fraction > 0 and order:
+        take = 1
+    order = order[:take]
     batches = [
         UpdateBatch(deletions=order[i : i + batch_size])
         for i in range(0, len(order), batch_size)
@@ -226,7 +232,13 @@ def sliding_window_stream(
             e = fifo.pop(0)
             present.remove(e)
             batch.deletions.append(e)
-        batches.append(batch)
+        # a batch inserting more than the window holds expires edges it
+        # inserted itself; fold those insert+delete pairs away (batches
+        # apply deletions first, so they would be illegal otherwise)
+        batches.append(UpdateBatch.coalesce(
+            [(OP_INSERT, e) for e in batch.insertions]
+            + [(OP_DELETE, e) for e in batch.deletions]
+        ))
     return Workload(n, [], batches)
 
 
@@ -253,7 +265,14 @@ def churn_stream(
             batch.deletions.append(pool[int(i)])
             present.remove(pool[int(i)])
         added = 0
-        while added < per_batch and len(present) < max_m:
+        # this batch's deletions are barred from re-insertion, so the pool
+        # of insertable edges is max_m - |present| - |deletions|; counting
+        # only len(present) here used to spin forever on near-complete
+        # graphs once every absent edge was deleted-this-batch
+        while (
+            added < per_batch
+            and len(present) + len(batch.deletions) < max_m
+        ):
             u = int(rng.integers(0, n))
             v = int(rng.integers(0, n))
             if u == v:

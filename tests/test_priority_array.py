@@ -117,6 +117,79 @@ class TestNextWith:
         assert cm.depth <= 3 * 12 * 12
 
 
+class TestBoundaries:
+    """Degenerate universes and last-position edge cases (satellite of the
+    fuzzing-oracle PR: these paths back the Lemma 3.1 charge table)."""
+
+    def test_universe_one_holds_single_element(self):
+        pa = PriorityArray(1, [("only", 0)])
+        assert len(pa) == 1
+        assert pa.query(1) == "only"
+        assert pa.priority_at(1) == 0
+        assert pa.find(0) == ("only", 1)
+        assert pa.count_ge(0) == 1
+        assert pa.next_with(1, lambda v: v == "only") == 1
+        assert pa.next_with(1, lambda v: False) == 2
+        assert pa.delete_priority(0) == "only"
+        assert len(pa) == 0
+
+    def test_universe_one_rejects_any_other_priority(self):
+        pa = PriorityArray(1)
+        with pytest.raises(ValueError):
+            pa.insert("x", 1)
+        with pytest.raises(ValueError):
+            pa.insert("x", -1)
+        pa.insert("x", 0)
+        with pytest.raises(ValueError):
+            pa.insert("y", 0)  # only one slot in a size-1 universe
+
+    def test_nonpositive_universe_rejected(self):
+        with pytest.raises(ValueError, match="universe"):
+            PriorityArray(0)
+        with pytest.raises(ValueError, match="universe"):
+            PriorityArray(-3)
+
+    def test_next_with_match_at_last_position(self):
+        pa = make([(i, 100 - i) for i in range(10)])
+        # the only match sits at position len(self): the final exponential
+        # phase is clipped to [pos, n] and must still inspect it
+        assert pa.next_with(1, lambda v: v == 9) == 10
+        assert pa.next_with(10, lambda v: v == 9) == 10
+        assert pa.next_with(11, lambda v: True) == 11  # start past the end
+
+    def test_next_with_start_below_one_rejected(self):
+        pa = make([("a", 5)])
+        with pytest.raises(IndexError):
+            pa.next_with(0, lambda v: True)
+
+    def test_boundary_priorities_of_universe(self):
+        pa = PriorityArray(8, [("lo", 0), ("hi", 7)])
+        assert pa.priority_at(1) == 7
+        assert pa.priority_at(2) == 0
+        assert pa.count_ge(7) == 1
+        assert pa.count_ge(0) == 2
+
+    def test_update_priority_collision_leaves_state_intact(self):
+        pa = make([("a", 5), ("b", 9)])
+        with pytest.raises(ValueError, match="duplicate priority 9"):
+            pa.update_priority(2, 9)  # "a" onto "b"'s priority
+        # the failed move must not have deleted or moved anything
+        assert pa.find(5) == ("a", 2)
+        assert pa.find(9) == ("b", 1)
+        assert len(pa) == 2
+
+    def test_update_priority_out_of_universe_rejected(self):
+        pa = make([("a", 5)], universe=10)
+        with pytest.raises(ValueError, match="outside universe"):
+            pa.update_priority(1, 10)
+        assert pa.find(5) == ("a", 1)
+
+    def test_count_ge_out_of_universe_rejected(self):
+        pa = make([("a", 5)], universe=10)
+        with pytest.raises(ValueError, match="outside universe"):
+            pa.count_ge(10)
+
+
 class TestCostCharges:
     def test_query_charges_log(self):
         cm = CostModel()

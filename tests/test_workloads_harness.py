@@ -1,6 +1,10 @@
 """Tests for the workload generators and the experiment harness."""
 
+import typing
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.harness import RunStats, format_table, run_workload
 from repro.pram import CostModel
@@ -14,6 +18,9 @@ from repro.workloads import (
     mixed_stream,
     sliding_window_stream,
 )
+from repro.workloads.streams import OP_DELETE, OP_INSERT
+
+import repro.workloads.streams as streams_mod
 
 
 class TestStreams:
@@ -81,6 +88,136 @@ class TestReplayValidation:
         )
         (_, final), = list(w.replay())
         assert final == {(0, 1)}
+
+
+class TestStreamRegressions:
+    """Minimized reproducers for bugs the fuzzing oracle shook out."""
+
+    def test_type_hints_resolve_for_public_dataclasses(self):
+        # regression: `Iterable` was used in the UpdateBatch.coalesce
+        # signature without being imported, so resolving the module's type
+        # hints raised NameError (and ruff F821 flags it statically)
+        for obj in (UpdateBatch, Workload, UpdateBatch.coalesce,
+                    Workload.replay, deletion_stream, insertion_stream,
+                    mixed_stream, churn_stream, sliding_window_stream):
+            hints = typing.get_type_hints(
+                obj, vars(streams_mod), vars(typing)
+            )
+            assert hints  # every annotation resolved
+
+    def test_deletion_stream_small_fraction_not_truncated_to_zero(self):
+        # regression: int(m * fraction) truncated 60 * 0.008 -> 0 batches
+        w = deletion_stream(20, 60, batch_size=10, seed=1, fraction=0.008)
+        assert w.batches, "positive fraction must yield at least one batch"
+        assert w.total_updates == 1
+
+    def test_deletion_stream_fraction_rounds_half_up(self):
+        w = deletion_stream(20, 61, batch_size=100, seed=1, fraction=0.5)
+        assert w.total_updates == 31  # 30.5 rounds up, not down
+
+    def test_deletion_stream_zero_fraction_is_empty(self):
+        w = deletion_stream(20, 60, batch_size=10, seed=1, fraction=0.0)
+        assert w.batches == []
+
+    def test_churn_stream_terminates_on_near_complete_graph(self):
+        # regression: when every absent edge was deleted in the same batch
+        # the insert rejection-sampling loop could never find a candidate
+        # and spun forever (n=5 complete graph, heavy churn)
+        n = 5
+        m = n * (n - 1) // 2  # complete graph: zero absent edges
+        w = churn_stream(n, m, churn_fraction=0.9, num_batches=8, seed=3)
+        for _, edges in w.replay():  # also proves legality
+            assert len(edges) <= m
+
+    def test_sliding_window_batches_are_legal_when_window_overflows(self):
+        # regression: a batch inserting more edges than the window holds
+        # expired its own same-batch insertions, which is illegal under
+        # deletions-first replay; coalescing now folds those pairs away
+        w = sliding_window_stream(
+            30, window=3, num_batches=6, batch_size=9, seed=0
+        )
+        final = None
+        for _, final in w.replay():  # raises ValueError before the fix
+            pass
+        assert final is not None and len(final) <= 3
+
+
+def _apply_sequentially(ops, present):
+    """Ground truth: apply (op, edge) one at a time to a copied edge set."""
+    current = set(present)
+    for op, e in ops:
+        if op == OP_INSERT:
+            assert e not in current
+            current.add(e)
+        else:
+            assert e in current
+            current.remove(e)
+    return current
+
+
+@st.composite
+def _legal_op_sequences(draw):
+    """A sequentially legal (ops, initial_present) pair over ≤6 edges."""
+    universe = [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (0, 4)]
+    present = set(draw(st.sets(st.sampled_from(universe), max_size=6)))
+    current = set(present)
+    ops = []
+    for _ in range(draw(st.integers(min_value=0, max_value=24))):
+        choices = sorted(universe)
+        e = draw(st.sampled_from(choices))
+        if e in current:
+            ops.append((OP_DELETE, e))
+            current.remove(e)
+        else:
+            ops.append((OP_INSERT, e))
+            current.add(e)
+    return ops, present
+
+
+class TestCoalesceProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(_legal_op_sequences())
+    def test_coalesce_equals_sequential_application(self, case):
+        ops, present = case
+        batch = UpdateBatch.coalesce(ops)
+        expected = _apply_sequentially(ops, present)
+        # the coalesced batch must be legal (deletions ⊆ present, fresh
+        # insertions ∉ present) and reproduce the sequential result
+        got = set(present)
+        for e in batch.deletions:
+            assert e in got
+            got.remove(e)
+        for e in batch.insertions:
+            assert e not in got
+            got.add(e)
+        assert got == expected
+
+    def test_delete_then_reinsert_lands_in_both_lists(self):
+        # state == 2 path: delete + insert of a present edge must survive
+        # coalescing as a delete AND a re-insert (net no-op on the graph,
+        # but it forces the structure to reprocess the edge)
+        batch = UpdateBatch.coalesce(
+            [(OP_DELETE, (0, 1)), (OP_INSERT, (0, 1))]
+        )
+        assert batch.deletions == [(0, 1)]
+        assert batch.insertions == [(0, 1)]
+
+    def test_reinsert_then_delete_collapses_to_plain_delete(self):
+        batch = UpdateBatch.coalesce(
+            [(OP_DELETE, (0, 1)), (OP_INSERT, (0, 1)), (OP_DELETE, (0, 1))]
+        )
+        assert batch.deletions == [(0, 1)]
+        assert batch.insertions == []
+
+    def test_insert_then_delete_cancels(self):
+        batch = UpdateBatch.coalesce(
+            [(OP_INSERT, (0, 1)), (OP_DELETE, (0, 1))]
+        )
+        assert batch.size == 0
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            UpdateBatch.coalesce([("upsert", (0, 1))])
 
 
 class TestHarness:
