@@ -12,6 +12,7 @@ Examples
     python -m repro.cli sparsifier --n 80 --m 1200 --t 4
     python -m repro.cli estree    --n 300 --m 2000 --limit 6
     python -m repro.cli serve     --requests 10000 --shards 2
+    python -m repro.cli chaos     --smoke
 
 Each structure command builds the structure, drives the requested update
 stream through it, and prints size/recourse/work/depth statistics plus
@@ -226,6 +227,8 @@ def _cmd_estree(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from repro.service import ServeConfig, run_serve
 
     cfg = ServeConfig(
@@ -242,8 +245,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_delay=args.deadline_ms / 1000.0,
         target_batch_work=args.target_batch_work,
         queue_capacity=args.queue_capacity,
+        wal_dir=args.wal_dir,
+        checkpoint_interval=args.checkpoint_interval,
     )
-    report = run_serve(cfg, verify=not args.no_verify)
+
+    # SIGTERM behaves like Ctrl-C: the driver drains admitted updates,
+    # flushes a final checkpoint, and run_serve returns normally with
+    # report.interrupted set — a supervisor's `kill` is a clean shutdown
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:  # pragma: no cover - non-main thread (tests)
+        pass
+    try:
+        report = run_serve(cfg, verify=not args.no_verify)
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
     rows = [{
         "backend": cfg.backend,
         "shards": cfg.shards,
@@ -262,6 +283,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"\nper-shard output sizes: {report.shard_sizes}")
     print()
     print(report.metrics_text)
+    if report.interrupted and not report.served \
+            and report.verification is None:
+        # the signal landed during workload generation / bootstrap: there
+        # is nothing to drain or verify, but it is still a clean exit
+        print("\nshutdown: interrupted during startup — nothing was served")
+        return 0
+    if report.interrupted:
+        print(
+            f"\nshutdown: interrupted after {report.served} request(s) — "
+            f"queue drained, final checkpoint flushed at "
+            f"seq={report.final_seq}"
+            + (f", wal_dir={cfg.wal_dir}" if cfg.wal_dir else "")
+        )
+    if report.resumed_from_seq:
+        print(f"resumed from WAL/checkpoint at seq={report.resumed_from_seq}")
     if args.no_verify:
         print("\nverification: skipped (--no-verify)")
         return 0
@@ -272,6 +308,61 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         return 0
     print(f"\n{report.verification}")
+    return 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience.chaos import (
+        CHAOS_PLAN_KINDS,
+        ChaosConfig,
+        recovery_latency_sweep,
+        run_chaos_campaign,
+    )
+
+    plans = CHAOS_PLAN_KINDS
+    if args.plans:
+        plans = tuple(args.plans.split(","))
+        unknown = [p for p in plans if p not in CHAOS_PLAN_KINDS]
+        if unknown:
+            print(f"unknown plans {unknown}; "
+                  f"choose from {list(CHAOS_PLAN_KINDS)}", file=sys.stderr)
+            return 2
+    seeds = args.seeds
+    requests = args.requests
+    shards = args.shards
+    if args.smoke:
+        # CI-friendly: 2 shards, one seed per plan, deterministic
+        # in-process workers; the whole campaign stays well under 60s
+        seeds = min(seeds, 1)
+        requests = min(requests, 1200)
+        shards = min(shards, 2)
+    cfg = ChaosConfig(
+        requests=requests,
+        shards=shards,
+        seeds=seeds,
+        seed0=args.seed,
+        plans=plans,
+        processes=args.processes,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+    if args.rsl1:
+        rows = recovery_latency_sweep(cfg)
+        print(format_table(
+            rows, "RSL1: recovery latency vs checkpoint interval"))
+        return 0 if all(r["divergences"] == 0 for r in rows) else 1
+    report = run_chaos_campaign(cfg, log=lambda msg: print(f"[chaos] {msg}"))
+    print(format_table(
+        report.rows(),
+        title=f"repro chaos: {len(plans)} fault plan(s) x {seeds} seed(s)",
+    ))
+    print(f"\nwall time: {report.wall_seconds:.1f}s")
+    if report.ok:
+        print("no divergences — every fault was recovered to the exact "
+              "Workload.replay ground truth (oracle-verified)")
+        return 0
+    for run in report.runs:
+        for d in run.divergences:
+            print(f"\nDIVERGENCE {d}")
     return 1
 
 
@@ -410,7 +501,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--query-prob", type=float, default=0.1)
     p.add_argument("--no-verify", action="store_true",
                    help="skip the synchronous replay verification")
+    p.add_argument("--wal-dir", type=str, default=None,
+                   help="directory for the write-ahead log + checkpoints; "
+                        "rerunning with the same directory resumes")
+    p.add_argument("--checkpoint-interval", type=int, default=64,
+                   help="commits between checkpoints (with --wal-dir)")
     p.set_defaults(func=_cmd_serve, processes=True)
+
+    p = sub.add_parser(
+        "chaos",
+        help="deterministic fault-injection campaign over the serving "
+             "engine: kill/hang/corrupt, then verify exact recovery",
+    )
+    p.add_argument("--seeds", type=int, default=3,
+                   help="seeded runs per fault plan")
+    p.add_argument("--seed", type=int, default=0, help="first seed")
+    p.add_argument("--requests", type=int, default=2500,
+                   help="client requests per run")
+    p.add_argument("--shards", type=int, default=2)
+    p.add_argument("--plans", type=str, default=None,
+                   help="comma-separated subset of fault plans")
+    p.add_argument("--checkpoint-interval", type=int, default=8)
+    p.add_argument("--processes", action="store_true",
+                   help="use real worker processes (default: deterministic "
+                        "in-process shards)")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI mode: 1 seed/plan, 2 shards, <=1200 requests")
+    p.add_argument("--rsl1", action="store_true",
+                   help="run the RSL1 recovery-latency-vs-checkpoint-"
+                        "interval sweep instead of the full campaign")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
         "fuzz",

@@ -1,0 +1,74 @@
+"""Fault tolerance for the serving engine (WAL, checkpoints, chaos).
+
+The batch-dynamic setting makes recovery unusually cheap to make exact:
+a structure's state is fully determined by its initial graph plus the
+sequence of applied batches, so durability is just *log the batches*
+(:mod:`~repro.resilience.wal`), *snapshot the per-shard edge sets now and
+then* (:mod:`~repro.resilience.checkpoint`), and *replay the tail* on
+restart (:mod:`~repro.resilience.manager`).  The shard supervisor in
+:class:`~repro.service.shard.ShardedExecutor` uses the same machinery to
+restart crashed or hung workers mid-flight, and the deterministic chaos
+harness (:mod:`~repro.resilience.chaos`) proves the whole loop closed by
+injecting seeded faults and checking the recovered state against the
+``Workload.replay`` ground truth through the differential oracle.
+
+See ``docs/resilience.md`` for the failure model and formats.
+"""
+
+from repro.resilience.chaos import (
+    CHAOS_PLAN_KINDS,
+    ChaosConfig,
+    ChaosReport,
+    ChaosRunResult,
+    run_chaos_campaign,
+    run_chaos_once,
+)
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointStore,
+)
+from repro.resilience.faults import (
+    NULL_INJECTOR,
+    CheckpointInterrupted,
+    FaultInjector,
+)
+from repro.resilience.manager import (
+    RecoveryManager,
+    ResilienceConfig,
+    SupervisionConfig,
+    bootstrap_executor,
+)
+from repro.resilience.wal import (
+    WalCorruptionError,
+    WalReadResult,
+    WalRecord,
+    WalWriter,
+    corrupt_record,
+    read_wal,
+)
+
+__all__ = [
+    "CHAOS_PLAN_KINDS",
+    "ChaosConfig",
+    "ChaosReport",
+    "ChaosRunResult",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointInterrupted",
+    "CheckpointStore",
+    "FaultInjector",
+    "NULL_INJECTOR",
+    "RecoveryManager",
+    "ResilienceConfig",
+    "SupervisionConfig",
+    "WalCorruptionError",
+    "WalReadResult",
+    "WalRecord",
+    "WalWriter",
+    "bootstrap_executor",
+    "corrupt_record",
+    "read_wal",
+    "run_chaos_campaign",
+    "run_chaos_once",
+]

@@ -1,0 +1,232 @@
+"""Recovery manager: one directory holding a WAL plus checkpoints.
+
+Ties :mod:`repro.resilience.wal` and :mod:`repro.resilience.checkpoint`
+into the single object the serving engine talks to:
+
+* after every applied batch the engine calls :meth:`log_applied`;
+* every ``checkpoint_interval`` commits it calls :meth:`write_checkpoint`
+  with the executor's per-shard graph edge sets, which also truncates the
+  absorbed WAL prefix;
+* a restarting shard asks :meth:`shard_recovery_plan` for its base edge
+  set and the WAL-tail sub-batches to replay (routing is re-derived with
+  the deterministic :func:`~repro.service.shard.edge_shard` router, so a
+  single global log serves every shard);
+* a cold-started engine calls :func:`bootstrap_executor` to rebuild the
+  whole sharded state before serving resumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.graph.dynamic_graph import Edge
+from repro.resilience.checkpoint import Checkpoint, CheckpointStore
+from repro.resilience.faults import NULL_INJECTOR, FaultInjector
+from repro.resilience.wal import WalReadResult, WalRecord, WalWriter, read_wal
+from repro.workloads.streams import UpdateBatch
+
+__all__ = [
+    "RecoveryManager",
+    "ResilienceConfig",
+    "SupervisionConfig",
+    "bootstrap_executor",
+]
+
+
+@dataclass
+class ResilienceConfig:
+    """Durability knobs (see docs/resilience.md)."""
+
+    directory: str | Path = "wal"
+    checkpoint_interval: int = 64   # commits between checkpoints
+    sync: bool = False              # fsync each WAL append
+
+
+@dataclass
+class SupervisionConfig:
+    """Shard-supervision knobs used by ShardedExecutor."""
+
+    recv_deadline: float = 5.0      # seconds to wait on a shard's reply
+    max_batch_attempts: int = 2     # crash-loops on one batch → quarantine
+    backoff_base: float = 0.05      # first restart delay (doubles per retry)
+    backoff_cap: float = 2.0        # ceiling on the restart delay
+    heartbeat_interval: float = 1.0  # background liveness-probe period
+
+
+class RecoveryManager:
+    """WAL + checkpoint lifecycle for one service instance."""
+
+    def __init__(
+        self,
+        config: ResilienceConfig,
+        injector: FaultInjector | None = None,
+    ) -> None:
+        self.config = config
+        self.injector = injector or NULL_INJECTOR
+        self.directory = Path(config.directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.wal_path = self.directory / "wal.log"
+        self.checkpoints = CheckpointStore(self.directory)
+        self._recovered = self._recover()
+        dropped = self._recovered[1].dropped_tail_bytes
+        if dropped:
+            # chop the torn tail off before appending, or new records
+            # would land after garbage and be unreachable to the reader
+            size = self.wal_path.stat().st_size
+            with open(self.wal_path, "r+b") as fh:
+                fh.truncate(size - dropped)
+        self._writer = WalWriter(self.wal_path, sync=config.sync)
+        self.last_seq = max(
+            self._recovered[1].last_seq,
+            self._recovered[0].epoch if self._recovered[0] else 0,
+        )
+        self._since_checkpoint = len(self._recovered[1].records)
+
+    def _recover(self) -> tuple[Checkpoint | None, WalReadResult]:
+        checkpoint = self.checkpoints.load()
+        wal = read_wal(self.wal_path)
+        if checkpoint is not None:
+            wal.records = [r for r in wal.records if r.seq > checkpoint.epoch]
+        return checkpoint, wal
+
+    # -- recovered state -----------------------------------------------------
+
+    @property
+    def checkpoint(self) -> Checkpoint | None:
+        return self._recovered[0]
+
+    @property
+    def tail(self) -> list[WalRecord]:
+        """WAL records newer than the checkpoint epoch."""
+        return self._recovered[1].records
+
+    @property
+    def dropped_tail_bytes(self) -> int:
+        """Bytes of torn/corrupt tail the WAL reader ignored on recovery."""
+        return self._recovered[1].dropped_tail_bytes
+
+    @property
+    def dropped_tail_seq(self) -> int | None:
+        return self._recovered[1].dropped_tail_seq
+
+    @property
+    def wal_bytes(self) -> int:
+        return self._writer.bytes_written
+
+    def base_edges(self, shard_idx: int, shards: int,
+                   initial: list[Edge]) -> set[Edge]:
+        """Shard's graph edges as of the checkpoint epoch (or construction)."""
+        ckpt = self.checkpoint
+        if ckpt is not None:
+            if ckpt.shards != shards:
+                raise ValueError(
+                    f"checkpoint has {ckpt.shards} shard(s), executor has "
+                    f"{shards}; resharding a checkpointed log is unsupported"
+                )
+            return set(ckpt.shard_edges[shard_idx])
+        from repro.service.shard import split_by_shard
+
+        return set(split_by_shard(initial, shards)[shard_idx])
+
+    def shard_recovery_plan(
+        self, shard_idx: int, shards: int, initial: list[Edge],
+        skip_seqs: set[int] | None = None,
+    ) -> tuple[set[Edge], list[UpdateBatch]]:
+        """(base edges, ordered WAL-tail sub-batches) for one shard.
+
+        Re-reads the log from disk so a live restart sees every commit,
+        including ones logged after this manager object recovered.
+
+        ``skip_seqs`` holds commit seqs whose sub-batch this shard
+        *quarantined* as poison: the full batch is in the WAL (the other
+        shards applied their parts), but replaying it here would re-crash
+        the worker and desynchronize the supervisor's bookkeeping.  Only a
+        live restart passes this; a cold restart replays the full log,
+        which is both legal and the better state.
+        """
+        from repro.service.shard import split_by_shard
+
+        base = self.base_edges(shard_idx, shards, initial)
+        epoch = self.checkpoint.epoch if self.checkpoint else 0
+        wal = read_wal(self.wal_path)
+        replay: list[UpdateBatch] = []
+        for rec in wal.records:
+            if rec.seq <= epoch:
+                continue
+            if skip_seqs and rec.seq in skip_seqs:
+                continue
+            sub = UpdateBatch(
+                insertions=split_by_shard(rec.batch.insertions,
+                                          shards)[shard_idx],
+                deletions=split_by_shard(rec.batch.deletions,
+                                         shards)[shard_idx],
+            )
+            if sub.size:
+                replay.append(sub)
+        return base, replay
+
+    # -- logging -------------------------------------------------------------
+
+    def log_applied(self, seq: int, batch: UpdateBatch) -> int:
+        """Append one committed batch; returns bytes written."""
+        if seq <= self.last_seq:
+            raise ValueError(
+                f"commit seq {seq} is not past last logged {self.last_seq}"
+            )
+        n = self._writer.append(seq, batch,
+                                mutate=self.injector.on_wal_record)
+        self.last_seq = seq
+        self._since_checkpoint += 1
+        return n
+
+    def should_checkpoint(self) -> bool:
+        """True once ``checkpoint_interval`` commits accumulated."""
+        return self._since_checkpoint >= self.config.checkpoint_interval
+
+    def write_checkpoint(self, epoch: int,
+                         shard_edges: list[set[Edge]]) -> None:
+        """Persist per-shard state at ``epoch`` and truncate the WAL."""
+        self.checkpoints.save(epoch, shard_edges,
+                              interrupt=self.injector.on_checkpoint)
+        self._writer.truncate_through(epoch)
+        self._recovered = (Checkpoint(epoch, [set(s) for s in shard_edges]),
+                           WalReadResult())
+        self._since_checkpoint = 0
+
+    def close(self) -> None:
+        """Close the WAL writer (idempotent)."""
+        self._writer.close()
+
+
+def bootstrap_executor(
+    spec: dict,
+    shards: int,
+    manager: RecoveryManager,
+    processes: bool = False,
+    start_method: str | None = None,
+    supervision: SupervisionConfig | None = None,
+    injector: FaultInjector | None = None,
+):
+    """Cold-start recovery: rebuild a ShardedExecutor from durable state.
+
+    Returns ``(executor, last_seq)``.  The executor is constructed on the
+    checkpointed edge sets (falling back to ``spec['edges']`` when no
+    checkpoint exists) and the WAL tail is replayed through it batch by
+    batch, so the caller can resume committing at ``last_seq + 1``.
+    """
+    from repro.service.shard import ShardedExecutor
+
+    initial = [tuple(e) for e in spec.get("edges", ())]
+    base_union: set[Edge] = set()
+    for i in range(shards):
+        base_union |= manager.base_edges(i, shards, initial)
+    boot_spec = dict(spec)
+    boot_spec["edges"] = sorted(base_union)
+    executor = ShardedExecutor(
+        boot_spec, shards, processes=processes, start_method=start_method,
+        supervision=supervision, recovery=manager, injector=injector,
+    )
+    for rec in manager.tail:
+        executor.apply(rec.batch, seq=rec.seq)
+    return executor, manager.last_seq

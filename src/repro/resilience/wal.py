@@ -1,0 +1,250 @@
+"""Write-ahead log of applied update batches.
+
+The serving engine's state is fully determined by its initial graph plus
+the sequence of coalesced batches it applied (the structures are seeded
+Las Vegas — same inputs, same state).  Persisting that sequence is
+therefore a complete recovery story: a crashed worker, or the whole
+engine, rebuilds by replaying the log on top of the last checkpoint.
+
+Format (all integers little-endian)::
+
+    header   8 bytes   b"RWAL1\\x00\\x00\\x00"
+    record   [u32 length][u32 crc32(payload)][payload]
+    payload  [u64 seq][u32 n_ins][u32 n_del][u32 u, u32 v] * (n_ins+n_del)
+
+Failure semantics, chosen to match what a ``kill -9`` can actually
+produce:
+
+* a record whose bytes run past end-of-file is a **torn tail** — the
+  writer died mid-append; the reader drops it and reports how many bytes
+  it ignored;
+* a checksum mismatch on the **final** record is treated the same way
+  (the tail was partially overwritten, e.g. by a crash during append);
+* a checksum mismatch on a **mid-log** record means the log itself was
+  damaged after the fact; that is not survivable by truncation, so the
+  reader raises :class:`WalCorruptionError` naming the sequence number;
+* sequence numbers must be strictly increasing; a regression raises
+  :class:`WalCorruptionError` too.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.workloads.streams import UpdateBatch
+
+__all__ = [
+    "WAL_MAGIC",
+    "WalCorruptionError",
+    "WalReadResult",
+    "WalRecord",
+    "WalWriter",
+    "corrupt_record",
+    "decode_record",
+    "encode_record",
+    "read_wal",
+]
+
+WAL_MAGIC = b"RWAL1\x00\x00\x00"
+_HEADER = struct.Struct("<II")          # length, crc32
+_PAYLOAD_FIXED = struct.Struct("<QII")  # seq, n_ins, n_del
+_EDGE = struct.Struct("<II")
+
+
+class WalCorruptionError(RuntimeError):
+    """A WAL record failed validation in a way truncation cannot repair."""
+
+    def __init__(self, message: str, seq: int | None = None) -> None:
+        super().__init__(message)
+        self.seq = seq
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logged batch: its commit sequence number plus the batch."""
+
+    seq: int
+    batch: UpdateBatch
+
+
+@dataclass
+class WalReadResult:
+    """Everything :func:`read_wal` recovered from a log file."""
+
+    records: list[WalRecord] = field(default_factory=list)
+    dropped_tail_bytes: int = 0   # torn/corrupt tail ignored by the reader
+    dropped_tail_seq: int | None = None  # seq of the dropped record, if parsed
+
+    @property
+    def last_seq(self) -> int:
+        return self.records[-1].seq if self.records else 0
+
+
+def encode_record(seq: int, batch: UpdateBatch) -> bytes:
+    """Serialize one record (header + checksummed payload)."""
+    parts = [_PAYLOAD_FIXED.pack(seq, len(batch.insertions),
+                                 len(batch.deletions))]
+    for u, v in batch.insertions:
+        parts.append(_EDGE.pack(u, v))
+    for u, v in batch.deletions:
+        parts.append(_EDGE.pack(u, v))
+    payload = b"".join(parts)
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_record(payload: bytes) -> WalRecord:
+    """Parse a record payload (already checksum-verified)."""
+    seq, n_ins, n_del = _PAYLOAD_FIXED.unpack_from(payload, 0)
+    need = _PAYLOAD_FIXED.size + (n_ins + n_del) * _EDGE.size
+    if len(payload) != need:
+        raise WalCorruptionError(
+            f"record seq={seq}: payload is {len(payload)} bytes, "
+            f"edge counts imply {need}", seq=seq,
+        )
+    off = _PAYLOAD_FIXED.size
+    edges = [_EDGE.unpack_from(payload, off + i * _EDGE.size)
+             for i in range(n_ins + n_del)]
+    return WalRecord(seq, UpdateBatch(
+        insertions=[(u, v) for u, v in edges[:n_ins]],
+        deletions=[(u, v) for u, v in edges[n_ins:]],
+    ))
+
+
+class WalWriter:
+    """Append-only writer; creates the file (with magic) on first use."""
+
+    def __init__(self, path: str | Path, sync: bool = False) -> None:
+        self.path = Path(path)
+        self.sync = sync
+        new = not self.path.exists() or self.path.stat().st_size == 0
+        self._fh = open(self.path, "ab")
+        if new:
+            self._fh.write(WAL_MAGIC)
+            self._fh.flush()
+        self.bytes_written = self.path.stat().st_size
+
+    def append(self, seq: int, batch: UpdateBatch,
+               mutate=None) -> int:
+        """Log one applied batch; returns bytes appended.
+
+        ``mutate`` is a fault-injection hook: it receives the encoded
+        record and returns the bytes actually written (the chaos harness
+        uses it to plant corrupt records).
+        """
+        data = encode_record(seq, batch)
+        if mutate is not None:
+            data = mutate(seq, data)
+        self._fh.write(data)
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+        self.bytes_written += len(data)
+        return len(data)
+
+    def close(self) -> None:
+        """Release the file handle (appends after close are an error)."""
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - already closed by the OS
+            pass
+
+    def truncate_through(self, epoch: int) -> None:
+        """Drop every record with ``seq <= epoch`` (checkpoint absorbed it).
+
+        Rewrites atomically (tmp + rename) so a crash mid-truncation
+        leaves either the old or the new log, never a half-written one.
+        """
+        kept = [r for r in read_wal(self.path).records if r.seq > epoch]
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(WAL_MAGIC)
+            for r in kept:
+                fh.write(encode_record(r.seq, r.batch))
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._fh.close()
+        os.replace(tmp, self.path)
+        self._fh = open(self.path, "ab")
+        self.bytes_written = self.path.stat().st_size
+
+
+def read_wal(path: str | Path) -> WalReadResult:
+    """Read a log tolerantly (see module docstring for the tail rules)."""
+    path = Path(path)
+    result = WalReadResult()
+    if not path.exists():
+        return result
+    data = path.read_bytes()
+    if not data:
+        return result
+    if not data.startswith(WAL_MAGIC):
+        raise WalCorruptionError(f"{path}: bad WAL magic")
+    off = len(WAL_MAGIC)
+    last_seq = 0
+    while off < len(data):
+        if off + _HEADER.size > len(data):
+            result.dropped_tail_bytes = len(data) - off
+            break
+        length, crc = _HEADER.unpack_from(data, off)
+        start = off + _HEADER.size
+        end = start + length
+        if end > len(data):  # torn tail: writer died mid-append
+            result.dropped_tail_bytes = len(data) - off
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            if end == len(data):
+                # final record: treat like a torn tail, but remember which
+                # seq was lost if the (unverified) payload still parses
+                result.dropped_tail_bytes = len(data) - off
+                try:
+                    result.dropped_tail_seq = decode_record(payload).seq
+                except Exception:
+                    result.dropped_tail_seq = None
+                break
+            raise WalCorruptionError(
+                f"{path}: checksum mismatch on record seq={last_seq + 1} "
+                f"(after seq={last_seq}, offset {off}); the log is damaged "
+                "mid-stream and cannot be repaired by truncation",
+                seq=last_seq + 1,
+            )
+        record = decode_record(payload)
+        if record.seq <= last_seq:
+            raise WalCorruptionError(
+                f"{path}: sequence regression {last_seq} -> {record.seq} "
+                f"at offset {off}", seq=record.seq,
+            )
+        result.records.append(record)
+        last_seq = record.seq
+        off = end
+    return result
+
+
+def corrupt_record(path: str | Path, seq: int) -> bool:
+    """Flip one payload byte of record ``seq`` in place (chaos/test helper).
+
+    Returns True if the record was found and damaged.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    off = len(WAL_MAGIC)
+    while off + _HEADER.size <= len(data):
+        length, _crc = _HEADER.unpack_from(data, off)
+        start = off + _HEADER.size
+        end = start + length
+        if end > len(data):
+            return False
+        rec_seq = _PAYLOAD_FIXED.unpack_from(data, start)[0]
+        if rec_seq == seq:
+            # flip the *last* payload byte: the checksum breaks but the
+            # seq field stays parseable, so tail-drop reporting can still
+            # name which record was lost
+            data[end - 1] ^= 0xFF
+            path.write_bytes(bytes(data))
+            return True
+        off = end
+    return False

@@ -12,6 +12,9 @@ queries from snapshot-consistent state:
 * :mod:`repro.service.metrics` — counters/histograms registry,
 * :mod:`repro.service.driver` — the end-to-end serve demo + verification.
 
+Fault tolerance (WAL, checkpoints, shard supervision, chaos testing)
+lives in :mod:`repro.resilience`; see ``docs/resilience.md``.
+
 See ``docs/service.md`` for the architecture and tuning guide.
 """
 
@@ -25,6 +28,7 @@ from repro.service.driver import ServeConfig, ServeReport, run_serve
 from repro.service.engine import (
     ApplyResult,
     LocalExecutor,
+    QueryResult,
     ServiceConfig,
     SpannerService,
     SubmitResponse,
@@ -32,7 +36,13 @@ from repro.service.engine import (
 )
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.service.queue import CoalescingQueue, DrainResult
-from repro.service.shard import ShardedExecutor, edge_shard, split_by_shard
+from repro.service.shard import (
+    ShardDeadError,
+    ShardedExecutor,
+    ShardHealth,
+    edge_shard,
+    split_by_shard,
+)
 
 __all__ = [
     "AdaptiveBatcher",
@@ -48,11 +58,14 @@ __all__ = [
     "Histogram",
     "LocalExecutor",
     "MetricsRegistry",
+    "QueryResult",
     "ServeConfig",
     "ServeReport",
     "ServiceConfig",
     "SpannerService",
     "SubmitResponse",
+    "ShardDeadError",
+    "ShardHealth",
     "ShardedExecutor",
     "build_backend",
     "edge_shard",

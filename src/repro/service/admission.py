@@ -22,6 +22,10 @@ class AdmissionConfig:
     # retry_after = time for the backlog overflow to drain, estimated as
     # (overflow / max_pending) * flush_interval, floored at flush_interval.
     min_retry_after: float = 0.001
+    # retry hint multiplier while a shard is being recovered: restarts
+    # take several flush intervals (backoff + checkpoint/WAL replay), so
+    # degraded-mode sheds tell clients to stay away a bit longer
+    degraded_retry_factor: float = 4.0
 
 
 @dataclass
@@ -36,11 +40,24 @@ class AdmissionController:
     def __init__(self, config: AdmissionConfig | None = None) -> None:
         self.config = config or AdmissionConfig()
         self.shed_count = 0
+        self.degraded_shed_count = 0
 
-    def admit(self, depth: int, flush_interval: float) -> AdmissionDecision:
+    def admit(self, depth: int, flush_interval: float,
+              degraded: bool = False) -> AdmissionDecision:
         """``depth`` is the current queue depth; ``flush_interval`` the
-        batcher's latency deadline (used to size the retry hint)."""
+        batcher's latency deadline (used to size the retry hint).
+
+        ``degraded=True`` means a shard is mid-recovery: the request is
+        shed unconditionally (the structure cannot accept writes until
+        its workers are whole again) with a retry hint scaled by
+        ``degraded_retry_factor``.
+        """
         cfg = self.config
+        if degraded:
+            self.degraded_shed_count += 1
+            retry = max(cfg.min_retry_after,
+                        flush_interval * cfg.degraded_retry_factor)
+            return AdmissionDecision(admitted=False, retry_after=retry)
         if depth < cfg.max_pending:
             return AdmissionDecision(admitted=True)
         self.shed_count += 1

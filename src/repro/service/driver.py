@@ -23,6 +23,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.resilience.manager import (
+    RecoveryManager,
+    ResilienceConfig,
+    SupervisionConfig,
+    bootstrap_executor,
+)
 from repro.service.admission import AdmissionConfig
 from repro.service.batcher import BatcherConfig
 from repro.service.engine import ServiceConfig, SpannerService
@@ -68,6 +74,13 @@ class ServeConfig:
     target_batch_work: int | None = None
     queue_capacity: int = 192      # < arrivals per burst → backpressure
     request_timeout: float | None = None
+    # fault tolerance (PR 4): a WAL directory makes the run durable — the
+    # engine logs every committed batch, checkpoints on schedule, and a
+    # rerun with the same directory resumes from the recovered state
+    wal_dir: str | None = None
+    checkpoint_interval: int = 64
+    supervise: bool = True         # restart dead/hung shard workers
+    recv_deadline: float = 5.0     # seconds before a worker counts as hung
     # simulated arrivals: one request per `tick`, with a zero-gap burst of
     # `burst_size` requests closing every `burst_every` requests
     tick: float = 2e-5
@@ -86,6 +99,11 @@ class ServeReport:
     queries: int = 0
     flushes: int = 0
     wall_seconds: float = 0.0
+    interrupted: bool = False      # stopped early by SIGINT/SIGTERM
+    resumed_from_seq: int = 0      # >0 when a WAL dir restored prior state
+    final_seq: int = 0             # last committed sequence number
+    recoveries: int = 0            # shard recoveries during the run
+    checkpoints: int = 0
     verified: bool = False
     verification: Any = None  # ServiceVerification from the oracle
     shard_sizes: list[int] = field(default_factory=list)
@@ -99,64 +117,101 @@ class ServeReport:
 
 def run_serve(cfg: ServeConfig, verify: bool = True) -> ServeReport:
     """Run the full demo; returns the report (never prints)."""
-    initial_edges, requests = request_stream(
-        cfg.n, cfg.m, cfg.requests, seed=cfg.seed,
-        query_prob=cfg.query_prob, churn_prob=cfg.churn_prob,
-    )
-    spec: dict[str, Any] = {
-        "kind": cfg.backend, "n": cfg.n, "edges": initial_edges,
-        "seed": cfg.seed + 1000,
-    }
-    if cfg.backend in ("spanner", "sparse"):
-        spec["k"] = cfg.k
-        # small enough to engage the Bentley-Saxe decremental levels at
-        # demo scale (the library default would hold everything in level 0)
-        spec["base_capacity"] = (
-            cfg.base_capacity
-            if cfg.base_capacity is not None
-            else max(16, cfg.m // max(1, 4 * cfg.shards))
-        )
-    executor = ShardedExecutor(
-        spec, cfg.shards, processes=cfg.processes
-    )
-    clock = SimClock()
-    service = SpannerService(
-        executor,
-        config=ServiceConfig(
-            batcher=BatcherConfig(
-                max_batch=cfg.max_batch,
-                max_delay=cfg.max_delay,
-                target_batch_work=cfg.target_batch_work,
-            ),
-            admission=AdmissionConfig(
-                max_pending=cfg.queue_capacity,
-                request_timeout=cfg.request_timeout,
-            ),
-        ),
-        clock=clock.now,
-    )
     report = ServeReport(config=cfg)
+    executor = recovery = None
+    try:
+        initial_edges, requests = request_stream(
+            cfg.n, cfg.m, cfg.requests, seed=cfg.seed,
+            query_prob=cfg.query_prob, churn_prob=cfg.churn_prob,
+        )
+        spec: dict[str, Any] = {
+            "kind": cfg.backend, "n": cfg.n, "edges": initial_edges,
+            "seed": cfg.seed + 1000,
+        }
+        if cfg.backend in ("spanner", "sparse"):
+            spec["k"] = cfg.k
+            # small enough to engage the Bentley-Saxe decremental levels at
+            # demo scale (the library default would hold everything in
+            # level 0)
+            spec["base_capacity"] = (
+                cfg.base_capacity
+                if cfg.base_capacity is not None
+                else max(16, cfg.m // max(1, 4 * cfg.shards))
+            )
+        supervision = (
+            SupervisionConfig(recv_deadline=cfg.recv_deadline)
+            if cfg.supervise else None
+        )
+        resumed_from_seq = 0
+        if cfg.wal_dir:
+            recovery = RecoveryManager(ResilienceConfig(
+                directory=cfg.wal_dir,
+                checkpoint_interval=cfg.checkpoint_interval,
+            ))
+            resumed_from_seq = recovery.last_seq
+            executor, _ = bootstrap_executor(
+                spec, cfg.shards, recovery,
+                processes=cfg.processes, supervision=supervision,
+            )
+        else:
+            executor = ShardedExecutor(
+                spec, cfg.shards, processes=cfg.processes,
+                supervision=supervision,
+            )
+        clock = SimClock()
+        service = SpannerService(
+            executor,
+            config=ServiceConfig(
+                batcher=BatcherConfig(
+                    max_batch=cfg.max_batch,
+                    max_delay=cfg.max_delay,
+                    target_batch_work=cfg.target_batch_work,
+                ),
+                admission=AdmissionConfig(
+                    max_pending=cfg.queue_capacity,
+                    request_timeout=cfg.request_timeout,
+                ),
+            ),
+            clock=clock.now,
+            recovery=recovery,
+        )
+    except KeyboardInterrupt:
+        # interrupt before serving even started (workload generation or
+        # executor bootstrap): release whatever got built and report a
+        # clean zero-request shutdown instead of dying on the signal
+        report.interrupted = True
+        if executor is not None:
+            executor.close()
+        if recovery is not None:
+            recovery.close()
+        return report
+    report.resumed_from_seq = resumed_from_seq
     quiet_len = max(0, cfg.burst_every - cfg.burst_size)
     t0 = time.perf_counter()
     with service:
-        for i, (op, payload) in enumerate(requests):
-            in_burst = (
-                cfg.burst_every > 0 and i % cfg.burst_every >= quiet_len
-            )
-            if not in_burst:
-                clock.advance(cfg.tick)
-            service.pump()
-            if op == "query":
-                u, v = payload
-                service.query("distance", (u, v))
-                report.queries += 1
-            else:
-                resp = service.submit_update(op, *payload)
-                if resp.outcome == "shed":
-                    report.shed += 1
-                elif not resp.accepted:
-                    report.rejected += 1
-            report.served += 1
+        try:
+            for i, (op, payload) in enumerate(requests):
+                in_burst = (
+                    cfg.burst_every > 0 and i % cfg.burst_every >= quiet_len
+                )
+                if not in_burst:
+                    clock.advance(cfg.tick)
+                service.pump()
+                if op == "query":
+                    u, v = payload
+                    service.query("distance", (u, v))
+                    report.queries += 1
+                else:
+                    resp = service.submit_update(op, *payload)
+                    if resp.outcome in ("shed", "shed_degraded"):
+                        report.shed += 1
+                    elif not resp.accepted:
+                        report.rejected += 1
+                report.served += 1
+        except KeyboardInterrupt:
+            # graceful shutdown: drain what was admitted, then fall
+            # through to the final flush + checkpoint in service.close()
+            report.interrupted = True
         service.flush()
         report.wall_seconds = time.perf_counter() - t0
 
@@ -166,6 +221,9 @@ def run_serve(cfg: ServeConfig, verify: bool = True) -> ServeReport:
         report.applied_ops = m.get("ops_applied", 0)
         report.coalesced = m.get("ops_coalesced_away", 0)
         report.flushes = m.get("flushes", 0)
+        report.recoveries = m.get("recoveries", 0)
+        report.checkpoints = m.get("checkpoints", 0)
+        report.final_seq = resumed_from_seq + report.flushes
         report.shard_sizes = executor.scatter_sizes()
 
         if verify:

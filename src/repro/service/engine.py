@@ -32,6 +32,7 @@ from repro.workloads.streams import UpdateBatch
 __all__ = [
     "ApplyResult",
     "LocalExecutor",
+    "QueryResult",
     "ServiceConfig",
     "SpannerService",
     "SubmitResponse",
@@ -112,6 +113,11 @@ class ApplyResult:
     ``work`` sums over shards; ``depth`` and ``critical_work`` take the
     max (shards run in parallel, so the slowest shard is the critical
     path — ``work / critical_work`` is the batch's parallel speedup).
+
+    The recovery fields are populated by supervised executors: which
+    shards were restarted while applying this batch, which quarantined
+    their sub-batch as poison, how many restarts happened, and how much
+    wall time recovery consumed.
     """
 
     delta_ins: set[Edge]
@@ -119,6 +125,14 @@ class ApplyResult:
     work: int
     depth: int
     critical_work: int = 0
+    recovered_shards: tuple[int, ...] = ()
+    quarantined_shards: tuple[int, ...] = ()
+    restarts: int = 0
+    recovery_seconds: float = 0.0
+
+    @property
+    def recovered(self) -> bool:
+        return bool(self.recovered_shards or self.quarantined_shards)
 
 
 class LocalExecutor:
@@ -129,6 +143,7 @@ class LocalExecutor:
         self._cost = CostModel()
         self._backend = build_backend(self.spec, self._cost)
         self.applied_batches: list[UpdateBatch] = []
+        self._graph: set[Edge] = self.initial_edges()
 
     def initial_edges(self) -> set[Edge]:
         """Edge set the backend was constructed with."""
@@ -138,13 +153,23 @@ class LocalExecutor:
         """The structure's current output (spanner/sparsifier) edges."""
         return self._backend.output_edges()
 
-    def apply(self, batch: UpdateBatch) -> ApplyResult:
+    def shard_graphs(self) -> list[set[Edge]]:
+        """Uniform with :meth:`ShardedExecutor.shard_graphs` (one shard)."""
+        return [set(self._graph)]
+
+    def graph_union(self) -> set[Edge]:
+        """The graph edge set implied by every applied batch."""
+        return set(self._graph)
+
+    def apply(self, batch: UpdateBatch, seq: int | None = None) -> ApplyResult:
         """Apply one coalesced batch; returns deltas plus measured cost."""
         with self._cost.frame() as fr:
             ins, dels = self._backend.update(
                 insertions=batch.insertions, deletions=batch.deletions
             )
         self.applied_batches.append(batch)
+        self._graph -= set(batch.deletions)
+        self._graph |= set(batch.insertions)
         return ApplyResult(set(ins), set(dels), fr.work, fr.depth,
                            critical_work=fr.work)
 
@@ -164,8 +189,22 @@ class SubmitResponse:
     """What a client gets back from :meth:`SpannerService.submit_update`."""
 
     accepted: bool
-    outcome: str                    # queue outcome or "shed"
+    outcome: str                    # queue outcome, "shed", or "shed_degraded"
     retry_after: float | None = None
+
+
+@dataclass
+class QueryResult:
+    """A query answer plus its consistency provenance.
+
+    ``stale`` is True when the answer was served from the last consistent
+    snapshot while a shard was being recovered (graceful degradation);
+    ``as_of_seq`` is the commit sequence number the snapshot reflects.
+    """
+
+    value: Any
+    stale: bool = False
+    as_of_seq: int = 0
 
 
 @dataclass
@@ -191,6 +230,7 @@ class SpannerService:
         config: ServiceConfig | None = None,
         metrics: MetricsRegistry | None = None,
         clock: Callable[[], float] = time.monotonic,
+        recovery=None,
     ) -> None:
         self.executor = executor
         self.config = config or ServiceConfig()
@@ -200,11 +240,26 @@ class SpannerService:
         self.queue = CoalescingQueue(executor.initial_edges(), clock=clock)
         self.batcher = AdaptiveBatcher(self.config.batcher)
         self.admission = AdmissionController(self.config.admission)
-        # snapshot = structure output as of the last flush
+        # durable WAL+checkpoint lifecycle (None = in-memory only)
+        self.recovery = recovery
+        self._next_seq = (recovery.last_seq + 1) if recovery else 1
+        # fired with (seq, batch) after each commit (chaos ground truth)
+        self.commit_hooks: list[Callable[[int, UpdateBatch], None]] = []
+        # set by a supervised executor while a shard is being restarted;
+        # checked lock-free so clients degrade instead of queueing behind
+        # the recovering flush
+        self._degraded: threading.Event = getattr(
+            executor, "degraded", None
+        ) or threading.Event()
+        # snapshot = structure output as of the last flush; guarded by its
+        # own lock so queries stay served while a flush recovers a shard
+        self._snap_lock = threading.Lock()
         self._snapshot: set[Edge] = set(executor.output_edges())
+        self._snapshot_seq = self._next_seq - 1
         self._adj: dict[int, set[int]] | None = None  # lazy BFS adjacency
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        self._closed = False
 
     # -- client API ----------------------------------------------------------
 
@@ -212,6 +267,19 @@ class SpannerService:
         self, op: str, u: int, v: int, now: float | None = None
     ) -> SubmitResponse:
         """Submit one edge insert/delete; may trigger an inline flush."""
+        if self._degraded.is_set():
+            # a shard is mid-recovery: shed immediately (without queueing
+            # behind the recovering flush) with a retry hint sized to the
+            # flush deadline, per the admission controller's policy
+            m = self.metrics
+            m.counter("requests_update").inc()
+            m.counter("shed_degraded").inc()
+            decision = self.admission.admit(
+                self.queue.depth, self.config.batcher.max_delay,
+                degraded=True,
+            )
+            return SubmitResponse(False, "shed_degraded",
+                                  decision.retry_after)
         with self._lock:
             if now is None:
                 now = self._clock()
@@ -250,23 +318,45 @@ class SpannerService:
         ``"distance"`` / ``"connected"`` (payload = ``(u, v)``, BFS over
         the snapshot).  ``consistency="fresh"`` flushes pending updates
         first (read-your-writes); the default answers from the last
-        flushed snapshot.
+        flushed snapshot.  Use :meth:`query_info` to also learn whether
+        the answer was served stale during a shard recovery.
         """
-        with self._lock:
-            if consistency == "fresh":
+        return self.query_info(kind, payload, consistency).value
+
+    def query_info(
+        self,
+        kind: str,
+        payload: Any = None,
+        consistency: str = "snapshot",
+    ) -> QueryResult:
+        """Like :meth:`query`, but returns a :class:`QueryResult` carrying
+        the staleness tag and the commit seq the snapshot reflects.
+
+        Snapshot reads take only the snapshot lock, so while a flush is
+        blocked recovering a crashed shard, queries keep answering from
+        the last consistent snapshot (tagged ``stale=True``) instead of
+        queueing behind the recovery.
+        """
+        if consistency == "fresh":
+            with self._lock:
                 self.flush()
-            elif consistency != "snapshot":
-                raise ValueError(f"unknown consistency {consistency!r}")
-            self.metrics.counter("requests_query").inc()
+        elif consistency != "snapshot":
+            raise ValueError(f"unknown consistency {consistency!r}")
+        self.metrics.counter("requests_query").inc()
+        stale = self._degraded.is_set()
+        if stale:
+            self.metrics.counter("stale_reads").inc()
+        with self._snap_lock:
             snap = self._snapshot
+            as_of = self._snapshot_seq
             if kind == "size":
-                return len(snap)
+                return QueryResult(len(snap), stale, as_of)
             if kind == "edges":
-                return set(snap)
+                return QueryResult(set(snap), stale, as_of)
             if kind == "contains":
                 u, v = payload
                 e = (u, v) if u < v else (v, u)
-                return e in snap
+                return QueryResult(e in snap, stale, as_of)
             if kind in ("distance", "connected"):
                 u, v = payload
                 adj = self._adjacency()
@@ -277,8 +367,10 @@ class SpannerService:
                 else:
                     d = bfs_distances(adj, u).get(v)
                 if kind == "connected":
-                    return d is not None
-                return float("inf") if d is None else float(d)
+                    return QueryResult(d is not None, stale, as_of)
+                return QueryResult(
+                    float("inf") if d is None else float(d), stale, as_of
+                )
             raise ValueError(f"unknown query kind {kind!r}")
 
     # -- flushing ------------------------------------------------------------
@@ -306,21 +398,39 @@ class SpannerService:
         drained = self.queue.drain(now=now)
         m = self.metrics
         if drained.batch.size:
+            seq = self._next_seq
             # latency is real wall time even when flush *decisions* run on
             # an injected (possibly simulated) clock
             t0 = time.perf_counter()
-            result = self.executor.apply(drained.batch)
+            result = self.executor.apply(drained.batch, seq=seq)
             latency = time.perf_counter() - t0
+            self._next_seq = seq + 1
             self.batcher.record_flush(drained.batch.size, result.work)
-            self._snapshot -= result.delta_del
-            self._snapshot |= result.delta_ins
-            if self._adj is not None:
-                for a, b in result.delta_del:
-                    self._adj[a].discard(b)
-                    self._adj[b].discard(a)
-                for a, b in result.delta_ins:
-                    self._adj.setdefault(a, set()).add(b)
-                    self._adj.setdefault(b, set()).add(a)
+            self._commit_durable(seq, drained.batch)
+            for hook in self.commit_hooks:
+                hook(seq, drained.batch)
+            if result.recovered:
+                # a shard was rebuilt mid-batch: its fresh structure may
+                # output different edges, so the delta stream is void —
+                # resynchronize the snapshot from the live workers
+                self._record_recovery(result)
+                resynced = self.executor.gather_edges()
+                with self._snap_lock:
+                    self._snapshot = set(resynced)
+                    self._snapshot_seq = seq
+                    self._adj = None
+            else:
+                with self._snap_lock:
+                    self._snapshot -= result.delta_del
+                    self._snapshot |= result.delta_ins
+                    self._snapshot_seq = seq
+                    if self._adj is not None:
+                        for a, b in result.delta_del:
+                            self._adj[a].discard(b)
+                            self._adj[b].discard(a)
+                        for a, b in result.delta_ins:
+                            self._adj.setdefault(a, set()).add(b)
+                            self._adj.setdefault(b, set()).add(a)
             m.counter("flushes").inc()
             m.counter("ops_applied").inc(drained.batch.size)
             m.histogram("batch_size").observe(drained.batch.size)
@@ -335,15 +445,72 @@ class SpannerService:
         m.gauge("adaptive_max_batch").set(self.batcher.current_max_batch)
         return drained
 
+    # -- durability ----------------------------------------------------------
+
+    def _commit_durable(self, seq: int, batch: UpdateBatch) -> None:
+        """WAL-log one committed batch and checkpoint on schedule."""
+        if self.recovery is None:
+            return
+        m = self.metrics
+        m.counter("wal_records").inc()
+        self.recovery.log_applied(seq, batch)
+        m.gauge("wal_bytes").set(self.recovery.wal_bytes)
+        if self.recovery.should_checkpoint():
+            self.checkpoint()
+
+    def checkpoint(self) -> bool:
+        """Write a checkpoint of the current per-shard state now.
+
+        Returns False (and keeps serving) if the write fails — losing a
+        checkpoint only lengthens the next replay, it never loses data,
+        so robustness wins over strictness here.
+        """
+        if self.recovery is None:
+            return False
+        m = self.metrics
+        try:
+            self.recovery.write_checkpoint(
+                self._next_seq - 1, self.executor.shard_graphs()
+            )
+        except Exception:
+            m.counter("checkpoint_failures").inc()
+            return False
+        m.counter("checkpoints").inc()
+        m.gauge("wal_bytes").set(self.recovery.wal_bytes)
+        return True
+
+    def _record_recovery(self, result: ApplyResult) -> None:
+        m = self.metrics
+        m.counter("recoveries").inc(len(result.recovered_shards))
+        m.counter("shard_restarts").inc(result.restarts)
+        m.counter("quarantined_batches").inc(
+            len(result.quarantined_shards)
+        )
+        if result.recovery_seconds:
+            m.histogram("recovery_latency_s").observe(
+                result.recovery_seconds
+            )
+        fallbacks = getattr(self.executor, "wal_fallbacks", 0)
+        if fallbacks:
+            wf = m.counter("wal_fallbacks")
+            wf.inc(fallbacks - wf.value)
+
     # -- background flusher --------------------------------------------------
 
     def start(self) -> None:
-        """Run a daemon thread that enforces the latency deadline."""
+        """Run a daemon thread that enforces the latency deadline and,
+        for supervised sharded executors, heartbeats worker liveness."""
         if self._thread is not None:
             return
         self._stop.clear()
+        supervision = getattr(self.executor, "supervision", None)
+        can_probe = supervision is not None and hasattr(
+            self.executor, "health_check"
+        )
+        last_probe = time.monotonic()
 
         def loop() -> None:
+            nonlocal last_probe
             while not self._stop.is_set():
                 with self._lock:
                     now = self._clock()
@@ -353,6 +520,14 @@ class SpannerService:
                     if wait <= 0.0:
                         self._flush_locked(now)
                         wait = self.config.batcher.max_delay
+                    if (can_probe and time.monotonic() - last_probe
+                            >= supervision.heartbeat_interval):
+                        last_probe = time.monotonic()
+                        for h in self.executor.health_check(restart=True):
+                            if h.restarted:
+                                self.metrics.counter(
+                                    "heartbeat_restarts"
+                                ).inc()
                 self._stop.wait(min(wait, self.config.batcher.max_delay))
 
         self._thread = threading.Thread(
@@ -361,18 +536,36 @@ class SpannerService:
         self._thread.start()
 
     def stop(self) -> None:
-        """Stop the background flusher and apply any remaining updates."""
-        if self._thread is None:
-            return
-        self._stop.set()
-        self._thread.join(timeout=5.0)
-        self._thread = None
-        self.flush()
+        """Stop the background flusher and apply any remaining updates.
+
+        Idempotent and exception-safe: the flusher thread is always
+        reaped, and a final flush that fails (e.g. the executor is
+        already gone) is recorded in metrics instead of propagating out
+        of shutdown.
+        """
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=5.0)
+        try:
+            self.flush()
+        except Exception:
+            self.metrics.counter("shutdown_flush_failures").inc()
 
     def close(self) -> None:
-        """Stop the flusher and shut the executor down."""
-        self.stop()
-        self.executor.close()
+        """Stop the flusher, persist a final checkpoint, and shut the
+        executor down.  Safe to call twice; never hangs on a dead shard."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.stop()
+            if self.recovery is not None:
+                self.checkpoint()
+        finally:
+            self.executor.close()
+            if self.recovery is not None:
+                self.recovery.close()
 
     def __enter__(self) -> "SpannerService":
         return self

@@ -12,19 +12,44 @@ rule.
 ``processes=False`` runs the same protocol in-process (deterministic, no
 fork needed) — tests and the benchmark baseline use it; the CLI demo uses
 real processes where the platform provides them.
+
+Supervision (PR 4): every worker interaction carries a recv deadline, and
+a dead or hung worker is restarted — with exponential backoff — from the
+last checkpoint plus a WAL-tail replay (or, lacking durable state, from
+the in-memory applied-batch history).  The in-flight sub-batch is then
+retried; after ``max_batch_attempts`` consecutive crash-loops on the same
+batch it is quarantined instead, keeping the engine live on poison input.
+All of it is observable through the :class:`ApplyResult` recovery fields
+and, one level up, the service's :class:`MetricsRegistry`.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import threading
+import time
+from dataclasses import dataclass
 from typing import Any
 
 from repro.graph.dynamic_graph import Edge
 from repro.pram.cost import CostModel
+from repro.resilience.faults import NULL_INJECTOR, FaultInjector
+from repro.resilience.manager import RecoveryManager, SupervisionConfig
+from repro.resilience.wal import WalCorruptionError
 from repro.service.engine import ApplyResult, build_backend
 from repro.workloads.streams import UpdateBatch
 
-__all__ = ["ShardedExecutor", "edge_shard", "split_by_shard"]
+__all__ = [
+    "ShardDeadError",
+    "ShardedExecutor",
+    "ShardHealth",
+    "edge_shard",
+    "split_by_shard",
+]
+
+
+class ShardDeadError(RuntimeError):
+    """A worker died or hung and could not serve the request."""
 
 
 def edge_shard(edge: Edge, shards: int) -> int:
@@ -59,6 +84,8 @@ def _serve_backend(conn, spec: dict[str, Any]) -> None:
             conn.send(backend.output_edges())
         elif cmd == "size":
             conn.send(len(backend.output_edges()))
+        elif cmd == "ping":
+            conn.send(("pong",))
         elif cmd == "stop":
             conn.send(("bye",))
             conn.close()
@@ -84,50 +111,138 @@ class _ProcessShard:
     def recv(self):
         return self.conn.recv()
 
+    def recv_within(self, deadline: float):
+        """Reply within ``deadline`` seconds, else :class:`ShardDeadError`."""
+        try:
+            if not self.conn.poll(deadline):
+                raise ShardDeadError(
+                    f"worker pid={self.proc.pid} missed its "
+                    f"{deadline:.3f}s reply deadline"
+                )
+            return self.conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise ShardDeadError(f"worker pipe failed: {exc!r}") from exc
+
+    def drain_one(self, timeout: float = 0.0) -> bool:
+        """Discard one buffered reply if present (fault injection)."""
+        try:
+            if self.conn.poll(timeout):
+                self.conn.recv()
+                return True
+        except (EOFError, BrokenPipeError, OSError):
+            pass
+        return False
+
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL the worker (no cleanup — that is the point)."""
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join(timeout=1.0)
+
     def close(self) -> None:
         try:
             self.conn.send(("stop",))
-            self.conn.recv()
+            if self.conn.poll(1.0):
+                self.conn.recv()
         except (BrokenPipeError, EOFError, OSError):
             pass
-        self.proc.join(timeout=5.0)
-        if self.proc.is_alive():  # pragma: no cover - hung worker
+        self.proc.join(timeout=2.0)
+        if self.proc.is_alive():
             self.proc.terminate()
-        self.conn.close()
+            self.proc.join(timeout=1.0)
+        if self.proc.is_alive():  # pragma: no cover - stubborn worker
+            self.proc.kill()
+            self.proc.join(timeout=1.0)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
 
 
 class _InprocShard:
-    """Same message protocol, executed synchronously in-process."""
+    """Same message protocol, executed synchronously in-process.
+
+    Supports simulated death (:meth:`kill`) so supervision and the chaos
+    harness run deterministically without ``multiprocessing``.
+    """
 
     def __init__(self, spec: dict[str, Any]) -> None:
         self._cost = CostModel()
         self._backend = build_backend(spec, self._cost)
         self._reply = None
+        self._dead = False
 
     def send(self, msg) -> None:
+        if self._dead:
+            raise BrokenPipeError("in-process shard was killed")
         cmd = msg[0]
         if cmd == "update":
             _, ins, dels = msg
-            with self._cost.frame() as fr:
-                d_ins, d_del = self._backend.update(
-                    insertions=ins, deletions=dels
-                )
+            try:
+                with self._cost.frame() as fr:
+                    d_ins, d_del = self._backend.update(
+                        insertions=ins, deletions=dels
+                    )
+            except Exception as exc:
+                # a real worker process dies on an update that crashes the
+                # backend (poison batch); mirror that so supervision sees
+                # the same failure mode in deterministic in-process runs
+                self.kill()
+                raise BrokenPipeError(
+                    f"in-process worker crashed applying batch: {exc!r}"
+                ) from exc
             self._reply = (set(d_ins), set(d_del), fr.work, fr.depth)
         elif cmd == "edges":
             self._reply = self._backend.output_edges()
         elif cmd == "size":
             self._reply = len(self._backend.output_edges())
+        elif cmd == "ping":
+            self._reply = ("pong",)
         elif cmd == "stop":
             self._reply = ("bye",)
         else:
             raise ValueError(f"unknown command {cmd!r}")
 
     def recv(self):
+        if self._dead:
+            raise EOFError("in-process shard was killed")
         reply, self._reply = self._reply, None
         return reply
 
+    def recv_within(self, deadline: float):
+        try:
+            return self.recv()
+        except EOFError as exc:
+            raise ShardDeadError(str(exc)) from exc
+
+    def drain_one(self, timeout: float = 0.0) -> bool:
+        if self._reply is not None:
+            self._reply = None
+            return True
+        return False
+
+    def alive(self) -> bool:
+        return not self._dead
+
+    def kill(self) -> None:
+        self._dead = True
+        self._reply = None
+        self._backend = None  # state dies with the "process"
+
     def close(self) -> None:
         pass
+
+
+@dataclass
+class ShardHealth:
+    """One shard's liveness as seen by :meth:`ShardedExecutor.health_check`."""
+
+    shard: int
+    alive: bool
+    restarted: bool = False
 
 
 class ShardedExecutor:
@@ -148,6 +263,16 @@ class ShardedExecutor:
         Forwarded to :func:`multiprocessing.get_context`; defaults to
         ``fork`` where available (cheap, inherits the parent image) else
         the platform default.
+    supervision:
+        Deadlines/backoff/quarantine policy; None disables supervision
+        entirely (a dead worker then surfaces as an exception, the
+        pre-PR-4 behaviour).
+    recovery:
+        A :class:`~repro.resilience.manager.RecoveryManager`; when set,
+        restarted workers rebuild from checkpoint + WAL replay, else from
+        the in-memory applied-batch history.
+    injector:
+        Fault-injection hooks (chaos harness); defaults to no-op.
     """
 
     def __init__(
@@ -156,13 +281,20 @@ class ShardedExecutor:
         shards: int,
         processes: bool = False,
         start_method: str | None = None,
+        supervision: SupervisionConfig | None = None,
+        recovery: RecoveryManager | None = None,
+        injector: FaultInjector | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.shards = shards
         self.processes = processes
+        self.supervision = supervision
+        self.recovery = recovery
+        self.injector = injector or NULL_INJECTOR
         base_seed = spec.get("seed", 0)
         initial = [tuple(e) for e in spec.get("edges", ())]
+        self._initial_edges = initial
         parts = split_by_shard(initial, shards)
         self.shard_specs: list[dict[str, Any]] = []
         for i in range(shards):
@@ -170,20 +302,31 @@ class ShardedExecutor:
             sub["edges"] = parts[i]
             sub["seed"] = base_seed + i
             self.shard_specs.append(sub)
+        self._ctx = None
         if processes:
             if start_method is None:
                 methods = mp.get_all_start_methods()
                 start_method = "fork" if "fork" in methods else None
-            ctx = mp.get_context(start_method)
-            self._shards = [
-                _ProcessShard(s, ctx) for s in self.shard_specs
-            ]
-        else:
-            self._shards = [_InprocShard(s) for s in self.shard_specs]
+            self._ctx = mp.get_context(start_method)
+        self._shards = [self._spawn(self.shard_specs[i])
+                        for i in range(shards)]
         # per-shard applied sub-batches, for offline replay verification
         self.applied_batches: list[list[UpdateBatch]] = [
             [] for _ in range(shards)
         ]
+        # per-shard *graph* edge sets (checkpoint payload / ground truth)
+        self._graph: list[set[Edge]] = [set(p) for p in parts]
+        self._restart_streak = [0] * shards   # resets on successful apply
+        self.restarts_total = 0
+        self.quarantined: list[tuple[int | None, int, UpdateBatch]] = []
+        self.wal_fallbacks = 0
+        self.degraded = threading.Event()  # set while any shard recovers
+        self._closed = False
+
+    def _spawn(self, spec: dict[str, Any]):
+        if self.processes:
+            return _ProcessShard(spec, self._ctx)
+        return _InprocShard(spec)
 
     # -- executor protocol ---------------------------------------------------
 
@@ -195,44 +338,240 @@ class ShardedExecutor:
         """Alias for :meth:`gather_edges` (executor protocol)."""
         return self.gather_edges()
 
-    def apply(self, batch: UpdateBatch) -> ApplyResult:
-        """Scatter the batch, apply on every touched shard, gather deltas."""
+    def shard_graphs(self) -> list[set[Edge]]:
+        """Per-shard graph edge sets (the checkpoint payload)."""
+        return [set(g) for g in self._graph]
+
+    def graph_union(self) -> set[Edge]:
+        """The graph edge set implied by every applied batch."""
+        out: set[Edge] = set()
+        for g in self._graph:
+            out |= g
+        return out
+
+    def apply(self, batch: UpdateBatch, seq: int | None = None) -> ApplyResult:
+        """Scatter the batch, apply on every touched shard, gather deltas.
+
+        With supervision enabled a dead/hung shard is restarted from the
+        last checkpoint + WAL replay and its sub-batch retried; after
+        ``max_batch_attempts`` consecutive crashes on this batch the
+        sub-batch is quarantined (recorded in :attr:`quarantined`) and the
+        shard continues without it.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
         ins_parts = split_by_shard(batch.insertions, self.shards)
         del_parts = split_by_shard(batch.deletions, self.shards)
         touched = [
             i for i in range(self.shards)
             if ins_parts[i] or del_parts[i]
         ]
+        sup = self.supervision
+        sent: dict[int, bool] = {}
         for i in touched:  # scatter first: process shards run in parallel
-            self._shards[i].send(("update", ins_parts[i], del_parts[i]))
+            if self.injector.on_apply(i, "pre", seq) == "kill":
+                self._shards[i].kill()
+            sent[i] = self._try_send(
+                i, ("update", ins_parts[i], del_parts[i])
+            )
         delta_ins: set[Edge] = set()
         delta_del: set[Edge] = set()
         work = 0
         depth = 0
         critical = 0
+        recovered: list[int] = []
+        quarantined: list[int] = []
+        restarts = 0
+        recovery_seconds = 0.0
         for i in touched:
-            d_ins, d_del, w, d = self._shards[i].recv()
-            self.applied_batches[i].append(
-                UpdateBatch(insertions=ins_parts[i], deletions=del_parts[i])
-            )
+            sub = UpdateBatch(insertions=ins_parts[i],
+                              deletions=del_parts[i])
+            reply = self._gather_one(i, sent[i], seq)
+            crashes = 0 if reply is not None else 1
+            while reply is None:
+                if sup is None:
+                    raise ShardDeadError(
+                        f"shard {i} failed and supervision is disabled"
+                    )
+                if crashes > sup.max_batch_attempts:
+                    # poison batch: restart the shard *without* it and
+                    # keep serving
+                    t0 = time.perf_counter()
+                    restarts += self._restart_shard(i)
+                    recovery_seconds += time.perf_counter() - t0
+                    recovered.append(i)
+                    quarantined.append(i)
+                    self.quarantined.append((seq, i, sub))
+                    break
+                t0 = time.perf_counter()
+                restarts += self._restart_shard(i)
+                recovery_seconds += time.perf_counter() - t0
+                recovered.append(i)
+                ok = self._try_send(i, ("update", ins_parts[i],
+                                        del_parts[i]))
+                reply = self._gather_one(i, ok, seq)
+                if reply is None:
+                    crashes += 1
+            if reply is None:  # quarantined
+                continue
+            if self.injector.on_apply(i, "post", seq) == "kill":
+                self._shards[i].kill()
+            d_ins, d_del, w, d = reply
+            self.applied_batches[i].append(sub)
+            self._graph[i] -= set(del_parts[i])
+            self._graph[i] |= set(ins_parts[i])
+            self._restart_streak[i] = 0
             delta_ins |= d_ins
             delta_del |= d_del
             work += w
             # shards are parallel: depth and critical-path work max
             depth = max(depth, d)
             critical = max(critical, w)
-        return ApplyResult(delta_ins, delta_del, work, depth,
-                           critical_work=critical)
+        return ApplyResult(
+            delta_ins, delta_del, work, depth, critical_work=critical,
+            recovered_shards=tuple(dict.fromkeys(recovered)),
+            quarantined_shards=tuple(quarantined),
+            restarts=restarts,
+            recovery_seconds=recovery_seconds,
+        )
+
+    # -- supervision ---------------------------------------------------------
+
+    def _try_send(self, i: int, msg) -> bool:
+        try:
+            self._shards[i].send(msg)
+            return True
+        except (BrokenPipeError, OSError, EOFError):
+            return False
+
+    def _gather_one(self, i: int, was_sent: bool, seq: int | None):
+        """One shard's update reply, or None on death/timeout."""
+        if not was_sent:
+            return None
+        deadline = (self.supervision.recv_deadline
+                    if self.supervision else 60.0)
+        action = self.injector.on_recv(i, seq)
+        if action == "drop":
+            # simulate a lost reply: swallow whatever arrives in-deadline
+            self._shards[i].drain_one(timeout=min(deadline, 0.25))
+            return None
+        if isinstance(action, tuple) and action[0] == "delay":
+            # simulate a stalled worker: the reply misses its deadline
+            time.sleep(min(action[1], deadline))
+            return None
+        try:
+            return self._shards[i].recv_within(deadline)
+        except ShardDeadError:
+            return None
+
+    def _recovery_source(self, i: int) -> tuple[set[Edge],
+                                                list[UpdateBatch], bool]:
+        """(base edges, replay batches, used_wal) for restarting shard i."""
+        if self.recovery is not None:
+            try:
+                skip = {s for s, sh, _ in self.quarantined
+                        if sh == i and s is not None}
+                base, replay = self.recovery.shard_recovery_plan(
+                    i, self.shards, self._initial_edges, skip_seqs=skip
+                )
+                return base, replay, True
+            except WalCorruptionError:
+                # the log is damaged mid-stream; fall back to the exact
+                # in-memory history (only possible while the parent lives)
+                self.wal_fallbacks += 1
+        base = set(split_by_shard(self._initial_edges, self.shards)[i])
+        return base, list(self.applied_batches[i]), False
+
+    def _restart_shard(self, i: int) -> int:
+        """Kill, back off, respawn from recovered state.  Returns 1."""
+        sup = self.supervision or SupervisionConfig()
+        self.degraded.set()
+        try:
+            shard = self._shards[i]
+            try:
+                shard.kill()
+            finally:
+                shard.close()
+            streak = self._restart_streak[i]
+            delay = min(sup.backoff_cap, sup.backoff_base * (2 ** streak))
+            if delay > 0:
+                time.sleep(delay)
+            self._restart_streak[i] = streak + 1
+            self.restarts_total += 1
+            base, replay, used_wal = self._recovery_source(i)
+            spec = dict(self.shard_specs[i])
+            spec["edges"] = sorted(base)
+            fresh = self._spawn(spec)
+            self._shards[i] = fresh
+            deadline = sup.recv_deadline
+            for b in replay:
+                fresh.send(("update", b.insertions, b.deletions))
+                fresh.recv_within(deadline)
+            # re-anchor the offline-verification view on the recovered
+            # construction: spec' + replayed tail is the shard's history now
+            self.shard_specs[i] = spec
+            self.applied_batches[i] = list(replay)
+            graph = set(base)
+            for b in replay:
+                graph -= set(b.deletions)
+                graph |= set(b.insertions)
+            self._graph[i] = graph
+            self.injector.on_restart(i, self._restart_streak[i])
+            return 1
+        finally:
+            self.degraded.clear()
+
+    def health_check(self, restart: bool = True) -> list[ShardHealth]:
+        """Probe every worker (liveness + ping); optionally restart dead
+        ones proactively so the next flush does not pay the recovery."""
+        out: list[ShardHealth] = []
+        deadline = (self.supervision.recv_deadline
+                    if self.supervision else 1.0)
+        for i, shard in enumerate(self._shards):
+            alive = shard.alive()
+            if alive:
+                if self._try_send(i, ("ping",)):
+                    try:
+                        alive = shard.recv_within(deadline) == ("pong",)
+                    except ShardDeadError:
+                        alive = False
+                else:
+                    alive = False
+            restarted = False
+            if not alive and restart and self.supervision is not None:
+                self._restart_shard(i)
+                restarted = True
+            out.append(ShardHealth(shard=i, alive=alive,
+                                   restarted=restarted))
+        return out
 
     # -- scatter/gather queries ----------------------------------------------
 
     def gather_edges(self) -> set[Edge]:
-        """Union of every shard's output edges (scatter/gather)."""
-        for s in self._shards:
-            s.send(("edges",))
+        """Union of every shard's output edges (scatter/gather).
+
+        Supervised executors restart a dead shard mid-gather instead of
+        raising, so a query barrage never wedges on a crashed worker.
+        """
         out: set[Edge] = set()
-        for s in self._shards:
-            out |= s.recv()
+        for i in range(self.shards):
+            reply = None
+            if self._try_send(i, ("edges",)):
+                try:
+                    deadline = (self.supervision.recv_deadline
+                                if self.supervision else 60.0)
+                    reply = self._shards[i].recv_within(deadline)
+                except ShardDeadError:
+                    reply = None
+            if reply is None:
+                if self.supervision is None:
+                    raise ShardDeadError(f"shard {i} died during gather")
+                self._restart_shard(i)
+                self._shards[i].send(("edges",))
+                reply = self._shards[i].recv_within(
+                    self.supervision.recv_deadline
+                )
+            out |= reply
         return out
 
     def scatter_sizes(self) -> list[int]:
@@ -242,9 +581,20 @@ class ShardedExecutor:
         return [s.recv() for s in self._shards]
 
     def close(self) -> None:
-        """Stop every worker and release their pipes."""
+        """Stop every worker and release their pipes.
+
+        Idempotent and exception-safe: a shard that already died mid-run
+        is skipped rather than hung on, and one shard's failure never
+        prevents the rest from being reaped.
+        """
+        if self._closed:
+            return
+        self._closed = True
         for s in self._shards:
-            s.close()
+            try:
+                s.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
 
     def __enter__(self) -> "ShardedExecutor":
         return self
