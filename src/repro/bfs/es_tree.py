@@ -221,17 +221,17 @@ class BatchDynamicESTree:
             buckets.setdefault(self.dist[v], set()).add(v)
 
         # Step 1: mark edges dead; collect orphans (one parallel round).
-        with self._cost.parallel() as par:
-            for u, v in edges:
-                with par.task():
-                    if (u, v) not in self.alive:
-                        raise KeyError(f"edge {(u, v)} not alive")
-                    self.alive.remove((u, v))
-                    self.out_adj[u].discard(v)
-                    self._cost.charge(work=logn, depth=logn)
-                    if self.parent[v] == u:
-                        orphan(v)
-                        self.parent[v] = None
+        # Every branch charges the same (logn, logn), so the whole round is
+        # one aggregate pfor charge: work = |edges| * logn, depth = logn.
+        for u, v in edges:
+            if (u, v) not in self.alive:
+                raise KeyError(f"edge {(u, v)} not alive")
+            self.alive.remove((u, v))
+            self.out_adj[u].discard(v)
+            if self.parent[v] == u:
+                orphan(v)
+                self.parent[v] = None
+        self._cost.pfor_cost(len(edges), logn, depth=logn)
 
         # Step 2: phases i = 1..L (Invariants A2-A4).
         for i in range(1, self.L + 1):
@@ -275,12 +275,13 @@ class BatchDynamicESTree:
         # are orphaned (they sit at level i + 1 and re-bucket there).
         self.parent[v] = None
         self._scan_pri[v] = None
-        for w in sorted(self.out_adj[v]):
-            self._cost.charge(work=1, depth=0)
+        children = self.out_adj[v]
+        for w in sorted(children):
             if self.parent[w] == v:
                 orphan(w)
                 self.parent[w] = None
-        self._cost.charge(work=0, depth=1)
+        # one parallel round over the children: work = deg, depth = 1
+        self._cost.charge_many(work=len(children), depth=1)
         if i + 1 <= self.L:
             self.dist[v] = i + 1
             orphan(v)  # rebucket at level i + 1 (orphan() reads dist[v])

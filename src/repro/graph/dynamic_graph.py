@@ -75,29 +75,43 @@ class DynamicGraph:
         and surfacing violations early catches harness bugs.
         """
         added: list[Edge] = []
+        batch: set[Edge] = set()
+        n = self.n
+        cur = self._edges
         for u, v in edges:
             e = norm_edge(u, v)
-            self._check_vertex(e[0])
-            self._check_vertex(e[1])
-            if e in self._edges:
+            if not (0 <= e[0] and e[1] < n):
+                self._check_vertex(e[0])
+                self._check_vertex(e[1])
+            if e in cur or e in batch:
                 raise ValueError(f"duplicate edge {e}")
-            self._edges.add(e)
-            self._adj[e[0]].add(e[1])
-            self._adj[e[1]].add(e[0])
+            batch.add(e)
             added.append(e)
+        # validated up front, so membership applies as one set union and
+        # the batch is all-or-nothing
+        cur |= batch
+        adj = self._adj
+        for a, b in added:
+            adj[a].add(b)
+            adj[b].add(a)
         return added
 
     def delete_batch(self, edges: Iterable[Edge]) -> list[Edge]:
         """Delete a batch; returns the normalized edges removed."""
         removed: list[Edge] = []
+        batch: set[Edge] = set()
+        cur = self._edges
         for u, v in edges:
             e = norm_edge(u, v)
-            if e not in self._edges:
+            if e not in cur or e in batch:
                 raise KeyError(f"edge {e} not present")
-            self._edges.remove(e)
-            self._adj[e[0]].discard(e[1])
-            self._adj[e[1]].discard(e[0])
+            batch.add(e)
             removed.append(e)
+        cur -= batch
+        adj = self._adj
+        for a, b in removed:
+            adj[a].discard(b)
+            adj[b].discard(a)
         return removed
 
     def _check_vertex(self, v: int) -> None:

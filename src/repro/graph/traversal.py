@@ -30,9 +30,18 @@ def bfs_distances(
     adj: Sequence[Sequence[int]] | Mapping[int, Sequence[int]],
     source: int,
     n: int | None = None,
+    target: int | None = None,
 ) -> dict[int, int]:
-    """Unweighted single-source distances; unreachable vertices absent."""
+    """Unweighted single-source distances; unreachable vertices absent.
+
+    With ``target`` set the search stops as soon as the target settles
+    (its distance is final when first discovered), so point-to-point
+    queries on large snapshots do not pay for a full sweep; the returned
+    dict is then only guaranteed correct at ``target``.
+    """
     dist = {source: 0}
+    if target == source:
+        return dist
     queue = deque([source])
     while queue:
         u = queue.popleft()
@@ -40,6 +49,8 @@ def bfs_distances(
         for w in adj[u]:
             if w not in dist:
                 dist[w] = du + 1
+                if w == target:
+                    return dist
                 queue.append(w)
     return dist
 

@@ -161,6 +161,41 @@ class CostModel:
         top.work += work
         top.depth += work if depth is None else depth
 
+    def charge_many(self, work: int, depth: int) -> None:
+        """Charge the aggregate cost of many primitive operations in one
+        call.
+
+        Semantically equivalent to issuing the operations individually and
+        summing; callers on hot paths use this to replace ``n`` separate
+        :meth:`charge` calls (each a Python attribute lookup + call) with a
+        single pre-summed charge.  Unlike :meth:`charge`, ``depth`` is
+        required: an aggregate has no sensible sequential default.
+        """
+        if not self.enabled:
+            return
+        top = self._stack[-1]
+        top.work += work
+        top.depth += depth
+
+    def pfor_cost(
+        self, n: int, per_item_work: int, depth: int | None = None
+    ) -> None:
+        """Charge a whole parallel-for round in O(1) Python calls.
+
+        Equivalent to a :meth:`parallel` region with ``n`` tasks, each
+        charging ``per_item_work`` work at ``depth`` depth (default:
+        ``per_item_work``): the region contributes ``n * per_item_work``
+        work and ``max`` over branch depths — i.e. ``depth`` when ``n > 0``
+        and 0 otherwise — to the current frame.  Use when every branch of a
+        parallel loop performs an identical uniform charge, so entering
+        ``n`` task context managers would only re-derive this closed form.
+        """
+        if not self.enabled or n <= 0:
+            return
+        top = self._stack[-1]
+        top.work += n * per_item_work
+        top.depth += per_item_work if depth is None else depth
+
     def charge_tree_op(self, size: int, count: int = 1) -> None:
         """Charge ``count`` balanced-tree operations on a size-``size``
         structure: O(log size) work each, O(log size) combined depth (the
@@ -223,10 +258,21 @@ class CostModel:
         return Cost(self._root.work, self._root.depth)
 
     def reset(self) -> None:
-        """Zero the accumulated totals and drop any open frames."""
+        """Zero the accumulated totals.
+
+        Raises :class:`RuntimeError` if any ``frame()`` / ``parallel()``
+        region is still open: silently dropping open frames used to leave
+        the region's ``__exit__`` popping the *root* frame, so the next
+        ``charge()`` died with an ``IndexError`` far from the real culprit.
+        Reset only between measurements, never inside a region.
+        """
+        if len(self._stack) > 1:
+            raise RuntimeError(
+                f"CostModel.reset() inside {len(self._stack) - 1} open "
+                "frame()/parallel() region(s); exit them first"
+            )
         self._root.work = 0
         self._root.depth = 0
-        del self._stack[1:]
 
 
 class _ParallelRegion:

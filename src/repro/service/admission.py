@@ -20,7 +20,9 @@ class AdmissionConfig:
     max_pending: int = 1024        # queue depth beyond which updates shed
     request_timeout: float | None = None  # seconds an op may wait, None = ∞
     # retry_after = time for the backlog overflow to drain, estimated as
-    # (overflow / max_pending) * flush_interval, floored at flush_interval.
+    # (overflow / max_pending) * flush_interval — one flush retires about
+    # max_pending ops — floored at flush_interval (retrying before the
+    # next flush cannot succeed) and at min_retry_after.
     min_retry_after: float = 0.001
     # retry hint multiplier while a shard is being recovered: restarts
     # take several flush intervals (backoff + checkpoint/WAL replay), so
@@ -64,6 +66,7 @@ class AdmissionController:
         overflow = depth - cfg.max_pending + 1
         retry = max(
             cfg.min_retry_after,
-            flush_interval * (1 + overflow / max(cfg.max_pending, 1)),
+            flush_interval,
+            flush_interval * overflow / max(cfg.max_pending, 1),
         )
         return AdmissionDecision(admitted=False, retry_after=retry)

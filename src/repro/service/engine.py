@@ -235,6 +235,16 @@ class SpannerService:
         self.executor = executor
         self.config = config or ServiceConfig()
         self.metrics = metrics or MetricsRegistry()
+        # hot-path metric handles, resolved once instead of a registry
+        # dict lookup per request
+        m = self.metrics
+        self._m_requests_update = m.counter("requests_update")
+        self._m_requests_query = m.counter("requests_query")
+        self._m_shed = m.counter("shed")
+        self._m_shed_degraded = m.counter("shed_degraded")
+        self._m_stale_reads = m.counter("stale_reads")
+        self._m_offer: dict[str, Any] = {}
+        self._m_queue_depth = m.gauge("queue_depth")
         self._clock = clock
         self._lock = threading.RLock()
         self.queue = CoalescingQueue(executor.initial_edges(), clock=clock)
@@ -271,9 +281,8 @@ class SpannerService:
             # a shard is mid-recovery: shed immediately (without queueing
             # behind the recovering flush) with a retry hint sized to the
             # flush deadline, per the admission controller's policy
-            m = self.metrics
-            m.counter("requests_update").inc()
-            m.counter("shed_degraded").inc()
+            self._m_requests_update.inc()
+            self._m_shed_degraded.inc()
             decision = self.admission.admit(
                 self.queue.depth, self.config.batcher.max_delay,
                 degraded=True,
@@ -283,20 +292,24 @@ class SpannerService:
         with self._lock:
             if now is None:
                 now = self._clock()
-            m = self.metrics
-            m.counter("requests_update").inc()
+            self._m_requests_update.inc()
             decision = self.admission.admit(
                 self.queue.depth, self.config.batcher.max_delay
             )
             if not decision.admitted:
-                m.counter("shed").inc()
+                self._m_shed.inc()
                 return SubmitResponse(False, "shed", decision.retry_after)
             outcome = self.queue.offer(
                 op, (u, v), now=now,
                 timeout=self.config.admission.request_timeout,
             )
-            m.counter(f"offer_{outcome}").inc()
-            m.gauge("queue_depth").set(self.queue.depth)
+            ctr = self._m_offer.get(outcome)
+            if ctr is None:
+                ctr = self._m_offer[outcome] = self.metrics.counter(
+                    f"offer_{outcome}"
+                )
+            ctr.inc()
+            self._m_queue_depth.set(self.queue.depth)
             accepted = outcome in (
                 "accepted", "coalesced_dedup", "coalesced_cancel"
             )
@@ -342,10 +355,10 @@ class SpannerService:
                 self.flush()
         elif consistency != "snapshot":
             raise ValueError(f"unknown consistency {consistency!r}")
-        self.metrics.counter("requests_query").inc()
+        self._m_requests_query.inc()
         stale = self._degraded.is_set()
         if stale:
-            self.metrics.counter("stale_reads").inc()
+            self._m_stale_reads.inc()
         with self._snap_lock:
             snap = self._snapshot
             as_of = self._snapshot_seq
@@ -365,7 +378,7 @@ class SpannerService:
                 elif u not in adj:
                     d = None  # isolated vertex: unreachable
                 else:
-                    d = bfs_distances(adj, u).get(v)
+                    d = bfs_distances(adj, u, target=v).get(v)
                 if kind == "connected":
                     return QueryResult(d is not None, stale, as_of)
                 return QueryResult(

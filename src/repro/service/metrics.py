@@ -60,12 +60,23 @@ class Histogram:
     Keeps at most ``reservoir`` observations; once full, every k-th
     observation replaces a rotating slot (deterministic decimation, so
     summaries reproduce run-to-run for seeded workloads).
+
+    Decimation scheme: the reservoir holds every ``k``-th observation
+    (``k = self._stride``, initially 1).  When it fills, every other
+    retained sample is dropped and ``k`` doubles, so the kept samples
+    always form a uniform systematic sample of the *whole* stream — an
+    earlier revision instead overwrote a rotating slot on every
+    observation once full, which silently degraded the reservoir to a
+    sliding window of the most recent observations and recency-biased
+    p50/p99 on drifting streams.
     """
 
     __slots__ = ("name", "_samples", "_reservoir", "_count", "_sum",
-                 "_min", "_max", "_slot")
+                 "_min", "_max", "_stride")
 
     def __init__(self, name: str, reservoir: int = 4096) -> None:
+        if reservoir < 2:
+            raise ValueError("reservoir must be >= 2")
         self.name = name
         self._reservoir = reservoir
         self._samples: list[float] = []
@@ -73,7 +84,7 @@ class Histogram:
         self._sum = 0.0
         self._min = float("inf")
         self._max = float("-inf")
-        self._slot = 0
+        self._stride = 1
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -84,11 +95,15 @@ class Histogram:
             self._min = value
         if value > self._max:
             self._max = value
-        if len(self._samples) < self._reservoir:
-            self._samples.append(value)
-        else:
-            self._samples[self._slot] = value
-            self._slot = (self._slot + 1) % self._reservoir
+        # keep observation indices 0, k, 2k, ... (k = current stride)
+        if (self._count - 1) % self._stride:
+            return
+        if len(self._samples) == self._reservoir:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+            if (self._count - 1) % self._stride:
+                return
+        self._samples.append(value)
 
     @property
     def count(self) -> int:

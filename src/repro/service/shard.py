@@ -26,6 +26,7 @@ and, one level up, the service's :class:`MetricsRegistry`.
 from __future__ import annotations
 
 import multiprocessing as mp
+import pickle
 import threading
 import time
 from dataclasses import dataclass
@@ -68,30 +69,46 @@ def split_by_shard(
     return out
 
 
+#: Pipes default to protocol-2 pickles; the highest protocol (5) frames
+#: large update batches with out-of-band-friendly encoding and measurably
+#: cheaper int/tuple serialization on the flush path.
+_PICKLE_PROTO = pickle.HIGHEST_PROTOCOL
+
+
+def _pipe_send(conn, obj) -> None:
+    conn.send_bytes(pickle.dumps(obj, _PICKLE_PROTO))
+
+
+def _pipe_recv(conn):
+    return pickle.loads(conn.recv_bytes())
+
+
 def _serve_backend(conn, spec: dict[str, Any]) -> None:
     """Worker loop: build the backend, answer update/query messages."""
     cost = CostModel()
     backend = build_backend(spec, cost)
     while True:
-        msg = conn.recv()
+        msg = _pipe_recv(conn)
         cmd = msg[0]
         if cmd == "update":
             _, ins, dels = msg
             with cost.frame() as fr:
                 d_ins, d_del = backend.update(insertions=ins, deletions=dels)
-            conn.send((set(d_ins), set(d_del), fr.work, fr.depth))
+            # reply envelope: plain lists pickle smaller/faster than sets
+            # and the parent folds them with set.update() anyway
+            _pipe_send(conn, (list(d_ins), list(d_del), fr.work, fr.depth))
         elif cmd == "edges":
-            conn.send(backend.output_edges())
+            _pipe_send(conn, list(backend.output_edges()))
         elif cmd == "size":
-            conn.send(len(backend.output_edges()))
+            _pipe_send(conn, len(backend.output_edges()))
         elif cmd == "ping":
-            conn.send(("pong",))
+            _pipe_send(conn, ("pong",))
         elif cmd == "stop":
-            conn.send(("bye",))
+            _pipe_send(conn, ("bye",))
             conn.close()
             return
         else:  # pragma: no cover - protocol misuse
-            conn.send(ValueError(f"unknown command {cmd!r}"))
+            _pipe_send(conn, ValueError(f"unknown command {cmd!r}"))
 
 
 class _ProcessShard:
@@ -106,10 +123,10 @@ class _ProcessShard:
         child.close()
 
     def send(self, msg) -> None:
-        self.conn.send(msg)
+        _pipe_send(self.conn, msg)
 
     def recv(self):
-        return self.conn.recv()
+        return _pipe_recv(self.conn)
 
     def recv_within(self, deadline: float):
         """Reply within ``deadline`` seconds, else :class:`ShardDeadError`."""
@@ -119,15 +136,15 @@ class _ProcessShard:
                     f"worker pid={self.proc.pid} missed its "
                     f"{deadline:.3f}s reply deadline"
                 )
-            return self.conn.recv()
-        except (EOFError, BrokenPipeError, OSError) as exc:
+            return _pipe_recv(self.conn)
+        except (EOFError, BrokenPipeError, OSError, pickle.PickleError) as exc:
             raise ShardDeadError(f"worker pipe failed: {exc!r}") from exc
 
     def drain_one(self, timeout: float = 0.0) -> bool:
         """Discard one buffered reply if present (fault injection)."""
         try:
             if self.conn.poll(timeout):
-                self.conn.recv()
+                self.conn.recv_bytes()
                 return True
         except (EOFError, BrokenPipeError, OSError):
             pass
@@ -144,9 +161,9 @@ class _ProcessShard:
 
     def close(self) -> None:
         try:
-            self.conn.send(("stop",))
+            _pipe_send(self.conn, ("stop",))
             if self.conn.poll(1.0):
-                self.conn.recv()
+                self.conn.recv_bytes()
         except (BrokenPipeError, EOFError, OSError):
             pass
         self.proc.join(timeout=2.0)
@@ -194,9 +211,9 @@ class _InprocShard:
                 raise BrokenPipeError(
                     f"in-process worker crashed applying batch: {exc!r}"
                 ) from exc
-            self._reply = (set(d_ins), set(d_del), fr.work, fr.depth)
+            self._reply = (list(d_ins), list(d_del), fr.work, fr.depth)
         elif cmd == "edges":
-            self._reply = self._backend.output_edges()
+            self._reply = list(self._backend.output_edges())
         elif cmd == "size":
             self._reply = len(self._backend.output_edges())
         elif cmd == "ping":
@@ -418,11 +435,11 @@ class ShardedExecutor:
                 self._shards[i].kill()
             d_ins, d_del, w, d = reply
             self.applied_batches[i].append(sub)
-            self._graph[i] -= set(del_parts[i])
-            self._graph[i] |= set(ins_parts[i])
+            self._graph[i].difference_update(del_parts[i])
+            self._graph[i].update(ins_parts[i])
             self._restart_streak[i] = 0
-            delta_ins |= d_ins
-            delta_del |= d_del
+            delta_ins.update(d_ins)
+            delta_del.update(d_del)
             work += w
             # shards are parallel: depth and critical-path work max
             depth = max(depth, d)
@@ -571,7 +588,7 @@ class ShardedExecutor:
                 reply = self._shards[i].recv_within(
                     self.supervision.recv_deadline
                 )
-            out |= reply
+            out.update(reply)
         return out
 
     def scatter_sizes(self) -> list[int]:

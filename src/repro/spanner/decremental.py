@@ -75,8 +75,11 @@ class DecrementalSpanner:
             self._bucket(v, self.sc.cluster_of(u)).add(u)
         for e in self.sc.tree_edges():
             self._inc(e, None)
+        charged = 0
         for key in list(self._inter):
-            self._refresh(key, None)
+            charged += self._refresh(key, None)
+        # sequential composition of the per-rep hash charges
+        cost.charge_many(work=charged, depth=charged)
 
     # -- bucket / refcount plumbing ----------------------------------------
 
@@ -106,9 +109,14 @@ class DecrementalSpanner:
         else:
             self._span[e] = cnt - 1
 
-    def _refresh(self, key: tuple[int, int], delta) -> None:
+    def _refresh(self, key: tuple[int, int], delta) -> int:
         """Reconcile one bucket's representative with its contents and
-        eligibility (c != CLUSTER(v))."""
+        eligibility (c != CLUSTER(v)).
+
+        Returns the number of hash-op charges incurred (1 when a new
+        representative was assigned, else 0) so call sites can charge a
+        whole refresh round in one aggregate call.
+        """
         v, c = key
         bucket = self._inter.get(key)
         eligible = bool(bucket) and c != self.sc.cluster_of(v)
@@ -119,15 +127,15 @@ class DecrementalSpanner:
                 self._dec(norm_edge(v, cur), delta)
             if not bucket and key in self._inter:
                 del self._inter[key]
-            return
+            return 0
         if cur is not None and cur in bucket:
-            return
+            return 0
         new = min(bucket)
         self._rep[key] = new
         if cur is not None:
             self._dec(norm_edge(v, cur), delta)
         self._inc(norm_edge(v, new), delta)
-        self._cost.charge_hash_op()
+        return 1
 
     # -- queries ---------------------------------------------------------------
 
@@ -153,20 +161,20 @@ class DecrementalSpanner:
         delta = (ins, dels)
         touched: set[tuple[int, int]] = set()
 
-        # 1. remove edges from adjacency and buckets (pre-cascade clusters)
-        with self._cost.parallel() as par:
-            for u, v in edges:
-                if v not in self._adj[u]:
-                    raise KeyError(f"edge {(u, v)} not present")
-                with par.task():
-                    self._adj[u].remove(v)
-                    self._adj[v].remove(u)
-                    cu, cv = self.sc.cluster_of(u), self.sc.cluster_of(v)
-                    self._bucket(u, cv).discard(v)
-                    self._bucket(v, cu).discard(u)
-                    touched.add((u, cv))
-                    touched.add((v, cu))
-                    self._cost.charge_hash_op(2)
+        # 1. remove edges from adjacency and buckets (pre-cascade clusters).
+        # One parallel round: every branch does the same 2 hash ops, so the
+        # region's (sum-work, max-depth) total is charged in one call.
+        for u, v in edges:
+            if v not in self._adj[u]:
+                raise KeyError(f"edge {(u, v)} not present")
+            self._adj[u].remove(v)
+            self._adj[v].remove(u)
+            cu, cv = self.sc.cluster_of(u), self.sc.cluster_of(v)
+            self._bucket(u, cv).discard(v)
+            self._bucket(v, cu).discard(u)
+            touched.add((u, cv))
+            touched.add((v, cu))
+        self._cost.pfor_cost(len(edges), 2, depth=1)
 
         # 2. clustering/ES update
         tree_changes, cluster_changes = self.sc.batch_delete(edges)
@@ -182,28 +190,30 @@ class DecrementalSpanner:
         # order (a vertex may change cluster more than once per batch) but
         # charged as one parallel round per change over its neighborhood,
         # with the changes themselves also grouped in parallel — matching
-        # the paper's per-cascade-wave accounting.
-        with self._cost.parallel() as par:
-            for ch in cluster_changes:
-                v, oldc, newc = ch.vertex, ch.old_cluster, ch.new_cluster
-                with par.task():
-                    with self._cost.parallel() as inner:
-                        for u in sorted(self._adj[v]):
-                            with inner.task():
-                                self._bucket(u, oldc).discard(v)
-                                self._bucket(u, newc).add(v)
-                                touched.add((u, oldc))
-                                touched.add((u, newc))
-                                self._cost.charge_hash_op(2)
-                # v's own buckets flip eligibility
-                touched.add((v, oldc))
-                touched.add((v, newc))
+        # the paper's per-cascade-wave accounting.  All branches charge the
+        # same 2 hash ops, so the nested regions' total (work = 2 * sum of
+        # neighborhood sizes, depth = max over branches = 1) collapses to a
+        # single aggregate charge.
+        moved = 0
+        for ch in cluster_changes:
+            v, oldc, newc = ch.vertex, ch.old_cluster, ch.new_cluster
+            for u in sorted(self._adj[v]):
+                self._bucket(u, oldc).discard(v)
+                self._bucket(u, newc).add(v)
+                touched.add((u, oldc))
+                touched.add((u, newc))
+                moved += 1
+            # v's own buckets flip eligibility
+            touched.add((v, oldc))
+            touched.add((v, newc))
+        self._cost.pfor_cost(moved, 2, depth=1)
 
-        # 5. refresh every touched bucket
-        with self._cost.parallel() as par:
-            for key in sorted(touched):
-                with par.task():
-                    self._refresh(key, delta)
+        # 5. refresh every touched bucket — one parallel round; only the
+        # refreshes that assigned a new representative charge a hash op.
+        refreshed = 0
+        for key in sorted(touched):
+            refreshed += self._refresh(key, delta)
+        self._cost.pfor_cost(refreshed, 1, depth=1)
 
         return ins, dels
 

@@ -144,6 +144,11 @@ class BentleySaxeDynamizer:
             out |= part.out
         return out
 
+    def output_size(self) -> int:
+        """Number of output edges, without materializing the union
+        (partitions hold disjoint edge sets, so outputs are disjoint)."""
+        return sum(len(part.out) for part in self._parts.values())
+
     @property
     def m(self) -> int:
         return len(self._index)

@@ -95,7 +95,7 @@ class FullyDynamicSpanner:
 
     def spanner_size(self) -> int:
         """Number of edges in the maintained spanner."""
-        return len(self._dyn.output_edges())
+        return self._dyn.output_size()
 
     @property
     def m(self) -> int:

@@ -363,14 +363,21 @@ class ShiftedClustering:
                     cluster_changes.append(ClusterChange(v, oldc, newc))
                     with par.task():
                         # Re-key all out-edges of v and re-examine each
-                        # target's parent (nested parallel loop).
+                        # target's parent (nested parallel loop).  The new
+                        # composite priority depends only on v, so hoist it
+                        # and skip the branches whose edge already carries
+                        # it — those were charge-free no-ops inside the
+                        # region, so eliding their task frames leaves the
+                        # (sum-work, max-depth) total unchanged.
+                        new_pri = self._composite(newc, v)
+                        edge_pri = self.es.edge_pri
                         with self._cost.parallel() as inner:
                             for w in sorted(self.es.out_adj[v]):
-                                if w >= self.n:
+                                if w >= self.n or edge_pri[(v, w)] == new_pri:
                                     continue
                                 with inner.task():
                                     self._rekey_edge(
-                                        v, w, newc, queue, queued,
+                                        v, w, new_pri, queue, queued,
                                         tree_changes,
                                     )
         self.total_cluster_changes += len(cluster_changes)
@@ -380,19 +387,18 @@ class ShiftedClustering:
         self,
         v: int,
         w: int,
-        newc: int,
+        new_pri: int,
         queue: deque[int],
         queued: set[int],
         tree_changes: list[TreeEdgeChange],
     ) -> None:
-        """Update the priority of the edge ``v -> w`` after ``v`` moved to
-        cluster ``newc``, switching ``w``'s parent when the maximum-priority
-        rule demands it (the paper's single-NextWith detection)."""
-        new_pri = self._composite(newc, v)
-        old_pri = self.es.edge_pri[(v, w)]
-        if new_pri == old_pri:
-            return
+        """Update the priority of the edge ``v -> w`` to ``new_pri`` after
+        ``v`` moved clusters, switching ``w``'s parent when the
+        maximum-priority rule demands it (the paper's single-NextWith
+        detection).  The caller guarantees ``new_pri`` differs from the
+        edge's current priority."""
         es = self.es
+        old_pri = es.edge_pri[(v, w)]
         before = self._real_parent_edge(w)
         if es.parent_of(w) == v:
             es.update_edge_priority(v, w, new_pri)

@@ -5,10 +5,15 @@ a bounded universe ``[0, universe)`` and exposes the element list as if it
 were an array sorted in **decreasing** priority order (position 1 holds the
 largest priority, matching the paper's 1-based indexing).
 
-Implementation: a lazily-allocated (sparse) segment tree over the priority
-universe, each node holding the count of stored priorities in its interval,
-plus a dict mapping priority -> value.  ``NextWith`` runs the paper's
-exponential (galloping) search over positions.
+Implementation: a sorted list of priorities (ascending) maintained with
+``bisect``, plus a dict mapping priority -> value.  Rank and selection are
+O(log l) probes into the list; ``NextWith`` runs the paper's exponential
+(galloping) search over positions.  An earlier revision used a sparse
+segment tree over the universe; the list is behaviourally identical but
+allocates no per-priority nodes, which matters on the serving hot path
+where thousands of small arrays are built per run.  The *charges* below are
+the analytic Lemma 3.1 costs of the paper's (parallel, universe-indexed)
+structure and are independent of this sequential implementation choice.
 
 Work/depth charges (Lemma 3.1):
 
@@ -25,20 +30,12 @@ next_with(k, f)        O((q - k + 1) log U)  O(log^2 U)
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Optional
+from bisect import bisect_left, insort
+from typing import Any, Callable, Iterator
 
 from repro.pram.cost import NULL_COST_MODEL, CostModel, log2ceil
 
 __all__ = ["PriorityArray"]
-
-
-class _Node:
-    __slots__ = ("count", "left", "right")
-
-    def __init__(self) -> None:
-        self.count: int = 0
-        self.left: Optional[_Node] = None
-        self.right: Optional[_Node] = None
 
 
 class PriorityArray:
@@ -55,6 +52,8 @@ class PriorityArray:
         Work/depth accounting sink.
     """
 
+    __slots__ = ("_universe", "_cost", "_values", "_sorted")
+
     def __init__(
         self,
         universe: int,
@@ -65,78 +64,40 @@ class PriorityArray:
             raise ValueError("universe must be positive")
         self._universe = universe
         self._cost = cost
-        self._root = _Node()
         self._values: dict[int, Any] = {}
-        items = list(items)
+        n = 0
         for value, priority in items:
-            self._insert(priority, value)
+            self._check_priority(priority)
+            if priority in self._values:
+                raise ValueError(f"duplicate priority {priority}")
+            self._values[priority] = value
+            n += 1
+        self._sorted: list[int] = sorted(self._values)
         # Initialization: O(l log U) work, O(log U) depth (parallel descent).
-        cost.charge(
-            work=len(items) * log2ceil(universe), depth=log2ceil(universe)
-        )
+        cost.charge(work=n * log2ceil(universe), depth=log2ceil(universe))
 
-    # -- internal segment tree ---------------------------------------------
+    # -- internal ordered index ---------------------------------------------
 
     def _insert(self, priority: int, value: Any) -> None:
         self._check_priority(priority)
         if priority in self._values:
             raise ValueError(f"duplicate priority {priority}")
         self._values[priority] = value
-        node, lo, hi = self._root, 0, self._universe
-        node.count += 1
-        while hi - lo > 1:
-            mid = (lo + hi) // 2
-            if priority < mid:
-                if node.left is None:
-                    node.left = _Node()
-                node, hi = node.left, mid
-            else:
-                if node.right is None:
-                    node.right = _Node()
-                node, lo = node.right, mid
-            node.count += 1
+        insort(self._sorted, priority)
 
     def _delete(self, priority: int) -> Any:
         value = self._values.pop(priority)
-        node, lo, hi = self._root, 0, self._universe
-        node.count -= 1
-        while hi - lo > 1:
-            mid = (lo + hi) // 2
-            if priority < mid:
-                node, hi = node.left, mid
-            else:
-                node, lo = node.right, mid
-            node.count -= 1
+        del self._sorted[bisect_left(self._sorted, priority)]
         return value
 
     def _kth_largest(self, k: int) -> int:
         """Priority of the element at (1-based) position ``k``."""
-        node, lo, hi = self._root, 0, self._universe
-        while hi - lo > 1:
-            mid = (lo + hi) // 2
-            right_count = node.right.count if node.right else 0
-            if k <= right_count:
-                node, lo = node.right, mid
-            else:
-                k -= right_count
-                node, hi = node.left, mid
-        return lo
+        return self._sorted[-k]
 
     def _rank_from_top(self, priority: int) -> int:
         """Number of stored priorities >= ``priority`` (1-based position if
         ``priority`` itself is stored)."""
-        node, lo, hi = self._root, 0, self._universe
-        rank = 0
-        while hi - lo > 1 and node is not None:
-            mid = (lo + hi) // 2
-            if priority < mid:
-                rank += node.right.count if node.right else 0
-                node, hi = node.left, mid
-            else:
-                node, lo = node.right, mid
-        if node is not None:
-            rank += node.count
-        return rank
+        return len(self._sorted) - bisect_left(self._sorted, priority)
 
     def _check_priority(self, priority: int) -> None:
         if not 0 <= priority < self._universe:
@@ -147,7 +108,7 @@ class PriorityArray:
     # -- Lemma 3.1 interface -------------------------------------------------
 
     def __len__(self) -> int:
-        return self._root.count
+        return len(self._sorted)
 
     @property
     def universe(self) -> int:
@@ -159,14 +120,14 @@ class PriorityArray:
         if not 1 <= k <= len(self):
             raise IndexError(f"position {k} out of range [1, {len(self)}]")
         self._cost.charge_tree_op(self._universe)
-        return self._values[self._kth_largest(k)]
+        return self._values[self._sorted[-k]]
 
     def priority_at(self, k: int) -> int:
         """Priority of the element at position ``k`` (1-based)."""
         if not 1 <= k <= len(self):
             raise IndexError(f"position {k} out of range [1, {len(self)}]")
         self._cost.charge_tree_op(self._universe)
-        return self._kth_largest(k)
+        return self._sorted[-k]
 
     def find(self, priority: int) -> tuple[Any, int]:
         """Return ``(value, position)`` of the element with ``priority``;
@@ -189,14 +150,14 @@ class PriorityArray:
         if not 1 <= k <= len(self):
             raise IndexError(f"position {k} out of range [1, {len(self)}]")
         self._cost.charge_tree_op(self._universe)
-        self._values[self._kth_largest(k)] = value
+        self._values[self._sorted[-k]] = value
 
     def update_priority(self, k: int, priority: int) -> None:
         """Move the element at position ``k`` to a new (distinct) priority."""
         if not 1 <= k <= len(self):
             raise IndexError(f"position {k} out of range [1, {len(self)}]")
         self._check_priority(priority)
-        old = self._kth_largest(k)
+        old = self._sorted[-k]
         if old == priority:
             return
         if priority in self._values:
@@ -229,6 +190,8 @@ class PriorityArray:
         if k < 1:
             raise IndexError("position must be >= 1")
         logu = log2ceil(self._universe)
+        values = self._values
+        order = self._sorted
         pos = k
         span = 1
         while pos <= n:
@@ -238,7 +201,7 @@ class PriorityArray:
                 work=(end - pos + 1) * logu, depth=logu
             )
             for q in range(pos, end + 1):
-                if predicate(self._values[self._kth_largest(q)]):
+                if predicate(values[order[-q]]):
                     return q
             pos = end + 1
             span *= 2
@@ -248,8 +211,7 @@ class PriorityArray:
 
     def items_by_position(self) -> Iterator[tuple[int, int, Any]]:
         """Yield ``(position, priority, value)`` in position order."""
-        for k in range(1, len(self) + 1):
-            p = self._kth_largest(k)
+        for k, p in enumerate(reversed(self._sorted), start=1):
             yield k, p, self._values[p]
 
     def priorities(self) -> set[int]:

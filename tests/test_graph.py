@@ -59,6 +59,25 @@ class TestDynamicGraph:
         with pytest.raises(ValueError):
             g.insert_batch([(0, 3)])
 
+    def test_failed_insert_batch_leaves_graph_unchanged(self):
+        g = DynamicGraph(4, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.insert_batch([(1, 2), (0, 1), (2, 3)])  # (0, 1) is a dup
+        assert g.m == 1
+        assert (1, 2) not in g and (2, 3) not in g
+        with pytest.raises(ValueError):
+            g.insert_batch([(1, 2), (2, 1)])  # duplicate within the batch
+        assert g.m == 1
+
+    def test_failed_delete_batch_leaves_graph_unchanged(self):
+        g = DynamicGraph(4, [(0, 1), (1, 2)])
+        with pytest.raises(KeyError):
+            g.delete_batch([(0, 1), (2, 3)])  # (2, 3) absent
+        assert g.m == 2 and (0, 1) in g
+        with pytest.raises(KeyError):
+            g.delete_batch([(1, 2), (2, 1)])  # same edge twice
+        assert g.m == 2 and (1, 2) in g
+
     def test_copy_is_independent(self):
         g = DynamicGraph(3, [(0, 1)])
         h = g.copy()

@@ -91,12 +91,13 @@ class TestCheckersDetectCorruption:
         with pytest.raises(AssertionError):
             dsf.check_invariants()
 
-    def test_priority_array_count_corruption(self):
+    def test_priority_array_mirror_corruption(self):
         from repro.structures import PriorityArray
 
         pa = PriorityArray(64, [(i, i) for i in range(10)])
-        pa._root.count += 1
-        # the corrupted count surfaces as a duplicated position scan
+        # desync the sorted mirror from the value map
+        pa._sorted.append(pa._sorted[-1])
+        # the corruption surfaces as a duplicated position scan
         priorities = [p for _, p, _ in pa.items_by_position()]
         assert len(priorities) != len(set(priorities)) or len(
             priorities

@@ -37,6 +37,79 @@ class TestCharge:
         assert cm.work == 0 and cm.depth == 0
 
 
+class TestAggregateCharging:
+    def test_pfor_cost_equals_uniform_parallel_region(self):
+        explicit, aggregate = CostModel(), CostModel()
+        with explicit.parallel() as par:
+            for _ in range(7):
+                with par.task():
+                    explicit.charge(work=3, depth=2)
+        aggregate.pfor_cost(7, 3, depth=2)
+        assert (explicit.work, explicit.depth) == (21, 2)
+        assert (aggregate.work, aggregate.depth) == (21, 2)
+
+    def test_pfor_cost_depth_defaults_to_per_item_work(self):
+        cm = CostModel()
+        cm.pfor_cost(5, 4)
+        assert cm.work == 20 and cm.depth == 4
+
+    def test_pfor_cost_empty_round_is_free(self):
+        cm = CostModel()
+        cm.pfor_cost(0, 100, depth=3)
+        assert cm.work == 0 and cm.depth == 0
+
+    def test_charge_many_equals_sequential_hash_ops(self):
+        explicit, aggregate = CostModel(), CostModel()
+        for _ in range(6):
+            explicit.charge_hash_op()
+        aggregate.charge_many(work=6, depth=6)
+        assert (explicit.work, explicit.depth) == (6, 6)
+        assert (aggregate.work, aggregate.depth) == (6, 6)
+
+    def test_aggregate_charges_land_in_enclosing_frame(self):
+        cm = CostModel()
+        with cm.frame() as fr:
+            cm.pfor_cost(4, 2, depth=1)
+            cm.charge_many(work=3, depth=3)
+        assert fr.work == 11 and fr.depth == 4
+        assert cm.work == 11 and cm.depth == 4
+
+    def test_null_model_ignores_aggregate_charges(self):
+        NULL_COST_MODEL.charge_many(work=50, depth=50)
+        NULL_COST_MODEL.pfor_cost(10, 5, depth=1)
+        assert NULL_COST_MODEL.work == 0
+        assert NULL_COST_MODEL.depth == 0
+
+
+class TestResetSafety:
+    def test_reset_inside_frame_raises(self):
+        cm = CostModel()
+        with cm.frame():
+            cm.charge(work=2)
+            with pytest.raises(RuntimeError, match="open"):
+                cm.reset()
+        # the region unwound normally and the model is still usable
+        assert cm.work == 2
+        cm.reset()
+        cm.charge(work=3)
+        assert cm.work == 3 and cm.depth == 3
+
+    def test_reset_inside_parallel_task_raises(self):
+        cm = CostModel()
+        with cm.parallel() as par:
+            with par.task():
+                cm.charge(work=1)
+                with pytest.raises(RuntimeError, match="exit them first"):
+                    cm.reset()
+        assert cm.work == 1
+
+    def test_reset_error_counts_open_regions(self):
+        cm = CostModel()
+        with cm.frame(), cm.frame():
+            with pytest.raises(RuntimeError, match="2 open"):
+                cm.reset()
+
+
 class TestParallel:
     def test_parallel_sums_work_maxes_depth(self):
         cm = CostModel()

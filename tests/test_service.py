@@ -208,6 +208,50 @@ class TestCoalescingQueue:
         assert res.batch.deletions == [(0, 1)]
         assert res.batch.insertions == [(0, 1)]
 
+    def test_mixed_deadline_groups_expire_independently(self):
+        clk = FakeClock()
+        q = CoalescingQueue(present=[(4, 5)], clock=clk)
+        q.offer("insert", (0, 1), timeout=0.5)  # whole group expires
+        q.offer("delete", (4, 5), timeout=0.5)  # expired, but kept by ...
+        clk.advance(1.0)
+        q.offer("insert", (4, 5), timeout=0.5)  # ... this still-live op
+        q.offer("insert", (2, 3))               # no deadline at all
+        res = q.drain()
+        assert res.expired_ops == 1             # only the (0, 1) group
+        assert q.expired == 1
+        assert sorted(res.batch.insertions) == [(2, 3), (4, 5)]
+        assert res.batch.deletions == [(4, 5)]
+        assert q.live_edges == {(2, 3), (4, 5)}
+
+    def test_expired_insert_can_be_reoffered_after_drain(self):
+        clk = FakeClock()
+        q = CoalescingQueue(clock=clk)
+        assert q.offer("insert", (0, 1), timeout=0.5) == ACCEPTED
+        clk.advance(1.0)
+        res = q.drain()
+        assert res.expired_ops == 1 and res.batch.size == 0
+        assert q.live_edges == set()
+        # the edge never became live, so the same insert is legal again
+        assert q.offer("insert", (0, 1)) == ACCEPTED
+        res = q.drain()
+        assert res.batch.insertions == [(0, 1)]
+        assert q.live_edges == {(0, 1)}
+
+    def test_coalesce_ratio_when_everything_expires(self):
+        clk = FakeClock()
+        q = CoalescingQueue(clock=clk)
+        q.offer("insert", (0, 1), timeout=0.5)
+        q.offer("delete", (0, 1), timeout=0.5)  # cancels the insert
+        q.offer("insert", (2, 3), timeout=0.5)
+        clk.advance(1.0)
+        res = q.drain()
+        assert res.raw_ops == 3
+        assert res.expired_ops == 3
+        assert res.batch.size == 0
+        # nothing survived to be coalesced: the ratio is 0/0, defined as 0
+        assert res.coalesced_away == 0
+        assert res.coalesce_ratio == 0.0
+
 
 # -- AdaptiveBatcher ---------------------------------------------------------
 
@@ -270,6 +314,24 @@ class TestAdmission:
         large = a.admit(depth=100, flush_interval=0.01).retry_after
         assert large > small
 
+    def test_retry_after_formula_pinned(self):
+        # retry_after = (overflow / max_pending) * flush_interval, floored
+        # at flush_interval and min_retry_after (as documented on
+        # AdmissionConfig) — this pins the exact arithmetic
+        cfg = AdmissionConfig(max_pending=10, min_retry_after=0.001)
+        a = AdmissionController(cfg)
+        fi = 0.02
+        # overflow=1: the proportional term (fi/10) is below one flush
+        # interval, so the hint floors at exactly flush_interval
+        assert a.admit(depth=10, flush_interval=fi).retry_after == \
+            pytest.approx(fi)
+        # overflow=51: proportional term dominates
+        assert a.admit(depth=60, flush_interval=fi).retry_after == \
+            pytest.approx(fi * 51 / 10)
+        # tiny flush interval: min_retry_after is the floor
+        assert a.admit(depth=10, flush_interval=1e-6).retry_after == \
+            pytest.approx(cfg.min_retry_after)
+
 
 # -- metrics -----------------------------------------------------------------
 
@@ -301,6 +363,28 @@ class TestMetrics:
             h.observe(i)
         assert h.count == 1000
         assert len(h._samples) == 8
+
+    def test_histogram_tracks_whole_drifting_stream(self):
+        # Regression: once full, the reservoir used to overwrite a rotating
+        # slot on every observation, silently degrading into a sliding
+        # window of the most recent values — on a drifting stream p50
+        # reported ~the latest value instead of the stream median.  The
+        # stride-doubling decimation keeps a uniform systematic sample of
+        # the whole stream.
+        n = 100_000
+        h = MetricsRegistry().histogram("drift", reservoir=64)
+        for i in range(n):
+            h.observe(float(i))
+        assert len(h._samples) <= 64
+        # observation 0 survives forever (index 0 is on every stride grid)
+        assert min(h._samples) == 0.0
+        # median of the retained sample sits near the stream median, far
+        # from the window median ~n the old scheme produced
+        assert 0.25 * n < h.percentile(50) < 0.75 * n
+
+    def test_histogram_rejects_degenerate_reservoir(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("tiny", reservoir=1)
 
     def test_render_mentions_everything(self):
         m = MetricsRegistry()
