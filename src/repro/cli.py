@@ -12,6 +12,9 @@ Examples
     python -m repro.cli sparsifier --n 80 --m 1200 --t 4
     python -m repro.cli estree    --n 300 --m 2000 --limit 6
     python -m repro.cli serve     --requests 10000 --shards 2
+    python -m repro.cli serve     --listen 127.0.0.1:7421
+    python -m repro.cli replica   --primary 127.0.0.1:7421 --listen :7422
+    python -m repro.cli bench-net --replicas 3 --smoke
     python -m repro.cli chaos     --smoke
 
 Each structure command builds the structure, drives the requested update
@@ -41,6 +44,27 @@ from repro.workloads import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+def _package_version() -> str:
+    """Installed distribution version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        import repro
+
+        return repro.__version__
+
+
+def _parse_hostport(text: str, default_host: str = "127.0.0.1",
+                    ) -> tuple[str, int]:
+    """``HOST:PORT`` (``:PORT`` and bare ``PORT`` use the default host)."""
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        host, port = default_host, text
+    return (host or default_host), int(port)
 
 
 def _make_workload(args: argparse.Namespace) -> Workload:
@@ -226,10 +250,69 @@ def _cmd_estree(args: argparse.Namespace) -> int:
                    lambda e, c: _Adapter(e, c), profile=args.profile)
 
 
+def _cmd_serve_net(args: argparse.Namespace) -> int:
+    """``serve --listen``: the networked multi-tenant front end."""
+    import asyncio
+    import json
+
+    from repro.graph.generators import gnm_random_graph
+    from repro.net import NetServerConfig, TenantConfig, TenantManager, serve
+    from repro.service.admission import AdmissionConfig
+
+    host, port = _parse_hostport(args.listen)
+    edges = gnm_random_graph(args.n, args.m, seed=args.seed)
+    spec = {"kind": args.backend, "n": args.n, "k": args.k,
+            "edges": edges, "seed": args.seed}
+    tenants = TenantManager()
+    for name in (args.tenants or "default").split(","):
+        tenants.create(TenantConfig(
+            name=name.strip(),
+            spec=dict(spec),
+            shards=args.shards,
+            admission=AdmissionConfig(
+                max_pending=args.queue_capacity,
+                max_inflight_queries=args.max_inflight_queries,
+            ),
+            wal_dir=(f"{args.wal_dir}/{name.strip()}"
+                     if args.wal_dir else None),
+            checkpoint_interval=args.checkpoint_interval,
+        ))
+    cfg = NetServerConfig(
+        host=host, port=port,
+        query_slots=args.query_slots,
+        service_time=args.service_time_us / 1e6,
+    )
+
+    def announce(host: str, port: int) -> None:
+        # scripted callers pass port 0 and parse this line
+        print(f"NET-LISTEN {host} {port}", flush=True)
+
+    try:
+        server = asyncio.run(serve(tenants, cfg, announce=announce))
+    finally:
+        tenants.close()
+    summary = {
+        "host": server.host,
+        "port": server.port,
+        "tenants": (args.tenants or "default").split(","),
+        "connections_served": server.connections_served,
+        "requests_served": server.requests_served,
+    }
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+    else:
+        print(f"drained: {summary['requests_served']} request(s) over "
+              f"{summary['connections_served']} connection(s)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
     from repro.service import ServeConfig, run_serve
+
+    if args.listen is not None:
+        return _cmd_serve_net(args)
 
     cfg = ServeConfig(
         n=args.n,
@@ -279,6 +362,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "wall_s": round(report.wall_seconds, 3),
         "req/s": round(report.throughput_rps),
     }]
+    if args.json:
+        import json
+
+        payload = dict(rows[0])
+        payload.update(
+            interrupted=report.interrupted,
+            resumed_from_seq=report.resumed_from_seq,
+            verified=None if args.no_verify else report.verified,
+        )
+        print(json.dumps(payload, sort_keys=True))
+        return 0 if (args.no_verify or report.verified) else 1
     print(format_table(rows, "repro serve: batch-dynamic serving engine"))
     print(f"\nper-shard output sizes: {report.shard_sizes}")
     print()
@@ -311,21 +405,136 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_replica(args: argparse.Namespace) -> int:
+    """Run a log-shipping read replica against a net primary."""
+    import json
+    import signal
+    import threading
+
+    from repro.net import ReplicaConfig, run_replica
+
+    phost, pport = _parse_hostport(args.primary)
+    listen = _parse_hostport(args.listen) if args.listen else None
+    cfg = ReplicaConfig(
+        tenant=args.tenant,
+        poll_interval=args.poll_ms / 1000.0,
+    )
+    replica, server = run_replica(
+        phost, pport, listen=listen, config=cfg,
+        query_slots=args.query_slots,
+        service_time=args.service_time_us / 1e6,
+    )
+    if server is not None:
+        print(f"NET-LISTEN {server.host} {server.port}", flush=True)
+    stop = threading.Event()
+    try:
+        previous = signal.signal(signal.SIGTERM,
+                                 lambda *_: stop.set())
+    except ValueError:  # pragma: no cover - non-main thread (tests)
+        previous = None
+    try:
+        if args.once:
+            replica.catch_up()
+        else:
+            try:
+                replica.run(stop=stop, max_seconds=args.max_seconds)
+            except KeyboardInterrupt:
+                pass
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+        if server is not None:
+            server.stop()
+        stats = replica.stats
+        replica.close()
+    summary = {
+        "tenant": cfg.tenant,
+        "records_applied": stats.records_applied,
+        "last_applied_seq": stats.last_applied_seq,
+        "lag_commits": stats.lag_commits,
+        "fetches": stats.fetches,
+        "bytes_fetched": stats.bytes_fetched,
+        "bootstrap_seconds": round(stats.bootstrap_seconds, 4),
+    }
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+    else:
+        print(f"replica drained: applied {summary['records_applied']} "
+              f"record(s), at seq {summary['last_applied_seq']}, "
+              f"lag {summary['lag_commits']}")
+    return 0
+
+
+def _cmd_bench_net(args: argparse.Namespace) -> int:
+    """SRV2 replica-scaling benchmark (see docs/replication.md)."""
+    import json
+
+    from repro.net.bench import BenchNetConfig, run_bench_net
+
+    requests = args.requests
+    service_time_us = args.service_time_us
+    if args.smoke:
+        # CI-friendly: small request count, 1ms pinned query cost — the
+        # whole run (incl. convergence + oracle check) stays under ~30s
+        requests = min(requests, 400)
+        service_time_us = min(service_time_us, 1000)
+    cfg = BenchNetConfig(
+        replicas=args.replicas,
+        requests=requests,
+        read_fraction=args.read_fraction,
+        seed=args.seed,
+        service_time=service_time_us / 1e6,
+        mode=args.mode,
+        kill_replica=args.kill_replica,
+    )
+    report = run_bench_net(cfg)
+    payload = report.to_dict()
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(format_table(
+            [{k: v for k, v in payload.items() if k != "violations"}],
+            title="repro bench-net: replica scaling (SRV2)"))
+        for v in report.violations:
+            print(f"VIOLATION {v}")
+        if report.verified:
+            print("replica equivalence: OK — every replica converged to "
+                  "the primary's exact state (oracle-verified)")
+    return 0 if report.verified else 1
+
+
+def _print_chaos_json(report) -> int:
+    """Emit a chaos campaign report as one JSON object; exit status."""
+    import json
+
+    payload = {
+        "ok": report.ok,
+        "divergences": report.divergence_count,
+        "wall_s": round(report.wall_seconds, 3),
+        "rows": report.rows(),
+    }
+    print(json.dumps(payload, sort_keys=True))
+    return 0 if report.ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.resilience.chaos import (
         CHAOS_PLAN_KINDS,
+        REPLICA_PLAN_KINDS,
         ChaosConfig,
         recovery_latency_sweep,
         run_chaos_campaign,
+        run_replica_chaos_campaign,
     )
 
-    plans = CHAOS_PLAN_KINDS
+    known = REPLICA_PLAN_KINDS if args.replica else CHAOS_PLAN_KINDS
+    plans = known
     if args.plans:
         plans = tuple(args.plans.split(","))
-        unknown = [p for p in plans if p not in CHAOS_PLAN_KINDS]
+        unknown = [p for p in plans if p not in known]
         if unknown:
             print(f"unknown plans {unknown}; "
-                  f"choose from {list(CHAOS_PLAN_KINDS)}", file=sys.stderr)
+                  f"choose from {list(known)}", file=sys.stderr)
             return 2
     seeds = args.seeds
     requests = args.requests
@@ -347,10 +556,40 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     if args.rsl1:
         rows = recovery_latency_sweep(cfg)
+        ok = all(r["divergences"] == 0 for r in rows)
+        if args.json:
+            import json
+
+            print(json.dumps({"ok": ok, "rows": rows}, sort_keys=True))
+            return 0 if ok else 1
         print(format_table(
             rows, "RSL1: recovery latency vs checkpoint interval"))
-        return 0 if all(r["divergences"] == 0 for r in rows) else 1
-    report = run_chaos_campaign(cfg, log=lambda msg: print(f"[chaos] {msg}"))
+        return 0 if ok else 1
+    if args.replica:
+        report = run_replica_chaos_campaign(
+            cfg, log=(None if args.json
+                      else lambda msg: print(f"[chaos] {msg}")))
+        if args.json:
+            return _print_chaos_json(report)
+        print(format_table(
+            report.rows(),
+            title=f"repro chaos --replica: {len(plans)} fault plan(s) x "
+                  f"{seeds} seed(s)",
+        ))
+        print(f"\nwall time: {report.wall_seconds:.1f}s")
+        if report.ok:
+            print("no divergences — every replica fault converged back to "
+                  "the primary's exact state (oracle-verified)")
+            return 0
+        for run in report.runs:
+            for d in run.divergences:
+                print(f"\nDIVERGENCE {d}")
+        return 1
+    report = run_chaos_campaign(
+        cfg, log=(None if args.json
+                  else lambda msg: print(f"[chaos] {msg}")))
+    if args.json:
+        return _print_chaos_json(report)
     print(format_table(
         report.rows(),
         title=f"repro chaos: {len(plans)} fault plan(s) x {seeds} seed(s)",
@@ -419,6 +658,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Run the paper's batch-dynamic structures on synthetic "
                     "workloads.",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p: argparse.ArgumentParser) -> None:
@@ -506,7 +747,65 @@ def build_parser() -> argparse.ArgumentParser:
                         "rerunning with the same directory resumes")
     p.add_argument("--checkpoint-interval", type=int, default=64,
                    help="commits between checkpoints (with --wal-dir)")
+    p.add_argument("--listen", type=str, default=None, metavar="HOST:PORT",
+                   help="serve over TCP instead of the synthetic driver "
+                        "(port 0 = ephemeral, announced as NET-LISTEN)")
+    p.add_argument("--tenants", type=str, default=None,
+                   help="comma-separated tenant names (net mode; "
+                        "default: one tenant named 'default')")
+    p.add_argument("--query-slots", type=int, default=8,
+                   help="concurrent query capacity of the net front end")
+    p.add_argument("--service-time-us", type=float, default=0.0,
+                   help="simulated per-query engine microseconds (net "
+                        "mode; 0 = real engine time)")
+    p.add_argument("--max-inflight-queries", type=int, default=None,
+                   help="per-tenant reads in flight beyond which queries "
+                        "shed with retry_after (net mode)")
+    p.add_argument("--json", action="store_true",
+                   help="print a JSON summary instead of tables")
     p.set_defaults(func=_cmd_serve, processes=True)
+
+    p = sub.add_parser(
+        "replica",
+        help="log-shipping read replica of a --listen primary",
+    )
+    p.add_argument("--primary", type=str, required=True, metavar="HOST:PORT")
+    p.add_argument("--listen", type=str, default=None, metavar="HOST:PORT",
+                   help="also serve (read-only) queries on this address")
+    p.add_argument("--tenant", type=str, default="default")
+    p.add_argument("--poll-ms", type=float, default=20.0,
+                   help="delay between wal_fetch polls when caught up")
+    p.add_argument("--query-slots", type=int, default=8)
+    p.add_argument("--service-time-us", type=float, default=0.0)
+    p.add_argument("--once", action="store_true",
+                   help="catch up once and exit instead of polling")
+    p.add_argument("--max-seconds", type=float, default=None,
+                   help="exit after this many seconds (default: SIGTERM)")
+    p.add_argument("--json", action="store_true",
+                   help="print a JSON summary instead of prose")
+    p.set_defaults(func=_cmd_replica)
+
+    p = sub.add_parser(
+        "bench-net",
+        help="SRV2: read throughput vs replica count at a pinned "
+             "per-query cost, with oracle-verified equivalence",
+    )
+    p.add_argument("--replicas", type=int, default=1)
+    p.add_argument("--requests", type=int, default=2000)
+    p.add_argument("--read-fraction", type=float, default=0.95)
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("--service-time-us", type=float, default=2000,
+                   help="pinned simulated per-query engine microseconds")
+    p.add_argument("--mode", choices=["inproc", "subprocess"],
+                   default="inproc")
+    p.add_argument("--kill-replica", action="store_true",
+                   help="SIGKILL one replica mid-run; a fresh replacement "
+                        "must still converge to exact equivalence")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI mode: <=400 requests, 1ms pinned query cost")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON")
+    p.set_defaults(func=_cmd_bench_net)
 
     p = sub.add_parser(
         "chaos",
@@ -530,6 +829,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rsl1", action="store_true",
                    help="run the RSL1 recovery-latency-vs-checkpoint-"
                         "interval sweep instead of the full campaign")
+    p.add_argument("--replica", action="store_true",
+                   help="run the log-shipping replica fault plans "
+                        "(crash-mid-catchup, lag window) instead")
+    p.add_argument("--json", action="store_true",
+                   help="emit the campaign report as one JSON object")
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(

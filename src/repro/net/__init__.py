@@ -1,0 +1,54 @@
+"""Networked multi-tenant serving with WAL log-shipping read replicas.
+
+Layers (see ``docs/replication.md``):
+
+- :mod:`repro.net.protocol` — length-prefixed JSON frames, version
+  handshake, error envelopes carrying ``retry_after``/``stale``.
+- :mod:`repro.net.tenants` — named graph namespaces, each a fully
+  isolated engine + quotas + replication log.
+- :mod:`repro.net.server` — asyncio TCP front end with per-connection
+  backpressure and graceful SIGTERM drain.
+- :mod:`repro.net.client` — blocking socket client.
+- :mod:`repro.net.replica` — single-writer primary → N read replicas via
+  WAL-framed log shipping; snapshot-consistent stale-tagged reads.
+- :mod:`repro.net.bench` — the SRV2 replica-scaling benchmark.
+"""
+
+from repro.net.client import NetClient
+from repro.net.protocol import (
+    PROTOCOL_NAME,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    ServerError,
+    encode_frame,
+)
+from repro.net.replica import LogShippingReplica, ReplicaConfig, run_replica
+from repro.net.server import NetServer, NetServerConfig, ThreadedServer, serve
+from repro.net.tenants import (
+    ReplicationLog,
+    Tenant,
+    TenantConfig,
+    TenantManager,
+)
+
+__all__ = [
+    "FrameDecoder",
+    "LogShippingReplica",
+    "NetClient",
+    "NetServer",
+    "NetServerConfig",
+    "PROTOCOL_NAME",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ReplicaConfig",
+    "ReplicationLog",
+    "ServerError",
+    "Tenant",
+    "TenantConfig",
+    "TenantManager",
+    "ThreadedServer",
+    "encode_frame",
+    "run_replica",
+    "serve",
+]

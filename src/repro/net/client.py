@@ -1,0 +1,143 @@
+"""Blocking TCP client for the ``repro-net`` protocol.
+
+A thin, dependency-free socket client: one connection, sequential
+request/response, version handshake on connect.  Error envelopes raise
+:class:`~repro.net.protocol.ServerError` carrying the server's ``code``,
+``retry_after``, and ``stale`` fields, so callers implement backoff
+against the same hints the engine produced.
+
+>>> with NetClient(host, port, tenant="default") as c:
+...     c.submit("insert", 3, 7)
+...     c.query("size")
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    ProtocolError,
+    ServerError,
+    decode_chunk,
+    encode_frame,
+    hello_frame,
+    request_frame,
+)
+
+__all__ = ["NetClient"]
+
+
+class NetClient:
+    """One handshaked connection to a net server (not thread-safe)."""
+
+    def __init__(self, host: str, port: int, tenant: str = "default",
+                 timeout: float = 30.0,
+                 max_frame: int = MAX_FRAME_BYTES) -> None:
+        self.tenant = tenant
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._decoder = FrameDecoder(max_frame)
+        self._pending: list[dict] = []
+        self._max_frame = max_frame
+        self._next_id = 0
+        self.hello = self.call("hello", _raw=hello_frame(0, tenant))
+
+    # -- plumbing -------------------------------------------------------------
+
+    def call(self, verb: str, _raw: dict | None = None,
+             **params) -> dict[str, Any]:
+        """Send one request, block for its response envelope.
+
+        Returns the OK envelope as a dict; raises :class:`ServerError` on
+        an error envelope and :class:`ProtocolError` on a broken stream.
+        """
+        self._next_id += 1
+        req_id = self._next_id
+        msg = dict(_raw, id=req_id) if _raw is not None else \
+            request_frame(req_id, verb, **params)
+        self._sock.sendall(encode_frame(msg, self._max_frame))
+        reply = self._recv_one()
+        if reply.get("id") != req_id:
+            raise ProtocolError(
+                f"response id {reply.get('id')} != request id {req_id}")
+        if not reply.get("ok"):
+            raise ServerError.from_envelope(reply)
+        return reply
+
+    def _recv_one(self) -> dict:
+        while not self._pending:
+            data = self._sock.recv(65536)
+            if not data:
+                raise ProtocolError("server closed the connection")
+            self._pending.extend(self._decoder.feed(data))
+        return self._pending.pop(0)
+
+    def close(self) -> None:
+        """Close the connection; idempotent."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- verbs ----------------------------------------------------------------
+
+    def submit(self, op: str, u: int, v: int) -> str:
+        """Submit one update; returns the queue outcome. Sheds raise
+        :class:`ServerError` with ``code`` ``shed``/``shed_degraded`` and a
+        ``retry_after`` hint."""
+        return self.call("submit", op=op, u=u, v=v)["status"]
+
+    def query(self, kind: str, payload: Any = None,
+              consistency: str = "snapshot") -> Any:
+        """Read; returns just the value (see :meth:`query_info`)."""
+        return self.query_info(kind, payload, consistency)["value"]
+
+    def query_info(self, kind: str, payload: Any = None,
+                   consistency: str = "snapshot") -> dict[str, Any]:
+        """Read; returns ``{value, stale, as_of_seq}``."""
+        params: dict[str, Any] = {"kind": kind, "consistency": consistency}
+        if payload is not None:
+            params["payload"] = list(payload) if isinstance(
+                payload, tuple) else payload
+        reply = self.call("query_info", **params)
+        return {"value": reply["value"], "stale": reply["stale"],
+                "as_of_seq": reply["as_of_seq"]}
+
+    def edges(self) -> set[tuple[int, int]]:
+        """The maintained output edge set, as canonical tuples."""
+        return {tuple(e) for e in self.query("edges")}
+
+    def metrics(self, all_tenants: bool = False) -> str:
+        """Prometheus text exposition."""
+        return self.call("metrics", all=all_tenants)["text"]
+
+    def admin(self, action: str = "stats") -> dict[str, Any]:
+        """Run an admin action (``stats``/``flush``/``tenants``/``drain``)."""
+        return self.call("admin", action=action)
+
+    def flush(self) -> int:
+        """Flush the tenant's pending writes; returns the committed seq."""
+        return self.call("admin", action="flush")["committed_seq"]
+
+    def sync_info(self) -> dict[str, Any]:
+        """Replica bootstrap: boot spec + shards + base_seq + log size."""
+        return self.call("sync")
+
+    def wal_fetch(self, offset: int,
+                  max_bytes: int = 1 << 20) -> tuple[bytes, int, int]:
+        """Fetch replication-log bytes from ``offset``.
+
+        Returns ``(chunk, log_size, last_seq)``; an empty chunk with
+        ``log_size == offset`` means the replica is caught up.
+        """
+        reply = self.call("wal_fetch", offset=offset, max_bytes=max_bytes)
+        return (decode_chunk(reply["chunk"]), reply["log_size"],
+                reply["last_seq"])

@@ -1,0 +1,193 @@
+"""Wire protocol for the networked serving layer (``repro.net``).
+
+Length-prefixed JSON frames over a byte stream::
+
+    frame    [u32 length, little-endian][payload]
+    payload  UTF-8 JSON object
+
+Every request carries a client-chosen ``id`` and a ``verb``; every
+response echoes the ``id`` and is either an OK envelope (``ok: true`` plus
+verb-specific fields) or an **error envelope**::
+
+    {"id": 7, "ok": false,
+     "error": {"code": "shed", "message": "...", "retry_after": 0.008}}
+
+``retry_after`` and ``stale`` ride inside the envelope unchanged from the
+engine's :class:`~repro.service.engine.SubmitResponse` /
+:class:`~repro.service.engine.QueryResult`, so backpressure and
+degraded-mode semantics survive the wire intact.
+
+The first frame on a connection must be the **version handshake**: a
+``hello`` request naming the protocol (:data:`PROTOCOL_NAME`), its
+version, and the tenant the client intends to talk to.  The server
+replies with its own version and tenant catalogue, or an error envelope
+(``version_mismatch`` / ``unknown_tenant``) and closes.
+
+Binary payloads (shipped WAL segments) are base64-armoured strings inside
+JSON — see :func:`encode_chunk` / :func:`decode_chunk`.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+
+__all__ = [
+    "FrameDecoder",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_NAME",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServerError",
+    "decode_chunk",
+    "encode_chunk",
+    "encode_frame",
+    "error_envelope",
+    "hello_frame",
+    "ok_envelope",
+    "request_frame",
+]
+
+PROTOCOL_NAME = "repro-net"
+PROTOCOL_VERSION = 1
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_LEN = struct.Struct("<I")
+
+
+class ProtocolError(RuntimeError):
+    """A frame violated the wire format (oversize, truncated, non-JSON)."""
+
+
+class ServerError(RuntimeError):
+    """A decoded error envelope, raised client-side.
+
+    Carries the envelope's ``code`` plus the optional ``retry_after`` and
+    ``stale`` fields so callers can implement backoff without re-parsing.
+    """
+
+    def __init__(self, code: str, message: str,
+                 retry_after: float | None = None,
+                 stale: bool | None = None) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.retry_after = retry_after
+        self.stale = stale
+
+    @classmethod
+    def from_envelope(cls, msg: dict) -> "ServerError":
+        err = msg.get("error") or {}
+        return cls(
+            err.get("code", "unknown"),
+            err.get("message", "(no message)"),
+            retry_after=err.get("retry_after"),
+            stale=err.get("stale"),
+        )
+
+
+def encode_frame(msg: dict, max_frame: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one message as a length-prefixed JSON frame."""
+    payload = json.dumps(
+        msg, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    if len(payload) > max_frame:
+        raise ProtocolError(
+            f"frame payload is {len(payload)} bytes, cap is {max_frame}"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser: feed socket bytes, collect messages.
+
+    Mirrors :class:`repro.resilience.wal.WalStreamDecoder` for the control
+    plane: arbitrary chunking is fine, partial frames are buffered, and an
+    oversize declared length is rejected *before* buffering it (a broken
+    or hostile peer cannot balloon server memory).
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME_BYTES) -> None:
+        self._buf = bytearray()
+        self.max_frame = max_frame
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Consume ``data``; return every message it completed, in order."""
+        self._buf += data
+        out: list[dict] = []
+        while True:
+            if len(self._buf) < _LEN.size:
+                return out
+            (length,) = _LEN.unpack_from(self._buf, 0)
+            if length > self.max_frame:
+                raise ProtocolError(
+                    f"declared frame length {length} exceeds cap "
+                    f"{self.max_frame}"
+                )
+            end = _LEN.size + length
+            if len(self._buf) < end:
+                return out
+            payload = bytes(self._buf[_LEN.size: end])
+            del self._buf[:end]
+            try:
+                msg = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(f"undecodable frame payload: {exc}") \
+                    from exc
+            if not isinstance(msg, dict):
+                raise ProtocolError(
+                    f"frame payload must be a JSON object, got "
+                    f"{type(msg).__name__}"
+                )
+            out.append(msg)
+
+
+# -- message builders ---------------------------------------------------------
+
+
+def request_frame(req_id: int, verb: str, **params) -> dict:
+    """A client request message."""
+    return {"id": req_id, "verb": verb, **params}
+
+
+def hello_frame(req_id: int = 0, tenant: str = "default") -> dict:
+    """The handshake request every connection must open with."""
+    return request_frame(
+        req_id, "hello",
+        protocol=PROTOCOL_NAME, version=PROTOCOL_VERSION, tenant=tenant,
+    )
+
+
+def ok_envelope(req_id, **fields) -> dict:
+    """A success response echoing the request id."""
+    return {"id": req_id, "ok": True, **fields}
+
+
+def error_envelope(req_id, code: str, message: str,
+                   retry_after: float | None = None,
+                   stale: bool | None = None) -> dict:
+    """An error response; ``retry_after``/``stale`` surface backpressure
+    and degraded-mode hints unchanged from the engine."""
+    err: dict = {"code": code, "message": message}
+    if retry_after is not None:
+        err["retry_after"] = retry_after
+    if stale is not None:
+        err["stale"] = stale
+    return {"id": req_id, "ok": False, "error": err}
+
+
+# -- binary chunks ------------------------------------------------------------
+
+
+def encode_chunk(data: bytes) -> str:
+    """Armour a binary WAL segment for a JSON frame."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def decode_chunk(text: str) -> bytes:
+    """Inverse of :func:`encode_chunk`."""
+    return base64.b64decode(text.encode("ascii"))

@@ -1,0 +1,415 @@
+"""Asyncio TCP front end over :class:`~repro.service.engine.SpannerService`.
+
+One server process hosts a :class:`~repro.net.tenants.TenantManager`; each
+accepted connection handshakes onto a tenant (see
+:mod:`repro.net.protocol`) and then speaks request/response frames:
+
+==============  =============================================================
+verb            semantics
+==============  =============================================================
+``hello``       version handshake + tenant binding (must be frame #1)
+``submit``      one edge update → engine ``submit_update`` (sheds surface
+                as ``shed`` / ``shed_degraded`` error envelopes with
+                ``retry_after``)
+``query``       read (``size``/``edges``/``contains``/``distance``/
+                ``connected``); response carries ``stale`` + ``as_of_seq``
+``query_info``  alias of ``query`` (kept distinct for wire-log clarity)
+``metrics``     Prometheus text exposition for the bound tenant (or every
+                tenant with ``all: true``)
+``admin``       ``flush`` / ``tenants`` / ``stats`` / ``drain``
+``sync``        replica bootstrap info (boot spec, shards, base_seq)
+``wal_fetch``   a chunk of the tenant's replication log from a byte offset
+==============  =============================================================
+
+Backpressure is per connection: requests on one connection are handled
+strictly sequentially and every response is ``await writer.drain()``-ed, so
+a slow reader throttles only itself.  Query admission is per tenant
+(``AdmissionConfig.max_inflight_queries``), and query *execution* holds a
+server-wide slot semaphore for ``service_time`` seconds when a simulated
+per-query cost is configured (the capacity model the net benchmarks pin).
+
+``drain()`` — wired to SIGTERM by :func:`serve` — stops the listener,
+lets in-flight connections finish (up to ``drain_timeout``), then flushes
+and checkpoints every tenant before returning.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import math
+import signal
+import threading
+from dataclasses import dataclass
+
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_NAME,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    encode_chunk,
+    encode_frame,
+    error_envelope,
+    ok_envelope,
+)
+from repro.net.tenants import Tenant, TenantManager
+
+__all__ = ["NetServer", "NetServerConfig", "ThreadedServer", "serve"]
+
+
+@dataclass
+class NetServerConfig:
+    host: str = "127.0.0.1"
+    port: int = 0                   # 0 = ephemeral (bound port on .port)
+    max_frame: int = MAX_FRAME_BYTES
+    read_only: bool = False         # replica front end: reject writes
+    query_slots: int = 8            # server-wide concurrent query capacity
+    service_time: float = 0.0       # simulated per-query engine seconds
+    drain_timeout: float = 5.0      # seconds to wait out live connections
+    max_chunk_bytes: int = 1 << 20  # wal_fetch reply cap (pre-base64)
+
+
+class NetServer:
+    """The asyncio server; create, ``await start()``, then ``drain()``."""
+
+    def __init__(self, tenants: TenantManager,
+                 config: NetServerConfig | None = None) -> None:
+        self.tenants = tenants
+        self.config = config or NetServerConfig()
+        self.host: str | None = None
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._conns: set[asyncio.Task] = set()
+        self._draining = False
+        self._slots: asyncio.Semaphore | None = None
+        self.connections_served = 0
+        self.requests_served = 0
+
+    async def start(self) -> None:
+        """Bind the listener and record the resolved host/port."""
+        cfg = self.config
+        self._slots = asyncio.Semaphore(max(1, cfg.query_slots))
+        self._server = await asyncio.start_server(
+            self._on_connection, host=cfg.host, port=cfg.port
+        )
+        sock = self._server.sockets[0].getsockname()
+        self.host, self.port = sock[0], sock[1]
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight, flush."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._conns:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    asyncio.gather(*self._conns, return_exceptions=True),
+                    timeout=self.config.drain_timeout,
+                )
+            for task in self._conns:
+                task.cancel()
+        await asyncio.to_thread(self.tenants.flush_all)
+
+    # -- connection lifecycle -------------------------------------------------
+
+    def _on_connection(self, reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter) -> None:
+        task = asyncio.ensure_future(self._serve_connection(reader, writer))
+        self._conns.add(task)
+        task.add_done_callback(self._conns.discard)
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        self.connections_served += 1
+        decoder = FrameDecoder(self.config.max_frame)
+        tenant: Tenant | None = None
+        try:
+            while not (self._draining and decoder.pending_bytes == 0):
+                data = await reader.read(65536)
+                if not data:
+                    break
+                try:
+                    msgs = decoder.feed(data)
+                except ProtocolError as exc:
+                    await self._send(writer, error_envelope(
+                        None, "protocol", str(exc)))
+                    break
+                for msg in msgs:
+                    self.requests_served += 1
+                    if tenant is None:
+                        reply, tenant = self._handshake(msg)
+                        await self._send(writer, reply)
+                        if tenant is None:
+                            return
+                        continue
+                    reply = await self._dispatch(tenant, msg)
+                    await self._send(writer, reply)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _send(self, writer: asyncio.StreamWriter, msg: dict) -> None:
+        writer.write(encode_frame(msg, self.config.max_frame))
+        await writer.drain()
+
+    # -- verbs ----------------------------------------------------------------
+
+    def _handshake(self, msg: dict) -> tuple[dict, Tenant | None]:
+        req_id = msg.get("id")
+        if msg.get("verb") != "hello":
+            return error_envelope(
+                req_id, "handshake_required",
+                "first frame must be a hello"), None
+        if msg.get("protocol") != PROTOCOL_NAME or \
+                msg.get("version") != PROTOCOL_VERSION:
+            return error_envelope(
+                req_id, "version_mismatch",
+                f"server speaks {PROTOCOL_NAME}/{PROTOCOL_VERSION}, client "
+                f"offered {msg.get('protocol')}/{msg.get('version')}"), None
+        name = msg.get("tenant", "default")
+        tenant = self.tenants.get(name)
+        if tenant is None:
+            return error_envelope(
+                req_id, "unknown_tenant",
+                f"no tenant {name!r}; available: "
+                f"{self.tenants.names()}"), None
+        return ok_envelope(
+            req_id, protocol=PROTOCOL_NAME, version=PROTOCOL_VERSION,
+            tenant=name, read_only=self.config.read_only,
+            tenants=self.tenants.names(),
+        ), tenant
+
+    async def _dispatch(self, tenant: Tenant, msg: dict) -> dict:
+        req_id = msg.get("id")
+        verb = msg.get("verb")
+        try:
+            if verb == "submit":
+                return await self._do_submit(tenant, req_id, msg)
+            if verb in ("query", "query_info"):
+                return await self._do_query(tenant, req_id, msg)
+            if verb == "metrics":
+                return self._do_metrics(tenant, req_id, msg)
+            if verb == "admin":
+                return await self._do_admin(tenant, req_id, msg)
+            if verb == "sync":
+                return ok_envelope(req_id, **tenant.sync_info())
+            if verb == "wal_fetch":
+                return self._do_wal_fetch(tenant, req_id, msg)
+            return error_envelope(req_id, "unknown_verb",
+                                  f"unknown verb {verb!r}")
+        except (KeyError, TypeError, ValueError) as exc:
+            return error_envelope(req_id, "bad_request",
+                                  f"{type(exc).__name__}: {exc}")
+        except Exception as exc:  # engine/executor failure: keep serving
+            return error_envelope(req_id, "internal",
+                                  f"{type(exc).__name__}: {exc}")
+
+    async def _do_submit(self, tenant: Tenant, req_id, msg: dict) -> dict:
+        if self.config.read_only:
+            return error_envelope(
+                req_id, "read_only",
+                "this server is a read replica; submit updates to the "
+                "primary")
+        op, u, v = msg["op"], int(msg["u"]), int(msg["v"])
+        resp = await asyncio.to_thread(
+            tenant.service.submit_update, op, u, v)
+        if not resp.accepted:
+            return error_envelope(req_id, resp.outcome,
+                                  "update shed by admission control",
+                                  retry_after=resp.retry_after)
+        return ok_envelope(req_id, status=resp.outcome)
+
+    async def _do_query(self, tenant: Tenant, req_id, msg: dict) -> dict:
+        cfg = self.config
+        decision = tenant.service.admission.admit_query(
+            tenant.inflight_queries, cfg.service_time)
+        if not decision.admitted:
+            tenant.service.metrics.counter("query_shed").inc()
+            return error_envelope(req_id, "shed_query",
+                                  "tenant read quota exhausted",
+                                  retry_after=decision.retry_after)
+        kind = msg["kind"]
+        payload = msg.get("payload")
+        if isinstance(payload, list):
+            payload = tuple(payload)
+        tenant.inflight_queries += 1
+        try:
+            assert self._slots is not None
+            async with self._slots:
+                if cfg.service_time > 0:
+                    # pinned per-query engine cost: the capacity model the
+                    # replica-scaling benchmark measures against
+                    await asyncio.sleep(cfg.service_time)
+                result = tenant.service.query_info(
+                    kind, payload, msg.get("consistency", "snapshot"))
+        finally:
+            tenant.inflight_queries -= 1
+        return ok_envelope(
+            req_id, value=_jsonable(result.value), stale=result.stale,
+            as_of_seq=result.as_of_seq)
+
+    def _do_metrics(self, tenant: Tenant, req_id, msg: dict) -> dict:
+        if msg.get("all"):
+            text = self.tenants.render_prometheus(extra=self._own_metrics)
+        else:
+            text = tenant.service.metrics.render_prometheus(
+                labels={"tenant": tenant.name}) + self._own_metrics()
+        return ok_envelope(req_id, text=text)
+
+    def _own_metrics(self) -> str:
+        return (
+            "# TYPE repro_net_connections_served counter\n"
+            f"repro_net_connections_served {self.connections_served}\n"
+            "# TYPE repro_net_requests_served counter\n"
+            f"repro_net_requests_served {self.requests_served}\n"
+        )
+
+    async def _do_admin(self, tenant: Tenant, req_id, msg: dict) -> dict:
+        action = msg.get("action", "stats")
+        if action == "flush":
+            result = await asyncio.to_thread(tenant.service.flush)
+            return ok_envelope(
+                req_id, flushed=result.batch.size if result else 0,
+                committed_seq=tenant.service.committed_seq)
+        if action == "tenants":
+            return ok_envelope(req_id, tenants=self.tenants.names())
+        if action == "stats":
+            svc = tenant.service
+            return ok_envelope(
+                req_id,
+                committed_seq=svc.committed_seq,
+                snapshot_size=len(svc.snapshot_edges()),
+                queue_depth=svc.queue.depth,
+                degraded=svc._degraded.is_set(),
+                replication_last_seq=tenant.replication.last_seq,
+                replication_log_size=tenant.replication.size,
+            )
+        if action == "drain":
+            asyncio.ensure_future(self.drain())
+            return ok_envelope(req_id, draining=True)
+        return error_envelope(req_id, "bad_request",
+                              f"unknown admin action {action!r}")
+
+    def _do_wal_fetch(self, tenant: Tenant, req_id, msg: dict) -> dict:
+        offset = int(msg.get("offset", 0))
+        max_bytes = min(int(msg.get("max_bytes", self.config.max_chunk_bytes)),
+                        self.config.max_chunk_bytes)
+        data = tenant.replication.read(offset, max_bytes)
+        return ok_envelope(
+            req_id, chunk=encode_chunk(data), offset=offset,
+            log_size=tenant.replication.size,
+            last_seq=tenant.replication.last_seq,
+        )
+
+
+def _jsonable(value):
+    """Engine query values → JSON-clean types (edge sets, infinities)."""
+    if isinstance(value, (set, frozenset)):
+        return sorted([int(u), int(v)] for u, v in value)
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    return value
+
+
+# -- embedding helpers --------------------------------------------------------
+
+
+class ThreadedServer:
+    """A :class:`NetServer` running its own event loop in a thread.
+
+    The embedding used by tests, the in-process benchmark harness, and the
+    replica runner: ``start()`` blocks until the port is bound; ``stop()``
+    drains gracefully and joins the loop thread.
+    """
+
+    def __init__(self, tenants: TenantManager,
+                 config: NetServerConfig | None = None) -> None:
+        self.server = NetServer(tenants, config)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-net-server", daemon=True)
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host or self.server.config.host
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None
+        return self.server.port
+
+    def start(self) -> "ThreadedServer":
+        """Start the server loop in a daemon thread; blocks until bound."""
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(
+                self._loop.shutdown_asyncgens())
+            self._loop.close()
+
+    def stop(self) -> None:
+        """Drain the server and stop the loop thread; idempotent."""
+        if not self._thread.is_alive():
+            return
+        fut = asyncio.run_coroutine_threadsafe(self.server.drain(),
+                                               self._loop)
+        with contextlib.suppress(Exception):
+            fut.result(timeout=self.server.config.drain_timeout + 5)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+
+    def __enter__(self) -> "ThreadedServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+async def serve(tenants: TenantManager,
+                config: NetServerConfig | None = None,
+                announce=None,
+                install_signal_handlers: bool = True) -> NetServer:
+    """Run a server until SIGTERM/SIGINT, then drain; the CLI entry point.
+
+    ``announce(host, port)`` is called once the port is bound (the CLI
+    prints ``NET-LISTEN host port`` so scripted callers using port 0 can
+    discover the ephemeral port).
+    """
+    server = NetServer(tenants, config)
+    await server.start()
+    if announce is not None:
+        announce(server.host, server.port)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    if install_signal_handlers:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(sig, stop.set)
+    with contextlib.suppress(asyncio.CancelledError):
+        await stop.wait()
+    await server.drain()
+    return server

@@ -1,0 +1,272 @@
+"""Multi-tenant graph namespaces for the net server.
+
+Each tenant is a fully isolated serving stack: its own backend spec, its
+own :class:`~repro.service.engine.SpannerService` (engine + coalescing
+queue + batcher), its own WAL/checkpoint directory when durable, and its
+own :class:`~repro.service.admission.AdmissionController` quotas — so one
+tenant hitting its ``max_pending`` or ``max_inflight_queries`` sheds with
+``retry_after`` while every other tenant keeps its latency.
+
+Replication hooks: every commit is also appended (WAL-framed, via
+:func:`repro.resilience.wal.encode_record`) to an in-memory
+:class:`ReplicationLog`, the byte stream ``wal_fetch`` serves to read
+replicas.  The log starts at the tenant's **boot state**: for a durable
+tenant that resumed from checkpoint + WAL, the boot spec carries the
+checkpointed edges and the log is pre-seeded with the recovered WAL tail,
+so a replica bootstrapping from ``(boot_spec, base_seq)`` and applying the
+shipped stream reconstructs the primary's live state exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.resilience.manager import RecoveryManager, ResilienceConfig
+from repro.resilience.wal import WAL_MAGIC, encode_record
+from repro.service.admission import AdmissionConfig
+from repro.service.batcher import BatcherConfig
+from repro.service.engine import (
+    LocalExecutor,
+    ServiceConfig,
+    SpannerService,
+)
+from repro.workloads.streams import UpdateBatch
+
+__all__ = [
+    "ReplicationLog",
+    "Tenant",
+    "TenantConfig",
+    "TenantManager",
+]
+
+
+class ReplicationLog:
+    """Thread-safe, append-only WAL-framed byte stream for log shipping.
+
+    Holds the same bytes a :class:`~repro.resilience.wal.WalWriter` would
+    produce (magic + checksummed records), but in memory and never
+    truncated by checkpoints, so a replica's byte offset stays valid for
+    the primary process's whole lifetime.  ``base_seq`` is the commit seq
+    the stream's *start* corresponds to (0 for a fresh tenant, the
+    checkpoint epoch for a resumed one).
+    """
+
+    def __init__(self, base_seq: int = 0) -> None:
+        self._buf = bytearray(WAL_MAGIC)
+        self._lock = threading.Lock()
+        self.base_seq = base_seq
+        self.last_seq = base_seq
+
+    @property
+    def size(self) -> int:
+        """Total stream bytes (the ``log_size`` replicas poll against)."""
+        with self._lock:
+            return len(self._buf)
+
+    def append(self, seq: int, batch: UpdateBatch) -> None:
+        """Append one committed batch (serving-engine commit hook)."""
+        data = encode_record(seq, batch)
+        with self._lock:
+            if seq <= self.last_seq:
+                raise ValueError(
+                    f"replication log seq regression "
+                    f"{self.last_seq} -> {seq}"
+                )
+            self._buf += data
+            self.last_seq = seq
+
+    def read(self, offset: int, max_bytes: int) -> bytes:
+        """Stream bytes ``[offset, offset + max_bytes)``.
+
+        A chunk boundary may tear a record in half; the replica's
+        :class:`~repro.resilience.wal.WalStreamDecoder` buffers the torn
+        tail and completes it from the next fetch — the same rule the WAL
+        reader applies to a crash-torn file tail.
+        """
+        if offset < 0:
+            raise ValueError(f"negative replication offset {offset}")
+        with self._lock:
+            return bytes(self._buf[offset: offset + max(0, max_bytes)])
+
+
+@dataclass
+class TenantConfig:
+    """One tenant's backend, serving knobs, quotas, and durability."""
+
+    name: str
+    spec: dict[str, Any]                 # build_backend spec
+    shards: int = 1                      # >1 = in-process ShardedExecutor
+    batcher: BatcherConfig = field(default_factory=BatcherConfig)
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    wal_dir: str | None = None           # durable when set
+    checkpoint_interval: int = 64
+    autostart: bool = True               # run the background flusher
+
+
+class Tenant:
+    """A named namespace: one engine plus its replication stream."""
+
+    def __init__(self, config: TenantConfig, service: SpannerService,
+                 boot_spec: dict[str, Any],
+                 replication: ReplicationLog) -> None:
+        self.config = config
+        self.service = service
+        self.boot_spec = boot_spec       # spec the executor was built on
+        self.replication = replication
+        self.inflight_queries = 0        # maintained by the net server
+        service.commit_hooks.append(replication.append)
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def sync_info(self) -> dict[str, Any]:
+        """Bootstrap description a replica needs (JSON-serializable)."""
+        spec = dict(self.boot_spec)
+        spec["edges"] = sorted([int(u), int(v)] for u, v in
+                               spec.get("edges", ()))
+        return {
+            "spec": spec,
+            "shards": self.config.shards,
+            "base_seq": self.replication.base_seq,
+            "last_seq": self.replication.last_seq,
+            "log_size": self.replication.size,
+        }
+
+    def close(self) -> None:
+        """Shut the tenant down: stop the engine, close the WAL."""
+        self.service.close()
+
+
+class TenantManager:
+    """Creates, routes, and tears down tenants for one server process."""
+
+    def __init__(self) -> None:
+        self._tenants: dict[str, Tenant] = {}
+        self._lock = threading.Lock()
+
+    def names(self) -> list[str]:
+        """Sorted tenant names."""
+        with self._lock:
+            return sorted(self._tenants)
+
+    def get(self, name: str) -> Tenant | None:
+        """Look a tenant up by name (``None`` if absent)."""
+        with self._lock:
+            return self._tenants.get(name)
+
+    def __iter__(self) -> Iterable[Tenant]:
+        with self._lock:
+            return iter(list(self._tenants.values()))
+
+    def create(self, config: TenantConfig) -> Tenant:
+        """Build a tenant's full serving stack and register it.
+
+        Durable tenants (``wal_dir`` set) recover checkpoint + WAL first;
+        the recovered tail is replayed into the executor *and* pre-seeded
+        into the replication log so late-joining replicas can still
+        reconstruct the live state.
+        """
+        with self._lock:
+            if config.name in self._tenants:
+                raise ValueError(f"duplicate tenant {config.name!r}")
+        recovery = None
+        boot_spec = dict(config.spec)
+        base_seq = 0
+        tail = []
+        if config.wal_dir:
+            recovery = RecoveryManager(ResilienceConfig(
+                directory=Path(config.wal_dir),
+                checkpoint_interval=config.checkpoint_interval,
+            ))
+            initial = [tuple(e) for e in config.spec.get("edges", ())]
+            base: set = set()
+            for i in range(config.shards):
+                base |= recovery.base_edges(i, config.shards, initial)
+            boot_spec["edges"] = sorted(base)
+            base_seq = recovery.checkpoint.epoch if recovery.checkpoint \
+                else 0
+            tail = list(recovery.tail)
+        executor = _build_executor(boot_spec, config.shards)
+        for rec in tail:
+            executor.apply(rec.batch, seq=rec.seq)
+        service = SpannerService(
+            executor,
+            config=ServiceConfig(
+                batcher=replace(config.batcher),
+                admission=replace(config.admission),
+            ),
+            recovery=recovery,
+        )
+        replication = ReplicationLog(base_seq=base_seq)
+        for rec in tail:
+            replication.append(rec.seq, rec.batch)
+        tenant = Tenant(config, service, boot_spec, replication)
+        if config.autostart:
+            service.start()
+        with self._lock:
+            self._tenants[config.name] = tenant
+        return tenant
+
+    def add_replica_tenant(self, name: str, spec: dict[str, Any],
+                           shards: int, base_seq: int) -> Tenant:
+        """Register a *replica* tenant: an engine built from a primary's
+        ``sync_info`` and fed only by :meth:`SpannerService.apply_replicated`
+        (no flusher, no local writes, no durability)."""
+        config = TenantConfig(name=name, spec=spec, shards=shards,
+                              autostart=False)
+        executor = _build_executor(dict(spec), shards)
+        service = SpannerService(executor, config=ServiceConfig())
+        if base_seq:
+            service.align_seq(base_seq)
+        tenant = Tenant(config, service, dict(spec), ReplicationLog(base_seq))
+        with self._lock:
+            self._tenants[name] = tenant
+        return tenant
+
+    def flush_all(self) -> None:
+        """Flush every tenant's pending writes (drain path)."""
+        for tenant in list(self):
+            tenant.service.flush()
+
+    def render_prometheus(self,
+                          extra: Callable[[], str] | None = None) -> str:
+        """One scrape body covering every tenant, labelled per tenant."""
+        parts = [
+            t.service.metrics.render_prometheus(labels={"tenant": t.name})
+            for t in sorted(self, key=lambda t: t.name)
+        ]
+        if extra is not None:
+            parts.append(extra())
+        return "".join(parts)
+
+    def close(self) -> None:
+        """Close every tenant; idempotent."""
+        """Flush, checkpoint, and shut every tenant down (idempotent)."""
+        with self._lock:
+            tenants, self._tenants = list(self._tenants.values()), {}
+        for tenant in tenants:
+            tenant.close()
+
+    def __enter__(self) -> "TenantManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _build_executor(spec: dict[str, Any], shards: int):
+    """LocalExecutor for one shard, in-process ShardedExecutor beyond.
+
+    In-process shards keep tenancy deterministic and fork-free; the
+    process-per-shard executor stays available to single-tenant serving
+    via ``repro.cli serve`` (without ``--listen``).
+    """
+    if shards <= 1:
+        return LocalExecutor(spec)
+    from repro.service.shard import ShardedExecutor
+
+    return ShardedExecutor(spec, shards, processes=False)

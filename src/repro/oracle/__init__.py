@@ -11,7 +11,11 @@ a pytest case.  See ``docs/fuzzing.md``.
 from repro.oracle.adapters import STRUCTURES, OracleAdapter, make_adapter
 from repro.oracle.emit import emit_pytest_case, write_pytest_case
 from repro.oracle.fuzz import FuzzConfig, FuzzReport, check_workload, run_fuzz
-from repro.oracle.service import ServiceVerification, verify_service
+from repro.oracle.service import (
+    ServiceVerification,
+    verify_replica,
+    verify_service,
+)
 from repro.oracle.shrink import shrink_divergence, shrink_workload
 from repro.oracle.violations import Divergence, Violation
 
@@ -29,6 +33,7 @@ __all__ = [
     "run_fuzz",
     "shrink_divergence",
     "shrink_workload",
+    "verify_replica",
     "verify_service",
     "write_pytest_case",
 ]

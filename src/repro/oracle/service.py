@@ -22,7 +22,7 @@ from repro.oracle.violations import Violation
 from repro.pram.cost import CostModel
 from repro.workloads.streams import Workload
 
-__all__ = ["ServiceVerification", "verify_service"]
+__all__ = ["ServiceVerification", "verify_replica", "verify_service"]
 
 
 @dataclass
@@ -41,6 +41,49 @@ class ServiceVerification:
         return "service verification FAILED:\n" + "\n".join(
             f"  - {v}" for v in self.violations
         )
+
+
+def verify_replica(primary, replica) -> ServiceVerification:
+    """Cross-check a log-shipping replica against its primary.
+
+    Both arguments are :class:`~repro.service.engine.SpannerService`
+    instances.  Because the structures are seeded Las Vegas, a replica
+    that applied the primary's exact shipped batch sequence from the same
+    base spec must match it *bit for bit* — this asserts that on four
+    views: commit sequence number, delta-maintained snapshot, a fresh
+    gather from the live executors (catches snapshot drift on either
+    side), and the graph membership view.
+    """
+    result = ServiceVerification()
+    if primary.committed_seq != replica.committed_seq:
+        result.violations.append(Violation(
+            "replica-seq-lag",
+            f"replica committed seq {replica.committed_seq} != primary "
+            f"{primary.committed_seq} (catch-up incomplete)",
+        ))
+    p_snap, r_snap = primary.snapshot_edges(), replica.snapshot_edges()
+    if p_snap != r_snap:
+        result.violations.append(Violation(
+            "replica-snapshot-drift",
+            f"replica snapshot != primary snapshot "
+            f"({len(p_snap ^ r_snap)} edge(s) differ)",
+        ))
+    p_live = primary.executor.gather_edges()
+    r_live = replica.executor.gather_edges()
+    if p_live != r_live:
+        result.violations.append(Violation(
+            "replica-output-drift",
+            f"replica live output != primary live output "
+            f"({len(p_live ^ r_live)} edge(s) differ)",
+        ))
+    p_graph, r_graph = primary.graph_edges(), replica.graph_edges()
+    if p_graph != r_graph:
+        result.violations.append(Violation(
+            "replica-graph-drift",
+            f"replica graph view != primary graph view "
+            f"({len(p_graph ^ r_graph)} edge(s) differ)",
+        ))
+    return result
 
 
 def verify_service(service, executor, deep: bool = False,

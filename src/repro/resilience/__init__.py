@@ -17,11 +17,14 @@ See ``docs/resilience.md`` for the failure model and formats.
 
 from repro.resilience.chaos import (
     CHAOS_PLAN_KINDS,
+    REPLICA_PLAN_KINDS,
     ChaosConfig,
     ChaosReport,
     ChaosRunResult,
     run_chaos_campaign,
     run_chaos_once,
+    run_replica_chaos_campaign,
+    run_replica_chaos_once,
 )
 from repro.resilience.checkpoint import (
     Checkpoint,
@@ -41,8 +44,11 @@ from repro.resilience.manager import (
 )
 from repro.resilience.wal import (
     WalCorruptionError,
+    WalFollower,
     WalReadResult,
     WalRecord,
+    WalStreamDecoder,
+    WalTruncatedError,
     WalWriter,
     corrupt_record,
     read_wal,
@@ -50,6 +56,7 @@ from repro.resilience.wal import (
 
 __all__ = [
     "CHAOS_PLAN_KINDS",
+    "REPLICA_PLAN_KINDS",
     "ChaosConfig",
     "ChaosReport",
     "ChaosRunResult",
@@ -63,12 +70,17 @@ __all__ = [
     "ResilienceConfig",
     "SupervisionConfig",
     "WalCorruptionError",
+    "WalFollower",
     "WalReadResult",
     "WalRecord",
+    "WalStreamDecoder",
+    "WalTruncatedError",
     "WalWriter",
     "bootstrap_executor",
     "corrupt_record",
     "read_wal",
     "run_chaos_campaign",
     "run_chaos_once",
+    "run_replica_chaos_campaign",
+    "run_replica_chaos_once",
 ]

@@ -53,6 +53,7 @@ from repro.workloads.streams import UpdateBatch, Workload, request_stream
 
 __all__ = [
     "CHAOS_PLAN_KINDS",
+    "REPLICA_PLAN_KINDS",
     "ChaosConfig",
     "ChaosInjector",
     "ChaosPlan",
@@ -61,6 +62,8 @@ __all__ = [
     "recovery_latency_sweep",
     "run_chaos_campaign",
     "run_chaos_once",
+    "run_replica_chaos_campaign",
+    "run_replica_chaos_once",
 ]
 
 CHAOS_PLAN_KINDS = (
@@ -438,6 +441,165 @@ def run_chaos_campaign(cfg: ChaosConfig, log=None) -> ChaosReport:
     finally:
         if cleanup:
             shutil.rmtree(workdir, ignore_errors=True)
+    report.wall_seconds = time.perf_counter() - t0
+    return report
+
+
+# -- replica fault plans ------------------------------------------------------
+
+#: Log-shipping replica fault catalogue (``python -m repro.cli chaos
+#: --replica``):
+#:
+#: ``replica_crash_catchup``  a replica dies partway through catch-up; a
+#:                            freshly bootstrapped replacement replaying
+#:                            the shipped log from byte 0 must converge to
+#:                            the primary's *exact* state
+#: ``replica_lag``            the replica's poll loop is suspended while
+#:                            the primary keeps committing — the lag gauge
+#:                            must rise and every read must carry the
+#:                            ``stale`` tag until catch-up clears both
+REPLICA_PLAN_KINDS = ("replica_crash_catchup", "replica_lag")
+
+
+class _LocalShippingClient:
+    """Duck-typed stand-in for :class:`repro.net.client.NetClient`.
+
+    Serves ``sync`` / ``wal_fetch`` straight from a primary tenant in this
+    process — no sockets — so replica chaos plans are deterministic and
+    exercise exactly the shipping semantics (chunking, torn mid-record
+    fetches, cursors), not TCP.
+    """
+
+    def __init__(self, tenant) -> None:
+        self._tenant = tenant
+
+    def sync_info(self) -> dict:
+        return self._tenant.sync_info()
+
+    def wal_fetch(self, offset: int,
+                  max_bytes: int = 1 << 20) -> tuple[bytes, int, int]:
+        log = self._tenant.replication
+        return log.read(offset, max_bytes), log.size, log.last_seq
+
+    def close(self) -> None:
+        pass
+
+
+def run_replica_chaos_once(cfg: ChaosConfig, kind: str,
+                           seed: int) -> ChaosRunResult:
+    """One seeded log-shipping run under one replica fault plan."""
+    from repro.net.replica import LogShippingReplica, ReplicaConfig
+    from repro.net.tenants import TenantConfig, TenantManager
+    from repro.oracle.service import verify_replica
+
+    t0 = time.perf_counter()
+    kind_salt = sum(kind.encode()) % 1000
+    rng = np.random.default_rng(seed * 7919 + kind_salt)
+    plan = ChaosPlan(kind=kind, shard=0, at_seq=int(rng.integers(3, 9)))
+    result = ChaosRunResult(plan=plan, seed=seed)
+    initial_edges, requests = request_stream(
+        cfg.n, cfg.m, cfg.requests, seed=seed, query_prob=0.0,
+    )
+    spec = {"kind": "spanner", "n": cfg.n, "edges": initial_edges,
+            "seed": seed + 1000, "k": 2}
+    committed: list[tuple[int, UpdateBatch]] = []
+    # tiny seeded fetch chunks tear records mid-boundary on purpose: the
+    # stream decoder must reassemble them exactly like a torn WAL tail
+    chunk = int(rng.integers(8, 96))
+
+    def diverge(msg: str) -> None:
+        result.divergences.append(f"{kind} seed={seed}: {msg}")
+
+    def make_replica(primary_tenant) -> LogShippingReplica:
+        return LogShippingReplica(
+            _LocalShippingClient(primary_tenant),
+            ReplicaConfig(chunk_bytes=chunk),
+        )
+
+    with TenantManager() as tenants:
+        tenant = tenants.create(TenantConfig(
+            name="default", spec=spec, shards=cfg.shards, autostart=False,
+        ))
+        service = tenant.service
+        service.commit_hooks.append(lambda s, b: committed.append((s, b)))
+        half = len(requests) // 2
+        for op, (u, v) in requests[:half]:
+            service.submit_update(op, u, v)
+        service.flush()
+
+        replica = make_replica(tenant)
+        if kind == "replica_crash_catchup":
+            partial = int(rng.integers(1, 6))
+            replica.catch_up(max_records=partial)
+            result.fired = 1
+            # crash mid-catch-up: the half-caught-up replica is gone; a
+            # replacement bootstraps fresh and replays the log from byte 0
+            replica.close()
+            replica = make_replica(tenant)
+            result.recoveries = 1
+
+        for op, (u, v) in requests[half:]:
+            service.submit_update(op, u, v)
+        service.flush()
+
+        if kind == "replica_lag":
+            # the poll loop was suspended this whole window; the replica
+            # must know it is behind and say so on every read
+            replica.note_primary_seq(service.committed_seq)
+            result.fired = 1
+            if replica.lag <= 0:
+                diverge("no lag observed during the suspended poll window")
+            gauge = replica.service.metrics.gauge(
+                "replica_lag_commits").value
+            if gauge <= 0:
+                diverge("replica_lag_commits gauge was not raised")
+            info = replica.service.query_info("size")
+            if not info.stale:
+                diverge("lagging replica served a read without the "
+                        "stale tag")
+
+        replica.catch_up()
+        result.commits = len(committed)
+        if replica.lag != 0:
+            diverge(f"lag is {replica.lag} after full catch-up")
+        info = replica.service.query_info("size")
+        if info.stale:
+            diverge("caught-up replica still tags reads stale")
+
+        truth = set(initial_edges)
+        wl = Workload(cfg.n, list(initial_edges), [b for _, b in committed])
+        try:
+            for _, truth in wl.replay():
+                pass
+        except ValueError as exc:
+            diverge(f"committed log is not sequentially legal: {exc}")
+        if replica.service.graph_edges() != truth:
+            diverge("replica graph view != replay ground truth")
+        verification = verify_replica(service, replica.service)
+        if not verification.ok:
+            diverge(f"oracle: {verification}")
+        replica.close()
+
+    result.wall_seconds = time.perf_counter() - t0
+    return result
+
+
+def run_replica_chaos_campaign(cfg: ChaosConfig, log=None) -> ChaosReport:
+    """Sweep the replica fault plans × seeds (``cli chaos --replica``)."""
+    t0 = time.perf_counter()
+    report = ChaosReport(config=cfg)
+    kinds = tuple(p for p in cfg.plans if p in REPLICA_PLAN_KINDS) \
+        or REPLICA_PLAN_KINDS
+    for kind in kinds:
+        for s in range(cfg.seeds):
+            seed = cfg.seed0 + s
+            run = run_replica_chaos_once(cfg, kind, seed)
+            report.runs.append(run)
+            if log is not None:
+                status = "ok" if run.ok else "DIVERGED"
+                log(f"{kind} seed={seed}: {status} "
+                    f"(commits={run.commits}, "
+                    f"recoveries={run.recoveries})")
     report.wall_seconds = time.perf_counter() - t0
     return report
 

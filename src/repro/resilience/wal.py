@@ -40,8 +40,11 @@ from repro.workloads.streams import UpdateBatch
 __all__ = [
     "WAL_MAGIC",
     "WalCorruptionError",
+    "WalFollower",
     "WalReadResult",
     "WalRecord",
+    "WalStreamDecoder",
+    "WalTruncatedError",
     "WalWriter",
     "corrupt_record",
     "decode_record",
@@ -61,6 +64,14 @@ class WalCorruptionError(RuntimeError):
     def __init__(self, message: str, seq: int | None = None) -> None:
         super().__init__(message)
         self.seq = seq
+
+
+class WalTruncatedError(WalCorruptionError):
+    """The log shrank under a live follower (it was rewritten/truncated).
+
+    A follower's byte offset is only meaningful against an append-only
+    stream; once :meth:`WalWriter.truncate_through` rewrites the file the
+    follower must be discarded and the consumer re-bootstrapped."""
 
 
 @dataclass(frozen=True)
@@ -222,6 +233,128 @@ def read_wal(path: str | Path) -> WalReadResult:
         last_seq = record.seq
         off = end
     return result
+
+
+class WalStreamDecoder:
+    """Incremental decoder for the WAL byte stream (magic + records).
+
+    Feed arbitrarily-chunked bytes — a file tail, a replication fetch, a
+    socket read — and get back every record that *completes*; a torn tail
+    (header or payload still in flight) is buffered until later bytes
+    finish it, exactly the semantics :func:`read_wal` applies at end of
+    file.  A checksum mismatch is only tolerated on the stream's current
+    tail (the bytes may still be mid-append/mid-flight); the moment bytes
+    *beyond* the bad record arrive it is mid-stream damage and raises
+    :class:`WalCorruptionError`.
+
+    ``offset`` is the count of fully-consumed stream bytes (magic plus
+    whole records); it is the resume cursor for log-shipping replicas.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self.offset = 0          # stream bytes fully consumed
+        self.last_seq = 0
+        self._saw_magic = False
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete record."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> list[WalRecord]:
+        """Consume ``data``; return the records it completed, in order."""
+        self._buf += data
+        out: list[WalRecord] = []
+        if not self._saw_magic:
+            if len(self._buf) < len(WAL_MAGIC):
+                return out
+            if bytes(self._buf[: len(WAL_MAGIC)]) != WAL_MAGIC:
+                raise WalCorruptionError("bad WAL magic in stream")
+            del self._buf[: len(WAL_MAGIC)]
+            self.offset += len(WAL_MAGIC)
+            self._saw_magic = True
+        while True:
+            if len(self._buf) < _HEADER.size:
+                return out
+            length, crc = _HEADER.unpack_from(self._buf, 0)
+            end = _HEADER.size + length
+            if len(self._buf) < end:
+                return out          # torn tail: wait for the rest
+            payload = bytes(self._buf[_HEADER.size: end])
+            if zlib.crc32(payload) != crc:
+                if len(self._buf) == end:
+                    # bad checksum on the very tail: may still be a
+                    # partially-flushed append — hold, do not consume
+                    return out
+                raise WalCorruptionError(
+                    f"stream checksum mismatch after seq={self.last_seq}",
+                    seq=self.last_seq + 1,
+                )
+            record = decode_record(payload)
+            if record.seq <= self.last_seq:
+                raise WalCorruptionError(
+                    f"stream sequence regression {self.last_seq} -> "
+                    f"{record.seq}", seq=record.seq,
+                )
+            del self._buf[:end]
+            self.offset += end
+            self.last_seq = record.seq
+            out.append(record)
+
+
+class WalFollower:
+    """Incremental tail-reader of a WAL file (log-shipping primitive).
+
+    Unlike :func:`read_wal`, which re-reads the whole log on every call, a
+    follower remembers its byte ``offset`` and each :meth:`poll` returns
+    only the records appended since — honoring the torn-tail rules (a
+    partial final record is held, not dropped, and delivered once a later
+    append completes it; a checksum-failing final record is held too, and
+    becomes a :class:`WalCorruptionError` only if bytes ever land beyond
+    it).  Used by the replication path (:mod:`repro.net.replica`) and the
+    replica chaos plans.
+
+    Raises :class:`WalTruncatedError` when the file shrinks below the
+    follower's consumed offset (e.g. a checkpoint truncated the log): the
+    byte cursor is void and the consumer must re-bootstrap.
+    """
+
+    def __init__(self, path: str | Path, offset: int = 0) -> None:
+        self.path = Path(path)
+        self._decoder = WalStreamDecoder()
+        if offset:
+            raise ValueError(
+                "WalFollower resumes only from offset 0; to resume "
+                "mid-stream keep the follower object alive"
+            )
+
+    @property
+    def offset(self) -> int:
+        """Stream bytes fully consumed (resume cursor)."""
+        return self._decoder.offset
+
+    @property
+    def last_seq(self) -> int:
+        return self._decoder.last_seq
+
+    def poll(self) -> list[WalRecord]:
+        """Return every record appended (and completed) since last poll."""
+        if not self.path.exists():
+            return []
+        size = self.path.stat().st_size
+        read_from = self.offset + self._decoder.pending_bytes
+        if size < read_from:
+            raise WalTruncatedError(
+                f"{self.path}: shrank to {size} bytes below follower "
+                f"offset {read_from}; re-bootstrap the follower"
+            )
+        if size == read_from:
+            return []
+        with open(self.path, "rb") as fh:
+            fh.seek(read_from)
+            chunk = fh.read(size - read_from)
+        return self._decoder.feed(chunk)
 
 
 def corrupt_record(path: str | Path, seq: int) -> bool:

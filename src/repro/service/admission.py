@@ -28,6 +28,10 @@ class AdmissionConfig:
     # take several flush intervals (backoff + checkpoint/WAL replay), so
     # degraded-mode sheds tell clients to stay away a bit longer
     degraded_retry_factor: float = 4.0
+    # reads in flight beyond which queries shed (None = unlimited); the
+    # net server enforces this per tenant, so one tenant's read storm
+    # cannot monopolize the serving process (see repro.net.tenants)
+    max_inflight_queries: int | None = None
 
 
 @dataclass
@@ -43,6 +47,26 @@ class AdmissionController:
         self.config = config or AdmissionConfig()
         self.shed_count = 0
         self.degraded_shed_count = 0
+        self.query_shed_count = 0
+
+    def admit_query(self, inflight: int,
+                    service_time: float = 0.0) -> AdmissionDecision:
+        """Decide whether a read may start given ``inflight`` reads already
+        executing for this tenant.
+
+        ``service_time`` is the caller's estimate of one query's engine
+        time (the net server passes its simulated/observed per-query
+        cost); the retry hint is the time for the excess to drain —
+        ``overflow * service_time`` — floored at ``min_retry_after``.
+        """
+        cfg = self.config
+        if cfg.max_inflight_queries is None \
+                or inflight < cfg.max_inflight_queries:
+            return AdmissionDecision(admitted=True)
+        self.query_shed_count += 1
+        overflow = inflight - cfg.max_inflight_queries + 1
+        retry = max(cfg.min_retry_after, overflow * service_time)
+        return AdmissionDecision(admitted=False, retry_after=retry)
 
     def admit(self, depth: int, flush_interval: float,
               degraded: bool = False) -> AdmissionDecision:

@@ -386,6 +386,84 @@ class SpannerService:
                 )
             raise ValueError(f"unknown query kind {kind!r}")
 
+    # -- replication ---------------------------------------------------------
+
+    @property
+    def committed_seq(self) -> int:
+        """Sequence number of the last committed (applied) batch."""
+        return self._next_seq - 1
+
+    def set_degraded(self, flag: bool) -> None:
+        """Raise or clear the degraded marker by hand.
+
+        The sharded executor sets it while a worker is mid-recovery; a
+        log-shipping replica sets it while it knows it is behind the
+        primary, so reads surface ``stale=True`` through
+        :meth:`query_info` by the exact same path recovery does.
+        """
+        if flag:
+            self._degraded.set()
+        else:
+            self._degraded.clear()
+
+    def align_seq(self, seq: int) -> None:
+        """Start committing at ``seq + 1`` (replica bootstrap).
+
+        A replica that bootstraps from a primary's checkpointed base state
+        must number its replicated commits exactly as the primary does, or
+        :meth:`apply_replicated` would refuse the shipped stream.  Only
+        legal before anything was committed locally.
+        """
+        with self._lock:
+            if self.metrics.counter("flushes").value or \
+                    self.metrics.counter("replicated_batches").value:
+                raise RuntimeError("align_seq after commits were applied")
+            self._next_seq = seq + 1
+            self._snapshot_seq = seq
+
+    def apply_replicated(self, seq: int, batch: UpdateBatch) -> ApplyResult:
+        """Apply one batch shipped from a primary's commit log.
+
+        The replica path: bypasses queue, admission, and batcher — the
+        primary already validated, coalesced, and ordered the batch — and
+        applies it verbatim at exactly the next sequence number, keeping
+        replica state a pure function of ``base spec + shipped log``.
+        Updates the snapshot by deltas, keeps the queue's membership view
+        in lockstep (so :meth:`graph_edges` and the oracle's graph checks
+        hold on replicas), and fires commit hooks; it does *not* WAL-log
+        (replica state is derived, the primary owns durability).
+        """
+        with self._lock:
+            if seq != self._next_seq:
+                raise ValueError(
+                    f"replicated seq {seq} is not the next expected "
+                    f"{self._next_seq}; the shipped log has a gap"
+                )
+            t0 = time.perf_counter()
+            result = self.executor.apply(batch, seq=seq)
+            latency = time.perf_counter() - t0
+            self._next_seq = seq + 1
+            self.queue.sync_applied(batch)
+            with self._snap_lock:
+                self._snapshot -= result.delta_del
+                self._snapshot |= result.delta_ins
+                self._snapshot_seq = seq
+                if self._adj is not None:
+                    for a, b in result.delta_del:
+                        self._adj[a].discard(b)
+                        self._adj[b].discard(a)
+                    for a, b in result.delta_ins:
+                        self._adj.setdefault(a, set()).add(b)
+                        self._adj.setdefault(b, set()).add(a)
+            m = self.metrics
+            m.counter("replicated_batches").inc()
+            m.counter("ops_applied").inc(batch.size)
+            m.histogram("batch_size").observe(batch.size)
+            m.histogram("flush_latency_s").observe(latency)
+            for hook in self.commit_hooks:
+                hook(seq, batch)
+            return result
+
     # -- flushing ------------------------------------------------------------
 
     def pump(self, now: float | None = None) -> bool:

@@ -110,6 +110,11 @@ class Histogram:
         return self._count
 
     @property
+    def sum(self) -> float:
+        """Exact sum of every observation (Prometheus ``_sum``)."""
+        return self._sum
+
+    @property
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
@@ -173,6 +178,68 @@ class MetricsRegistry:
             for key, val in h.summary().items():
                 out[f"{name}.{key}"] = val
         return out
+
+    def render_prometheus(
+        self,
+        namespace: str = "repro",
+        labels: dict[str, str] | None = None,
+    ) -> str:
+        """Prometheus text exposition (version 0.0.4) of every metric.
+
+        Counters and gauges become single samples; a :class:`Histogram`
+        becomes a ``summary`` family — sampled ``quantile`` series plus the
+        exact ``_count``/``_sum`` every Prometheus summary carries.
+        ``labels`` (e.g. ``{"tenant": "acme"}``) are attached to every
+        sample, which is how the net server exposes one scrape covering
+        the primary and each tenant/replica registry.  Deterministic:
+        metrics are emitted in sorted name order.
+        """
+        def name_of(raw: str) -> str:
+            clean = "".join(
+                ch if ch.isalnum() or ch == "_" else "_" for ch in raw
+            )
+            return f"{namespace}_{clean}" if namespace else clean
+
+        def label_str(extra: dict[str, str] | None = None) -> str:
+            merged = dict(labels or {})
+            if extra:
+                merged.update(extra)
+            if not merged:
+                return ""
+            inner = ",".join(
+                f'{k}="{v}"' for k, v in sorted(merged.items())
+            )
+            return "{" + inner + "}"
+
+        def fmt(value: float) -> str:
+            if value == float("inf"):
+                return "+Inf"
+            if value == float("-inf"):
+                return "-Inf"
+            if float(value).is_integer():
+                return str(int(value))
+            return repr(float(value))
+
+        lines: list[str] = []
+        for raw, c in sorted(self._counters.items()):
+            name = name_of(raw)
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}{label_str()} {fmt(c.value)}")
+        for raw, g in sorted(self._gauges.items()):
+            name = name_of(raw)
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{label_str()} {fmt(g.value)}")
+        for raw, h in sorted(self._histograms.items()):
+            name = name_of(raw)
+            lines.append(f"# TYPE {name} summary")
+            for q in (0.5, 0.99):
+                lines.append(
+                    f"{name}{label_str({'quantile': repr(q)})} "
+                    f"{fmt(h.percentile(100 * q))}"
+                )
+            lines.append(f"{name}_count{label_str()} {fmt(h.count)}")
+            lines.append(f"{name}_sum{label_str()} {fmt(h.sum)}")
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def render(self) -> str:
         """Human-readable metrics summary (the CLI's closing table)."""

@@ -205,6 +205,23 @@ class CoalescingQueue:
             coalesced_away=raw - n_expired - batch.size,
         )
 
+    def sync_applied(self, batch: UpdateBatch) -> None:
+        """Advance the membership view by a batch applied *outside* the
+        queue (the replica log-shipping path: the primary already
+        validated and coalesced it).  Refused while ops are pending —
+        mixing an external batch into a half-built local batch would
+        invalidate the pending-state bookkeeping.
+        """
+        if self._ops:
+            raise RuntimeError(
+                "sync_applied with pending local ops; replicas are "
+                "read-only and must never queue writes"
+            )
+        for e in batch.deletions:
+            self._live.remove(e)
+        for e in batch.insertions:
+            self._live.add(e)
+
     # -- inspection ----------------------------------------------------------
 
     @property

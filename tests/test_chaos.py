@@ -140,3 +140,34 @@ class TestRealProcessKill:
         report = run_chaos_campaign(cfg)
         problems = [d for r in report.runs for d in r.divergences]
         assert report.ok, problems
+
+
+class TestReplicaChaosCampaign:
+    def test_replica_plans_converge_exactly(self):
+        from repro.resilience.chaos import (
+            REPLICA_PLAN_KINDS,
+            run_replica_chaos_campaign,
+        )
+
+        cfg = ChaosConfig(requests=300, seeds=2)
+        report = run_replica_chaos_campaign(cfg)
+        assert len(report.runs) == len(REPLICA_PLAN_KINDS) * 2
+        assert report.ok, [r.divergences for r in report.runs
+                           if not r.ok]
+        assert report.divergence_count == 0
+        kinds = {r.plan.kind for r in report.runs}
+        assert kinds == set(REPLICA_PLAN_KINDS)
+        # the crash plan restarts its replica from scratch at least once
+        crash = [r for r in report.runs
+                 if r.plan.kind == "replica_crash_catchup"]
+        assert all(r.recoveries >= 1 for r in crash)
+
+    def test_replica_campaign_is_deterministic(self):
+        from repro.resilience.chaos import run_replica_chaos_campaign
+
+        cfg = ChaosConfig(requests=200, seeds=1,
+                          plans=("replica_lag",))
+        a = run_replica_chaos_campaign(cfg)
+        b = run_replica_chaos_campaign(cfg)
+        assert [r.commits for r in a.runs] == [r.commits for r in b.runs]
+        assert a.ok and b.ok

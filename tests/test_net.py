@@ -1,0 +1,537 @@
+"""Tests for the networked serving layer (``repro.net``).
+
+Covers the wire protocol (framing, split feeds, oversize rejection,
+handshake), the in-memory replication log, the TCP server/client round
+trip with error envelopes, degraded-mode stale/retry_after pass-through,
+Prometheus text exposition, log-shipping replicas (bootstrap, catch-up,
+lag gauge, read-only front end), per-tenant query quotas, and tenant
+isolation under overload.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.net import (
+    PROTOCOL_NAME,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    NetClient,
+    NetServerConfig,
+    ProtocolError,
+    ReplicationLog,
+    ServerError,
+    TenantConfig,
+    TenantManager,
+    ThreadedServer,
+    encode_frame,
+)
+from repro.net.protocol import (
+    decode_chunk,
+    encode_chunk,
+    error_envelope,
+    hello_frame,
+    ok_envelope,
+    request_frame,
+)
+from repro.net.replica import LogShippingReplica, ReplicaConfig, run_replica
+from repro.service.admission import AdmissionConfig
+from repro.workloads import UpdateBatch
+
+
+def _spec(n=24, edges=((0, 1), (1, 2), (2, 3)), seed=5):
+    return {"kind": "spanner", "n": n, "k": 2,
+            "edges": [list(e) for e in edges], "seed": seed}
+
+
+def _manager(name="default", **kwargs) -> TenantManager:
+    tm = TenantManager()
+    tm.create(TenantConfig(name=name, spec=_spec(), **kwargs))
+    return tm
+
+
+# -- protocol -----------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_frame_round_trip(self):
+        msg = request_frame(7, "query", kind="size")
+        out = FrameDecoder().feed(encode_frame(msg))
+        assert out == [msg]
+
+    def test_split_and_batched_feeds(self):
+        """Arbitrary chunking: byte-at-a-time and two-frames-at-once."""
+        frames = [encode_frame(ok_envelope(i, value=i)) for i in range(3)]
+        dec = FrameDecoder()
+        out = []
+        blob = b"".join(frames)
+        for i in range(0, len(blob), 3):
+            out.extend(dec.feed(blob[i:i + 3]))
+        assert [m["id"] for m in out] == [0, 1, 2]
+
+    def test_oversize_declared_length_rejected_before_buffering(self):
+        import struct
+
+        dec = FrameDecoder(max_frame=64)
+        with pytest.raises(ProtocolError, match="exceeds cap"):
+            dec.feed(struct.pack("<I", 1 << 20))
+
+    def test_oversize_encode_rejected(self):
+        with pytest.raises(ProtocolError, match="cap"):
+            encode_frame({"blob": "x" * 100}, max_frame=64)
+
+    def test_non_object_payload_rejected(self):
+        import struct
+
+        payload = b"[1,2,3]"
+        with pytest.raises(ProtocolError, match="object"):
+            FrameDecoder().feed(struct.pack("<I", len(payload)) + payload)
+
+    def test_undecodable_payload_rejected(self):
+        import struct
+
+        payload = b"\xff\xfe{"
+        with pytest.raises(ProtocolError, match="undecodable"):
+            FrameDecoder().feed(struct.pack("<I", len(payload)) + payload)
+
+    def test_error_envelope_carries_hints(self):
+        env = error_envelope(3, "shed", "busy", retry_after=0.25, stale=True)
+        err = ServerError.from_envelope(env)
+        assert err.code == "shed"
+        assert err.retry_after == 0.25
+        assert err.stale is True
+
+    def test_chunk_armor_round_trip(self):
+        data = bytes(range(256))
+        assert decode_chunk(encode_chunk(data)) == data
+
+    def test_hello_frame_names_protocol(self):
+        h = hello_frame(tenant="t1")
+        assert h["protocol"] == PROTOCOL_NAME
+        assert h["version"] == PROTOCOL_VERSION
+        assert h["tenant"] == "t1"
+
+
+# -- replication log ----------------------------------------------------------
+
+
+class TestReplicationLog:
+    def test_append_read_framing(self):
+        from repro.resilience.wal import WAL_MAGIC, WalStreamDecoder
+
+        log = ReplicationLog()
+        log.append(1, UpdateBatch(insertions=[(1, 2)]))
+        log.append(2, UpdateBatch(deletions=[(1, 2)]))
+        assert log.read(0, 8) == WAL_MAGIC
+        dec = WalStreamDecoder()
+        recs = dec.feed(log.read(0, log.size))
+        assert [r.seq for r in recs] == [1, 2]
+        assert dec.offset == log.size
+
+    def test_seq_regression_rejected(self):
+        log = ReplicationLog()
+        log.append(1, UpdateBatch(insertions=[(1, 2)]))
+        with pytest.raises(ValueError, match="regression"):
+            log.append(1, UpdateBatch(insertions=[(3, 4)]))
+
+    def test_chunked_reads_tear_records(self):
+        """A torn fetch boundary is reassembled by the stream decoder."""
+        from repro.resilience.wal import WalStreamDecoder
+
+        log = ReplicationLog()
+        for i in range(4):
+            log.append(i + 1, UpdateBatch(insertions=[(i, i + 10)]))
+        dec = WalStreamDecoder()
+        recs, offset = [], 0
+        while offset + dec.pending_bytes < log.size:
+            chunk = log.read(offset + dec.pending_bytes, 7)
+            recs.extend(dec.feed(chunk))
+            offset = dec.offset
+        assert [r.seq for r in recs] == [1, 2, 3, 4]
+
+
+# -- server/client round trip -------------------------------------------------
+
+
+class TestServerRoundTrip:
+    def test_submit_query_metrics_admin(self):
+        with _manager() as tm, ThreadedServer(tm) as srv:
+            with NetClient(srv.host, srv.port) as c:
+                assert c.hello["tenant"] == "default"
+                assert c.submit("insert", 5, 6) == "accepted"
+                seq = c.flush()
+                assert seq == 1
+                info = c.query_info("contains", (5, 6))
+                assert info["value"] is True
+                assert info["stale"] is False
+                assert info["as_of_seq"] == 1
+                assert c.query("size") == len(c.edges())
+                stats = c.admin("stats")
+                assert stats["committed_seq"] == 1
+                assert stats["replication_last_seq"] == 1
+                text = c.metrics()
+                assert "# TYPE repro_flushes counter" in text
+                assert 'tenant="default"' in text
+
+    def test_distance_infinity_survives_json(self):
+        with _manager() as tm, ThreadedServer(tm) as srv:
+            with NetClient(srv.host, srv.port) as c:
+                # vertices 10 and 20 are isolated: unreachable
+                assert c.query("distance", (10, 20)) == "inf"
+                assert c.query("connected", (10, 20)) is False
+
+    def test_unknown_tenant_and_version_mismatch(self):
+        with _manager() as tm, ThreadedServer(tm) as srv:
+            with pytest.raises(ServerError, match="unknown_tenant"):
+                NetClient(srv.host, srv.port, tenant="nope")
+            import socket
+
+            from repro.net.protocol import FrameDecoder as FD
+            with socket.create_connection((srv.host, srv.port)) as s:
+                bad = dict(hello_frame(1), version=999)
+                s.sendall(encode_frame(bad))
+                reply = FD().feed(s.recv(65536))[0]
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == "version_mismatch"
+
+    def test_first_frame_must_be_hello(self):
+        import socket
+
+        from repro.net.protocol import FrameDecoder as FD
+        with _manager() as tm, ThreadedServer(tm) as srv:
+            with socket.create_connection((srv.host, srv.port)) as s:
+                s.sendall(encode_frame(request_frame(1, "query",
+                                                     kind="size")))
+                reply = FD().feed(s.recv(65536))[0]
+            assert reply["error"]["code"] == "handshake_required"
+
+    def test_unknown_verb_and_bad_request_envelopes(self):
+        with _manager() as tm, ThreadedServer(tm) as srv:
+            with NetClient(srv.host, srv.port) as c:
+                with pytest.raises(ServerError, match="unknown_verb"):
+                    c.call("frobnicate")
+                with pytest.raises(ServerError, match="bad_request"):
+                    c.call("query", kind="no_such_kind")
+                # the connection survives error envelopes
+                assert c.query("size") == 3
+
+    def test_shed_surfaces_retry_after_through_the_wire(self):
+        """Satellite: backpressure hints survive the wire unchanged."""
+        with TenantManager() as tm:
+            tm.create(TenantConfig(
+                name="default", spec=_spec(),
+                admission=AdmissionConfig(max_pending=0,
+                                          min_retry_after=0.125),
+                autostart=False,
+            ))
+            with ThreadedServer(tm) as srv, \
+                    NetClient(srv.host, srv.port) as c:
+                with pytest.raises(ServerError) as exc:
+                    c.submit("insert", 8, 9)
+                assert exc.value.code == "shed"
+                assert exc.value.retry_after is not None
+                assert exc.value.retry_after >= 0.125
+
+    def test_degraded_stale_and_retry_after_pass_through(self):
+        """Satellite: degraded-mode staleness markers and retry hints
+        surface identically on the wire and on the engine directly."""
+        with _manager(autostart=False) as tm:
+            svc = tm.get("default").service
+            svc.submit_update("insert", 7, 8)
+            svc.flush()
+            svc.set_degraded(True)
+            direct = svc.query_info("size")
+            assert direct.stale is True
+            with ThreadedServer(tm) as srv, \
+                    NetClient(srv.host, srv.port) as c:
+                wire = c.query_info("size")
+                assert wire["stale"] is True
+                assert wire["value"] == direct.value
+                assert wire["as_of_seq"] == direct.as_of_seq
+                with pytest.raises(ServerError) as exc:
+                    c.submit("insert", 9, 10)
+                assert exc.value.code == "shed_degraded"
+                engine_resp = svc.submit_update("insert", 9, 10)
+                assert exc.value.retry_after == engine_resp.retry_after
+            svc.set_degraded(False)
+            assert svc.query_info("size").stale is False
+
+
+# -- query quotas and tenant isolation ----------------------------------------
+
+
+class TestQuotasAndTenancy:
+    def test_query_quota_sheds_with_retry_after(self):
+        with TenantManager() as tm:
+            tm.create(TenantConfig(
+                name="default", spec=_spec(),
+                admission=AdmissionConfig(max_inflight_queries=0),
+                autostart=False,
+            ))
+            with ThreadedServer(tm) as srv, \
+                    NetClient(srv.host, srv.port) as c:
+                with pytest.raises(ServerError) as exc:
+                    c.query("size")
+                assert exc.value.code == "shed_query"
+                assert exc.value.retry_after > 0
+            ctrl = tm.get("default").service.admission
+            assert ctrl.query_shed_count >= 1
+
+    def test_tenants_are_isolated_namespaces(self):
+        with TenantManager() as tm:
+            tm.create(TenantConfig(name="a", spec=_spec(), autostart=False))
+            tm.create(TenantConfig(name="b", spec=_spec(), autostart=False))
+            with ThreadedServer(tm) as srv:
+                with NetClient(srv.host, srv.port, tenant="a") as ca:
+                    ca.submit("insert", 9, 10)
+                    ca.flush()
+                with NetClient(srv.host, srv.port, tenant="a") as ca, \
+                        NetClient(srv.host, srv.port, tenant="b") as cb:
+                    assert (9, 10) in ca.edges()
+                    assert (9, 10) not in cb.edges()
+                    assert cb.admin("stats")["committed_seq"] == 0
+
+    def test_overloaded_tenant_sheds_while_other_serves(self):
+        """Acceptance: tenant A at zero write quota sheds with
+        retry_after; tenant B's reads stay served and fast."""
+        with TenantManager() as tm:
+            tm.create(TenantConfig(
+                name="a", spec=_spec(),
+                admission=AdmissionConfig(max_pending=0), autostart=False))
+            tm.create(TenantConfig(name="b", spec=_spec(), autostart=False))
+            with ThreadedServer(tm) as srv:
+                with NetClient(srv.host, srv.port, tenant="b") as cb:
+                    base = _timed_reads(cb, 20)
+                with NetClient(srv.host, srv.port, tenant="a") as ca, \
+                        NetClient(srv.host, srv.port, tenant="b") as cb:
+                    sheds = 0
+                    for i in range(40):
+                        try:
+                            ca.submit("insert", 2 * i, 2 * i + 1)
+                        except ServerError as exc:
+                            assert exc.retry_after is not None
+                            sheds += 1
+                    assert sheds == 40   # A is fully shed
+                    loaded = _timed_reads(cb, 20)
+            # B's p99 stays within 2x its unloaded baseline (with a floor
+            # to keep the bound meaningful on a noisy 1-core box)
+            assert loaded <= max(2 * base, 0.05)
+
+    def test_duplicate_tenant_rejected(self):
+        with _manager() as tm:
+            with pytest.raises(ValueError, match="duplicate"):
+                tm.create(TenantConfig(name="default", spec=_spec()))
+
+
+def _timed_reads(client: NetClient, count: int) -> float:
+    lat = []
+    for _ in range(count):
+        t0 = time.perf_counter()
+        client.query("size")
+        lat.append(time.perf_counter() - t0)
+    lat.sort()
+    return lat[min(len(lat) - 1, int(len(lat) * 0.99))]
+
+
+# -- prometheus exposition ----------------------------------------------------
+
+
+class TestPrometheus:
+    def test_render_types_and_histogram_summary(self):
+        from repro.service.metrics import MetricsRegistry
+
+        m = MetricsRegistry()
+        m.counter("requests_update").inc(3)
+        m.gauge("queue_depth").set(7)
+        h = m.histogram("flush_latency_s")
+        for v in (0.5, 1.0, 1.5):
+            h.observe(v)
+        text = m.render_prometheus(labels={"tenant": "t0"})
+        assert "# TYPE repro_requests_update counter" in text
+        assert 'repro_requests_update{tenant="t0"} 3' in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "# TYPE repro_flush_latency_s summary" in text
+        assert 'repro_flush_latency_s_count{tenant="t0"} 3' in text
+        assert 'repro_flush_latency_s_sum{tenant="t0"} 3' in text
+        assert 'quantile="0.5"' in text
+        assert text.endswith("\n")
+
+    def test_render_is_deterministic_and_sorted(self):
+        from repro.service.metrics import MetricsRegistry
+
+        m = MetricsRegistry()
+        m.counter("b").inc()
+        m.counter("a").inc()
+        text = m.render_prometheus()
+        assert text == m.render_prometheus()
+        assert text.index("repro_a") < text.index("repro_b")
+
+    def test_manager_renders_all_tenants_with_labels(self):
+        with TenantManager() as tm:
+            tm.create(TenantConfig(name="a", spec=_spec(), autostart=False))
+            tm.create(TenantConfig(name="b", spec=_spec(), autostart=False))
+            text = tm.render_prometheus()
+            assert 'tenant="a"' in text
+            assert 'tenant="b"' in text
+
+
+# -- replicas -----------------------------------------------------------------
+
+
+class TestReplica:
+    def test_end_to_end_catch_up_and_equivalence(self):
+        from repro.oracle import verify_replica
+
+        with _manager(autostart=False) as tm, ThreadedServer(tm) as srv:
+            svc = tm.get("default").service
+            for i in range(30):
+                svc.submit_update("insert", 4 + i, 5 + i)
+            svc.flush()
+            replica, rsrv = run_replica(srv.host, srv.port,
+                                        listen=("127.0.0.1", 0))
+            try:
+                replica.catch_up()
+                assert replica.lag == 0
+                result = verify_replica(svc, replica.service)
+                assert result.ok, str(result)
+                with NetClient(rsrv.host, rsrv.port) as rc:
+                    assert rc.hello["read_only"] is True
+                    assert rc.edges() == svc.snapshot_edges()
+                    with pytest.raises(ServerError, match="read_only"):
+                        rc.submit("insert", 1, 3)
+            finally:
+                rsrv.stop()
+                replica.close()
+
+    def test_lag_gauge_and_stale_tag_until_caught_up(self):
+        with _manager(autostart=False) as tm, ThreadedServer(tm) as srv:
+            svc = tm.get("default").service
+            svc.submit_update("insert", 7, 9)
+            svc.flush()
+            replica, _ = run_replica(srv.host, srv.port)
+            try:
+                replica.catch_up()
+                svc.submit_update("insert", 8, 10)
+                svc.flush()
+                replica.note_primary_seq(svc.committed_seq)
+                assert replica.lag == 1
+                gauge = replica.service.metrics.gauge("replica_lag_commits")
+                assert gauge.value == 1
+                assert replica.service.query_info("size").stale is True
+                replica.catch_up()
+                assert replica.lag == 0
+                assert gauge.value == 0
+                assert replica.service.query_info("size").stale is False
+            finally:
+                replica.close()
+
+    def test_tiny_chunks_tear_and_reassemble(self):
+        with _manager(autostart=False) as tm, ThreadedServer(tm) as srv:
+            svc = tm.get("default").service
+            for i in range(10):
+                svc.submit_update("insert", 30 + i, 31 + i)
+                svc.flush()
+            replica, _ = run_replica(
+                srv.host, srv.port,
+                config=ReplicaConfig(chunk_bytes=9))
+            try:
+                replica.catch_up()
+                assert replica.service.committed_seq == svc.committed_seq
+                assert (replica.service.snapshot_edges()
+                        == svc.snapshot_edges())
+            finally:
+                replica.close()
+
+    def test_capped_catch_up_loses_nothing(self):
+        """A record decoded but not applied under max_records must be
+        applied by the next call, never dropped (no seq gap)."""
+        with _manager(autostart=False) as tm, ThreadedServer(tm) as srv:
+            svc = tm.get("default").service
+            for i in range(6):
+                svc.submit_update("insert", 50 + i, 51 + i)
+                svc.flush()
+            client = NetClient(srv.host, srv.port)
+            replica = LogShippingReplica(client)
+            try:
+                assert replica.catch_up(max_records=2) == 2
+                assert replica.service.committed_seq == 2
+                assert replica.lag > 0
+                assert replica.catch_up() == 4
+                assert replica.service.committed_seq == svc.committed_seq
+            finally:
+                replica.close()
+
+    def test_replica_of_recovered_primary(self, tmp_path):
+        """A primary resumed from checkpoint+WAL ships a log whose base
+        is the checkpoint; a replica bootstrapping from sync_info must
+        still converge to the exact live state."""
+        from repro.oracle import verify_replica
+
+        wal_dir = str(tmp_path / "t")
+        with TenantManager() as tm:
+            tm.create(TenantConfig(
+                name="default", spec=_spec(), wal_dir=wal_dir,
+                checkpoint_interval=2, autostart=False))
+            svc = tm.get("default").service
+            for i in range(8):
+                svc.submit_update("insert", 60 + i, 61 + i)
+                svc.flush()
+        # cold restart: recovery leaves a checkpoint base + WAL tail
+        with TenantManager() as tm:
+            tenant = tm.create(TenantConfig(
+                name="default", spec=_spec(), wal_dir=wal_dir,
+                checkpoint_interval=10**9, autostart=False))
+            svc = tenant.service
+            assert tenant.replication.base_seq > 0
+            svc.submit_update("insert", 90, 91)
+            svc.flush()
+            with ThreadedServer(tm) as srv:
+                replica, _ = run_replica(srv.host, srv.port)
+                try:
+                    replica.catch_up()
+                    result = verify_replica(svc, replica.service)
+                    assert result.ok, str(result)
+                finally:
+                    replica.close()
+
+
+# -- graceful drain -----------------------------------------------------------
+
+
+class TestDrain:
+    def test_drain_flushes_pending_commits(self):
+        with _manager(autostart=False) as tm:
+            srv = ThreadedServer(
+                tm, NetServerConfig(drain_timeout=2.0)).start()
+            with NetClient(srv.host, srv.port) as c:
+                c.submit("insert", 11, 12)
+            svc = tm.get("default").service
+            assert svc.queue.depth == 1   # pending, not yet flushed
+            srv.stop()                    # drain flushes every tenant
+            assert svc.queue.depth == 0
+            assert (11, 12) in svc.snapshot_edges()
+
+    def test_concurrent_clients_from_threads(self):
+        with _manager(autostart=False) as tm, ThreadedServer(tm) as srv:
+            errors: list[Exception] = []
+
+            def worker(base: int) -> None:
+                try:
+                    with NetClient(srv.host, srv.port) as c:
+                        for i in range(10):
+                            c.submit("insert", base + i, base + i + 1)
+                            c.query("size")
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(100 * k,))
+                       for k in range(1, 5)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            with NetClient(srv.host, srv.port) as c:
+                c.flush()
+                assert c.query("size") > 3

@@ -29,7 +29,14 @@ from repro.resilience import (
     corrupt_record,
     read_wal,
 )
-from repro.resilience.wal import decode_record, encode_record
+from repro.resilience.wal import (
+    WAL_MAGIC,
+    WalFollower,
+    WalStreamDecoder,
+    WalTruncatedError,
+    decode_record,
+    encode_record,
+)
 from repro.service import (
     AdmissionConfig,
     BatcherConfig,
@@ -492,6 +499,133 @@ class TestShutdownPaths:
         assert mgr2.checkpoint.epoch == mgr2.last_seq
         assert mgr2.tail == []  # the WAL was truncated by the checkpoint
         mgr2.close()
+
+
+class TestWalStreamDecoder:
+    def test_single_byte_feed_reproduces_records(self):
+        """Arbitrary chunking — even 1 byte at a time — loses nothing."""
+        batches = [_batch(ins=[(i, i + 1)]) for i in range(5)]
+        stream = WAL_MAGIC + b"".join(
+            encode_record(i + 1, b) for i, b in enumerate(batches))
+        dec = WalStreamDecoder()
+        out = []
+        for i in range(len(stream)):
+            out.extend(dec.feed(stream[i:i + 1]))
+        assert [r.seq for r in out] == [1, 2, 3, 4, 5]
+        assert dec.offset == len(stream)
+        assert dec.pending_bytes == 0
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(WalCorruptionError, match="magic"):
+            WalStreamDecoder().feed(b"XWAL9\x00\x00\x00" + b"x" * 16)
+
+    def test_bad_crc_on_tail_held_then_raises_mid_stream(self):
+        """A checksum-failing *tail* is held (may be mid-flight); bytes
+        landing beyond it make it mid-stream damage, which raises."""
+        rec = encode_record(1, _batch(ins=[(1, 2)]))
+        damaged = rec[:-1] + bytes([rec[-1] ^ 0xFF])
+        dec = WalStreamDecoder()
+        assert dec.feed(WAL_MAGIC + damaged) == []  # held, not raised
+        with pytest.raises(WalCorruptionError, match="checksum"):
+            dec.feed(encode_record(2, _batch(ins=[(3, 4)])))
+
+    def test_sequence_regression_raises(self):
+        dec = WalStreamDecoder()
+        dec.feed(WAL_MAGIC + encode_record(5, _batch(ins=[(1, 2)])))
+        with pytest.raises(WalCorruptionError, match="regression"):
+            dec.feed(encode_record(5, _batch(ins=[(3, 4)])))
+
+
+class TestWalFollower:
+    """Satellite: the incremental tail-read API used by log shipping."""
+
+    def test_poll_returns_only_new_records(self, tmp_path):
+        path = tmp_path / "wal.log"
+        w = WalWriter(path)
+        w.append(1, _batch(ins=[(1, 2)]))
+        w.append(2, _batch(ins=[(3, 4)]))
+        f = WalFollower(path)
+        assert [r.seq for r in f.poll()] == [1, 2]
+        assert f.poll() == []           # caught up: nothing new
+        w.append(3, _batch(dels=[(1, 2)]))
+        assert [r.seq for r in f.poll()] == [3]
+        assert f.last_seq == 3
+        w.close()
+
+    def test_missing_file_polls_empty(self, tmp_path):
+        f = WalFollower(tmp_path / "nope.log")
+        assert f.poll() == []
+
+    def test_torn_final_record_held_until_completed(self, tmp_path):
+        """A torn tail yields nothing; completing it delivers the record
+        exactly once — the same rule read_wal applies at end of file."""
+        path = tmp_path / "wal.log"
+        w = WalWriter(path)
+        w.append(1, _batch(ins=[(1, 2)]))
+        rec2 = encode_record(2, _batch(ins=[(3, 4)], dels=[(1, 2)]))
+        f = WalFollower(path)
+        assert [r.seq for r in f.poll()] == [1]
+        for cut in (3, len(rec2) - 1):  # torn mid-header and mid-payload
+            with open(path, "ab") as fh:
+                fh.write(rec2[:cut])
+            assert f.poll() == []       # incomplete: held, not delivered
+            with open(path, "r+b") as fh:
+                fh.truncate(path.stat().st_size - cut)
+        with open(path, "ab") as fh:
+            fh.write(rec2)
+        polled = f.poll()
+        assert [r.seq for r in polled] == [2]
+        assert polled[0].batch.insertions == [(3, 4)]
+        w.close()
+
+    def test_truncation_below_cursor_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        w = WalWriter(path)
+        for i in range(4):
+            w.append(i + 1, _batch(ins=[(i, i + 10)]))
+        f = WalFollower(path)
+        assert len(f.poll()) == 4
+        w.truncate_through(3)           # checkpoint shrank the log
+        with pytest.raises(WalTruncatedError, match="re-bootstrap"):
+            f.poll()
+        w.close()
+
+    def test_nonzero_resume_offset_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="offset 0"):
+            WalFollower(tmp_path / "wal.log", offset=8)
+
+    @given(
+        batches=st.lists(batch_st, min_size=1, max_size=8),
+        poll_after=st.sets(st.integers(0, 7)),
+        tear_at=st.integers(1, 11),
+    )
+    @settings(max_examples=40)
+    def test_interleaved_append_poll_round_trip(
+            self, tmp_path_factory, batches, poll_after, tear_at):
+        """Hypothesis satellite: appends interleaved with polls at
+        arbitrary points — including a torn final record — deliver every
+        record exactly once, in order."""
+        path = tmp_path_factory.mktemp("follow") / "wal.log"
+        w = WalWriter(path)
+        f = WalFollower(path)
+        seen: list[int] = []
+        for i, b in enumerate(batches):
+            w.append(i + 1, b)
+            if i in poll_after:
+                seen.extend(r.seq for r in f.poll())
+        # torn final record: partial bytes visible at poll time
+        last = encode_record(len(batches) + 1, _batch(ins=[(7, 8)]))
+        cut = min(tear_at, len(last) - 1)
+        with open(path, "ab") as fh:
+            fh.write(last[:cut])
+        mid = [r.seq for r in f.poll()]
+        assert (len(batches) + 1) not in mid     # torn: not delivered
+        seen.extend(mid)
+        with open(path, "ab") as fh:
+            fh.write(last[cut:])
+        seen.extend(r.seq for r in f.poll())
+        assert seen == list(range(1, len(batches) + 2))
+        w.close()
 
 
 class TestDriverResilience:

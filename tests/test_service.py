@@ -642,3 +642,89 @@ class TestServeDemo:
         assert "coalesce_ratio" in out
         assert "shed" in out
         assert "verification: OK" in out
+
+
+# -- replication hooks on the engine ------------------------------------------
+
+
+class TestEngineReplication:
+    def test_apply_replicated_matches_local_flush(self):
+        """Primary flushes; a sibling engine fed apply_replicated from
+        the primary's commit hooks reaches bit-identical state."""
+        primary, _, edges, spec = _local_service()
+        replica = SpannerService(LocalExecutor(dict(spec)))
+        shipped: list[tuple[int, UpdateBatch]] = []
+        primary.commit_hooks.append(lambda seq, b: shipped.append((seq, b)))
+        for e in edges[:6]:
+            primary.submit_update("delete", *e)
+        primary.flush()
+        primary.submit_update("insert", 300, 301)
+        primary.flush()
+        for seq, batch in shipped:
+            replica.apply_replicated(seq, batch)
+        assert replica.committed_seq == primary.committed_seq
+        assert replica.snapshot_edges() == primary.snapshot_edges()
+        assert replica.graph_edges() == primary.graph_edges()
+        assert (replica.metrics.snapshot()["replicated_batches"]
+                == len(shipped))
+
+    def test_apply_replicated_rejects_gaps(self):
+        svc, _, edges, _ = _local_service()
+        batch = UpdateBatch(insertions=[(200, 201)])
+        with pytest.raises(ValueError, match="gap"):
+            svc.apply_replicated(5, batch)
+        svc.apply_replicated(1, batch)
+        with pytest.raises(ValueError, match="gap"):
+            svc.apply_replicated(1, batch)  # replay of an applied seq
+
+    def test_align_seq_bootstraps_numbering(self):
+        svc, _, edges, _ = _local_service()
+        svc.align_seq(41)
+        assert svc.committed_seq == 41
+        res = svc.apply_replicated(42, UpdateBatch(insertions=[(1, 2)]))
+        assert res.delta_ins == {(1, 2)}
+        assert svc.query_info("size").as_of_seq == 42
+
+    def test_align_seq_refused_after_any_commit(self):
+        svc, _, edges, _ = _local_service()
+        svc.submit_update("delete", *edges[0])
+        svc.flush()
+        with pytest.raises(RuntimeError, match="align_seq"):
+            svc.align_seq(10)
+
+    def test_local_writes_refused_after_replicated_state(self):
+        """A replica's queue must refuse to mix local ops with shipped
+        batches (replicas are read-only)."""
+        svc, _, edges, _ = _local_service()
+        svc.submit_update("delete", *edges[0])
+        with pytest.raises(RuntimeError, match="read-only"):
+            svc.apply_replicated(1, UpdateBatch(insertions=[(7, 8)]))
+
+    def test_set_degraded_stale_tag_round_trip(self):
+        """Satellite: query_info carries the staleness marker while the
+        degraded flag is raised, and clears it on the way out."""
+        svc, _, edges, _ = _local_service()
+        assert svc.query_info("size").stale is False
+        svc.set_degraded(True)
+        info = svc.query_info("size")
+        assert info.stale is True
+        assert info.as_of_seq == svc.committed_seq
+        resp = svc.submit_update("insert", 400, 401)
+        assert not resp.accepted
+        assert resp.outcome == "shed_degraded"
+        assert resp.retry_after is not None and resp.retry_after > 0
+        svc.set_degraded(False)
+        assert svc.query_info("size").stale is False
+        assert svc.submit_update("insert", 400, 401).accepted
+
+    def test_admission_query_quota(self):
+        ctrl = AdmissionController(AdmissionConfig(max_inflight_queries=2))
+        assert ctrl.admit_query(0, 0.001).admitted
+        assert ctrl.admit_query(1, 0.001).admitted
+        shed = ctrl.admit_query(2, 0.001)
+        assert not shed.admitted
+        assert shed.retry_after is not None and shed.retry_after > 0
+        assert ctrl.query_shed_count == 1
+        # no cap configured -> always admitted
+        open_ctrl = AdmissionController(AdmissionConfig())
+        assert open_ctrl.admit_query(10**6).admitted

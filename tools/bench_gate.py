@@ -2,9 +2,10 @@
 """Benchmark regression gate for the batch-update and serving hot paths.
 
 Runs a pinned subset of the ``benchmarks/`` scenarios — the E1 update
-throughput loop, the SRV1 serving-throughput configuration, and the
-Lemma 3.1 substrate microbenchmark — and compares the measured throughput
-against the committed baseline in ``BENCH_hotpath.json``.  A scenario that
+throughput loop, the SRV1 serving-throughput configuration, the SRV2
+replica-scaling run, and the Lemma 3.1 substrate microbenchmark — and
+compares the measured throughput against the committed baseline in
+``BENCH_hotpath.json``.  A scenario that
 regresses by more than the threshold (default 15%) fails the gate.
 
 The JSON records, per scenario, wall-clock throughput (ops/sec), the p99
@@ -168,10 +169,46 @@ def bench_s_substrates(smoke: bool) -> dict:
     }
 
 
+def bench_srv2_replica_scaling(smoke: bool) -> dict:
+    """Pinned SRV2 configuration: read throughput of an in-process
+    primary + log-shipping replica cluster at 1 vs 3 replicas, with a
+    pinned simulated per-query service time (so read capacity scales
+    with replica count by construction, even on a 1-core CI box).
+    Oracle-exact replica equivalence is asserted on every run; the full
+    run additionally asserts the >=2.5x scaling acceptance bar."""
+    from repro.net.bench import BenchNetConfig, run_bench_net
+
+    if smoke:
+        sizes = dict(requests=200, service_time=1e-3)
+    else:
+        sizes = dict(requests=2000, service_time=2e-3)
+    rps = {}
+    report = None
+    for replicas in (1, 3):
+        cfg = BenchNetConfig(replicas=replicas, seed=1234,
+                             mode="inproc", **sizes)
+        report = run_bench_net(cfg)
+        assert report.verified, report.violations
+        rps[replicas] = report.read_throughput_rps
+    scaling = rps[3] / rps[1]
+    if not smoke:
+        assert scaling >= 2.5, (
+            f"SRV2 scaling bar missed: 3-replica reads only {scaling:.2f}x "
+            "the 1-replica throughput (acceptance requires >=2.5x)"
+        )
+    return {
+        "ops": report.reads,
+        "ops_per_sec": round(rps[3], 1),
+        "read_p99_ms": round(report.read_p99_ms, 3),
+        "scaling_x": round(scaling, 2),
+    }
+
+
 SCENARIOS = {
     "bench_e1": bench_e1_update_throughput,
     "bench_srv_service_throughput": bench_srv_service_throughput,
     "bench_s_substrates": bench_s_substrates,
+    "bench_srv2_replica_scaling": bench_srv2_replica_scaling,
 }
 
 
