@@ -30,10 +30,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
 
 from repro.harness import format_table, run_workload
-from repro.pram import CostModel
 from repro.workloads import (
     Workload,
     churn_stream,
@@ -503,6 +501,50 @@ def _cmd_bench_net(args: argparse.Namespace) -> int:
     return 0 if report.verified else 1
 
 
+def _cmd_bench_queries(args: argparse.Namespace) -> int:
+    """SRV3 batched-read throughput benchmark (see docs/queries.md)."""
+    import json
+
+    from repro.queries.bench import BenchQueriesConfig, run_bench_queries
+
+    requests = args.requests
+    if args.smoke:
+        # CI-friendly: small stream, single repeat; equivalence is still
+        # asserted on every window, only the wall-clock bar is waived
+        requests = min(requests, 800)
+    cfg = BenchQueriesConfig(
+        n=args.n,
+        m=args.m,
+        requests=requests,
+        read_fraction=args.read_fraction,
+        window=args.window,
+        seed=args.seed,
+        repeats=1 if args.smoke else args.repeats,
+    )
+    report = run_bench_queries(cfg)
+    payload = report.to_dict()
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(format_table(
+            report.rows(),
+            title="repro bench-queries: batched vs singleton reads (SRV3)"))
+        print(f"\nwork={report.work} depth={report.depth} "
+              f"wall={report.wall_seconds:.2f}s")
+        for v in report.violations:
+            print(f"VIOLATION {v}")
+        if report.verified:
+            print("batch equivalence: OK — every batched answer equals "
+                  "the query-at-a-time answer on the same snapshot")
+    if not report.verified:
+        return 1
+    if not args.smoke and report.speedup_x < args.min_speedup:
+        print(f"SPEEDUP BAR MISSED: {report.speedup_x:.2f}x < "
+              f"{args.min_speedup:.1f}x")
+        return 1
+    return 0
+
+
 def _print_chaos_json(report) -> int:
     """Emit a chaos campaign report as one JSON object; exit status."""
     import json
@@ -609,6 +651,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.oracle import STRUCTURES, emit_pytest_case, write_pytest_case
     from repro.oracle.fuzz import FuzzConfig, run_fuzz
 
+    if args.queries:
+        return _cmd_fuzz_queries(args)
     structures = tuple(sorted(STRUCTURES))
     if args.structures:
         structures = tuple(args.structures.split(","))
@@ -648,6 +692,38 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         else:
             print("--- minimized pytest reproducer ---")
             print(emit_pytest_case(div))
+    return 1
+
+
+def _cmd_fuzz_queries(args: argparse.Namespace) -> int:
+    """``repro fuzz --queries``: the batch-query differential campaign."""
+    from repro.oracle.queries import QueryFuzzConfig, run_query_fuzz
+
+    workloads = args.seeds if args.seeds != 20 else 500
+    time_budget = args.time_budget
+    if args.smoke:
+        workloads = min(workloads, 60)
+        time_budget = 60.0 if time_budget is None else min(time_budget, 60.0)
+    cfg = QueryFuzzConfig(
+        workloads=workloads,
+        max_n=args.max_n,
+        time_budget=time_budget,
+    )
+    report = run_query_fuzz(cfg, log=lambda msg: print(f"[fuzz] {msg}"))
+    print(format_table(
+        report.rows(),
+        title=f"repro fuzz --queries: batch vs singleton, "
+              f"{report.workloads} workload(s)",
+    ))
+    print(f"\nwall time: {report.wall_seconds:.1f}s")
+    if report.ok:
+        print("no violations — every batch answer equals the "
+              "query-at-a-time path, answers are order- and "
+              "duplication-invariant, and work/depth stayed inside the "
+              "shared-traversal envelopes")
+        return 0
+    for i, v in report.violations:
+        print(f"\nVIOLATION (workload {i}) {v}")
     return 1
 
 
@@ -808,6 +884,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_bench_net)
 
     p = sub.add_parser(
+        "bench-queries",
+        help="SRV3: batched vs query-at-a-time read throughput on a "
+             "95/5 read-write mix, with exact-equivalence verification",
+    )
+    p.add_argument("--n", type=int, default=512, help="vertex count")
+    p.add_argument("--m", type=int, default=640, help="initial edges")
+    p.add_argument("--requests", type=int, default=4000)
+    p.add_argument("--read-fraction", type=float, default=0.95)
+    p.add_argument("--window", type=int, default=500,
+                   help="requests per write-then-read window")
+    p.add_argument("--seed", type=int, default=4242)
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing repeats (best-of)")
+    p.add_argument("--min-speedup", type=float, default=3.0,
+                   help="acceptance bar on batched/singleton throughput")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI mode: <=800 requests, no speedup bar")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON")
+    p.set_defaults(func=_cmd_bench_queries)
+
+    p = sub.add_parser(
         "chaos",
         help="deterministic fault-injection campaign over the serving "
              "engine: kill/hang/corrupt, then verify exact recovery",
@@ -842,7 +940,13 @@ def build_parser() -> argparse.ArgumentParser:
              "structure against replay + static baselines + envelopes",
     )
     p.add_argument("--seeds", type=int, default=20,
-                   help="random workloads per structure")
+                   help="random workloads per structure (with --queries: "
+                        "total workloads, default 500)")
+    p.add_argument("--queries", action="store_true",
+                   help="fuzz the batched query engine instead: cross-"
+                        "check every batch answer against the query-at-a-"
+                        "time path, order/duplication invariance, and the "
+                        "work/depth envelopes")
     p.add_argument("--structures", type=str, default=None,
                    help="comma-separated subset (default: all registered)")
     p.add_argument("--max-n", type=int, default=40,

@@ -153,17 +153,51 @@ class EulerTourForest:
 
     # -- core queries ------------------------------------------------------
 
+    def _check_vertex(self, v: int) -> None:
+        """Reject out-of-range vertices.
+
+        Python's negative indexing would otherwise silently alias
+        ``connected(-1, u)`` to the *last* vertex — a wrong answer, not an
+        error — so every ``_loop`` access goes through this guard.
+        """
+        if not 0 <= v < self.n:
+            raise ValueError(f"vertex {v} outside [0, {self.n})")
+
     def connected(self, u: int, v: int) -> bool:
-        """Whether ``u`` and ``v`` are in the same tree."""
+        """Whether ``u`` and ``v`` are in the same tree.
+
+        Well-defined for vertices never touched by a :meth:`link`: every
+        vertex starts as its own singleton tour (the loop arc created in
+        ``__init__``), so ``connected(v, v)`` is ``True`` for *all* ``v``
+        — including isolated ones — and ``connected(u, v)`` is ``False``
+        for distinct vertices with no linked path.  Comparing treap roots
+        is sound because a singleton's loop node is its own root.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
         return _root(self._loop[u]) is _root(self._loop[v])
 
     def component_size(self, v: int) -> int:
-        """Number of vertices in v's tree."""
+        """Number of vertices in v's tree (1 for never-linked singletons)."""
+        self._check_vertex(v)
         return _root(self._loop[v]).cnt_loop
 
     def tree_ref(self, v: int) -> object:
         """Opaque identity of v's current tree (valid until next update)."""
+        self._check_vertex(v)
         return _root(self._loop[v])
+
+    def find_repr(self, v: int) -> int:
+        """A representative vertex of v's tree.
+
+        Two vertices map to the same representative iff they are
+        connected; a never-linked singleton represents itself.  The
+        choice is arbitrary (the vertex carried by the treap root's arc)
+        and stable only until the next :meth:`link`/:meth:`cut` — compare
+        representatives, never persist them.
+        """
+        self._check_vertex(v)
+        return _root(self._loop[v]).arc[0]
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether ``(u, v)`` is a forest edge (directed arc check)."""

@@ -26,6 +26,19 @@ def adjacency_from_edges(
     return adj
 
 
+def _neighbor_lookup(adj):
+    """Neighbor accessor tolerant of vertices absent from a dict adjacency.
+
+    Snapshot adjacencies (``repro.service.engine``, ``repro.queries``) are
+    dicts keyed only by vertices that currently have edges, so a query
+    touching an isolated vertex must read as "no neighbors" — not
+    ``KeyError`` in one traversal mode and a full sweep in the other.
+    """
+    if isinstance(adj, Mapping):
+        return lambda u: adj.get(u, ())
+    return lambda u: adj[u]
+
+
 def bfs_distances(
     adj: Sequence[Sequence[int]] | Mapping[int, Sequence[int]],
     source: int,
@@ -38,7 +51,14 @@ def bfs_distances(
     (its distance is final when first discovered), so point-to-point
     queries on large snapshots do not pay for a full sweep; the returned
     dict is then only guaranteed correct at ``target``.
+
+    Edge cases hold identically in pruned and unpruned mode (both are on
+    the serving engine's ``distance``/``connected`` path): ``source ==
+    target`` settles at 0 without touching the graph, a ``source`` absent
+    from a dict adjacency has no neighbors (``{source: 0}``), and a
+    disconnected ``target`` is simply absent from the result.
     """
+    neighbors = _neighbor_lookup(adj)
     dist = {source: 0}
     if target == source:
         return dist
@@ -46,7 +66,7 @@ def bfs_distances(
     while queue:
         u = queue.popleft()
         du = dist[u]
-        for w in adj[u]:
+        for w in neighbors(u):
             if w not in dist:
                 dist[w] = du + 1
                 if w == target:
@@ -60,15 +80,23 @@ def bfs_distances_bounded(
     source: int,
     limit: int,
 ) -> dict[int, int]:
-    """Distances up to ``limit``; vertices farther than ``limit`` absent."""
+    """Distances up to ``limit``; vertices farther than ``limit`` absent.
+
+    Shares :func:`bfs_distances`'s edge-case contract: a source absent
+    from a dict adjacency yields ``{source: 0}`` and a non-positive
+    ``limit`` never expands the frontier.
+    """
+    neighbors = _neighbor_lookup(adj)
     dist = {source: 0}
+    if limit <= 0:
+        return dist
     queue = deque([source])
     while queue:
         u = queue.popleft()
         du = dist[u]
         if du == limit:
             continue
-        for w in adj[u]:
+        for w in neighbors(u):
             if w not in dist:
                 dist[w] = du + 1
                 queue.append(w)

@@ -111,6 +111,32 @@ class NetClient:
         return {"value": reply["value"], "stale": reply["stale"],
                 "as_of_seq": reply["as_of_seq"]}
 
+    def query_batch(self, items, consistency: str = "snapshot"
+                    ) -> dict[str, Any]:
+        """Many reads in one frame, answered from one server snapshot.
+
+        ``items`` is a list of ``(kind, payload)`` pairs (payload ``None``
+        for nullary kinds).  Returns ``{values, stale, as_of_seq, unique,
+        deduped}`` with ``values`` positionally aligned to ``items`` —
+        each exactly what :meth:`query` would return for that item on the
+        same snapshot.  One admission and ``service_time`` charge covers
+        the whole batch, which is where the throughput win comes from.
+        """
+        wire_items = []
+        for kind, payload in items:
+            if isinstance(payload, tuple):
+                payload = list(payload)
+            wire_items.append([kind, payload])
+        reply = self.call("query_batch", items=wire_items,
+                          consistency=consistency)
+        return {
+            "values": reply["values"],
+            "stale": reply["stale"],
+            "as_of_seq": reply["as_of_seq"],
+            "unique": reply["unique"],
+            "deduped": reply["deduped"],
+        }
+
     def edges(self) -> set[tuple[int, int]]:
         """The maintained output edge set, as canonical tuples."""
         return {tuple(e) for e in self.query("edges")}

@@ -14,6 +14,12 @@ verb            semantics
 ``query``       read (``size``/``edges``/``contains``/``distance``/
                 ``connected``); response carries ``stale`` + ``as_of_seq``
 ``query_info``  alias of ``query`` (kept distinct for wire-log clarity)
+``query_batch``  many reads in one frame → engine ``query_batch``; the
+                 batch is answered from one snapshot via shared
+                 traversals (one admission charge, one ``service_time``
+                 charge for the whole batch); response carries
+                 positionally-aligned ``values`` plus one ``stale`` /
+                 ``as_of_seq`` pair and dedup stats
 ``metrics``     Prometheus text exposition for the bound tenant (or every
                 tenant with ``all: true``)
 ``admin``       ``flush`` / ``tenants`` / ``stats`` / ``drain``
@@ -194,6 +200,8 @@ class NetServer:
                 return await self._do_submit(tenant, req_id, msg)
             if verb in ("query", "query_info"):
                 return await self._do_query(tenant, req_id, msg)
+            if verb == "query_batch":
+                return await self._do_query_batch(tenant, req_id, msg)
             if verb == "metrics":
                 return self._do_metrics(tenant, req_id, msg)
             if verb == "admin":
@@ -254,6 +262,46 @@ class NetServer:
         return ok_envelope(
             req_id, value=_jsonable(result.value), stale=result.stale,
             as_of_seq=result.as_of_seq)
+
+    async def _do_query_batch(self, tenant: Tenant, req_id,
+                              msg: dict) -> dict:
+        cfg = self.config
+        # one admission charge and one service_time charge per batch —
+        # that amortization is the whole point of batching reads
+        decision = tenant.service.admission.admit_query(
+            tenant.inflight_queries, cfg.service_time)
+        if not decision.admitted:
+            tenant.service.metrics.counter("query_shed").inc()
+            return error_envelope(req_id, "shed_query",
+                                  "tenant read quota exhausted",
+                                  retry_after=decision.retry_after)
+        items = []
+        for entry in msg["items"]:
+            kind = entry[0]
+            payload = entry[1] if len(entry) > 1 else None
+            if isinstance(payload, list):
+                payload = tuple(payload)
+            items.append((kind, payload))
+        tenant.inflight_queries += 1
+        try:
+            assert self._slots is not None
+            async with self._slots:
+                if cfg.service_time > 0:
+                    await asyncio.sleep(cfg.service_time)
+                results = tenant.service.query_batch(
+                    items, msg.get("consistency", "snapshot"))
+        finally:
+            tenant.inflight_queries -= 1
+        stats = tenant.service.last_query_stats
+        return ok_envelope(
+            req_id,
+            values=[_jsonable(r.value) for r in results],
+            stale=bool(results and results[0].stale),
+            as_of_seq=(results[0].as_of_seq if results
+                       else tenant.service.committed_seq),
+            unique=stats.unique if stats else 0,
+            deduped=(stats.queries - stats.unique) if stats else 0,
+        )
 
     def _do_metrics(self, tenant: Tenant, req_id, msg: dict) -> dict:
         if msg.get("all"):

@@ -11,6 +11,13 @@ a pytest case.  See ``docs/fuzzing.md``.
 from repro.oracle.adapters import STRUCTURES, OracleAdapter, make_adapter
 from repro.oracle.emit import emit_pytest_case, write_pytest_case
 from repro.oracle.fuzz import FuzzConfig, FuzzReport, check_workload, run_fuzz
+from repro.oracle.queries import (
+    QueryFuzzConfig,
+    QueryFuzzReport,
+    check_query_batch,
+    run_query_fuzz,
+    singleton_answers,
+)
 from repro.oracle.service import (
     ServiceVerification,
     verify_replica,
@@ -24,13 +31,18 @@ __all__ = [
     "FuzzConfig",
     "FuzzReport",
     "OracleAdapter",
+    "QueryFuzzConfig",
+    "QueryFuzzReport",
     "STRUCTURES",
     "ServiceVerification",
     "Violation",
+    "check_query_batch",
     "check_workload",
     "emit_pytest_case",
     "make_adapter",
     "run_fuzz",
+    "run_query_fuzz",
+    "singleton_answers",
     "shrink_divergence",
     "shrink_workload",
     "verify_replica",

@@ -28,6 +28,7 @@ from repro.service.driver import ServeConfig, ServeReport, run_serve
 from repro.service.engine import (
     ApplyResult,
     LocalExecutor,
+    PendingQuery,
     QueryResult,
     ServiceConfig,
     SpannerService,
@@ -58,6 +59,7 @@ __all__ = [
     "Histogram",
     "LocalExecutor",
     "MetricsRegistry",
+    "PendingQuery",
     "QueryResult",
     "ServeConfig",
     "ServeReport",

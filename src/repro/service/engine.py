@@ -11,6 +11,12 @@ edge set as of the last flush, kept current via the ``(δ_ins, δ_del)``
 deltas every structure returns.  A query therefore never interleaves with
 a half-applied batch (snapshot consistency); pass ``consistency="fresh"``
 to force a flush first and read your own writes.
+
+Reads batch too: :meth:`SpannerService.query_batch` answers many reads
+from one snapshot via shared traversals (:mod:`repro.queries.batch`), and
+:meth:`SpannerService.submit_query` enqueues a read to be coalesced with
+every other read pending at the next flush cycle — the read-side analogue
+of the update queue.  See ``docs/queries.md``.
 """
 
 from __future__ import annotations
@@ -18,11 +24,12 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from typing import Any, Callable
 
 from repro.graph.dynamic_graph import Edge
 from repro.graph.traversal import bfs_distances
-from repro.pram.cost import CostModel
+from repro.pram.cost import NULL_COST_MODEL, CostModel
+from repro.queries.batch import QueryBatch, answer_queries
 from repro.service.admission import AdmissionConfig, AdmissionController
 from repro.service.batcher import AdaptiveBatcher, BatcherConfig
 from repro.service.metrics import MetricsRegistry
@@ -32,6 +39,7 @@ from repro.workloads.streams import UpdateBatch
 __all__ = [
     "ApplyResult",
     "LocalExecutor",
+    "PendingQuery",
     "QueryResult",
     "ServiceConfig",
     "SpannerService",
@@ -207,6 +215,42 @@ class QueryResult:
     as_of_seq: int = 0
 
 
+class PendingQuery:
+    """A read enqueued via :meth:`SpannerService.submit_query`.
+
+    Resolved at the next flush cycle, when the engine answers every
+    pending read from one shared traversal pass over the
+    freshly-flushed snapshot.  Call :meth:`result` to block until then
+    (or :meth:`SpannerService.flush` to force the cycle).
+    """
+
+    __slots__ = ("kind", "payload", "enqueued_at", "_event", "_result")
+
+    def __init__(self, kind: str, payload: Any, enqueued_at: float) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.enqueued_at = enqueued_at
+        self._event = threading.Event()
+        self._result: QueryResult | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> QueryResult:
+        """Block until the read is answered; raises TimeoutError if not."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"pending {self.kind!r} query not resolved in {timeout}s"
+            )
+        assert self._result is not None
+        return self._result
+
+    def _resolve(self, result: QueryResult) -> None:
+        self._result = result
+        self._event.set()
+
+
 @dataclass
 class ServiceConfig:
     batcher: BatcherConfig = field(default_factory=BatcherConfig)
@@ -243,6 +287,10 @@ class SpannerService:
         self._m_shed = m.counter("shed")
         self._m_shed_degraded = m.counter("shed_degraded")
         self._m_stale_reads = m.counter("stale_reads")
+        self._m_query_batches = m.counter("query_batches")
+        self._m_queries_deduped = m.counter("queries_deduped")
+        self._m_reads_coalesced = m.counter("reads_coalesced")
+        self._m_query_batch_size = m.histogram("query_batch_size")
         self._m_offer: dict[str, Any] = {}
         self._m_queue_depth = m.gauge("queue_depth")
         self._clock = clock
@@ -267,6 +315,10 @@ class SpannerService:
         self._snapshot: set[Edge] = set(executor.output_edges())
         self._snapshot_seq = self._next_seq - 1
         self._adj: dict[int, set[int]] | None = None  # lazy BFS adjacency
+        # reads waiting to be answered at the next flush cycle
+        self._pending_reads: list[PendingQuery] = []
+        # stats from the most recent batched answer pass (inspection)
+        self.last_query_stats = None
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._closed = False
@@ -356,10 +408,15 @@ class SpannerService:
         elif consistency != "snapshot":
             raise ValueError(f"unknown consistency {consistency!r}")
         self._m_requests_query.inc()
-        stale = self._degraded.is_set()
-        if stale:
-            self._m_stale_reads.inc()
         with self._snap_lock:
+            # sampled *inside* the snapshot lock, atomically with the
+            # snapshot itself: sampling before taking the lock let a
+            # recovery resync slip between the two reads, tagging a
+            # post-recovery (fresh) snapshot as stale or — worse — a
+            # mid-recovery one as fresh
+            stale = self._degraded.is_set()
+            if stale:
+                self._m_stale_reads.inc()
             snap = self._snapshot
             as_of = self._snapshot_seq
             if kind == "size":
@@ -385,6 +442,87 @@ class SpannerService:
                     float("inf") if d is None else float(d), stale, as_of
                 )
             raise ValueError(f"unknown query kind {kind!r}")
+
+    def query_batch(
+        self,
+        items,
+        consistency: str = "snapshot",
+        cost: CostModel | None = None,
+    ) -> list[QueryResult]:
+        """Answer many reads from one snapshot via shared traversals.
+
+        ``items`` is a :class:`~repro.queries.batch.QueryBatch` or a list
+        of ``(kind, payload)`` pairs (same kinds as :meth:`query`).
+        Identical queries are deduplicated, all ``distance`` queries share
+        one multi-source BFS sweep, and all ``connected`` queries share
+        one component labeling — see :func:`repro.queries.answer_queries`.
+        Answers are positionally aligned with ``items`` and exactly equal
+        what :meth:`query` would return one at a time on the same
+        snapshot.  The whole batch carries one staleness tag and one
+        ``as_of_seq``, sampled atomically with the snapshot.
+        """
+        if isinstance(items, QueryBatch):
+            items = items.items
+        else:
+            items = list(items)
+        if consistency == "fresh":
+            with self._lock:
+                self.flush()
+        elif consistency != "snapshot":
+            raise ValueError(f"unknown consistency {consistency!r}")
+        self._m_requests_query.inc(len(items))
+        self._m_query_batches.inc()
+        self._m_query_batch_size.observe(len(items))
+        with self._snap_lock:
+            stale = self._degraded.is_set()
+            if stale:
+                self._m_stale_reads.inc(len(items))
+            as_of = self._snapshot_seq
+            answers, stats = answer_queries(
+                items,
+                edge_set=self._snapshot,
+                adjacency=self._adjacency(),
+                cost=cost or NULL_COST_MODEL,
+            )
+        self._m_queries_deduped.inc(stats.queries - stats.unique)
+        self.last_query_stats = stats
+        return [QueryResult(a, stale, as_of) for a in answers]
+
+    def submit_query(
+        self, kind: str, payload: Any = None, now: float | None = None
+    ) -> PendingQuery:
+        """Enqueue a read to be answered at the next flush cycle.
+
+        The read-side analogue of :meth:`submit_update`: the engine holds
+        the read until the batcher's next flush, then answers *every*
+        pending read from one shared traversal pass over the
+        freshly-flushed snapshot (reads coalesce exactly like updates
+        do).  Returns a :class:`PendingQuery`; call ``.result(timeout)``
+        to block for the answer, or :meth:`flush` to force the cycle.
+        Enqueued reads count toward the batcher's flush trigger, so a
+        read-heavy workload still flushes promptly.
+        """
+        with self._lock:
+            if now is None:
+                now = self._clock()
+            pending = PendingQuery(kind, payload, now)
+            self._pending_reads.append(pending)
+            if self.batcher.should_flush(
+                self.queue.depth + len(self._pending_reads),
+                self._oldest_waiting(),
+                now,
+            ):
+                self._flush_locked(now)
+            return pending
+
+    def _oldest_waiting(self) -> float | None:
+        """Oldest enqueue time across pending updates *and* reads."""
+        oldest = self.queue.oldest_enqueued_at()
+        if self._pending_reads:
+            oldest_read = self._pending_reads[0].enqueued_at
+            if oldest is None or oldest_read < oldest:
+                oldest = oldest_read
+        return oldest
 
     # -- replication ---------------------------------------------------------
 
@@ -472,16 +610,22 @@ class SpannerService:
             if now is None:
                 now = self._clock()
             if self.batcher.should_flush(
-                self.queue.depth, self.queue.oldest_enqueued_at(), now
+                self.queue.depth + len(self._pending_reads),
+                self._oldest_waiting(), now,
             ):
                 self._flush_locked(now)
                 return True
             return False
 
     def flush(self) -> DrainResult | None:
-        """Unconditionally drain and apply whatever is pending."""
+        """Unconditionally drain and apply whatever is pending.
+
+        Pending reads (:meth:`submit_query`) resolve here too: the cycle
+        applies queued updates first, then answers every waiting read
+        from the new snapshot in one batched pass.
+        """
         with self._lock:
-            if self.queue.depth == 0:
+            if self.queue.depth == 0 and not self._pending_reads:
                 return None
             return self._flush_locked(self._clock())
 
@@ -534,6 +678,16 @@ class SpannerService:
         m.histogram("coalesce_ratio").observe(drained.coalesce_ratio)
         m.gauge("queue_depth").set(self.queue.depth)
         m.gauge("adaptive_max_batch").set(self.batcher.current_max_batch)
+        if self._pending_reads:
+            # answer every read that was waiting on this cycle from one
+            # shared traversal pass over the just-updated snapshot
+            pending, self._pending_reads = self._pending_reads, []
+            self._m_reads_coalesced.inc(len(pending))
+            results = self.query_batch(
+                [(p.kind, p.payload) for p in pending]
+            )
+            for p, r in zip(pending, results):
+                p._resolve(r)
         return drained
 
     # -- durability ----------------------------------------------------------
@@ -606,7 +760,7 @@ class SpannerService:
                 with self._lock:
                     now = self._clock()
                     wait = self.batcher.seconds_until_deadline(
-                        self.queue.oldest_enqueued_at(), now
+                        self._oldest_waiting(), now
                     )
                     if wait <= 0.0:
                         self._flush_locked(now)

@@ -184,3 +184,51 @@ class TestDynamicSpanningForest:
                 present.add(e)
         d.check_invariants()
         assert d.m == len(present)
+
+
+class TestEulerTourForestBoundaries:
+    """Explicit contract on never-linked vertices and vertex validation."""
+
+    def test_self_connected_without_links(self):
+        f = EulerTourForest(6, seed=7)
+        for v in range(6):
+            assert f.connected(v, v)
+            assert f.component_size(v) == 1
+            assert f.find_repr(v) == v
+
+    def test_self_connected_after_links_elsewhere(self):
+        f = EulerTourForest(6, seed=7)
+        f.link(0, 1)
+        assert f.connected(5, 5)
+        assert f.component_size(5) == 1
+        assert not f.connected(5, 0)
+
+    def test_find_repr_partitions_by_component(self):
+        f = EulerTourForest(10, seed=8)
+        for u, v in [(0, 1), (1, 2), (4, 5), (7, 8)]:
+            f.link(u, v)
+        for u in range(10):
+            for v in range(10):
+                assert (f.find_repr(u) == f.find_repr(v)) == \
+                    f.connected(u, v)
+
+    @pytest.mark.parametrize("bad", [-1, -5, 10, 99])
+    def test_out_of_range_vertices_rejected(self, bad):
+        # Python's negative indexing would otherwise silently alias
+        # connected(-1, u) to the last vertex — wrong answer, not error
+        f = EulerTourForest(10, seed=9)
+        with pytest.raises(ValueError):
+            f.connected(bad, 0)
+        with pytest.raises(ValueError):
+            f.connected(0, bad)
+        with pytest.raises(ValueError):
+            f.component_size(bad)
+        with pytest.raises(ValueError):
+            f.find_repr(bad)
+        with pytest.raises(ValueError):
+            f.tree_ref(bad)
+
+    def test_zero_vertex_forest(self):
+        f = EulerTourForest(0, seed=1)
+        with pytest.raises(ValueError):
+            f.connected(0, 0)

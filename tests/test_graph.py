@@ -193,3 +193,51 @@ def test_bfs_oracle_property(n, data):
     assert bfs_distances(adj, src) == dict(
         nx.single_source_shortest_path_length(nxg, src)
     )
+
+
+class TestTraversalEdgeCases:
+    """The pruned and unpruned BFS modes share one edge-case contract
+    (both are on the serving engine's distance/connected path)."""
+
+    @pytest.mark.parametrize("target", [None, 3])
+    def test_source_equals_target(self, target):
+        adj = adjacency_from_edges(5, [(0, 1), (1, 2)])
+        dist = bfs_distances(adj, 3, target=3 if target else None)
+        assert dist[3] == 0
+
+    def test_self_target_skips_traversal(self):
+        # u == v settles at 0 even when u has neighbors
+        adj = adjacency_from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert bfs_distances(adj, 1, target=1) == {1: 0}
+
+    @pytest.mark.parametrize("pruned", [False, True])
+    def test_source_absent_from_dict_adjacency(self, pruned):
+        # snapshot adjacencies only key vertices that currently have
+        # edges; an isolated source must read as "no neighbors", not
+        # KeyError in one mode and a sweep in the other
+        adj = {0: {1}, 1: {0}}
+        dist = bfs_distances(adj, 7, target=0 if pruned else None)
+        assert dist == {7: 0}
+
+    @pytest.mark.parametrize("pruned", [False, True])
+    def test_disconnected_target_absent(self, pruned):
+        adj = adjacency_from_edges(6, [(0, 1), (1, 2), (4, 5)])
+        dist = bfs_distances(adj, 0, target=4 if pruned else None)
+        assert 4 not in dist and 5 not in dist
+
+    def test_pruned_agrees_with_unpruned_at_target(self):
+        edges = gnm_random_graph(30, 50, seed=21)
+        adj = adjacency_from_edges(30, edges)
+        full = bfs_distances(adj, 0)
+        for v in range(30):
+            assert bfs_distances(adj, 0, target=v).get(v) == full.get(v)
+
+    def test_bounded_absent_source(self):
+        assert bfs_distances_bounded({0: {1}, 1: {0}}, 9, 3) == {9: 0}
+
+    @pytest.mark.parametrize("limit", [0, -1, -10])
+    def test_bounded_nonpositive_limit(self, limit):
+        # a non-positive limit must never expand the frontier (it used
+        # to fall through to a full unbounded sweep)
+        adj = adjacency_from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert bfs_distances_bounded(adj, 0, limit) == {0: 0}

@@ -535,3 +535,73 @@ class TestDrain:
             with NetClient(srv.host, srv.port) as c:
                 c.flush()
                 assert c.query("size") > 3
+
+
+# -- batched reads over the wire ----------------------------------------------
+
+
+class TestQueryBatchVerb:
+    def test_values_match_singleton_queries(self):
+        with _manager() as tm, ThreadedServer(tm) as srv:
+            with NetClient(srv.host, srv.port) as c:
+                c.submit("insert", 5, 6)
+                c.flush()
+                items = [("size", None), ("contains", (5, 6)),
+                         ("distance", (0, 2)), ("distance", (10, 20)),
+                         ("connected", (0, 3)), ("distance", (0, 2))]
+                out = c.query_batch(items)
+                assert out["values"] == [
+                    c.query(kind, payload) for kind, payload in items]
+                assert out["stale"] is False
+                assert out["as_of_seq"] == 1
+                # (0, 2) asked twice, (2, 0) would fold in too
+                assert out["unique"] == 5
+                assert out["deduped"] == 1
+
+    def test_empty_batch(self):
+        with _manager() as tm, ThreadedServer(tm) as srv:
+            with NetClient(srv.host, srv.port) as c:
+                out = c.query_batch([])
+                assert out["values"] == []
+                assert out["deduped"] == 0
+
+    def test_unknown_kind_is_bad_request(self):
+        with _manager() as tm, ThreadedServer(tm) as srv:
+            with NetClient(srv.host, srv.port) as c:
+                with pytest.raises(ServerError, match="bad_request"):
+                    c.query_batch([("frobnicate", (0, 1))])
+
+    def test_served_by_read_only_replica(self):
+        with _manager(autostart=False) as tm, ThreadedServer(tm) as srv:
+            svc = tm.get("default").service
+            for i in range(10):
+                svc.submit_update("insert", 4 + i, 5 + i)
+            svc.flush()
+            replica, rsrv = run_replica(srv.host, srv.port,
+                                        listen=("127.0.0.1", 0))
+            try:
+                replica.catch_up()
+                with NetClient(rsrv.host, rsrv.port) as rc:
+                    assert rc.hello["read_only"] is True
+                    out = rc.query_batch(
+                        [("size", None), ("connected", (4, 6))])
+                    assert out["values"] == [rc.query("size"),
+                                             rc.query("connected", (4, 6))]
+                    assert out["stale"] is False
+            finally:
+                rsrv.stop()
+                replica.close()
+
+    def test_shed_batch_carries_retry_after(self):
+        # a whole batch is one admission charge: at zero inflight quota
+        # it sheds exactly like a singleton query, with a retry hint
+        with _manager(admission=AdmissionConfig(
+                max_inflight_queries=0), autostart=False) as tm, \
+                ThreadedServer(tm) as srv:
+            with NetClient(srv.host, srv.port) as c:
+                with pytest.raises(ServerError) as ei:
+                    c.query_batch([("size", None), ("edges", None)])
+                assert ei.value.code == "shed_query"
+                assert ei.value.retry_after > 0
+            ctrl = tm.get("default").service.admission
+            assert ctrl.query_shed_count >= 1

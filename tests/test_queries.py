@@ -1,6 +1,5 @@
 """Tests for the distance and cut query oracles."""
 
-import math
 import random
 
 import numpy as np
@@ -151,3 +150,304 @@ class TestCutOracle:
                 continue
             approx = oracle.cut_value(side)
             assert 0.3 * exact <= approx <= 3.0 * exact
+
+
+# -- the batch query engine ---------------------------------------------------
+
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.connectivity import EulerTourForest  # noqa: E402
+from repro.graph.traversal import bfs_distances_bounded  # noqa: E402
+from repro.oracle.queries import (  # noqa: E402
+    check_query_batch,
+    singleton_answers,
+)
+from repro.queries import (  # noqa: E402
+    QueryBatch,
+    answer_queries,
+    batch_components,
+    batch_connected,
+    batch_connected_forest,
+    batch_distances,
+    batch_find_repr,
+    batch_stretch_check,
+    coalesce_queries,
+    multi_source_bfs,
+)
+
+
+def _edge_set(n, m, seed):
+    return {tuple(e) for e in gnm_random_graph(n, m, seed=seed)}
+
+
+def _adj(edges):
+    adj = {}
+    for a, b in edges:
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set()).add(a)
+    return adj
+
+
+class TestMultiSourceBFS:
+    def test_matches_per_source_bfs(self):
+        edges = _edge_set(30, 45, seed=2)
+        adj = _adj(edges)
+        sources = [0, 3, 3, 7, 29, 11]
+        dist = multi_source_bfs(adj, sources, n=30)
+        for s in set(sources):
+            assert dist[s] == bfs_distances(adj, s)
+
+    def test_bound_caps_levels(self):
+        adj = _adj({(i, i + 1) for i in range(9)})
+        dist = multi_source_bfs(adj, [0], bound=3, n=10)
+        assert dist[0] == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_isolated_source(self):
+        adj = _adj({(0, 1)})
+        dist = multi_source_bfs(adj, [5], n=6)
+        assert dist[5] == {5: 0}
+
+    def test_shared_frontier_cheaper_than_sequential(self):
+        """k clustered sources must not cost k independent sweeps."""
+        edges = _edge_set(60, 120, seed=4)
+        adj = _adj(edges)
+        shared = CostModel()
+        multi_source_bfs(adj, list(range(12)), n=60, cost=shared)
+        separate = CostModel()
+        for s in range(12):
+            multi_source_bfs(adj, [s], n=60, cost=separate)
+        assert shared.work < separate.work
+        assert shared.depth < separate.depth
+
+    def test_target_pruning_settles_targets(self):
+        edges = _edge_set(40, 70, seed=5)
+        adj = _adj(edges)
+        full = bfs_distances(adj, 0)
+        dist = multi_source_bfs(adj, [0], targets={0: [7, 13]}, n=40)
+        for t in (7, 13):
+            assert dist[0].get(t) == full.get(t)
+
+
+class TestBatchPrimitives:
+    def test_batch_distances_matches_singleton(self):
+        edges = _edge_set(35, 50, seed=6)
+        adj = _adj(edges)
+        rng = np.random.default_rng(6)
+        pairs = [tuple(map(int, rng.integers(0, 35, 2))) for _ in range(40)]
+        pairs += [(u, u) for u in range(0, 35, 9)]
+        got = batch_distances(adj, pairs, n=35)
+        for (u, v), d in zip(pairs, got):
+            if u == v:
+                assert d == 0.0
+            else:
+                ref = bfs_distances(adj, u, target=v).get(v) \
+                    if u in adj else None
+                assert d == (float("inf") if ref is None else float(ref))
+
+    def test_batch_connected_matches_components(self):
+        edges = _edge_set(35, 30, seed=7)  # sparse: multiple components
+        adj = _adj(edges)
+        rng = np.random.default_rng(7)
+        pairs = [tuple(map(int, rng.integers(0, 35, 2))) for _ in range(50)]
+        got = batch_connected(adj, pairs, n=35)
+        for (u, v), c in zip(pairs, got):
+            ref = u == v or (
+                u in adj and v in bfs_distances(adj, u, target=v)
+            )
+            assert c == ref
+
+    def test_batch_components_work_independent_of_query_count(self):
+        """The batching dividend: 200 queries cost like 2, not 100x."""
+        edges = _edge_set(80, 120, seed=8)
+        adj = _adj(edges)
+        few = CostModel()
+        batch_components(adj, [0, 1], n=80, cost=few)
+        many = CostModel()
+        batch_components(adj, [i % 80 for i in range(200)], n=80,
+                         cost=many)
+        # labeling floods each touched component once; extra queries only
+        # touch more components, never re-flood one
+        assert many.work <= few.work + 80 * 6 + 200
+
+    def test_batch_find_repr_matches_singleton(self):
+        forest = EulerTourForest(20, seed=3)
+        for u, v in [(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (2, 5)]:
+            forest.link(u, v)
+        verts = [0, 7, 7, 3, 19, 4, 1]
+        assert batch_find_repr(forest, verts) == [
+            forest.find_repr(v) for v in verts
+        ]
+
+    def test_batch_find_repr_memoizes_shared_paths(self):
+        forest = EulerTourForest(64, seed=9)
+        for v in range(1, 64):
+            forest.link(v - 1, v)
+        one = CostModel()
+        batch_find_repr(forest, [0], cost=one)
+        many = CostModel()
+        batch_find_repr(forest, list(range(64)) * 2, cost=many)
+        # every treap node's root path is walked once per batch, so 128
+        # queries on one big tree pay O(arcs) total, not 128 x height
+        assert many.work <= 8 * (3 * 64 + 128)
+
+    def test_batch_connected_forest_matches_singleton(self):
+        forest = EulerTourForest(12, seed=4)
+        for u, v in [(0, 1), (2, 3), (3, 4)]:
+            forest.link(u, v)
+        pairs = [(0, 1), (1, 0), (0, 2), (2, 4), (7, 7), (11, 11), (7, 8)]
+        assert batch_connected_forest(forest, pairs) == [
+            forest.connected(u, v) for u, v in pairs
+        ]
+
+    def test_batch_find_repr_validates_vertices(self):
+        forest = EulerTourForest(5, seed=1)
+        with pytest.raises(ValueError):
+            batch_find_repr(forest, [0, -1])
+        with pytest.raises(ValueError):
+            batch_find_repr(forest, [5])
+
+    def test_batch_stretch_check_matches_per_edge(self):
+        n = 30
+        graph = _edge_set(n, 60, seed=10)
+        spanner = set(sorted(graph)[: len(graph) // 2])
+        sadj = _adj(spanner)
+        stretch = 3.0
+        got = set(batch_stretch_check(graph, sadj, stretch, n=n))
+        expect = set()
+        for u, v in graph:
+            a, b = (u, v) if u <= v else (v, u)
+            d = bfs_distances_bounded(sadj, a, int(stretch)).get(b) \
+                if a in sadj else None
+            if d is None:
+                expect.add((a, b))
+        assert got == expect
+
+    def test_batch_stretch_check_clean_on_spanner(self):
+        n, m, k = 40, 160, 2
+        edges = gnm_random_graph(n, m, seed=3)
+        sp = FullyDynamicSpanner(n, edges, k=k, seed=3, base_capacity=8)
+        sadj = _adj(sp.spanner_edges())
+        assert batch_stretch_check(edges, sadj, 2 * k - 1, n=n) == []
+
+
+class TestCoalesceAndAnswer:
+    def test_coalesce_normalizes_and_dedups(self):
+        items = [
+            ("distance", (3, 1)),
+            ("distance", (1, 3)),
+            ("connected", (1, 3)),
+            ("size", None),
+            ("size", None),
+            ("distance", (3, 1)),
+        ]
+        keys, index = coalesce_queries(items)
+        assert keys == [
+            ("distance", (1, 3)), ("connected", (1, 3)), ("size", None)
+        ]
+        assert index == [0, 0, 1, 2, 2, 0]
+
+    def test_coalesce_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            coalesce_queries([("frobnicate", (1, 2))])
+
+    def test_answer_queries_matches_singleton(self):
+        edges = _edge_set(40, 70, seed=11)
+        adj = _adj(edges)
+        rng = np.random.default_rng(11)
+        items = []
+        for _ in range(60):
+            kind = ("distance", "connected", "contains", "size",
+                    "edges")[int(rng.integers(0, 5))]
+            payload = None if kind in ("size", "edges") else \
+                tuple(map(int, rng.integers(0, 40, 2)))
+            items.append((kind, payload))
+        answers, stats = answer_queries(
+            items, edge_set=edges, adjacency=adj, n=40)
+        assert answers == singleton_answers(items, edges, adj)
+        assert stats.queries == 60
+        assert stats.unique <= 60
+
+    def test_query_batch_dataclass(self):
+        qb = QueryBatch([("size", None), ("size", None)])
+        assert qb.size == 2
+        keys, index = qb.coalesce()
+        assert keys == [("size", None)] and index == [0, 0]
+
+    def test_oracle_check_passes(self):
+        rng = np.random.default_rng(13)
+        edges = _edge_set(25, 40, seed=13)
+        items = [("distance", (1, 2)), ("connected", (0, 24)),
+                 ("contains", (2, 1)), ("size", None)]
+        assert check_query_batch(25, edges, items, rng=rng) == []
+
+
+class TestBatchInvariance:
+    """Batch answers are a pure function of the (snapshot, query) set."""
+
+    @staticmethod
+    def _graph_and_items(n_seed, q_seed):
+        rng = np.random.default_rng(n_seed)
+        n = int(rng.integers(2, 24))
+        m = min(int(rng.integers(0, 3 * n)), n * (n - 1) // 2)
+        edges = _edge_set(n, m, seed=n_seed)
+        qrng = np.random.default_rng(q_seed)
+        items = []
+        for _ in range(int(qrng.integers(1, 24))):
+            kind = ("distance", "connected", "contains", "size",
+                    "edges")[int(qrng.integers(0, 5))]
+            payload = None if kind in ("size", "edges") else \
+                (int(qrng.integers(0, n)), int(qrng.integers(0, n)))
+            items.append((kind, payload))
+        return n, edges, items
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(0, 10**6),
+           st.randoms(use_true_random=False))
+    def test_order_invariant(self, n_seed, q_seed, rnd):
+        n, edges, items = self._graph_and_items(n_seed, q_seed)
+        adj = _adj(edges)
+        base, _ = answer_queries(items, edge_set=edges, adjacency=adj, n=n)
+        perm = list(range(len(items)))
+        rnd.shuffle(perm)
+        shuffled, _ = answer_queries(
+            [items[i] for i in perm], edge_set=edges, adjacency=adj, n=n)
+        assert shuffled == [base[i] for i in perm]
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(0, 10**6),
+           st.integers(1, 3))
+    def test_duplication_invariant(self, n_seed, q_seed, copies):
+        n, edges, items = self._graph_and_items(n_seed, q_seed)
+        adj = _adj(edges)
+        base, base_stats = answer_queries(
+            items, edge_set=edges, adjacency=adj, n=n)
+        rep, rep_stats = answer_queries(
+            items * (copies + 1), edge_set=edges, adjacency=adj, n=n)
+        assert rep == base * (copies + 1)
+        # duplicates coalesce away: unique keys don't grow with copies
+        assert rep_stats.unique == base_stats.unique
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(0, 10**6))
+    def test_matches_singleton_path(self, n_seed, q_seed):
+        n, edges, items = self._graph_and_items(n_seed, q_seed)
+        answers, _ = answer_queries(
+            items, edge_set=edges, adjacency=_adj(edges), n=n)
+        assert answers == singleton_answers(items, edges)
+
+
+class TestBenchQueries:
+    def test_smoke_run_verified(self):
+        from repro.queries.bench import (
+            BenchQueriesConfig,
+            run_bench_queries,
+        )
+
+        rep = run_bench_queries(BenchQueriesConfig(
+            n=48, m=60, requests=300, window=100, seed=9, repeats=1))
+        assert rep.verified, rep.violations
+        assert rep.reads > 0 and rep.writes > 0
+        assert rep.work > 0 and rep.depth > 0
+        assert 0.0 < rep.dedup_ratio <= 1.0

@@ -728,3 +728,159 @@ class TestEngineReplication:
         # no cap configured -> always admitted
         open_ctrl = AdmissionController(AdmissionConfig())
         assert open_ctrl.admit_query(10**6).admitted
+
+
+# -- batched reads ------------------------------------------------------------
+
+
+class TestQueryBatching:
+    def test_query_batch_matches_singleton(self):
+        svc, clk, edges, _ = _local_service(n=40, m=120)
+        import numpy as np
+
+        rng = np.random.default_rng(17)
+        items = [("size", None), ("edges", None)]
+        for _ in range(40):
+            kind = ("distance", "connected", "contains")[
+                int(rng.integers(0, 3))]
+            items.append((kind, tuple(map(int, rng.integers(0, 40, 2)))))
+        results = svc.query_batch(items)
+        for (kind, payload), res in zip(items, results):
+            assert res.value == svc.query(kind, payload)
+            assert res.stale is False
+        svc.close()
+
+    def test_query_batch_accepts_query_batch_object(self):
+        from repro.queries import QueryBatch
+
+        svc, _, _, _ = _local_service()
+        out = svc.query_batch(QueryBatch([("size", None)]))
+        assert out[0].value == svc.query("size")
+        svc.close()
+
+    def test_query_batch_metrics_and_stats(self):
+        svc, _, _, _ = _local_service()
+        svc.query_batch([("size", None), ("size", None),
+                         ("distance", (0, 1)), ("distance", (1, 0))])
+        m = svc.metrics
+        assert m.counter("query_batches").value == 1
+        assert m.counter("requests_query").value == 4
+        assert m.counter("queries_deduped").value == 2
+        assert svc.last_query_stats.queries == 4
+        assert svc.last_query_stats.unique == 2
+        svc.close()
+
+    def test_query_batch_fresh_flushes_first(self):
+        svc, _, edges, _ = _local_service()
+        before = svc.query("size")
+        svc.submit_update("delete", *edges[0])
+        # snapshot consistency: the default answers pre-flush
+        assert svc.query_batch([("size", None)])[0].value == before
+        res = svc.query_batch(
+            [("contains", edges[0])], consistency="fresh")
+        assert res[0].value is False
+        svc.close()
+
+    def test_query_batch_rejects_unknown(self):
+        svc, _, _, _ = _local_service()
+        with pytest.raises(ValueError):
+            svc.query_batch([("nope", (0, 1))])
+        with pytest.raises(ValueError):
+            svc.query_batch([("size", None)], consistency="wat")
+        svc.close()
+
+    def test_submit_query_resolves_on_flush(self):
+        svc, clk, edges, _ = _local_service()
+        pending = svc.submit_query("size")
+        assert not pending.done
+        svc.flush()
+        assert pending.done
+        assert pending.result(timeout=0.1).value == svc.query("size")
+        svc.close()
+
+    def test_submit_query_sees_batched_writes(self):
+        # reads drain *after* the same cycle's updates apply:
+        # the answer reflects the write submitted before the flush
+        svc, _, edges, _ = _local_service()
+        gone = edges[0]
+        p = svc.submit_query("contains", gone)
+        svc.submit_update("delete", *gone)
+        svc.flush()
+        assert p.result(timeout=0.1).value is False
+        svc.close()
+
+    def test_pending_reads_count_toward_flush_trigger(self):
+        svc, clk, _, _ = _local_service(max_batch=4, max_delay=10.0)
+        ps = [svc.submit_query("size") for _ in range(4)]
+        # the 4th enqueued read crossed max_batch: flushed inline
+        assert all(p.done for p in ps)
+        assert svc.metrics.counter("reads_coalesced").value == 4
+        svc.close()
+
+    def test_flush_with_only_pending_reads(self):
+        svc, _, _, _ = _local_service()
+        p = svc.submit_query("connected", (0, 1))
+        assert svc.flush() is not None
+        assert p.done
+        assert svc.flush() is None  # nothing left
+        svc.close()
+
+    def test_pending_query_timeout(self):
+        svc, _, _, _ = _local_service()
+        p = svc.submit_query("size")
+        with pytest.raises(TimeoutError):
+            p.result(timeout=0.01)
+        svc.flush()
+        svc.close()
+
+    def test_stop_drains_pending_reads(self):
+        svc, _, _, _ = _local_service()
+        p = svc.submit_query("size")
+        svc.stop()
+        assert p.done
+        svc.close()
+
+
+class TestStalenessTagRace:
+    def test_stale_tag_sampled_atomically_with_snapshot(self):
+        """Regression: the degraded flag used to be sampled *before*
+        taking the snapshot lock, so a recovery completing (or starting)
+        between the two reads tagged the answer inconsistently.  The tag
+        must reflect the degraded state at snapshot-read time."""
+        svc, _, _, _ = _local_service()
+
+        class FlipOnAcquire:
+            """Proxy lock: degraded flips only once the lock is held."""
+
+            def __init__(self, inner, event):
+                self.inner = inner
+                self.event = event
+
+            def __enter__(self):
+                self.inner.acquire()
+                self.event.set()  # recovery starts "now"
+                return self
+
+            def __exit__(self, *exc):
+                self.inner.release()
+
+        import threading
+
+        svc._snap_lock = FlipOnAcquire(threading.Lock(), svc._degraded)
+        res = svc.query_info("size")
+        # degraded was set before the snapshot was read, so the answer
+        # must carry stale=True; pre-fix code sampled stale=False first
+        assert res.stale is True
+        assert svc.metrics.counter("stale_reads").value == 1
+        svc._degraded.clear()
+        svc.close()
+
+    def test_query_batch_stale_tag_inside_lock(self):
+        svc, _, _, _ = _local_service()
+        svc.set_degraded(True)
+        results = svc.query_batch([("size", None), ("size", None)])
+        assert all(r.stale for r in results)
+        assert svc.metrics.counter("stale_reads").value == 2
+        svc.set_degraded(False)
+        assert not svc.query_batch([("size", None)])[0].stale
+        svc.close()

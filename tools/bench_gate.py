@@ -204,11 +204,44 @@ def bench_srv2_replica_scaling(smoke: bool) -> dict:
     }
 
 
+def bench_srv3_read_mix(smoke: bool) -> dict:
+    """Pinned SRV3 configuration: batched vs query-at-a-time reads on a
+    95/5 read-write mix.  Exact batch/singleton equivalence is asserted
+    on every run; the full run additionally asserts the >=3x speedup
+    acceptance bar, and the batched pass's cost-model work/depth land in
+    the exact-match fields (shared-traversal charging is charge-
+    preserving by construction — per-query sweeps creeping back in would
+    blow the constants, not just the wall clock)."""
+    from repro.queries.bench import BenchQueriesConfig, run_bench_queries
+
+    if smoke:
+        cfg = BenchQueriesConfig(requests=800, repeats=1)
+    else:
+        cfg = BenchQueriesConfig(repeats=3)
+    report = run_bench_queries(cfg)
+    assert report.verified, report.violations
+    if not smoke:
+        assert report.speedup_x >= 3.0, (
+            f"SRV3 speedup bar missed: batched reads only "
+            f"{report.speedup_x:.2f}x the singleton path "
+            "(acceptance requires >=3x)"
+        )
+    return {
+        "ops": report.reads,
+        "ops_per_sec": round(report.batched_rps, 1),
+        "speedup_x": round(report.speedup_x, 2),
+        "work": report.work,
+        "depth": report.depth,
+        "dedup_ratio": round(report.dedup_ratio, 3),
+    }
+
+
 SCENARIOS = {
     "bench_e1": bench_e1_update_throughput,
     "bench_srv_service_throughput": bench_srv_service_throughput,
     "bench_s_substrates": bench_s_substrates,
     "bench_srv2_replica_scaling": bench_srv2_replica_scaling,
+    "bench_srv3_read_mix": bench_srv3_read_mix,
 }
 
 
