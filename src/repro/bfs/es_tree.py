@@ -139,18 +139,22 @@ class BatchDynamicESTree:
         # scan pointer, stored as the parent edge's priority (None = no
         # parent / scan from the start of the list).
         self._scan_pri: list[int | None] = [None] * n
+        def init_attach(v: int) -> None:
+            q = self.in_arr[v].next_with(1, self._parent_pred(v))
+            assert q <= len(self.in_arr[v]), (
+                f"no parent for reachable vertex {v}"
+            )
+            self._attach(v, q)
+
+        candidates = [
+            v for v in range(n)
+            if v != source and 1 <= self.dist[v] <= limit
+        ]
+        # Routed through ParallelScope.map so an installed execution
+        # backend sees the region; the closure mutates shared tree state,
+        # so backends run it inline (charge-identical to the plain loop).
         with cost.parallel() as par:
-            for v in range(n):
-                if v == source or not 1 <= self.dist[v] <= limit:
-                    continue
-                with par.task():
-                    q = self.in_arr[v].next_with(
-                        1, self._parent_pred(v)
-                    )
-                    assert q <= len(self.in_arr[v]), (
-                        f"no parent for reachable vertex {v}"
-                    )
-                    self._attach(v, q)
+            par.map(candidates, init_attach)
 
     # -- helpers ---------------------------------------------------------
 
@@ -238,11 +242,16 @@ class BatchDynamicESTree:
             bucket = buckets.pop(i, None)
             if not bucket:
                 continue
+            # One parallel level scan, routed through the backend seam
+            # (inline under any backend: _process_vertex mutates the
+            # shared tree, so it is not shippable to worker processes).
             with self._cost.parallel() as par:
-                for v in sorted(bucket):
-                    with par.task():
-                        self._process_vertex(v, i, orphan, changes,
-                                             old_parent, old_dist)
+                par.map(
+                    sorted(bucket),
+                    lambda v: self._process_vertex(
+                        v, i, orphan, changes, old_parent, old_dist
+                    ),
+                )
         assert not buckets, f"unprocessed buckets at levels {sorted(buckets)}"
         return changes
 

@@ -15,6 +15,7 @@ Examples
     python -m repro.cli serve     --listen 127.0.0.1:7421
     python -m repro.cli replica   --primary 127.0.0.1:7421 --listen :7422
     python -m repro.cli bench-net --replicas 3 --smoke
+    python -m repro.cli bench-parallel --procs 1,2,4 --smoke
     python -m repro.cli chaos     --smoke
 
 Each structure command builds the structure, drives the requested update
@@ -328,6 +329,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         wal_dir=args.wal_dir,
         checkpoint_interval=args.checkpoint_interval,
+        parallel=args.parallel,
     )
 
     # SIGTERM behaves like Ctrl-C: the driver drains admitted updates,
@@ -520,6 +522,7 @@ def _cmd_bench_queries(args: argparse.Namespace) -> int:
         window=args.window,
         seed=args.seed,
         repeats=1 if args.smoke else args.repeats,
+        parallel=args.parallel,
     )
     report = run_bench_queries(cfg)
     payload = report.to_dict()
@@ -543,6 +546,51 @@ def _cmd_bench_queries(args: argparse.Namespace) -> int:
               f"{args.min_speedup:.1f}x")
         return 1
     return 0
+
+
+def _cmd_bench_parallel(args: argparse.Namespace) -> int:
+    """PAR1 processor sweep: measured speedup vs Brent (see
+    docs/parallel.md)."""
+    import json
+
+    from repro.parallel.bench import (
+        BenchParallelConfig,
+        render_report,
+        run_bench_parallel,
+    )
+
+    try:
+        procs = tuple(
+            sorted({int(p) for p in args.procs.split(",") if p.strip()})
+        )
+    except ValueError:
+        print(f"--procs must be a comma-separated list of ints, "
+              f"got {args.procs!r}", file=sys.stderr)
+        return 2
+    if not procs or min(procs) < 1:
+        print("--procs needs at least one processor count >= 1",
+              file=sys.stderr)
+        return 2
+    cfg = BenchParallelConfig(
+        n=args.n,
+        m=args.m,
+        sources=args.sources,
+        queried=args.queried,
+        procs=procs,
+        unit_cost_us=args.unit_cost_us,
+        repeats=args.repeats,
+        min_items=args.min_items,
+        seed=args.seed,
+        pure=args.pure,
+        min_speedup=args.min_speedup,
+        smoke=args.smoke,
+    )
+    report = run_bench_parallel(cfg)
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(render_report(report))
+    return 0 if report["pass"] else 1
 
 
 def _print_chaos_json(report) -> int:
@@ -823,6 +871,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "rerunning with the same directory resumes")
     p.add_argument("--checkpoint-interval", type=int, default=64,
                    help="commits between checkpoints (with --wal-dir)")
+    p.add_argument("--parallel", type=int, default=0, metavar="N",
+                   help="answer batched reads over an N-worker process "
+                        "pool (N >= 2; answers and charges are identical "
+                        "to the default inline path)")
     p.add_argument("--listen", type=str, default=None, metavar="HOST:PORT",
                    help="serve over TCP instead of the synthetic driver "
                         "(port 0 = ephemeral, announced as NET-LISTEN)")
@@ -899,11 +951,46 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timing repeats (best-of)")
     p.add_argument("--min-speedup", type=float, default=3.0,
                    help="acceptance bar on batched/singleton throughput")
+    p.add_argument("--parallel", type=int, default=0, metavar="N",
+                   help="also time a third pass through an N-worker "
+                        "process pool (N >= 2; informational, no bar)")
     p.add_argument("--smoke", action="store_true",
                    help="CI mode: <=800 requests, no speedup bar")
     p.add_argument("--json", action="store_true",
                    help="print the report as JSON")
     p.set_defaults(func=_cmd_bench_queries)
+
+    p = sub.add_parser(
+        "bench-parallel",
+        help="PAR1: processor sweep over the pool-backed kernels — "
+             "measured wall-clock speedup vs the Brent bound W/p + D, "
+             "with charge-pin verification",
+    )
+    p.add_argument("--n", type=int, default=4000, help="vertex count")
+    p.add_argument("--m", type=int, default=16000, help="edge count")
+    p.add_argument("--sources", type=int, default=24,
+                   help="multi-source BFS wave count")
+    p.add_argument("--queried", type=int, default=48,
+                   help="component-labeling query vertices")
+    p.add_argument("--procs", type=str, default="1,2,4,8",
+                   help="comma-separated processor counts to sweep")
+    p.add_argument("--unit-cost-us", type=float, default=15.0,
+                   help="pinned microseconds per charged work unit "
+                        "(the SRV2 convention; 0 = raw CPU only)")
+    p.add_argument("--repeats", type=int, default=2,
+                   help="timing repeats (best-of)")
+    p.add_argument("--min-items", type=int, default=32,
+                   help="rounds smaller than this expand inline")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--min-speedup", type=float, default=2.0,
+                   help="acceptance bar at p=4 on at least one kernel")
+    p.add_argument("--pure", action="store_true",
+                   help="also sweep with unit cost 0 (raw CPU time)")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI mode: small graph, p<=2, no speedup bar")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON")
+    p.set_defaults(func=_cmd_bench_parallel)
 
     p = sub.add_parser(
         "chaos",

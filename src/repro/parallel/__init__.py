@@ -1,0 +1,33 @@
+"""Real parallel execution for the charged work/depth model.
+
+``repro.pram`` charges parallelism; this package executes it.  See
+:mod:`repro.parallel.backend` for the contract and ``docs/parallel.md``
+for the design discussion.
+"""
+
+from .backend import (
+    ChunkResult,
+    ExecutionBackend,
+    SequentialBackend,
+    is_shippable,
+    resolve_backend,
+    wants_cost,
+)
+from .kernels import (
+    parallel_batch_components,
+    parallel_multi_source_bfs,
+)
+from .pool import PoolError, ProcessPoolBackend
+
+__all__ = [
+    "ChunkResult",
+    "ExecutionBackend",
+    "SequentialBackend",
+    "ProcessPoolBackend",
+    "PoolError",
+    "is_shippable",
+    "wants_cost",
+    "resolve_backend",
+    "parallel_batch_components",
+    "parallel_multi_source_bfs",
+]

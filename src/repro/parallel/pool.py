@@ -1,0 +1,388 @@
+"""Persistent process-pool execution backend.
+
+Design notes
+------------
+* **Persistent workers.**  ``workers`` processes are forked (or spawned,
+  where fork is unavailable) once at construction and reused for every
+  dispatch; per-dispatch cost is one pickle round-trip per task, not a
+  process start.
+* **Per-worker pipes for tasks, one shared queue for results.**  Tasks are
+  only ever sent to an *idle* worker (at most one in flight per worker),
+  so a task send can never deadlock against a worker blocked on a result
+  write: the target worker is always draining its pipe.  Results carry the
+  task id, so completion order is irrelevant.
+* **Deterministic charge merge.**  Each task executes under a fresh
+  per-worker :class:`~repro.pram.cost.CostModel`; the worker reports the
+  branch's ``(work, depth)`` alongside its value.  The parent merges the
+  reports **in canonical task order** via
+  :meth:`~repro.pram.cost.ParallelScope.absorb` — and since the merge rule
+  is a commutative sum/max, the totals equal the sequential backend's no
+  matter how the OS interleaves workers.
+* **Broadcast cache.**  :meth:`put_shared` publishes large read-only
+  payloads (e.g. an adjacency structure) to every worker once per version;
+  kernels receive them by key instead of re-pickling per task.
+* **Inline fallback.**  Closures / bound methods cannot ship to another
+  process; ``map_scope`` detects this (:func:`~repro.parallel.backend.
+  is_shippable`) and runs them inline, charge-identically — this is the
+  documented boundary for the shared-mutation kernels in ``es_tree`` and
+  ``shift_clustering``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import traceback
+from typing import Any, Callable, Iterable, Sequence
+
+from ..pram.cost import CostModel, ParallelScope
+from .backend import (
+    ChunkResult,
+    ExecutionBackend,
+    _arg_size,
+    is_shippable,
+    wants_cost,
+)
+
+__all__ = ["ProcessPoolBackend", "PoolError"]
+
+_QUEUE_POLL_S = 1.0
+_JOIN_TIMEOUT_S = 5.0
+
+
+class PoolError(RuntimeError):
+    """A worker failed: task raised, or the process died."""
+
+
+def _worker_main(worker_id: int, conn, results) -> None:
+    """Worker loop: receive messages on ``conn``, put results on the shared
+    ``results`` queue.  Runs until a ``stop`` message or EOF."""
+    shared: dict[str, Any] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        tag = msg[0]
+        if tag == "stop":
+            return
+        if tag == "put":
+            _, key, value = msg
+            shared[key] = value
+            continue
+        # ("task", task_id, mode, fn, payload, shared_keys, pass_cost, unit_cost)
+        _, task_id, mode, fn, payload, shared_keys, pass_cost, unit_cost = msg
+        t0 = time.perf_counter()
+        try:
+            shared_view = {k: shared[k] for k in shared_keys}
+            if mode == "chunk":
+                cm = CostModel()
+                with cm.frame() as fr:
+                    value = fn(payload, shared_view, cost=cm)
+                if unit_cost > 0.0 and fr.work > 0:
+                    time.sleep(fr.work * unit_cost)
+                out: Any = (value, fr.work, fr.depth)
+            else:  # mode == "scope": payload is a list of items
+                triples = []
+                for item in payload:
+                    cm = CostModel()
+                    with cm.frame() as fr:
+                        value = fn(item, cost=cm) if pass_cost else fn(item)
+                    if unit_cost > 0.0 and fr.work > 0:
+                        time.sleep(fr.work * unit_cost)
+                    triples.append((value, fr.work, fr.depth))
+                out = triples
+            busy = time.perf_counter() - t0
+            results.put(("ok", worker_id, task_id, out, busy))
+        except BaseException as exc:  # noqa: BLE001 - report, don't die
+            results.put(
+                ("err", worker_id, task_id, repr(exc), traceback.format_exc())
+            )
+
+
+def _pick_context() -> mp.context.BaseContext:
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return mp.get_context("spawn")
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Execute charged parallel regions across persistent worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (>= 1).  Note real CPU speedup also
+        requires that many cores; the pinned ``unit_cost_s`` emulation
+        measures schedule-level speedup regardless (see
+        :mod:`repro.parallel.backend`).
+    unit_cost_s / min_items:
+        See :class:`~repro.parallel.backend.ExecutionBackend`.
+    chunks_per_worker:
+        Target number of chunks per worker for ``map_scope`` (over-split a
+        little so stragglers rebalance); task granularity is observable via
+        the bound metrics.
+    """
+
+    name = "process-pool"
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        unit_cost_s: float = 0.0,
+        min_items: int = 1,
+        chunks_per_worker: int = 4,
+    ) -> None:
+        super().__init__(unit_cost_s=unit_cost_s, min_items=min_items)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.chunks_per_worker = max(1, int(chunks_per_worker))
+        self._closed = False
+        self._inflight = 0
+        self._shared: dict[str, Any] = {}
+        ctx = _pick_context()
+        self._results = ctx.Queue()
+        self._procs = []
+        self._conns = []
+        for wid in range(workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(wid, child_conn, self._results),
+                daemon=True,
+                name=f"repro-pool-{wid}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return len(self._procs)
+
+    def close(self) -> None:
+        """Stop every worker, join the processes, release pipes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + _JOIN_TIMEOUT_S
+        for proc in self._procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._results.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise PoolError("ProcessPoolBackend is closed")
+
+    # -- shared payloads --------------------------------------------------
+
+    def _publish_shared(self, key: str, value: Any) -> None:
+        self._check_open()
+        if self._inflight:
+            raise PoolError("put_shared while tasks are in flight")
+        self._shared[key] = value
+        for conn in self._conns:
+            conn.send(("put", key, value))
+
+    def get_shared(self, key: str) -> Any:
+        """Return the parent-side copy of a broadcast payload."""
+        return self._shared[key]
+
+    # -- dispatch core ----------------------------------------------------
+
+    def _dispatch(
+        self,
+        mode: str,
+        fn: Callable[..., Any],
+        payloads: Sequence[Any],
+        shared_keys: Sequence[str],
+        pass_cost: bool,
+        order: Sequence[int] | None = None,
+        pinned: bool = False,
+    ) -> tuple[list[Any], list[float], float]:
+        """Run one task per payload; return (results in payload order,
+        per-task busy seconds, wall seconds).
+
+        ``order`` optionally permutes *dispatch* order (a test hook proving
+        merge determinism); results always come back in payload order.
+        ``pinned`` routes task ``i`` to worker ``i`` (required by kernels
+        whose workers hold per-sweep mirror state); it needs
+        ``len(payloads) <= workers`` and quiescent workers, both of which
+        hold between frontier rounds.
+        """
+        self._check_open()
+        n = len(payloads)
+        results: list[Any] = [None] * n
+        busy: list[float] = [0.0] * n
+        if n == 0:
+            return results, busy, 0.0
+        if pinned and n > len(self._procs):
+            raise ValueError("pinned dispatch needs len(payloads) <= workers")
+        t0 = time.perf_counter()
+        queue_order = list(order) if order is not None else list(range(n))
+        if sorted(queue_order) != list(range(n)):
+            raise ValueError("order must be a permutation of the task ids")
+        pending = iter(queue_order)
+        idle = list(range(len(self._procs)))
+        outstanding = 0
+        error: tuple[str, str] | None = None
+        self._inflight = n
+
+        def send_next() -> bool:
+            nonlocal outstanding
+            if error is not None or not idle:
+                return False
+            try:
+                task_id = next(pending)
+            except StopIteration:
+                return False
+            if pinned:
+                wid = task_id
+                idle.remove(wid)
+            else:
+                wid = idle.pop()
+            self._conns[wid].send(
+                (
+                    "task",
+                    task_id,
+                    mode,
+                    fn,
+                    payloads[task_id],
+                    tuple(shared_keys),
+                    pass_cost,
+                    self.unit_cost_s,
+                )
+            )
+            outstanding += 1
+            return True
+
+        try:
+            while send_next():
+                pass
+            done = 0
+            while done < n:
+                if outstanding == 0:
+                    break  # error path: nothing left in flight
+                try:
+                    msg = self._results.get(timeout=_QUEUE_POLL_S)
+                except Exception:
+                    dead = [p.name for p in self._procs if not p.is_alive()]
+                    if dead:
+                        raise PoolError(
+                            f"worker process(es) died: {', '.join(dead)}"
+                        ) from None
+                    continue
+                outstanding -= 1
+                if msg[0] == "ok":
+                    _, wid, task_id, out, busy_s = msg
+                    results[task_id] = out
+                    busy[task_id] = busy_s
+                    idle.append(wid)
+                    done += 1
+                    send_next()
+                else:
+                    _, wid, task_id, exc_repr, tb = msg
+                    idle.append(wid)
+                    done += 1
+                    if error is None:
+                        error = (exc_repr, tb)
+        finally:
+            self._inflight = 0
+        wall = time.perf_counter() - t0
+        if error is not None:
+            exc_repr, tb = error
+            raise PoolError(
+                f"task raised {exc_repr} in worker\n--- worker traceback ---\n{tb}"
+            )
+        return results, busy, wall
+
+    # -- execution API ----------------------------------------------------
+
+    def map_scope(
+        self,
+        model: CostModel,
+        scope: ParallelScope,
+        items: Iterable[Any],
+        fn: Callable[..., Any],
+    ) -> list[Any]:
+        """Fan branches across workers; absorb each (work, depth) into scope.
+
+        Unshippable functions and undersized batches run inline (still
+        charge-identical); shippable batches are split into contiguous
+        chunks and merged back in canonical item order.
+        """
+        seq = list(items)
+        if not seq:
+            return []
+        if not is_shippable(fn) or len(seq) < self.min_items:
+            out = self._run_scope_inline(model, scope, seq, fn)
+            self._record_fallback(len(seq))
+            return out
+        pass_cost = wants_cost(fn)
+        chunk = max(
+            1,
+            self.min_items,
+            -(-len(seq) // (self.workers * self.chunks_per_worker)),
+        )
+        payloads = [seq[i : i + chunk] for i in range(0, len(seq), chunk)]
+        raw, busy, wall = self._dispatch("scope", fn, payloads, (), pass_cost)
+        out: list[Any] = []
+        merge = model.enabled
+        for triples in raw:
+            for value, work, depth in triples:
+                out.append(value)
+                if merge:
+                    scope.absorb(work, depth)
+        self._record_dispatch(
+            len(payloads), [len(p) for p in payloads], wall, sum(busy)
+        )
+        return out
+
+    def map_chunks(
+        self,
+        fn: Callable[..., Any],
+        chunk_args: Sequence[Any],
+        *,
+        shared_keys: Sequence[str] = (),
+        cost_enabled: bool = True,
+        order: Sequence[int] | None = None,
+        pinned: bool = False,
+    ) -> list[ChunkResult]:
+        """Run each kernel chunk on a worker against broadcast shared state."""
+        raw, busy, wall = self._dispatch(
+            "chunk", fn, list(chunk_args), shared_keys, True, order, pinned
+        )
+        out = [
+            ChunkResult(value, work, depth, b)
+            for (value, work, depth), b in zip(raw, busy)
+        ]
+        self._record_dispatch(
+            len(out), [_arg_size(a) for a in chunk_args], wall, sum(busy)
+        )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        state = "closed" if self._closed else "open"
+        return (
+            f"ProcessPoolBackend(workers={self.workers}, "
+            f"unit_cost_s={self.unit_cost_s}, {state}, pid={os.getpid()})"
+        )

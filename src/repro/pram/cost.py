@@ -19,6 +19,14 @@ harness records ``(work, depth)`` per batch and checks the claimed scaling
 shapes.  Brent's bound [Bre74] converts the pair into a simulated runtime for
 any processor count: ``time(p) <= work/p + depth``.
 
+Charging and execution are decoupled: by default every region runs inline
+(sequentially), but :meth:`CostModel.set_backend` installs an execution
+backend from :mod:`repro.parallel` through which :meth:`CostModel.pfor` /
+:meth:`ParallelScope.map` branches actually execute — on worker processes
+for :class:`repro.parallel.ProcessPoolBackend` — while merging per-branch
+charges with the identical sum/max rule, so charged totals never depend on
+the backend.
+
 Example
 -------
 >>> cm = CostModel()
@@ -123,12 +131,35 @@ class ParallelScope:
         return _Task(self)
 
     def map(self, items: Iterable[T], fn: Callable[[T], U]) -> list[U]:
-        """Apply ``fn`` to each item, each call in its own parallel task."""
+        """Apply ``fn`` to each item, each call in its own parallel task.
+
+        When an execution backend is installed on the model (see
+        :meth:`CostModel.set_backend`), the map is routed through it so the
+        branches may *actually* run on worker processes; the merged charges
+        are identical either way (work sums, depth maxes).
+        """
+        backend = self._model._exec_backend
+        if backend is not None:
+            return backend.map_scope(self._model, self, items, fn)
         out: list[U] = []
         for item in items:
             with self.task():
                 out.append(fn(item))
         return out
+
+    def absorb(self, work: int, depth: int) -> None:
+        """Merge the charges of one externally-executed branch.
+
+        Equivalent to a :meth:`task` whose body charged exactly
+        ``(work, depth)``: the branch's work adds to the region total and
+        its depth raises the region max.  Execution backends use this to
+        fold per-worker cost-model totals back into the parent region;
+        because the merge is a commutative sum/max, the result is
+        deterministic regardless of task completion order.
+        """
+        self._work += work
+        if depth > self._max_depth:
+            self._max_depth = depth
 
     def _total(self) -> tuple[int, int]:
         return (self._work, self._max_depth)
@@ -144,9 +175,32 @@ class CostModel:
 
     enabled: bool = True
 
+    #: Optional execution backend (see :mod:`repro.parallel`).  ``None`` —
+    #: the default, and the only mode the charge pins in
+    #: ``BENCH_hotpath.json`` are recorded under — keeps the historical
+    #: inline execution.  A class attribute so that existing call sites
+    #: (and :data:`NULL_COST_MODEL`) need no ``__init__`` change.
+    _exec_backend = None
+
     def __init__(self) -> None:
         self._root = _Frame()
         self._stack: list[_Frame] = [self._root]
+
+    def set_backend(self, backend) -> None:
+        """Install (or with ``None``, remove) an execution backend.
+
+        Subsequent :meth:`pfor` / :meth:`ParallelScope.map` calls route
+        their branches through ``backend`` (any object implementing the
+        :class:`repro.parallel.ExecutionBackend` contract).  Charged totals
+        are unchanged by construction: the backend merges each branch's
+        ``(work, depth)`` with the same sum/max rule the inline path uses.
+        """
+        self._exec_backend = backend
+
+    @property
+    def backend(self):
+        """The installed execution backend, or ``None`` (inline)."""
+        return self._exec_backend
 
     # -- charging ---------------------------------------------------------
 
@@ -333,7 +387,14 @@ NULL_COST_MODEL = _NullCostModel()
 
 def brent_time(cost: Cost, processors: int) -> float:
     """Brent's theorem [Bre74]: greedy-schedule runtime upper bound
-    ``work/p + depth`` for ``p`` processors."""
-    if processors < 1:
-        raise ValueError("processors must be >= 1")
+    ``work/p + depth`` for ``p`` processors.
+
+    Raises :class:`ValueError` for ``processors <= 0`` — a zero processor
+    count would otherwise divide by zero, and a negative one would return a
+    nonsensical negative "time".
+    """
+    if processors <= 0:
+        raise ValueError(
+            f"processors must be >= 1, got {processors!r}"
+        )
     return cost.work / processors + cost.depth

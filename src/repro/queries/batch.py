@@ -79,6 +79,8 @@ def multi_source_bfs(
     bound: int | None = None,
     n: int | None = None,
     cost: CostModel = NULL_COST_MODEL,
+    backend=None,
+    adj_version: Any = None,
 ) -> dict[int, dict[int, int]]:
     """k-source level-synchronous BFS sharing frontier expansion.
 
@@ -99,7 +101,21 @@ def multi_source_bfs(
     Returns ``{source: {vertex: distance}}``; unreached vertices absent.
     Duplicate sources are deduplicated; a source absent from a dict
     adjacency simply has no neighbors.
+
+    ``backend`` (an :class:`repro.parallel.ExecutionBackend`) executes the
+    frontier rounds across worker processes.  Answers are identical either
+    way; charges are too when no targets are given.  With targets *and* a
+    recording cost model the sweep stays sequential — mid-round target
+    pruning makes the charged scan count depend on scan order, and the
+    canonical (pinned) charges are the sequential ones.
     """
+    if backend is not None and (targets is None or not cost.enabled):
+        from repro.parallel.kernels import parallel_multi_source_bfs
+
+        return parallel_multi_source_bfs(
+            backend, adj, sources, targets=targets, bound=bound, n=n,
+            cost=cost, adj_version=adj_version,
+        )
     neighbors = _neighbor_lookup(adj)
     srcs = list(dict.fromkeys(sources))
     k = len(srcs)
@@ -168,6 +184,8 @@ def batch_distances(
     *,
     n: int | None = None,
     cost: CostModel = NULL_COST_MODEL,
+    backend=None,
+    adj_version: Any = None,
 ) -> list[float]:
     """Distances for many ``(u, v)`` pairs from one shared sweep.
 
@@ -187,7 +205,7 @@ def batch_distances(
     cost.charge_hash_op(len(pairs))  # pair normalization + source grouping
     dist = multi_source_bfs(
         adj, list(want), targets={s: set(t) for s, t in want.items()},
-        n=n, cost=cost,
+        n=n, cost=cost, backend=backend, adj_version=adj_version,
     ) if want else {}
     out: list[float] = []
     for a, b in keys:
@@ -205,6 +223,8 @@ def batch_components(
     *,
     n: int | None = None,
     cost: CostModel = NULL_COST_MODEL,
+    backend=None,
+    adj_version: Any = None,
 ) -> dict[int, int]:
     """Component label for each queried vertex; touched components flood once.
 
@@ -213,7 +233,17 @@ def batch_components(
     work is bounded by the size of the *touched* components — independent
     of how many queries land in them — which is the whole dividend of
     batching connectivity reads.
+
+    With a ``backend``, floods expand chunk-parallel across workers; the
+    per-round scan count is partition-invariant, so answers *and* charges
+    match the sequential path exactly in every mode.
     """
+    if backend is not None:
+        from repro.parallel.kernels import parallel_batch_components
+
+        return parallel_batch_components(
+            backend, adj, vertices, n=n, cost=cost, adj_version=adj_version,
+        )
     neighbors = _neighbor_lookup(adj)
     logn = _log_n(adj, n)
     comp: dict[int, int] = {}
@@ -243,6 +273,8 @@ def batch_connected(
     *,
     n: int | None = None,
     cost: CostModel = NULL_COST_MODEL,
+    backend=None,
+    adj_version: Any = None,
 ) -> list[bool]:
     """Connectivity for many pairs via :func:`batch_components`."""
     verts: list[int] = []
@@ -251,7 +283,9 @@ def batch_connected(
             verts.append(u)
             verts.append(v)
     cost.charge_hash_op(len(pairs))
-    comp = batch_components(adj, verts, n=n, cost=cost)
+    comp = batch_components(
+        adj, verts, n=n, cost=cost, backend=backend, adj_version=adj_version
+    )
     return [u == v or comp[u] == comp[v] for u, v in pairs]
 
 
@@ -332,6 +366,8 @@ def batch_stretch_check(
     *,
     n: int | None = None,
     cost: CostModel = NULL_COST_MODEL,
+    backend=None,
+    adj_version: Any = None,
 ) -> list[Edge]:
     """Check ``dist_H(u, v) <= stretch`` for a batch of graph edges.
 
@@ -354,7 +390,8 @@ def batch_stretch_check(
     dist = multi_source_bfs(
         spanner_adj, list(want),
         targets={s: set(t) for s, t in want.items()},
-        bound=bound, n=n, cost=cost,
+        bound=bound, n=n, cost=cost, backend=backend,
+        adj_version=adj_version,
     ) if want else {}
     return [
         (a, b) for a, b in keys if a != b and dist[a].get(b) is None
@@ -447,6 +484,8 @@ def answer_queries(
     adjacency: Adjacency,
     n: int | None = None,
     cost: CostModel = NULL_COST_MODEL,
+    backend=None,
+    adj_version: Any = None,
 ) -> tuple[list[Any], BatchQueryStats]:
     """Answer a whole query batch from one snapshot via shared traversals.
 
@@ -474,10 +513,14 @@ def answer_queries(
     answers: dict[tuple[str, Any], Any] = {}
     with cost.frame() as fr:
         cost.charge_hash_op(len(items))  # key dedup semisort
-        dists = batch_distances(adjacency, dist_pairs, n=n, cost=cost) \
-            if dist_pairs else []
-        conns = batch_connected(adjacency, conn_pairs, n=n, cost=cost) \
-            if conn_pairs else []
+        dists = batch_distances(
+            adjacency, dist_pairs, n=n, cost=cost,
+            backend=backend, adj_version=adj_version,
+        ) if dist_pairs else []
+        conns = batch_connected(
+            adjacency, conn_pairs, n=n, cost=cost,
+            backend=backend, adj_version=adj_version,
+        ) if conn_pairs else []
         di = ci = 0
         for key in keys:
             kind, payload = key

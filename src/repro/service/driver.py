@@ -86,6 +86,13 @@ class ServeConfig:
     tick: float = 2e-5
     burst_every: int = 1000
     burst_size: int = 300
+    # real parallelism: with parallel >= 2 the engine owns a
+    # ProcessPoolBackend with that many workers, batched reads expand
+    # their BFS/flood rounds across it, and the demo driver parks reads
+    # via submit_query so they drain through query_batch (the pool path)
+    # instead of the singleton query API.  Answers and recorded charges
+    # are identical either way.
+    parallel: int = 0
 
 
 @dataclass
@@ -119,11 +126,20 @@ def run_serve(cfg: ServeConfig, verify: bool = True) -> ServeReport:
     """Run the full demo; returns the report (never prints)."""
     report = ServeReport(config=cfg)
     executor = recovery = None
+    parallel_backend = None
     try:
         initial_edges, requests = request_stream(
             cfg.n, cfg.m, cfg.requests, seed=cfg.seed,
             query_prob=cfg.query_prob, churn_prob=cfg.churn_prob,
         )
+        if cfg.parallel and cfg.parallel >= 2:
+            # fork the pool before the executor/recovery machinery spins
+            # up any threads of its own
+            from repro.parallel import ProcessPoolBackend
+
+            parallel_backend = ProcessPoolBackend(
+                cfg.parallel, min_items=32
+            )
         spec: dict[str, Any] = {
             "kind": cfg.backend, "n": cfg.n, "edges": initial_edges,
             "seed": cfg.seed + 1000,
@@ -174,6 +190,7 @@ def run_serve(cfg: ServeConfig, verify: bool = True) -> ServeReport:
             ),
             clock=clock.now,
             recovery=recovery,
+            parallel=parallel_backend,
         )
     except KeyboardInterrupt:
         # interrupt before serving even started (workload generation or
@@ -182,6 +199,8 @@ def run_serve(cfg: ServeConfig, verify: bool = True) -> ServeReport:
         report.interrupted = True
         if executor is not None:
             executor.close()
+        if parallel_backend is not None:
+            parallel_backend.close()
         if recovery is not None:
             recovery.close()
         return report
@@ -199,7 +218,12 @@ def run_serve(cfg: ServeConfig, verify: bool = True) -> ServeReport:
                 service.pump()
                 if op == "query":
                     u, v = payload
-                    service.query("distance", (u, v))
+                    if parallel_backend is not None:
+                        # park the read; it drains through query_batch
+                        # (the pool-backed path) at the next flush cycle
+                        service.submit_query("distance", (u, v))
+                    else:
+                        service.query("distance", (u, v))
                     report.queries += 1
                 else:
                     resp = service.submit_update(op, *payload)

@@ -275,8 +275,15 @@ class SpannerService:
         metrics: MetricsRegistry | None = None,
         clock: Callable[[], float] = time.monotonic,
         recovery=None,
+        parallel=None,
     ) -> None:
         self.executor = executor
+        # Optional execution backend (repro.parallel.ExecutionBackend) for
+        # the batched read path: query_batch traversals expand frontier
+        # rounds across its workers.  The engine owns it: close() closes
+        # it.  Answers are identical with or without it; recorded charges
+        # are too (see repro.queries.batch.multi_source_bfs).
+        self.parallel_backend = parallel
         self.config = config or ServiceConfig()
         self.metrics = metrics or MetricsRegistry()
         # hot-path metric handles, resolved once instead of a registry
@@ -291,6 +298,8 @@ class SpannerService:
         self._m_queries_deduped = m.counter("queries_deduped")
         self._m_reads_coalesced = m.counter("reads_coalesced")
         self._m_query_batch_size = m.histogram("query_batch_size")
+        if parallel is not None:
+            parallel.bind_metrics(m)
         self._m_offer: dict[str, Any] = {}
         self._m_queue_depth = m.gauge("queue_depth")
         self._clock = clock
@@ -483,6 +492,8 @@ class SpannerService:
                 edge_set=self._snapshot,
                 adjacency=self._adjacency(),
                 cost=cost or NULL_COST_MODEL,
+                backend=self.parallel_backend,
+                adj_version=self._snapshot_seq,
             )
         self._m_queries_deduped.inc(stats.queries - stats.unique)
         self.last_query_stats = stats
@@ -809,6 +820,8 @@ class SpannerService:
                 self.checkpoint()
         finally:
             self.executor.close()
+            if self.parallel_backend is not None:
+                self.parallel_backend.close()
             if self.recovery is not None:
                 self.recovery.close()
 

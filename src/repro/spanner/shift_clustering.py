@@ -371,15 +371,23 @@ class ShiftedClustering:
                         # (sum-work, max-depth) total unchanged.
                         new_pri = self._composite(newc, v)
                         edge_pri = self.es.edge_pri
+                        # Each branch re-keys a distinct (v, w) edge, so
+                        # the skip test commutes with the rekeys and the
+                        # loop routes through the backend seam as a map
+                        # (inline under any backend: _rekey_edge mutates
+                        # the shared ES tree).
+                        ws = [
+                            w for w in sorted(self.es.out_adj[v])
+                            if w < self.n and edge_pri[(v, w)] != new_pri
+                        ]
                         with self._cost.parallel() as inner:
-                            for w in sorted(self.es.out_adj[v]):
-                                if w >= self.n or edge_pri[(v, w)] == new_pri:
-                                    continue
-                                with inner.task():
-                                    self._rekey_edge(
-                                        v, w, new_pri, queue, queued,
-                                        tree_changes,
-                                    )
+                            inner.map(
+                                ws,
+                                lambda w: self._rekey_edge(
+                                    v, w, new_pri, queue, queued,
+                                    tree_changes,
+                                ),
+                            )
         self.total_cluster_changes += len(cluster_changes)
         return tree_changes, cluster_changes
 

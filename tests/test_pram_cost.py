@@ -197,9 +197,12 @@ class TestBrent:
     def test_many_processors_approaches_depth(self):
         assert brent_time(Cost(1000, 7), 10**9) == pytest.approx(7.0, abs=1e-5)
 
-    def test_invalid_processors(self):
-        with pytest.raises(ValueError):
-            brent_time(Cost(1, 1), 0)
+    @pytest.mark.parametrize("processors", [0, -1, -100])
+    def test_invalid_processors(self, processors):
+        # regression: p=0 used to ZeroDivisionError and p<0 returned a
+        # nonsensical negative time; both must be a ValueError
+        with pytest.raises(ValueError, match="processors"):
+            brent_time(Cost(1, 1), processors)
 
 
 class TestLog2Ceil:
@@ -244,3 +247,55 @@ class TestExceptionSafety:
         except KeyError:
             pass
         assert len(cm._stack) == 1
+
+
+class TestBackendRouting:
+    """set_backend decouples execution from charging (repro.parallel)."""
+
+    class _Recorder:
+        """Minimal ExecutionBackend stand-in: runs inline via absorb."""
+
+        def __init__(self):
+            self.calls = 0
+
+        def map_scope(self, model, scope, items, fn):
+            self.calls += 1
+            out = []
+            for item in items:
+                out.append(fn(item))
+                scope.absorb(2, 1)  # pretend each branch charged (2, 1)
+            return out
+
+    def test_default_is_inline(self):
+        assert CostModel().backend is None
+
+    def test_map_routes_through_backend(self):
+        cm = CostModel()
+        rec = self._Recorder()
+        cm.set_backend(rec)
+        assert cm.backend is rec
+        out = cm.pfor([1, 2, 3], lambda x: x + 1)
+        assert out == [2, 3, 4]
+        assert rec.calls == 1
+        assert (cm.work, cm.depth) == (6, 1)  # sum works, max depths
+        cm.set_backend(None)
+        assert cm.backend is None
+        cm.pfor([1], lambda x: x)
+        assert rec.calls == 1  # no longer routed
+
+    def test_backend_is_per_model(self):
+        cm = CostModel()
+        cm.set_backend(self._Recorder())
+        assert CostModel().backend is None
+
+    def test_absorb_matches_task(self):
+        by_task, by_absorb = CostModel(), CostModel()
+        with by_task.parallel() as par:
+            for w, d in [(3, 2), (5, 1), (1, 4)]:
+                with par.task():
+                    by_task.charge_many(w, d)
+        with by_absorb.parallel() as par:
+            for w, d in [(1, 4), (3, 2), (5, 1)]:  # any order
+                par.absorb(w, d)
+        assert (by_task.work, by_task.depth) \
+            == (by_absorb.work, by_absorb.depth) == (9, 4)

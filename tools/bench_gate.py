@@ -245,6 +245,16 @@ SCENARIOS = {
 }
 
 
+def _peak_rss_mb() -> float:
+    """Process peak RSS in MB (Linux ru_maxrss is KB; macOS is bytes)."""
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - dev machines only
+        peak //= 1024
+    return peak / 1024.0
+
+
 def measure(smoke: bool) -> dict:
     out = {
         "schema": 1,
@@ -253,7 +263,14 @@ def measure(smoke: bool) -> dict:
     }
     for name, fn in SCENARIOS.items():
         print(f"[bench_gate] running {name} ...", flush=True)
-        out["scenarios"][name] = fn(smoke)
+        t0 = time.perf_counter()
+        row = fn(smoke)
+        # informational only — compare() never reads these (wall time is
+        # machine-dependent; peak RSS is the process high-water mark, so
+        # per-scenario values are monotone over the run order)
+        row["wall_seconds"] = round(time.perf_counter() - t0, 3)
+        row["peak_rss_mb"] = round(_peak_rss_mb(), 1)
+        out["scenarios"][name] = row
     return out
 
 
