@@ -593,7 +593,7 @@ def _cmd_bench_parallel(args: argparse.Namespace) -> int:
     return 0 if report["pass"] else 1
 
 
-def _print_chaos_json(report) -> int:
+def _print_chaos_json(report, rows=None) -> int:
     """Emit a chaos campaign report as one JSON object; exit status."""
     import json
 
@@ -601,7 +601,7 @@ def _print_chaos_json(report) -> int:
         "ok": report.ok,
         "divergences": report.divergence_count,
         "wall_s": round(report.wall_seconds, 3),
-        "rows": report.rows(),
+        "rows": rows if rows is not None else report.rows(),
     }
     print(json.dumps(payload, sort_keys=True))
     return 0 if report.ok else 1
@@ -610,14 +610,21 @@ def _print_chaos_json(report) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.resilience.chaos import (
         CHAOS_PLAN_KINDS,
+        NET_PLAN_KINDS,
         REPLICA_PLAN_KINDS,
         ChaosConfig,
         recovery_latency_sweep,
         run_chaos_campaign,
+        run_net_chaos_campaign,
         run_replica_chaos_campaign,
     )
 
-    known = REPLICA_PLAN_KINDS if args.replica else CHAOS_PLAN_KINDS
+    if args.net:
+        known = NET_PLAN_KINDS
+    elif args.replica:
+        known = REPLICA_PLAN_KINDS
+    else:
+        known = CHAOS_PLAN_KINDS
     plans = known
     if args.plans:
         plans = tuple(args.plans.split(","))
@@ -635,6 +642,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         seeds = min(seeds, 1)
         requests = min(requests, 1200)
         shards = min(shards, 2)
+        if args.net and not args.plans:
+            # one partition + one torn-frame run through the proxy,
+            # oracle-verified, well under a minute
+            plans = ("net_partition", "net_torn_frame")
+            requests = min(requests, 400)
     cfg = ChaosConfig(
         requests=requests,
         shards=shards,
@@ -655,6 +667,27 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(format_table(
             rows, "RSL1: recovery latency vs checkpoint interval"))
         return 0 if ok else 1
+    if args.net:
+        report = run_net_chaos_campaign(
+            cfg, log=(None if args.json
+                      else lambda msg: print(f"[chaos] {msg}")))
+        if args.json:
+            return _print_chaos_json(report, rows=report.net_rows())
+        print(format_table(
+            report.net_rows(),
+            title=f"repro chaos --net: {len(plans)} wire-fault plan(s) x "
+                  f"{seeds} seed(s)",
+        ))
+        print(f"\nwall time: {report.wall_seconds:.1f}s")
+        if report.ok:
+            print("no divergences — every acked write applied exactly once "
+                  "and primary, replica, and log replay agree "
+                  "(oracle-verified)")
+            return 0
+        for run in report.runs:
+            for d in run.divergences:
+                print(f"\nDIVERGENCE {d}")
+        return 1
     if args.replica:
         report = run_replica_chaos_campaign(
             cfg, log=(None if args.json
@@ -1017,6 +1050,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replica", action="store_true",
                    help="run the log-shipping replica fault plans "
                         "(crash-mid-catchup, lag window) instead")
+    p.add_argument("--net", action="store_true",
+                   help="run the wire-fault plans through the in-process "
+                        "fault proxy (partition/latency/torn-frame/reset/"
+                        "worker-kill) with a resilient client")
     p.add_argument("--json", action="store_true",
                    help="emit the campaign report as one JSON object")
     p.set_defaults(func=_cmd_chaos)

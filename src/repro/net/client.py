@@ -18,6 +18,7 @@ from typing import Any
 
 from repro.net.protocol import (
     MAX_FRAME_BYTES,
+    ConnectionClosed,
     FrameDecoder,
     ProtocolError,
     ServerError,
@@ -31,12 +32,22 @@ __all__ = ["NetClient"]
 
 
 class NetClient:
-    """One handshaked connection to a net server (not thread-safe)."""
+    """One handshaked connection to a net server (not thread-safe).
+
+    The connection latches closed on the first transport or framing
+    failure: a :class:`ProtocolError` mid-response leaves a half-read
+    socket and a desynced decoder/``_next_id``, so every later call raises
+    :class:`~repro.net.protocol.ConnectionClosed` instead of silently
+    mis-pairing frames.  Reconnect by constructing a fresh client (or use
+    :class:`~repro.net.resilient.ResilientClient`, which does so
+    automatically).
+    """
 
     def __init__(self, host: str, port: int, tenant: str = "default",
                  timeout: float = 30.0,
                  max_frame: int = MAX_FRAME_BYTES) -> None:
         self.tenant = tenant
+        self._closed_reason: str | None = None
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._decoder = FrameDecoder(max_frame)
         self._pending: list[dict] = []
@@ -46,22 +57,50 @@ class NetClient:
 
     # -- plumbing -------------------------------------------------------------
 
+    @property
+    def closed(self) -> bool:
+        """True once the connection has been poisoned or closed."""
+        return self._closed_reason is not None
+
+    def _poison(self, reason: str) -> None:
+        """Latch the connection closed; further calls raise
+        :class:`ConnectionClosed`."""
+        if self._closed_reason is None:
+            self._closed_reason = reason
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close never matters here
+            pass
+
     def call(self, verb: str, _raw: dict | None = None,
              **params) -> dict[str, Any]:
         """Send one request, block for its response envelope.
 
         Returns the OK envelope as a dict; raises :class:`ServerError` on
-        an error envelope and :class:`ProtocolError` on a broken stream.
+        an error envelope, :class:`ProtocolError` on a broken stream (the
+        connection is then poisoned), and :class:`ConnectionClosed` on a
+        dead socket or any use after a failure.
         """
+        if self._closed_reason is not None:
+            raise ConnectionClosed(
+                f"connection is closed ({self._closed_reason})")
         self._next_id += 1
         req_id = self._next_id
         msg = dict(_raw, id=req_id) if _raw is not None else \
             request_frame(req_id, verb, **params)
-        self._sock.sendall(encode_frame(msg, self._max_frame))
-        reply = self._recv_one()
-        if reply.get("id") != req_id:
-            raise ProtocolError(
-                f"response id {reply.get('id')} != request id {req_id}")
+        try:
+            self._sock.sendall(encode_frame(msg, self._max_frame))
+            reply = self._recv_one()
+            if reply.get("id") != req_id:
+                raise ProtocolError(
+                    f"response id {reply.get('id')} != request id {req_id}")
+        except ProtocolError as exc:
+            # half-read frame / desynced ids: the stream is unusable
+            self._poison(str(exc))
+            raise
+        except OSError as exc:  # reset, timeout, broken pipe, ...
+            self._poison(repr(exc))
+            raise ConnectionClosed(f"connection lost: {exc!r}") from exc
         if not reply.get("ok"):
             raise ServerError.from_envelope(reply)
         return reply
@@ -76,10 +115,7 @@ class NetClient:
 
     def close(self) -> None:
         """Close the connection; idempotent."""
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._poison("closed by caller")
 
     def __enter__(self) -> "NetClient":
         return self
@@ -89,11 +125,30 @@ class NetClient:
 
     # -- verbs ----------------------------------------------------------------
 
-    def submit(self, op: str, u: int, v: int) -> str:
+    def submit(self, op: str, u: int, v: int,
+               idem: str | None = None) -> str:
         """Submit one update; returns the queue outcome. Sheds raise
         :class:`ServerError` with ``code`` ``shed``/``shed_degraded`` and a
-        ``retry_after`` hint."""
-        return self.call("submit", op=op, u=u, v=v)["status"]
+        ``retry_after`` hint.
+
+        ``idem`` is an optional client-generated idempotency key: the
+        server records the outcome under the key at admission, and a
+        retried submit carrying the same key returns the recorded outcome
+        instead of re-applying the write (exactly-once across lost ACKs).
+        """
+        params: dict[str, Any] = {"op": op, "u": u, "v": v}
+        if idem is not None:
+            params["idem"] = idem
+        return self.call("submit", **params)["status"]
+
+    def submit_info(self, op: str, u: int, v: int,
+                    idem: str | None = None) -> dict[str, Any]:
+        """Like :meth:`submit` but returns the full OK envelope (includes
+        ``deduped: true`` when an idempotency key was replayed)."""
+        params: dict[str, Any] = {"op": op, "u": u, "v": v}
+        if idem is not None:
+            params["idem"] = idem
+        return self.call("submit", **params)
 
     def query(self, kind: str, payload: Any = None,
               consistency: str = "snapshot") -> Any:

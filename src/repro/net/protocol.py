@@ -34,6 +34,7 @@ import json
 import struct
 
 __all__ = [
+    "ConnectionClosed",
     "FrameDecoder",
     "MAX_FRAME_BYTES",
     "PROTOCOL_NAME",
@@ -58,6 +59,19 @@ _LEN = struct.Struct("<I")
 
 class ProtocolError(RuntimeError):
     """A frame violated the wire format (oversize, truncated, non-JSON)."""
+
+
+class ConnectionClosed(ConnectionError):
+    """The connection is gone (peer closed, reset, timed out, or poisoned).
+
+    Raised by :class:`~repro.net.client.NetClient` both at the moment a
+    transport/framing failure kills a call *and* on every call after it:
+    once a response stream desyncs (half-read frame, unknown response id)
+    the socket cannot be trusted for another request/response exchange, so
+    the client latches closed rather than mis-pairing replies.  Retry by
+    reconnecting — :class:`~repro.net.resilient.ResilientClient` does this
+    automatically with handshake replay and idempotency keys.
+    """
 
 
 class ServerError(RuntimeError):

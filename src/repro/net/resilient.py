@@ -1,0 +1,528 @@
+"""Fault-tolerant client for the ``repro-net`` protocol.
+
+:class:`ResilientClient` wraps :class:`~repro.net.client.NetClient` with
+the retry discipline a real network demands:
+
+* **per-call deadlines** — every verb takes a time budget; connect,
+  backoff sleeps, and retries all draw from it;
+* **exponential backoff with decorrelated jitter** — seeded, so chaos
+  campaigns replay byte-identically; server ``retry_after`` hints (shed /
+  degraded envelopes) take precedence over the computed backoff;
+* **a circuit breaker per endpoint** — after ``breaker_threshold``
+  consecutive transport failures the endpoint is held open for
+  ``breaker_reset_s`` (calls wait for the half-open probe window if their
+  deadline allows, else raise :class:`CircuitOpenError`);
+* **automatic reconnect + handshake replay** — a poisoned connection
+  (:class:`~repro.net.protocol.ConnectionClosed`, torn frame, reset) is
+  dropped and rebuilt, replaying the version handshake;
+* **read failover and hedging** — reads rotate across
+  ``[primary] + replicas``; a read that outlives ``hedge_after_s`` is
+  raced against the next endpoint and the first answer wins;
+* **idempotent writes** — :meth:`submit` stamps a client-generated
+  idempotency key on the first attempt and replays the *same* key on
+  every retry, so a retried submit after a lost ACK deduplicates
+  server-side instead of double-applying.
+
+Exactly-once wording is deliberate: the *effect* is applied at most once
+by the server's idempotency index and at least once by the retry loop —
+see docs/faultproxy.md for the failure-mode matrix.
+
+Metrics (optional, via :meth:`bind_metrics`): ``client_retries``,
+``client_reconnects``, ``hedged_reads``, ``breaker_state``
+(0=closed, 1=open, 2=half-open), ``client_deadline_exceeded``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import uuid
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.net.client import NetClient
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    ConnectionClosed,
+    ProtocolError,
+    ServerError,
+)
+
+__all__ = [
+    "CircuitOpenError",
+    "DeadlineExceeded",
+    "ResilientClient",
+    "RetryPolicy",
+]
+
+# server error codes that mean "try again shortly" rather than "you are
+# wrong": admission sheds, degraded-mode refusals, and an idempotent
+# retry racing its still-in-flight original
+_RETRYABLE_CODES = frozenset(
+    {"shed", "shed_degraded", "shed_query", "idem_in_flight"})
+
+
+class DeadlineExceeded(TimeoutError):
+    """The per-call budget ran out before an attempt succeeded."""
+
+
+class CircuitOpenError(ConnectionError):
+    """The endpoint's breaker is open and the deadline cannot cover the
+    wait until its half-open probe window."""
+
+
+class RetryPolicy:
+    """Backoff/breaker knobs, bundled so callers can tune one object."""
+
+    def __init__(
+        self,
+        *,
+        deadline_s: float = 10.0,
+        attempt_timeout_s: float = 3.0,
+        backoff_base_s: float = 0.02,
+        backoff_cap_s: float = 1.0,
+        breaker_threshold: int = 5,
+        breaker_reset_s: float = 0.5,
+        hedge_after_s: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        if deadline_s <= 0 or attempt_timeout_s <= 0:
+            raise ValueError("deadline_s and attempt_timeout_s must be > 0")
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        self.deadline_s = deadline_s
+        self.attempt_timeout_s = attempt_timeout_s
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_s = breaker_reset_s
+        self.hedge_after_s = hedge_after_s
+        self.seed = seed
+
+
+class _Breaker:
+    """Per-endpoint circuit breaker: closed -> open -> half-open."""
+
+    CLOSED, OPEN, HALF_OPEN = 0, 1, 2
+
+    def __init__(self, threshold: int, reset_s: float) -> None:
+        self.threshold = threshold
+        self.reset_s = reset_s
+        self.failures = 0
+        self.opened_at = 0.0
+        self.state = self.CLOSED
+        self.trips = 0            # CLOSED/HALF_OPEN -> OPEN transitions
+        self._lock = threading.Lock()
+
+    def allow(self, now: float) -> bool:
+        """May an attempt proceed right now?  Open -> half-open after the
+        reset window (one probe allowed)."""
+        with self._lock:
+            if self.state == self.CLOSED:
+                return True
+            if now - self.opened_at >= self.reset_s:
+                self.state = self.HALF_OPEN
+                return True
+            return False
+
+    def wait_s(self, now: float) -> float:
+        """Seconds until the next probe window (0 when allowed)."""
+        with self._lock:
+            if self.state == self.CLOSED:
+                return 0.0
+            return max(0.0, self.reset_s - (now - self.opened_at))
+
+    def record(self, ok: bool, now: float) -> None:
+        with self._lock:
+            if ok:
+                self.failures = 0
+                self.state = self.CLOSED
+            else:
+                self.failures += 1
+                if (self.failures >= self.threshold
+                        or self.state == self.HALF_OPEN):
+                    if self.state != self.OPEN:
+                        self.trips += 1
+                    self.state = self.OPEN
+                    self.opened_at = now
+
+
+class ResilientClient:
+    """Retrying, breaker-guarded, failover-capable net client.
+
+    Parameters
+    ----------
+    host / port:
+        The primary (write) endpoint.
+    replicas:
+        Optional ``[(host, port), ...]`` read-only endpoints; reads fail
+        over (and hedge) across ``[primary] + replicas``.
+    policy:
+        A :class:`RetryPolicy`; defaults are production-ish but every
+        chaos campaign passes a seeded, tighter one.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "default",
+        *,
+        replicas: Sequence[tuple[str, int]] = (),
+        policy: RetryPolicy | None = None,
+        max_frame: int = MAX_FRAME_BYTES,
+        client_id: str | None = None,
+    ) -> None:
+        self.tenant = tenant
+        self.policy = policy or RetryPolicy()
+        self._max_frame = max_frame
+        self._endpoints: list[tuple[str, int]] = [(host, port)]
+        self._endpoints += [tuple(r) for r in replicas]
+        self._conns: dict[int, NetClient | None] = {
+            i: None for i in range(len(self._endpoints))}
+        self._breakers = [
+            _Breaker(self.policy.breaker_threshold,
+                     self.policy.breaker_reset_s)
+            for _ in self._endpoints
+        ]
+        self._rng = np.random.default_rng(self.policy.seed * 7919 + 53)
+        self._prev_backoff = self.policy.backoff_base_s
+        self._read_cursor = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        self.client_id = client_id or uuid.uuid4().hex[:12]
+        self._idem_counter = 0
+        # local observability (always-on attrs; bind_metrics mirrors them)
+        self.retries = 0
+        self.reconnects = 0
+        self.hedged = 0
+        self.deadline_exceeded = 0
+        self.dedup_replays = 0
+        self._metrics: dict[str, Any] = {}
+
+    # -- metrics ----------------------------------------------------------
+
+    def bind_metrics(self, registry, prefix: str = "client") -> None:
+        """Mirror the client's counters into a
+        :class:`~repro.service.metrics.MetricsRegistry`."""
+        self._metrics = {
+            "retries": registry.counter(f"{prefix}_retries"),
+            "reconnects": registry.counter(f"{prefix}_reconnects"),
+            "hedged_reads": registry.counter(f"{prefix}_hedged_reads"),
+            "deadline_exceeded": registry.counter(
+                f"{prefix}_deadline_exceeded"),
+            "dedup_replays": registry.counter(f"{prefix}_dedup_replays"),
+            "breaker_state": registry.gauge(f"{prefix}_breaker_state"),
+        }
+
+    def _m_inc(self, key: str) -> None:
+        m = self._metrics.get(key)
+        if m is not None:
+            m.inc()
+
+    def _m_breaker(self) -> None:
+        g = self._metrics.get("breaker_state")
+        if g is not None:
+            g.set(float(self._breakers[0].state))
+
+    @property
+    def breaker_trips(self) -> int:
+        """Total closed→open transitions across every endpoint breaker."""
+        return sum(b.trips for b in self._breakers)
+
+    # -- connection management -------------------------------------------
+
+    def _connect(self, idx: int, timeout: float) -> NetClient:
+        conn = self._conns.get(idx)
+        if conn is not None and not conn.closed:
+            return conn
+        if conn is not None:
+            self.reconnects += 1
+            self._m_inc("reconnects")
+        host, port = self._endpoints[idx]
+        # a fresh NetClient replays the version handshake in __init__
+        client = NetClient(host, port, tenant=self.tenant,
+                           timeout=timeout, max_frame=self._max_frame)
+        self._conns[idx] = client
+        return client
+
+    def _drop(self, idx: int) -> None:
+        conn = self._conns.get(idx)
+        if conn is not None:
+            conn.close()
+
+    def close(self) -> None:
+        """Close every cached connection; further calls raise."""
+        self._closed = True
+        for idx in self._conns:
+            self._drop(idx)
+
+    def __enter__(self) -> "ResilientClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- retry core -------------------------------------------------------
+
+    def _backoff_s(self, hint: float | None) -> float:
+        """Decorrelated jitter (AWS-style): sleep ~ U(base, prev*3),
+        capped; a server ``retry_after`` hint sets the floor."""
+        base = self.policy.backoff_base_s
+        hi = max(base * 1.001, min(self.policy.backoff_cap_s,
+                                   self._prev_backoff * 3.0))
+        sleep = float(self._rng.uniform(base, hi))
+        self._prev_backoff = sleep
+        if hint is not None:
+            sleep = max(sleep, float(hint))
+        return min(sleep, self.policy.backoff_cap_s if hint is None
+                   else max(self.policy.backoff_cap_s, float(hint)))
+
+    def _call_with_retry(
+        self,
+        attempt: Callable[[NetClient], Any],
+        *,
+        endpoints: Sequence[int],
+        deadline_s: float | None,
+        retryable_server_codes: frozenset = _RETRYABLE_CODES,
+    ) -> Any:
+        """Run ``attempt`` against the endpoint list until success, a
+        non-retryable error, or the deadline."""
+        if self._closed:
+            raise ConnectionClosed("ResilientClient is closed")
+        budget = self.policy.deadline_s if deadline_s is None else deadline_s
+        t_end = time.monotonic() + budget
+        last_exc: BaseException | None = None
+        first = True
+        epi = 0
+        while True:
+            now = time.monotonic()
+            remaining = t_end - now
+            if remaining <= 0.0:
+                self.deadline_exceeded += 1
+                self._m_inc("deadline_exceeded")
+                raise DeadlineExceeded(
+                    f"call budget {budget:.3f}s exhausted"
+                ) from last_exc
+            idx = endpoints[epi % len(endpoints)]
+            breaker = self._breakers[idx]
+            if not breaker.allow(now):
+                if len(endpoints) > 1:
+                    epi += 1  # fail over instead of waiting
+                    if any(self._breakers[e].allow(now) for e in endpoints):
+                        continue
+                wait = min(breaker.wait_s(now), remaining)
+                if wait >= remaining:
+                    self._m_breaker()
+                    raise CircuitOpenError(
+                        f"breaker open for {self._endpoints[idx]}, "
+                        f"probe in {breaker.wait_s(now):.3f}s > deadline"
+                    ) from last_exc
+                time.sleep(wait)
+                continue
+            if not first:
+                self.retries += 1
+                self._m_inc("retries")
+            first = False
+            try:
+                timeout = min(self.policy.attempt_timeout_s, remaining)
+                conn = self._connect(idx, timeout)
+                result = attempt(conn)
+            except ServerError as exc:
+                breaker.record(True, time.monotonic())  # transport is fine
+                self._m_breaker()
+                if exc.code not in retryable_server_codes:
+                    raise
+                last_exc = exc
+                time.sleep(min(self._backoff_s(exc.retry_after),
+                               max(0.0, t_end - time.monotonic())))
+                continue
+            except (ConnectionClosed, ProtocolError, OSError) as exc:
+                breaker.record(False, time.monotonic())
+                self._m_breaker()
+                self._drop(idx)
+                last_exc = exc
+                epi += 1  # prefer the next endpoint on transport faults
+                time.sleep(min(self._backoff_s(None),
+                               max(0.0, t_end - time.monotonic())))
+                continue
+            breaker.record(True, time.monotonic())
+            self._m_breaker()
+            return result
+
+    # -- writes -----------------------------------------------------------
+
+    def next_idem_key(self) -> str:
+        """A fresh client-unique idempotency key."""
+        self._idem_counter += 1
+        return f"{self.client_id}-{self._idem_counter}"
+
+    def submit(self, op: str, u: int, v: int,
+               deadline_s: float | None = None) -> str:
+        """Submit one update with at-most-once apply semantics.
+
+        The idempotency key is minted once and replayed on every retry;
+        if the first attempt's ACK was lost on the wire, the retry returns
+        the server's recorded outcome (``deduped``) instead of
+        re-offering the op.
+        """
+        info = self.submit_info(op, u, v, deadline_s=deadline_s)
+        return info["status"]
+
+    def submit_info(self, op: str, u: int, v: int,
+                    deadline_s: float | None = None) -> dict[str, Any]:
+        """Like :meth:`submit` but returns the full envelope (the
+        ``deduped`` field tells you a retry was absorbed server-side)."""
+        key = self.next_idem_key()
+
+        def attempt(conn: NetClient) -> dict[str, Any]:
+            return conn.submit_info(op, u, v, idem=key)
+
+        info = self._call_with_retry(
+            attempt, endpoints=[0], deadline_s=deadline_s)
+        if info.get("deduped"):
+            self.dedup_replays += 1
+            self._m_inc("dedup_replays")
+        return info
+
+    def flush(self, deadline_s: float | None = None) -> int:
+        """Flush the primary's pending batch; returns the batch size."""
+        return self._call_with_retry(
+            lambda c: c.flush(), endpoints=[0], deadline_s=deadline_s)
+
+    def admin(self, action: str = "stats",
+              deadline_s: float | None = None) -> dict[str, Any]:
+        """Run an admin action on the primary (retried like any call)."""
+        return self._call_with_retry(
+            lambda c: c.admin(action), endpoints=[0], deadline_s=deadline_s)
+
+    # -- reads ------------------------------------------------------------
+
+    def _read_endpoints(self) -> list[int]:
+        """All endpoints, rotated so reads spread across replicas."""
+        n = len(self._endpoints)
+        if n == 1:
+            return [0]
+        with self._lock:
+            start = self._read_cursor % n
+            self._read_cursor += 1
+        return [(start + i) % n for i in range(n)]
+
+    def query(self, kind: str, payload: Any = None,
+              consistency: str = "snapshot",
+              deadline_s: float | None = None) -> Any:
+        """A read with failover/hedging; returns just the result value."""
+        return self.query_info(
+            kind, payload, consistency, deadline_s=deadline_s)["value"]
+
+    def query_info(self, kind: str, payload: Any = None,
+                   consistency: str = "snapshot",
+                   deadline_s: float | None = None) -> dict[str, Any]:
+        """A read with failover and (optional) hedging.
+
+        With ``policy.hedge_after_s`` set and >1 endpoint, an attempt that
+        has not answered within the hedge delay is raced against the next
+        endpoint; first answer wins and the loser is discarded.
+        """
+        order = self._read_endpoints()
+        if self.policy.hedge_after_s is not None and len(order) > 1:
+            return self._hedged_read(order, kind, payload, consistency,
+                                     deadline_s)
+        return self._call_with_retry(
+            lambda c: c.query_info(kind, payload, consistency),
+            endpoints=order, deadline_s=deadline_s)
+
+    def query_batch(self, items, consistency: str = "snapshot",
+                    deadline_s: float | None = None) -> dict[str, Any]:
+        """Submit a whole query batch with the same failover as reads."""
+        order = self._read_endpoints()
+        return self._call_with_retry(
+            lambda c: c.query_batch(items, consistency),
+            endpoints=order, deadline_s=deadline_s)
+
+    def _hedged_read(self, order: Sequence[int], kind: str, payload: Any,
+                     consistency: str,
+                     deadline_s: float | None) -> dict[str, Any]:
+        """Race the first endpoint against one hedge on the next.
+
+        Each leg is a single attempt on a *throwaway* connection — the
+        cached per-endpoint connections are not thread-safe, and a losing
+        leg must be discardable without desyncing the winner's stream.
+        The hedge leg only starts after ``hedge_after_s``; if both legs
+        fail, the normal failover retry loop gets the remaining budget.
+        """
+        budget = (self.policy.deadline_s if deadline_s is None
+                  else deadline_s)
+        t_end = time.monotonic() + budget
+        results: "queue.Queue[tuple[bool, Any]]" = queue.Queue()
+
+        def leg(idx: int) -> None:
+            conn = None
+            try:
+                host, port = self._endpoints[idx]
+                conn = NetClient(
+                    host, port, tenant=self.tenant,
+                    timeout=min(self.policy.attempt_timeout_s, budget),
+                    max_frame=self._max_frame)
+                out = conn.query_info(kind, payload, consistency)
+                results.put((True, out))
+            except BaseException as exc:  # noqa: BLE001 - raced, rethrown
+                results.put((False, exc))
+            finally:
+                if conn is not None:
+                    conn.close()
+
+        t0 = threading.Thread(target=leg, args=(order[0],), daemon=True)
+        t0.start()
+        outstanding = 1
+        first_err: BaseException | None = None
+        try:
+            ok, out = results.get(timeout=self.policy.hedge_after_s)
+            outstanding -= 1
+            if ok:
+                return out
+            first_err = out
+        except queue.Empty:
+            pass
+        # first leg slow or failed: hedge on the next endpoint
+        self.hedged += 1
+        self._m_inc("hedged_reads")
+        t1 = threading.Thread(target=leg, args=(order[1],), daemon=True)
+        t1.start()
+        outstanding += 1
+        while outstanding:
+            try:
+                ok, out = results.get(
+                    timeout=max(0.01, t_end - time.monotonic()))
+            except queue.Empty:
+                break
+            outstanding -= 1
+            if ok:
+                return out
+            first_err = first_err or out
+            if time.monotonic() >= t_end:
+                break
+        if (isinstance(first_err, ServerError)
+                and first_err.code not in _RETRYABLE_CODES):
+            raise first_err
+        remaining = t_end - time.monotonic()
+        if remaining > 0:
+            # both legs lost to transport faults: hand what's left of the
+            # budget to the ordinary failover retry loop
+            return self._call_with_retry(
+                lambda c: c.query_info(kind, payload, consistency),
+                endpoints=list(order), deadline_s=remaining)
+        self.deadline_exceeded += 1
+        self._m_inc("deadline_exceeded")
+        raise DeadlineExceeded("hedged read: no leg answered in budget")
+
+    def edges(self, deadline_s: float | None = None) -> set[tuple[int, int]]:
+        """The graph edge set as ``(u, v)`` tuples (read path)."""
+        return {tuple(e) for e in self.query("edges", deadline_s=deadline_s)}
+
+    def metrics_text(self, deadline_s: float | None = None) -> str:
+        """The primary's Prometheus text exposition."""
+        return self._call_with_retry(
+            lambda c: c.metrics(), endpoints=[0], deadline_s=deadline_s)

@@ -74,6 +74,13 @@ class NetServerConfig:
     service_time: float = 0.0       # simulated per-query engine seconds
     drain_timeout: float = 5.0      # seconds to wait out live connections
     max_chunk_bytes: int = 1 << 20  # wal_fetch reply cap (pre-base64)
+    # a client that starts a frame must finish it within read_deadline or
+    # the connection is evicted (a stalled half-frame pins server state);
+    # idle_timeout bounds the wait *between* frames (None = keep-alive
+    # forever); write_deadline evicts readers too slow to drain responses
+    read_deadline: float | None = 30.0
+    idle_timeout: float | None = None
+    write_deadline: float | None = 30.0
 
 
 class NetServer:
@@ -91,6 +98,7 @@ class NetServer:
         self._slots: asyncio.Semaphore | None = None
         self.connections_served = 0
         self.requests_served = 0
+        self.evictions = {"mid_frame": 0, "idle": 0, "slow_reader": 0}
 
     async def start(self) -> None:
         """Bind the listener and record the resolved host/port."""
@@ -133,9 +141,24 @@ class NetServer:
         self.connections_served += 1
         decoder = FrameDecoder(self.config.max_frame)
         tenant: Tenant | None = None
+        cfg = self.config
         try:
             while not (self._draining and decoder.pending_bytes == 0):
-                data = await reader.read(65536)
+                # per-connection read deadline: mid-frame stalls are
+                # bounded by read_deadline, idle keep-alive by idle_timeout
+                timeout = (cfg.read_deadline if decoder.pending_bytes
+                           else cfg.idle_timeout)
+                try:
+                    if timeout is None:
+                        data = await reader.read(65536)
+                    else:
+                        data = await asyncio.wait_for(
+                            reader.read(65536), timeout=timeout)
+                except asyncio.TimeoutError:
+                    self.evictions[
+                        "mid_frame" if decoder.pending_bytes else "idle"
+                    ] += 1
+                    break
                 if not data:
                     break
                 try:
@@ -163,7 +186,17 @@ class NetServer:
 
     async def _send(self, writer: asyncio.StreamWriter, msg: dict) -> None:
         writer.write(encode_frame(msg, self.config.max_frame))
-        await writer.drain()
+        deadline = self.config.write_deadline
+        if deadline is None:
+            await writer.drain()
+            return
+        try:
+            await asyncio.wait_for(writer.drain(), timeout=deadline)
+        except asyncio.TimeoutError:
+            # slow-client eviction: a reader that cannot drain its own
+            # responses must not pin server buffers
+            self.evictions["slow_reader"] += 1
+            raise ConnectionResetError("slow client evicted") from None
 
     # -- verbs ----------------------------------------------------------------
 
@@ -226,12 +259,42 @@ class NetServer:
                 "this server is a read replica; submit updates to the "
                 "primary")
         op, u, v = msg["op"], int(msg["u"]), int(msg["v"])
-        resp = await asyncio.to_thread(
-            tenant.service.submit_update, op, u, v)
+        key = msg.get("idem")
+        if key is not None:
+            key = str(key)
+            claim, outcome = tenant.idempotency.begin(key)
+            if claim == "dup":
+                # retried submit after a lost ACK: answer from the record,
+                # do NOT re-offer — the original may already be committed
+                tenant.service.metrics.counter(
+                    "idempotent_dedup_hits").inc()
+                assert outcome is not None
+                return ok_envelope(req_id, deduped=True, **outcome)
+            if claim == "pending":
+                # a concurrent twin (retry racing its original): tell the
+                # client to come back once the original resolves
+                return error_envelope(
+                    req_id, "idem_in_flight",
+                    f"idempotency key {key!r} is being processed",
+                    retry_after=tenant.service.admission.config.
+                    min_retry_after)
+        try:
+            resp = await asyncio.to_thread(
+                tenant.service.submit_update, op, u, v)
+        except BaseException:
+            if key is not None:
+                tenant.idempotency.abort(key)
+            raise
         if not resp.accepted:
+            # the op was not processed; release the claim so a retry with
+            # the same key is re-admitted rather than replayed as "shed"
+            if key is not None:
+                tenant.idempotency.abort(key)
             return error_envelope(req_id, resp.outcome,
                                   "update shed by admission control",
                                   retry_after=resp.retry_after)
+        if key is not None:
+            tenant.idempotency.commit(key, {"status": resp.outcome})
         return ok_envelope(req_id, status=resp.outcome)
 
     async def _do_query(self, tenant: Tenant, req_id, msg: dict) -> dict:
@@ -312,11 +375,18 @@ class NetServer:
         return ok_envelope(req_id, text=text)
 
     def _own_metrics(self) -> str:
+        eviction_lines = "".join(
+            f'repro_net_evictions{{reason="{reason}"}} '
+            f"{self.evictions[reason]}\n"
+            for reason in sorted(self.evictions)
+        )
         return (
             "# TYPE repro_net_connections_served counter\n"
             f"repro_net_connections_served {self.connections_served}\n"
             "# TYPE repro_net_requests_served counter\n"
             f"repro_net_requests_served {self.requests_served}\n"
+            "# TYPE repro_net_evictions counter\n"
+            f"{eviction_lines}"
         )
 
     async def _do_admin(self, tenant: Tenant, req_id, msg: dict) -> dict:

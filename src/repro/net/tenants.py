@@ -20,6 +20,7 @@ shipped stream reconstructs the primary's live state exactly.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Iterable
@@ -36,11 +37,87 @@ from repro.service.engine import (
 from repro.workloads.streams import UpdateBatch
 
 __all__ = [
+    "IdempotencyIndex",
     "ReplicationLog",
     "Tenant",
     "TenantConfig",
     "TenantManager",
 ]
+
+
+class IdempotencyIndex:
+    """Bounded ``key -> recorded submit outcome`` map for exactly-once
+    write retries.
+
+    A client retrying a ``submit`` whose ACK was lost replays the *same*
+    client-generated key; the admission path claims the key **before**
+    offering the op to the coalescing queue, so the retry is answered from
+    the recorded outcome instead of re-applied.  Dedup must happen here,
+    pre-queue: by the time the retry arrives the original op may already
+    be committed, and the queue would then report ``rejected_duplicate``
+    (insert of a present edge) — a lie to the client whose write in fact
+    landed.
+
+    Three-way protocol per key: :meth:`begin` claims it (``new``), replays
+    it (``dup``), or reports a concurrent in-flight twin (``pending``);
+    :meth:`commit` records the processed outcome; :meth:`abort` releases a
+    claim whose op was *not* processed (sheds, internal errors) so a later
+    retry is re-admitted.
+
+    The index is in-memory and LRU-bounded (``capacity`` completed
+    entries).  Durability is layered: across a primary restart the WAL
+    replays committed batches, and the coalescing queue's membership
+    validation (`rejected_duplicate`/`rejected_absent`) remains the
+    backstop for keys the index no longer remembers — chaos verifies the
+    end state by replaying the replication log (see
+    :mod:`repro.resilience.chaos`).
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, dict | None] = OrderedDict()
+        self._lock = threading.Lock()
+        self.dedup_hits = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def begin(self, key: str) -> tuple[str, dict | None]:
+        """Claim ``key``; returns ``("new", None)``, ``("dup", outcome)``,
+        or ``("pending", None)``."""
+        with self._lock:
+            if key in self._entries:
+                outcome = self._entries[key]
+                if outcome is None:
+                    return "pending", None
+                self._entries.move_to_end(key)
+                self.dedup_hits += 1
+                return "dup", dict(outcome)
+            self._entries[key] = None
+            return "new", None
+
+    def commit(self, key: str, outcome: dict) -> None:
+        """Record the processed outcome for a claimed key."""
+        with self._lock:
+            self._entries[key] = dict(outcome)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                # evict oldest *completed* entry; in-flight claims stay
+                for old_key, old_val in self._entries.items():
+                    if old_val is not None:
+                        del self._entries[old_key]
+                        break
+                else:  # pragma: no cover - all pending: nothing evictable
+                    break
+
+    def abort(self, key: str) -> None:
+        """Release a claim whose op was not processed (idempotent)."""
+        with self._lock:
+            if self._entries.get(key, ()) is None:
+                del self._entries[key]
 
 
 class ReplicationLog:
@@ -117,6 +194,7 @@ class Tenant:
         self.boot_spec = boot_spec       # spec the executor was built on
         self.replication = replication
         self.inflight_queries = 0        # maintained by the net server
+        self.idempotency = IdempotencyIndex()
         service.commit_hooks.append(replication.append)
 
     @property

@@ -17,7 +17,7 @@ from .kernels import (
     parallel_batch_components,
     parallel_multi_source_bfs,
 )
-from .pool import PoolError, ProcessPoolBackend
+from .pool import PoolError, ProcessPoolBackend, WorkerCrashed
 
 __all__ = [
     "ChunkResult",
@@ -25,6 +25,7 @@ __all__ = [
     "SequentialBackend",
     "ProcessPoolBackend",
     "PoolError",
+    "WorkerCrashed",
     "is_shippable",
     "wants_cost",
     "resolve_backend",

@@ -145,6 +145,7 @@ class ExecutionBackend:
         self.inline_fallbacks_total = 0
         self.busy_s_total = 0.0
         self.dispatch_wall_s_total = 0.0
+        self.worker_restarts_total = 0
 
     @property
     def utilization(self) -> float:
@@ -211,7 +212,9 @@ class ExecutionBackend:
         * ``<prefix>_chunk_items`` histogram (task granularity),
         * ``<prefix>_dispatch_ms`` histogram (wall per dispatch round),
         * ``<prefix>_utilization`` gauge (busy-time / wall x workers),
-        * ``<prefix>_workers`` gauge.
+        * ``<prefix>_workers`` gauge,
+        * ``<prefix>_worker_restarts`` counter (supervised replacements
+          of dead workers; always 0 for in-process backends).
         """
         self._metrics = registry
         self._metric_handles = {
@@ -222,6 +225,7 @@ class ExecutionBackend:
             "dispatch_ms": registry.histogram(f"{prefix}_dispatch_ms"),
             "utilization": registry.gauge(f"{prefix}_utilization"),
             "workers": registry.gauge(f"{prefix}_workers"),
+            "worker_restarts": registry.counter(f"{prefix}_worker_restarts"),
         }
         self._metric_handles["workers"].set(self.workers)
 
@@ -248,6 +252,12 @@ class ExecutionBackend:
         h = self._metric_handles
         if h is not None:
             h["fallbacks"].inc(n_tasks)
+
+    def _record_worker_restart(self, n: int = 1) -> None:
+        self.worker_restarts_total += n
+        h = self._metric_handles
+        if h is not None:
+            h["worker_restarts"].inc(n)
 
     # -- execution --------------------------------------------------------
 

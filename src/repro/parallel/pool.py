@@ -6,11 +6,16 @@ Design notes
   where fork is unavailable) once at construction and reused for every
   dispatch; per-dispatch cost is one pickle round-trip per task, not a
   process start.
-* **Per-worker pipes for tasks, one shared queue for results.**  Tasks are
+* **One duplex pipe per worker — tasks down, results back up.**  Tasks are
   only ever sent to an *idle* worker (at most one in flight per worker),
   so a task send can never deadlock against a worker blocked on a result
   write: the target worker is always draining its pipe.  Results carry the
-  task id, so completion order is irrelevant.
+  task id, so completion order is irrelevant.  There is deliberately *no*
+  shared result queue: a shared ``mp.Queue`` serialises writers through a
+  cross-process lock, and a worker SIGKILLed while its feeder thread
+  holds that lock would wedge every surviving worker's results forever.
+  With per-worker pipes a kill can only tear that worker's own channel,
+  which the parent observes as EOF — i.e. an unambiguous death signal.
 * **Deterministic charge merge.**  Each task executes under a fresh
   per-worker :class:`~repro.pram.cost.CostModel`; the worker reports the
   branch's ``(work, depth)`` alongside its value.  The parent merges the
@@ -26,6 +31,18 @@ Design notes
   is_shippable`) and runs them inline, charge-identically — this is the
   documented boundary for the shared-mutation kernels in ``es_tree`` and
   ``shift_clustering``.
+* **Worker supervision.**  A worker that *dies* (OOM-kill, segfault,
+  ``kill -9``) is detected, its in-flight task identified and requeued,
+  and a replacement forked with backoff — mirroring the shard supervision
+  in :mod:`repro.resilience.manager`.  A typed :class:`WorkerCrashed`
+  (carrying the task index and function label) surfaces only once the
+  per-dispatch restart budget is exhausted, the same task has killed
+  multiple workers (a poison task), or the dispatch is *pinned*: pinned
+  rounds carry per-sweep mirror deltas a mid-sweep replacement never saw,
+  so the sweep must fail fast — the pool itself still recovers (the
+  replacement is forked and re-seeded with the broadcast payloads before
+  the error is raised) and the *next* sweep runs clean.  Supervision is
+  uncharged control plane: restarts never touch the cost model.
 """
 
 from __future__ import annotations
@@ -34,6 +51,8 @@ import multiprocessing as mp
 import os
 import time
 import traceback
+from collections import deque
+from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Iterable, Sequence
 
 from ..pram.cost import CostModel, ParallelScope
@@ -45,7 +64,7 @@ from .backend import (
     wants_cost,
 )
 
-__all__ = ["ProcessPoolBackend", "PoolError"]
+__all__ = ["ProcessPoolBackend", "PoolError", "WorkerCrashed"]
 
 _QUEUE_POLL_S = 1.0
 _JOIN_TIMEOUT_S = 5.0
@@ -55,9 +74,36 @@ class PoolError(RuntimeError):
     """A worker failed: task raised, or the process died."""
 
 
-def _worker_main(worker_id: int, conn, results) -> None:
-    """Worker loop: receive messages on ``conn``, put results on the shared
-    ``results`` queue.  Runs until a ``stop`` message or EOF."""
+class WorkerCrashed(PoolError):
+    """Worker process(es) died and supervision could not absorb it.
+
+    Carries exactly *which* work was lost so callers (and tests) can
+    requeue or quarantine precisely instead of guessing:
+
+    Attributes
+    ----------
+    workers:    process names of the dead workers
+    task_ids:   payload indices that were in flight on them (may be empty
+                if a worker died idle and the restart budget was already
+                spent)
+    fn_name:    the dispatched function's name
+    restarts:   how many supervised restarts this dispatch performed
+                before giving up
+    """
+
+    def __init__(self, message: str, *, workers: list[str],
+                 task_ids: list[int], fn_name: str,
+                 restarts: int) -> None:
+        super().__init__(message)
+        self.workers = list(workers)
+        self.task_ids = list(task_ids)
+        self.fn_name = fn_name
+        self.restarts = restarts
+
+
+def _worker_main(worker_id: int, conn) -> None:
+    """Worker loop: receive messages on ``conn``, send results back on the
+    same duplex pipe.  Runs until a ``stop`` message or EOF."""
     shared: dict[str, Any] = {}
     while True:
         try:
@@ -71,8 +117,11 @@ def _worker_main(worker_id: int, conn, results) -> None:
             _, key, value = msg
             shared[key] = value
             continue
-        # ("task", task_id, mode, fn, payload, shared_keys, pass_cost, unit_cost)
-        _, task_id, mode, fn, payload, shared_keys, pass_cost, unit_cost = msg
+        # ("task", gen, task_id, mode, fn, payload, shared_keys,
+        #  pass_cost, unit_cost) — ``gen`` is the dispatch generation,
+        # echoed back so the parent can drop replies that belong to an
+        # earlier, aborted dispatch
+        _, gen, task_id, mode, fn, payload, shared_keys, pass_cost, unit_cost = msg
         t0 = time.perf_counter()
         try:
             shared_view = {k: shared[k] for k in shared_keys}
@@ -94,11 +143,14 @@ def _worker_main(worker_id: int, conn, results) -> None:
                     triples.append((value, fr.work, fr.depth))
                 out = triples
             busy = time.perf_counter() - t0
-            results.put(("ok", worker_id, task_id, out, busy))
+            reply = ("ok", worker_id, gen, task_id, out, busy)
         except BaseException as exc:  # noqa: BLE001 - report, don't die
-            results.put(
-                ("err", worker_id, task_id, repr(exc), traceback.format_exc())
-            )
+            reply = ("err", worker_id, gen, task_id, repr(exc),
+                     traceback.format_exc())
+        try:
+            conn.send(reply)
+        except OSError:  # parent is gone; nothing left to report to
+            return
 
 
 def _pick_context() -> mp.context.BaseContext:
@@ -124,6 +176,15 @@ class ProcessPoolBackend(ExecutionBackend):
         Target number of chunks per worker for ``map_scope`` (over-split a
         little so stragglers rebalance); task granularity is observable via
         the bound metrics.
+    restart_budget:
+        Supervised worker replacements allowed *per dispatch* before a
+        dead worker surfaces as :class:`WorkerCrashed`.
+    restart_backoff_s:
+        Base sleep before forking a replacement (doubles per restart
+        within one dispatch, like the shard supervisor's backoff).
+    task_retry_limit:
+        How many workers one task may kill before it is treated as a
+        poison task and surfaced instead of requeued again.
     """
 
     name = "process-pool"
@@ -135,30 +196,65 @@ class ProcessPoolBackend(ExecutionBackend):
         unit_cost_s: float = 0.0,
         min_items: int = 1,
         chunks_per_worker: int = 4,
+        restart_budget: int = 3,
+        restart_backoff_s: float = 0.05,
+        task_retry_limit: int = 2,
     ) -> None:
         super().__init__(unit_cost_s=unit_cost_s, min_items=min_items)
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.chunks_per_worker = max(1, int(chunks_per_worker))
+        self.restart_budget = max(0, int(restart_budget))
+        self.restart_backoff_s = max(0.0, float(restart_backoff_s))
+        self.task_retry_limit = max(1, int(task_retry_limit))
         self._closed = False
         self._inflight = 0
+        self._gen = 0           # dispatch generation (stale-reply filter)
         self._shared: dict[str, Any] = {}
-        ctx = _pick_context()
-        self._results = ctx.Queue()
+        self._ctx = _pick_context()
         self._procs = []
         self._conns = []
         for wid in range(workers):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(wid, child_conn, self._results),
-                daemon=True,
-                name=f"repro-pool-{wid}",
-            )
-            proc.start()
-            child_conn.close()
+            proc, conn = self._spawn(wid)
             self._procs.append(proc)
-            self._conns.append(parent_conn)
+            self._conns.append(conn)
+
+    def _spawn(self, wid: int):
+        """Fork one worker process; returns ``(process, parent_conn)``."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, child_conn),
+            daemon=True,
+            name=f"repro-pool-{wid}",
+        )
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
+
+    def _respawn(self, wid: int) -> None:
+        """Replace a dead worker in-place and re-seed its broadcast cache.
+
+        Uncharged control plane: touches no cost model state.
+        """
+        old_proc, old_conn = self._procs[wid], self._conns[wid]
+        old_proc.join(timeout=1.0)
+        if old_proc.is_alive():  # pragma: no cover - refuses to die
+            old_proc.terminate()
+            old_proc.join(timeout=1.0)
+        try:
+            old_conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        proc, conn = self._spawn(wid)
+        self._procs[wid] = proc
+        self._conns[wid] = conn
+        # replacement must see the same broadcast payloads its siblings
+        # hold (the parent-side version cache is unchanged, so put_shared
+        # callers will rightly skip re-publishing)
+        for key, value in self._shared.items():
+            conn.send(("put", key, value))
+        self._record_worker_restart()
 
     # -- lifecycle --------------------------------------------------------
 
@@ -187,7 +283,6 @@ class ProcessPoolBackend(ExecutionBackend):
                 conn.close()
             except OSError:  # pragma: no cover
                 pass
-        self._results.close()
 
     def _check_open(self) -> None:
         if self._closed:
@@ -228,6 +323,14 @@ class ProcessPoolBackend(ExecutionBackend):
         whose workers hold per-sweep mirror state); it needs
         ``len(payloads) <= workers`` and quiescent workers, both of which
         hold between frontier rounds.
+
+        **Supervision.**  A worker that dies mid-dispatch has its in-flight
+        task requeued and is replaced (with backoff) up to
+        ``restart_budget`` times per dispatch; past the budget — or when
+        the same task keeps killing workers, or the dispatch is pinned
+        (mirror state is unrecoverable mid-sweep) — a :class:`WorkerCrashed`
+        naming the lost task indices is raised.  The pool itself is always
+        healed before the error surfaces, so later dispatches still work.
         """
         self._check_open()
         n = len(payloads)
@@ -241,37 +344,111 @@ class ProcessPoolBackend(ExecutionBackend):
         queue_order = list(order) if order is not None else list(range(n))
         if sorted(queue_order) != list(range(n)):
             raise ValueError("order must be a permutation of the task ids")
-        pending = iter(queue_order)
+        pending = deque(queue_order)
         idle = list(range(len(self._procs)))
+        inflight: dict[int, int] = {}       # wid -> task_id
+        task_kills: dict[int, int] = {}     # task_id -> workers it killed
         outstanding = 0
+        restarts = 0
+        backoff = self.restart_backoff_s
         error: tuple[str, str] | None = None
+        fn_name = getattr(fn, "__name__", repr(fn))
         self._inflight = n
+        # a dispatch aborted by WorkerCrashed can leave completed replies
+        # buffered in surviving workers' pipes (or tasks still running);
+        # the generation tag lets this dispatch drop those on sight
+        self._gen += 1
+        gen = self._gen
+
+        def crash(workers: list[str], task_ids: list[int]) -> None:
+            raise WorkerCrashed(
+                f"worker process(es) died: {', '.join(workers)} "
+                f"(in-flight {fn_name} task(s) {task_ids or 'none'}, "
+                f"{restarts} supervised restart(s) used"
+                f"{', pinned dispatch' if pinned else ''})",
+                workers=workers, task_ids=task_ids, fn_name=fn_name,
+                restarts=restarts,
+            )
+
+        def replace(wid: int, *, budgeted: bool) -> None:
+            """Respawn ``wid``; ``budgeted`` restarts sleep and count."""
+            nonlocal restarts, backoff
+            if budgeted:
+                if backoff > 0.0:
+                    time.sleep(backoff)
+                backoff = (backoff * 2.0) or self.restart_backoff_s
+                restarts += 1
+            self._respawn(wid)
+
+        def supervise(dead_wids: list[int]) -> None:
+            """Requeue the dead workers' tasks and fork replacements, or
+            surface :class:`WorkerCrashed` when recovery is off the table."""
+            nonlocal outstanding
+            names = [self._procs[w].name for w in dead_wids]
+            lost: list[int] = []
+            for wid in dead_wids:
+                task = inflight.pop(wid, None)
+                if task is not None:
+                    lost.append(task)
+                    outstanding -= 1
+                    task_kills[task] = task_kills.get(task, 0) + 1
+            poison = [t for t in lost
+                      if task_kills[t] >= self.task_retry_limit]
+            recoverable = (not pinned and not poison
+                           and restarts + len(dead_wids)
+                           <= self.restart_budget)
+            for wid in dead_wids:
+                replace(wid, budgeted=recoverable)
+                if wid not in idle and wid not in inflight:
+                    idle.append(wid)
+            if not recoverable:
+                crash(names, poison or lost)
+            pending.extendleft(reversed(lost))
 
         def send_next() -> bool:
             nonlocal outstanding
-            if error is not None or not idle:
+            if error is not None or not idle or not pending:
                 return False
+            task_id = pending[0]
+            wid = task_id if pinned else idle[-1]
+            if pinned and wid not in idle:
+                return False
+            if not self._procs[wid].is_alive():
+                # died while idle: replace before assigning work; pinned
+                # dispatches tolerate this too — the replacement joins
+                # before any of this dispatch's deltas were sent to it
+                if restarts >= self.restart_budget:
+                    name = self._procs[wid].name
+                    replace(wid, budgeted=False)
+                    crash([name], [])
+                replace(wid, budgeted=True)
+            pending.popleft()
+            idle.remove(wid)
             try:
-                task_id = next(pending)
-            except StopIteration:
-                return False
-            if pinned:
-                wid = task_id
-                idle.remove(wid)
-            else:
-                wid = idle.pop()
-            self._conns[wid].send(
-                (
-                    "task",
-                    task_id,
-                    mode,
-                    fn,
-                    payloads[task_id],
-                    tuple(shared_keys),
-                    pass_cost,
-                    self.unit_cost_s,
+                self._conns[wid].send(
+                    (
+                        "task",
+                        gen,
+                        task_id,
+                        mode,
+                        fn,
+                        payloads[task_id],
+                        tuple(shared_keys),
+                        pass_cost,
+                        self.unit_cost_s,
+                    )
                 )
-            )
+            except OSError:
+                # died between the liveness check and the send
+                pending.appendleft(task_id)
+                idle.append(wid)
+                if restarts >= self.restart_budget:
+                    name = self._procs[wid].name
+                    replace(wid, budgeted=False)
+                    crash([name], [task_id])
+                replace(wid, budgeted=True)
+                return True  # retry on the replacement next iteration
+            inflight[wid] = task_id
             outstanding += 1
             return True
 
@@ -281,30 +458,60 @@ class ProcessPoolBackend(ExecutionBackend):
             done = 0
             while done < n:
                 if outstanding == 0:
+                    if error is None and pending:
+                        while send_next():
+                            pass
+                        if outstanding > 0:
+                            continue
                     break  # error path: nothing left in flight
-                try:
-                    msg = self._results.get(timeout=_QUEUE_POLL_S)
-                except Exception:
-                    dead = [p.name for p in self._procs if not p.is_alive()]
+                ready = mp_connection.wait(
+                    [self._conns[w] for w in inflight],
+                    timeout=_QUEUE_POLL_S,
+                )
+                if not ready:
+                    # belt-and-braces: a death normally surfaces as EOF on
+                    # the worker's pipe, but sweep liveness anyway
+                    dead = [wid for wid in list(inflight)
+                            if not self._procs[wid].is_alive()]
                     if dead:
-                        raise PoolError(
-                            f"worker process(es) died: {', '.join(dead)}"
-                        ) from None
+                        supervise(dead)
+                        while send_next():
+                            pass
                     continue
-                outstanding -= 1
-                if msg[0] == "ok":
-                    _, wid, task_id, out, busy_s = msg
-                    results[task_id] = out
-                    busy[task_id] = busy_s
-                    idle.append(wid)
-                    done += 1
-                    send_next()
-                else:
-                    _, wid, task_id, exc_repr, tb = msg
-                    idle.append(wid)
-                    done += 1
-                    if error is None:
-                        error = (exc_repr, tb)
+                for conn in ready:
+                    wid = next((w for w in list(inflight)
+                                if self._conns[w] is conn), None)
+                    if wid is None:
+                        # conn was replaced by supervision this round
+                        continue
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        # worker died: its duplex pipe tore — requeue
+                        supervise([wid])
+                        while send_next():
+                            pass
+                        continue
+                    task_id = msg[3]
+                    if msg[2] != gen or inflight.get(wid) != task_id:
+                        # stale: a reply from an earlier aborted dispatch,
+                        # or for a task supervision already requeued
+                        continue
+                    del inflight[wid]
+                    outstanding -= 1
+                    if msg[0] == "ok":
+                        _, _, _, _, out, busy_s = msg
+                        results[task_id] = out
+                        busy[task_id] = busy_s
+                        idle.append(wid)
+                        done += 1
+                        send_next()
+                    else:
+                        _, _, _, _, exc_repr, tb = msg
+                        idle.append(wid)
+                        done += 1
+                        if error is None:
+                            error = (exc_repr, tb)
         finally:
             self._inflight = 0
         wall = time.perf_counter() - t0

@@ -33,8 +33,11 @@ Used by ``python -m repro.cli chaos`` and the ``chaos-smoke`` CI job.
 
 from __future__ import annotations
 
+import os
 import shutil
+import signal
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -53,6 +56,7 @@ from repro.workloads.streams import UpdateBatch, Workload, request_stream
 
 __all__ = [
     "CHAOS_PLAN_KINDS",
+    "NET_PLAN_KINDS",
     "REPLICA_PLAN_KINDS",
     "ChaosConfig",
     "ChaosInjector",
@@ -62,6 +66,8 @@ __all__ = [
     "recovery_latency_sweep",
     "run_chaos_campaign",
     "run_chaos_once",
+    "run_net_chaos_campaign",
+    "run_net_chaos_once",
     "run_replica_chaos_campaign",
     "run_replica_chaos_once",
 ]
@@ -131,6 +137,12 @@ class ChaosRunResult:
     recovery_latency_s: float = 0.0
     wall_seconds: float = 0.0
     divergences: list[str] = field(default_factory=list)
+    # net-campaign observations (``run_net_chaos_once``); zero elsewhere
+    client_retries: int = 0
+    reconnects: int = 0
+    dedup_hits: int = 0
+    hedged_reads: int = 0
+    breaker_trips: int = 0
 
     @property
     def ok(self) -> bool:
@@ -171,6 +183,30 @@ class ChaosReport:
                 "quarantined": sum(r.quarantined for r in rs),
                 "mean_recovery_ms": round(
                     1000 * sum(lat) / len(lat), 2) if lat else 0.0,
+                "divergences": sum(len(r.divergences) for r in rs),
+            })
+        return rows
+
+    def net_rows(self) -> list[dict]:
+        """Per-plan aggregate table for the wire-fault campaign (RSL2)."""
+        by_kind: dict[str, list[ChaosRunResult]] = {}
+        for r in self.runs:
+            by_kind.setdefault(r.plan.kind, []).append(r)
+        rows = []
+        for kind in sorted(by_kind):
+            rs = by_kind[kind]
+            rows.append({
+                "plan": kind,
+                "runs": len(rs),
+                "fired": sum(r.fired for r in rs),
+                "commits": sum(r.commits for r in rs),
+                "retries": sum(r.client_retries for r in rs),
+                "reconnects": sum(r.reconnects for r in rs),
+                "dedup_hits": sum(r.dedup_hits for r in rs),
+                "hedged_reads": sum(r.hedged_reads for r in rs),
+                "breaker_trips": sum(r.breaker_trips for r in rs),
+                "worker_restarts": sum(r.restarts for r in rs),
+                "replica_rebuilds": sum(r.recoveries for r in rs),
                 "divergences": sum(len(r.divergences) for r in rs),
             })
         return rows
@@ -460,6 +496,14 @@ def run_chaos_campaign(cfg: ChaosConfig, log=None) -> ChaosReport:
 #:                            ``stale`` tag until catch-up clears both
 REPLICA_PLAN_KINDS = ("replica_crash_catchup", "replica_lag")
 
+NET_PLAN_KINDS = (
+    "net_partition",    # black-hole the client link; timed heal
+    "net_latency",      # per-chunk delay window; hedged reads kick in
+    "net_torn_frame",   # cut frames mid-length on client + replica links
+    "net_reset",        # hard RST storms on client and replica links
+    "net_worker_kill",  # SIGKILL a pool worker mid-dispatch under traffic
+)
+
 
 class _LocalShippingClient:
     """Duck-typed stand-in for :class:`repro.net.client.NetClient`.
@@ -600,6 +644,316 @@ def run_replica_chaos_campaign(cfg: ChaosConfig, log=None) -> ChaosReport:
                 log(f"{kind} seed={seed}: {status} "
                     f"(commits={run.commits}, "
                     f"recoveries={run.recoveries})")
+    report.wall_seconds = time.perf_counter() - t0
+    return report
+
+
+def _net_pool_kernel(payload, shared, cost=None):
+    """Side-computation kernel for the worker-kill plan.
+
+    Module-level so the dispatch pickle can find it in forked workers;
+    deliberately slow enough (``sleep_s``) that a SIGKILL reliably lands
+    mid-dispatch.
+    """
+    time.sleep(payload["sleep_s"])
+    return sorted(x * x for x in payload["items"])
+
+
+def _kill_quietly(pid: int) -> None:
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+
+
+def _pool_kill_exercise(rng: np.random.Generator, result: ChaosRunResult,
+                        diverge) -> None:
+    """SIGKILL one pool worker mid-dispatch; supervision must requeue the
+    lost task, fork a replacement, and return byte-identical results."""
+    from repro.parallel.pool import ProcessPoolBackend
+
+    pool = ProcessPoolBackend(2, restart_backoff_s=0.01)
+    try:
+        chunks = [{"items": list(range(8 * c, 8 * c + 8)), "sleep_s": 0.02}
+                  for c in range(8)]
+        expect = [sorted(x * x for x in ch["items"]) for ch in chunks]
+        victim = pool._procs[int(rng.integers(0, pool.workers))]
+        timer = threading.Timer(float(rng.uniform(0.02, 0.06)),
+                                _kill_quietly, args=(victim.pid,))
+        timer.start()
+        for rnd in range(2):
+            vals = [r.value
+                    for r in pool.map_chunks(_net_pool_kernel, chunks)]
+            if vals != expect:
+                diverge(f"pool round {rnd} diverged after worker kill")
+        timer.join()
+        vals = [r.value for r in pool.map_chunks(_net_pool_kernel, chunks)]
+        if vals != expect:
+            diverge("pool post-kill round diverged")
+        if pool.worker_restarts_total < 1:
+            diverge("worker kill produced no supervised restart")
+        result.restarts += pool.worker_restarts_total
+    finally:
+        pool.close()
+
+
+def run_net_chaos_once(cfg: ChaosConfig, kind: str,
+                       seed: int) -> ChaosRunResult:
+    """One seeded client/server/replica run under one wire-fault plan.
+
+    Topology: a real :class:`~repro.net.server.ThreadedServer` primary, a
+    :class:`~repro.net.faultproxy.FaultProxy` on the client link (and a
+    second one on the replica link for the torn/reset plans), a
+    :class:`~repro.net.resilient.ResilientClient` issuing a seeded toggle
+    workload through the proxy, and a log-shipping replica.
+
+    The client tracks the *expected* edge set from its own acked submits;
+    at the end the full replication log is fetched from byte 0, replayed
+    through :class:`~repro.workloads.streams.Workload` (which raises on
+    any sequentially-illegal — i.e. double- or lost-applied — op), and
+    the replay ground truth must equal the client's expectation, the
+    primary's live edge set, and the replica's state.
+    """
+    from repro.net.client import NetClient
+    from repro.net.faultproxy import FaultProxy
+    from repro.net.replica import LogShippingReplica, ReplicaConfig
+    from repro.net.resilient import ResilientClient, RetryPolicy
+    from repro.net.server import NetServerConfig, ThreadedServer
+    from repro.net.tenants import TenantConfig, TenantManager
+    from repro.oracle.service import verify_replica
+    from repro.resilience.wal import WalStreamDecoder
+    from repro.service.admission import AdmissionConfig
+    from repro.service.batcher import BatcherConfig
+
+    t0 = time.perf_counter()
+    kind_salt = sum(kind.encode()) % 1000
+    rng = np.random.default_rng(seed * 7919 + kind_salt)
+    n_req = cfg.requests
+    plan = ChaosPlan(kind=kind, shard=0,
+                     at_seq=int(rng.integers(3, 9)))
+    result = ChaosRunResult(plan=plan, seed=seed)
+
+    def diverge(msg: str) -> None:
+        result.divergences.append(f"{kind} seed={seed}: {msg}")
+
+    initial_edges, _ = request_stream(cfg.n, cfg.m, 1, seed=seed,
+                                      query_prob=0.0)
+    spec = {"kind": "spanner", "n": cfg.n, "edges": initial_edges,
+            "seed": seed + 1000, "k": 2}
+    universe = [(a, b) for a in range(cfg.n) for b in range(a + 1, cfg.n)]
+    expected: set[tuple[int, int]] = {tuple(e) for e in initial_edges}
+
+    # all seeded draws happen up front so the schedule never depends on
+    # runtime interleaving
+    fire_at = sorted(int(x) for x in rng.integers(
+        max(2, n_req // 5), max(3, 4 * n_req // 5), size=3))
+    for i in range(1, 3):               # force distinct, ordered indices
+        if fire_at[i] <= fire_at[i - 1]:
+            fire_at[i] = fire_at[i - 1] + 3
+    heal_delay = float(rng.uniform(0.25, 0.5))
+    latency_s = float(rng.uniform(0.025, 0.04))
+    latency_end = fire_at[0] + int(rng.integers(25, 45))
+    flush_every = int(rng.integers(16, 48))
+    read_every = 10
+    rep_chunk = int(rng.integers(96, 512))
+
+    replicated = kind in ("net_partition", "net_latency")
+    proxied_replica = kind in ("net_torn_frame", "net_reset")
+    policy = RetryPolicy(
+        deadline_s=20.0, attempt_timeout_s=0.5,
+        backoff_base_s=0.01, backoff_cap_s=0.25,
+        breaker_threshold=3, breaker_reset_s=0.1,
+        hedge_after_s=(0.02 if kind == "net_latency" else None),
+        seed=seed * 7919 + kind_salt,
+    )
+
+    with TenantManager() as tenants:
+        tenant = tenants.create(TenantConfig(
+            name="default", spec=spec, shards=cfg.shards,
+            batcher=BatcherConfig(max_batch=cfg.max_batch, max_delay=0.002),
+            admission=AdmissionConfig(max_pending=100 * cfg.max_batch),
+            autostart=False,
+        ))
+        with ThreadedServer(tenants, NetServerConfig()) as srv, \
+                FaultProxy(srv.host, srv.port) as proxy, \
+                FaultProxy(srv.host, srv.port) as rproxy:
+            rep_host, rep_port = ((rproxy.host, rproxy.port)
+                                  if proxied_replica
+                                  else (srv.host, srv.port))
+
+            def make_replica() -> LogShippingReplica:
+                return LogShippingReplica(
+                    NetClient(rep_host, rep_port),
+                    ReplicaConfig(chunk_bytes=rep_chunk),
+                )
+
+            replica = make_replica()
+            rsrv = (ThreadedServer(replica.tenants,
+                                   NetServerConfig(read_only=True)).start()
+                    if replicated else None)
+
+            def rebuild_replica() -> None:
+                nonlocal replica
+                replica.close()
+                replica = make_replica()
+                result.recoveries += 1
+
+            def sync_replica() -> None:
+                try:
+                    replica.catch_up()
+                except Exception:
+                    rebuild_replica()
+                    replica.catch_up()
+
+            client = ResilientClient(
+                proxy.host, proxy.port,
+                replicas=([(rsrv.host, rsrv.port)] if rsrv else ()),
+                policy=policy,
+                client_id=f"chaos-{kind}-{seed}",
+            )
+            heal_timer: threading.Timer | None = None
+            try:
+                for i in range(n_req):
+                    if kind == "net_partition" and i == fire_at[0]:
+                        proxy.partition()
+                        result.fired += 1
+                        heal_timer = threading.Timer(heal_delay, proxy.heal)
+                        heal_timer.start()
+                    elif kind == "net_latency":
+                        if i == fire_at[0]:
+                            proxy.set_latency(latency_s)
+                            result.fired += 1
+                        elif i == latency_end:
+                            proxy.set_latency(0.0)
+                    elif kind == "net_torn_frame":
+                        if i == fire_at[0]:
+                            # tear the next ACK: the op commits but the
+                            # client never hears — the retry must dedup
+                            proxy.tear_next("s2c")
+                            result.fired += 1
+                        elif i == fire_at[1]:
+                            proxy.tear_next("c2s", rst=True)
+                            result.fired += 1
+                        elif i == fire_at[2]:
+                            rproxy.tear_next("s2c")
+                            result.fired += 1
+                    elif kind == "net_reset":
+                        if i in (fire_at[0], fire_at[1]):
+                            proxy.reset_all()
+                            result.fired += 1
+                        elif i == fire_at[2]:
+                            rproxy.reset_all()
+                            result.fired += 1
+                    elif kind == "net_worker_kill" and i == fire_at[0]:
+                        result.fired += 1
+                        _pool_kill_exercise(rng, result, diverge)
+
+                    a, b = universe[int(rng.integers(len(universe)))]
+                    op = "delete" if (a, b) in expected else "insert"
+                    info = client.submit_info(op, a, b)
+                    status = info.get("status")
+                    if status not in ("accepted", "coalesced_dedup",
+                                      "coalesced_cancel"):
+                        diverge(f"unexpected submit outcome {status!r} "
+                                f"for {op} ({a}, {b})")
+                    expected.symmetric_difference_update({(a, b)})
+                    if (i + 1) % flush_every == 0:
+                        client.flush()
+                        sync_replica()
+                    if (i + 1) % read_every == 0:
+                        client.query_info("size")
+            except Exception as exc:      # noqa: BLE001 - recorded verbatim
+                diverge(f"workload died at request {i}: {exc!r}")
+            finally:
+                if heal_timer is not None:
+                    heal_timer.cancel()
+                proxy.clear_faults()
+                proxy.heal()
+                rproxy.clear_faults()
+                rproxy.heal()
+
+            # settle over healed links, then verify everything against the
+            # shipped log
+            try:
+                client.flush()
+                sync_replica()
+            except Exception as exc:      # noqa: BLE001
+                diverge(f"post-fault settle failed: {exc!r}")
+
+            direct = NetClient(srv.host, srv.port)
+            decoder = WalStreamDecoder()
+            records = []
+            while True:
+                chunk, _log_size, _last = direct.wal_fetch(
+                    decoder.offset + decoder.pending_bytes, 1 << 16)
+                if not chunk:
+                    break
+                records.extend(decoder.feed(chunk))
+            result.commits = len(records)
+            truth = {tuple(e) for e in initial_edges}
+            wl = Workload(cfg.n, [tuple(e) for e in initial_edges],
+                          [r.batch for r in records])
+            try:
+                for _, truth in wl.replay():
+                    pass
+            except ValueError as exc:
+                diverge("shipped log is not sequentially legal "
+                        f"(double/lost apply): {exc}")
+            if truth != expected:
+                diverge("log-replay truth != acked-client expectation "
+                        f"({len(truth ^ expected)} edge(s) differ)")
+            live = direct.edges()
+            if live != truth:
+                diverge(f"primary live edges != log replay "
+                        f"({len(live ^ truth)} differ)")
+            if replica.service.graph_edges() != truth:
+                diverge("replica state != log replay")
+            verification = verify_replica(tenant.service, replica.service)
+            if not verification.ok:
+                diverge(f"oracle: {verification}")
+            direct.close()
+
+            # plan-specific liveness assertions: the fault must actually
+            # have exercised the resilience path it targets
+            if kind == "net_torn_frame" and tenant.idempotency.dedup_hits < 1:
+                diverge("torn ACK was not absorbed by idempotency dedup")
+            if kind == "net_partition" and client.retries < 1:
+                diverge("partition produced no client retries")
+            if kind == "net_reset" and client.reconnects < 1:
+                diverge("resets produced no client reconnects")
+            if kind == "net_latency" and client.hedged < 1:
+                diverge("latency window produced no hedged reads")
+
+            result.client_retries = client.retries
+            result.reconnects = client.reconnects
+            result.dedup_hits = tenant.idempotency.dedup_hits
+            result.hedged_reads = client.hedged
+            result.breaker_trips = client.breaker_trips
+            client.close()
+            if rsrv is not None:
+                rsrv.stop()
+            replica.close()
+
+    result.wall_seconds = time.perf_counter() - t0
+    return result
+
+
+def run_net_chaos_campaign(cfg: ChaosConfig, log=None) -> ChaosReport:
+    """Sweep the wire-fault plans × seeds (``cli chaos --net``)."""
+    t0 = time.perf_counter()
+    report = ChaosReport(config=cfg)
+    kinds = tuple(p for p in cfg.plans if p in NET_PLAN_KINDS) \
+        or NET_PLAN_KINDS
+    for kind in kinds:
+        for s in range(cfg.seeds):
+            seed = cfg.seed0 + s
+            run = run_net_chaos_once(cfg, kind, seed)
+            report.runs.append(run)
+            if log is not None:
+                status = "ok" if run.ok else "DIVERGED"
+                log(f"{kind} seed={seed}: {status} "
+                    f"(commits={run.commits}, retries={run.client_retries}, "
+                    f"dedup={run.dedup_hits})")
     report.wall_seconds = time.perf_counter() - t0
     return report
 

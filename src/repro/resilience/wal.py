@@ -262,6 +262,18 @@ class WalStreamDecoder:
         """Bytes buffered that do not yet form a complete record."""
         return len(self._buf)
 
+    def discard_pending(self) -> int:
+        """Drop the held torn tail; returns the byte count dropped.
+
+        For when the *producer* is known to have rewritten its tail: a
+        crashed writer's recovery truncates a partial final record, so
+        the prefix this decoder buffered will never be completed — the
+        next bytes at ``offset`` are a fresh continuation of the stream.
+        """
+        n = len(self._buf)
+        self._buf.clear()
+        return n
+
     def feed(self, data: bytes) -> list[WalRecord]:
         """Consume ``data``; return the records it completed, in order."""
         self._buf += data
@@ -344,11 +356,19 @@ class WalFollower:
             return []
         size = self.path.stat().st_size
         read_from = self.offset + self._decoder.pending_bytes
-        if size < read_from:
+        if size < self.offset:
             raise WalTruncatedError(
                 f"{self.path}: shrank to {size} bytes below follower "
-                f"offset {read_from}; re-bootstrap the follower"
+                f"offset {self.offset}; re-bootstrap the follower"
             )
+        if size < read_from:
+            # the file shrank into the torn tail we were holding: the
+            # writer restarted and its crash recovery truncated the
+            # partial record.  Our buffered prefix will never be
+            # completed — drop it and resume from the consumed offset,
+            # where the restarted writer's re-append continues the stream.
+            self._decoder.discard_pending()
+            read_from = self.offset
         if size == read_from:
             return []
         with open(self.path, "rb") as fh:

@@ -1,0 +1,291 @@
+"""Wire-level fault injection and the resilient client.
+
+Covers the failure-domain tentpole: the :class:`FaultProxy` primitives
+(latency, torn frames, resets, partitions), the fail-fast
+:class:`NetClient` poisoning contract (a mid-response ``ProtocolError``
+latches the connection closed), and the :class:`ResilientClient`
+behaviors layered on top — reconnect + retry, idempotent exactly-once
+writes across lost ACKs, circuit breaking, read failover, and hedging.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.net import (
+    ConnectionClosed,
+    FaultProxy,
+    NetClient,
+    NetServerConfig,
+    ResilientClient,
+    RetryPolicy,
+    TenantConfig,
+    TenantManager,
+    ThreadedServer,
+)
+from repro.net.resilient import DeadlineExceeded
+from repro.service.metrics import MetricsRegistry
+
+
+def _spec(n=24, edges=((0, 1), (1, 2), (2, 3)), seed=5):
+    return {"kind": "spanner", "n": n, "k": 2,
+            "edges": [list(e) for e in edges], "seed": seed}
+
+
+def _manager(name="default", **kwargs) -> TenantManager:
+    tm = TenantManager()
+    tm.create(TenantConfig(name=name, spec=_spec(), **kwargs))
+    return tm
+
+
+def _tight_policy(**over) -> RetryPolicy:
+    kw = dict(deadline_s=8.0, attempt_timeout_s=0.4, backoff_base_s=0.01,
+              backoff_cap_s=0.1, breaker_threshold=3, breaker_reset_s=0.1,
+              seed=7)
+    kw.update(over)
+    return RetryPolicy(**kw)
+
+
+class TestFaultProxy:
+    def test_transparent_forwarding(self):
+        with _manager() as tm, ThreadedServer(tm) as srv, \
+                FaultProxy(srv.host, srv.port) as proxy:
+            with NetClient(proxy.host, proxy.port) as c:
+                assert c.submit("insert", 5, 9) == "accepted"
+                c.flush()
+                assert (5, 9) in c.edges()
+            stats = proxy.stats()
+            assert stats["connections"] == 1
+            assert stats["bytes_c2s"] > 0 and stats["bytes_s2c"] > 0
+
+    def test_latency_slows_the_round_trip(self):
+        with _manager() as tm, ThreadedServer(tm) as srv, \
+                FaultProxy(srv.host, srv.port) as proxy:
+            with NetClient(proxy.host, proxy.port) as c:
+                t0 = time.perf_counter()
+                c.query("size")
+                fast = time.perf_counter() - t0
+                proxy.set_latency(0.05)
+                t0 = time.perf_counter()
+                c.query("size")
+                slow = time.perf_counter() - t0
+            assert slow >= 0.08           # two pumped chunks (req + resp)
+            assert slow > fast
+
+    def test_torn_response_poisons_the_client(self):
+        """Satellite regression: a mid-response tear must raise, latch the
+        client closed, and turn every further call into a typed
+        :class:`ConnectionClosed` — never a silently mis-paired frame."""
+        with _manager() as tm, ThreadedServer(tm) as srv, \
+                FaultProxy(srv.host, srv.port) as proxy:
+            c = NetClient(proxy.host, proxy.port)
+            proxy.tear_next("s2c")
+            with pytest.raises((ConnectionClosed, Exception)) as ei:
+                c.query("size")
+            assert not isinstance(ei.value, AssertionError)
+            assert c.closed
+            with pytest.raises(ConnectionClosed, match="closed"):
+                c.query("size")
+            with pytest.raises(ConnectionClosed, match="closed"):
+                c.submit("insert", 1, 2)
+            assert proxy.stats()["torn_frames"] == 1
+
+    def test_reset_all_kills_live_links(self):
+        with _manager() as tm, ThreadedServer(tm) as srv, \
+                FaultProxy(srv.host, srv.port) as proxy:
+            c = NetClient(proxy.host, proxy.port)
+            c.query("size")
+            assert proxy.reset_all() == 1
+            with pytest.raises((ConnectionClosed, Exception)):
+                c.query("size")
+            assert c.closed
+            # a fresh connection through the healed proxy works
+            with NetClient(proxy.host, proxy.port) as c2:
+                assert c2.query("size") >= 0
+
+    def test_partition_black_holes_then_heals(self):
+        with _manager() as tm, ThreadedServer(tm) as srv, \
+                FaultProxy(srv.host, srv.port) as proxy:
+            proxy.partition()
+            assert proxy.partitioned
+            # connect succeeds (parked) but the handshake never answers:
+            # only the client's own deadline saves it
+            with pytest.raises(OSError):
+                NetClient(proxy.host, proxy.port, timeout=0.2)
+            assert proxy.stats()["blackholed"] >= 1
+            proxy.heal()
+            assert not proxy.partitioned
+            with NetClient(proxy.host, proxy.port) as c:
+                assert c.query("size") >= 0
+
+    def test_server_error_does_not_poison(self):
+        """A server *error envelope* is a healthy transport: the client
+        must stay usable after it."""
+        with _manager() as tm, ThreadedServer(tm) as srv:
+            with NetClient(srv.host, srv.port) as c:
+                from repro.net.protocol import ServerError
+                with pytest.raises(ServerError):
+                    c.call("no_such_verb")
+                assert not c.closed
+                assert c.query("size") >= 0
+
+
+class TestResilientClient:
+    def test_reconnects_and_retries_through_resets(self):
+        with _manager() as tm, ThreadedServer(tm) as srv, \
+                FaultProxy(srv.host, srv.port) as proxy:
+            with ResilientClient(proxy.host, proxy.port,
+                                 policy=_tight_policy()) as rc:
+                assert rc.submit("insert", 4, 7) == "accepted"
+                proxy.reset_all()
+                # the next call sees the dead socket, reconnects, retries
+                assert rc.submit("insert", 5, 8) == "accepted"
+                assert rc.flush() >= 1
+                assert rc.reconnects >= 1
+            direct = NetClient(srv.host, srv.port)
+            assert {(4, 7), (5, 8)} <= direct.edges()
+            direct.close()
+
+    def test_torn_ack_is_deduplicated_exactly_once(self):
+        """The op applies, the ACK tears: the retry must return the
+        recorded outcome (``deduped``) instead of re-offering the write —
+        where a bare retry would see ``rejected_duplicate``."""
+        with _manager() as tm, ThreadedServer(tm) as srv, \
+                FaultProxy(srv.host, srv.port) as proxy:
+            with ResilientClient(proxy.host, proxy.port,
+                                 policy=_tight_policy()) as rc:
+                rc.submit("insert", 3, 9)
+                proxy.tear_next("s2c")   # tear the next ACK
+                info = rc.submit_info("insert", 6, 11)
+                assert info["status"] == "accepted"
+                assert info.get("deduped") is True
+                assert rc.dedup_replays == 1
+                rc.flush()
+            tenant = tm.get("default")
+            assert tenant.idempotency.dedup_hits == 1
+            assert (tenant.service.metrics
+                    .counter("idempotent_dedup_hits").value) == 1
+            direct = NetClient(srv.host, srv.port)
+            assert {(3, 9), (6, 11)} <= direct.edges()
+            direct.close()
+
+    def test_breaker_opens_after_repeated_transport_failures(self):
+        with _manager() as tm, ThreadedServer(tm) as srv, \
+                FaultProxy(srv.host, srv.port) as proxy:
+            policy = _tight_policy(deadline_s=2.0, attempt_timeout_s=0.1,
+                                   breaker_threshold=2, breaker_reset_s=60.0)
+            with ResilientClient(proxy.host, proxy.port,
+                                 policy=policy) as rc:
+                rc.query("size")
+                proxy.partition()
+                with pytest.raises((DeadlineExceeded, ConnectionError)):
+                    rc.query("size")
+                assert rc.breaker_trips >= 1
+
+    def test_read_failover_to_replica_endpoint(self):
+        """With the primary partitioned, reads land on the replica set."""
+        from repro.net.replica import LogShippingReplica, ReplicaConfig
+
+        with _manager() as tm, ThreadedServer(tm) as srv, \
+                FaultProxy(srv.host, srv.port) as proxy:
+            direct = NetClient(srv.host, srv.port)
+            direct.submit("insert", 7, 13)
+            direct.flush()
+            replica = LogShippingReplica(
+                NetClient(srv.host, srv.port), ReplicaConfig())
+            replica.catch_up()
+            rsrv = ThreadedServer(replica.tenants,
+                                  NetServerConfig(read_only=True)).start()
+            try:
+                with ResilientClient(
+                        proxy.host, proxy.port,
+                        replicas=[(rsrv.host, rsrv.port)],
+                        policy=_tight_policy(attempt_timeout_s=0.2)) as rc:
+                    proxy.partition()
+                    # write path is pinned to the primary and must fail...
+                    with pytest.raises((DeadlineExceeded, ConnectionError)):
+                        rc.submit("insert", 1, 2, deadline_s=0.5)
+                    # ...but reads fail over to the replica
+                    assert [7, 13] in rc.query("edges") or \
+                        (7, 13) in rc.edges()
+            finally:
+                rsrv.stop()
+                replica.close()
+                direct.close()
+
+    def test_hedged_read_fires_under_latency(self):
+        from repro.net.replica import LogShippingReplica, ReplicaConfig
+
+        with _manager() as tm, ThreadedServer(tm) as srv, \
+                FaultProxy(srv.host, srv.port) as proxy:
+            replica = LogShippingReplica(
+                NetClient(srv.host, srv.port), ReplicaConfig())
+            replica.catch_up()
+            rsrv = ThreadedServer(replica.tenants,
+                                  NetServerConfig(read_only=True)).start()
+            try:
+                policy = _tight_policy(hedge_after_s=0.02)
+                with ResilientClient(
+                        proxy.host, proxy.port,
+                        replicas=[(rsrv.host, rsrv.port)],
+                        policy=policy) as rc:
+                    proxy.set_latency(0.2)
+                    sizes = [rc.query("size") for _ in range(2)]
+                    assert all(s >= 0 for s in sizes)
+                    assert rc.hedged >= 1
+            finally:
+                rsrv.stop()
+                replica.close()
+
+    def test_retry_after_hint_floors_the_backoff(self):
+        """An admission shed's ``retry_after`` is honored: the retried
+        call succeeds without surfacing the shed to the caller."""
+        from repro.service.admission import AdmissionConfig
+
+        with _manager(admission=AdmissionConfig(
+                max_pending=2, min_retry_after=0.01)) as tm, \
+                ThreadedServer(tm) as srv:
+            with ResilientClient(srv.host, srv.port,
+                                 policy=_tight_policy()) as rc:
+                for i in range(12):
+                    assert rc.submit("insert", i, i + 12) in (
+                        "accepted", "coalesced_dedup", "coalesced_cancel")
+                rc.flush()
+                assert rc.retries >= 1   # at least one shed was absorbed
+
+    def test_deadline_exceeded_is_typed(self):
+        with _manager() as tm, ThreadedServer(tm) as srv, \
+                FaultProxy(srv.host, srv.port) as proxy:
+            with ResilientClient(proxy.host, proxy.port,
+                                 policy=_tight_policy(
+                                     deadline_s=0.5,
+                                     attempt_timeout_s=0.1)) as rc:
+                rc.query("size")
+                proxy.partition()
+                with pytest.raises((DeadlineExceeded, ConnectionError)):
+                    rc.query("size")
+                assert rc.deadline_exceeded + rc.breaker_trips >= 1
+
+    def test_bind_metrics_exports_counters(self):
+        with _manager() as tm, ThreadedServer(tm) as srv, \
+                FaultProxy(srv.host, srv.port) as proxy:
+            reg = MetricsRegistry()
+            with ResilientClient(proxy.host, proxy.port,
+                                 policy=_tight_policy()) as rc:
+                rc.bind_metrics(reg)
+                rc.submit("insert", 2, 17)
+                proxy.reset_all()
+                rc.submit("insert", 3, 18)
+            text = reg.render_prometheus()
+            assert "client_retries" in text
+            assert "client_reconnects" in text
+            assert "client_breaker_state" in text
+            assert reg.counter("client_reconnects").value >= 1
+
+    def test_idem_keys_are_client_unique(self):
+        with _manager() as tm, ThreadedServer(tm) as srv:
+            with ResilientClient(srv.host, srv.port,
+                                 client_id="abc") as rc:
+                assert rc.next_idem_key() == "abc-1"
+                assert rc.next_idem_key() == "abc-2"

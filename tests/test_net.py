@@ -8,6 +8,7 @@ lag gauge, read-only front end), per-tenant query quotas, and tenant
 isolation under overload.
 """
 
+import socket
 import threading
 import time
 
@@ -605,3 +606,130 @@ class TestQueryBatchVerb:
                 assert ei.value.retry_after > 0
             ctrl = tm.get("default").service.admission
             assert ctrl.query_shed_count >= 1
+
+
+# -- failure-domain hardening: idempotent writes + read deadlines -------------
+
+
+class TestIdempotentSubmit:
+    def test_duplicate_key_returns_recorded_outcome(self):
+        with _manager() as tm, ThreadedServer(tm) as srv:
+            with NetClient(srv.host, srv.port) as c:
+                first = c.submit_info("insert", 4, 9, idem="k1")
+                assert first["status"] == "accepted"
+                assert "deduped" not in first
+                # a retry after a lost ACK replays the same key; with no
+                # dedup it would see rejected_duplicate post-flush
+                c.flush()
+                again = c.submit_info("insert", 4, 9, idem="k1")
+                assert again["status"] == "accepted"
+                assert again["deduped"] is True
+                assert c.query("size") >= 1
+            tenant = tm.get("default")
+            assert tenant.idempotency.dedup_hits == 1
+            assert tenant.service.metrics.counter(
+                "idempotent_dedup_hits").value == 1
+
+    def test_shed_aborts_the_key_for_reuse(self):
+        """A shed submit never entered the queue, so its key must not be
+        burned: the client may retry it and have it actually apply."""
+        with _manager(autostart=False, admission=AdmissionConfig(
+                max_pending=1, min_retry_after=0.005)) as tm, \
+                ThreadedServer(tm) as srv:
+            with NetClient(srv.host, srv.port) as c:
+                assert c.submit("insert", 1, 5, idem="a") == "accepted"
+                with pytest.raises(ServerError) as ei:
+                    c.submit("insert", 2, 6, idem="b")
+                assert ei.value.code in ("shed", "shed_degraded")
+                assert ei.value.retry_after > 0
+                c.flush()
+                info = c.submit_info("insert", 2, 6, idem="b")
+                assert info["status"] == "accepted"
+                assert "deduped" not in info     # aborted, not recorded
+                c.flush()
+                assert (2, 6) in c.edges()
+
+    def test_keys_are_per_tenant(self):
+        with _manager() as tm, ThreadedServer(tm) as srv:
+            tm.create(TenantConfig(name="other", spec=_spec()))
+            with NetClient(srv.host, srv.port) as c1, \
+                    NetClient(srv.host, srv.port, tenant="other") as c2:
+                assert "deduped" not in c1.submit_info(
+                    "insert", 3, 8, idem="same")
+                assert "deduped" not in c2.submit_info(
+                    "insert", 3, 8, idem="same")
+
+
+class TestReadDeadlines:
+    def test_mid_frame_stall_is_evicted(self):
+        """Satellite: a client that goes silent halfway through a frame
+        holds per-connection state hostage — the read deadline evicts it
+        and the server keeps serving everyone else."""
+        with _manager() as tm:
+            srv = ThreadedServer(
+                tm, NetServerConfig(read_deadline=0.15)).start()
+            try:
+                sock = socket.create_connection((srv.host, srv.port))
+                sock.sendall(b"\x40\x00\x00\x00{\"v")   # torn frame
+                # the server must hang up on us, not wait forever
+                sock.settimeout(2.0)
+                assert sock.recv(1024) == b""
+                sock.close()
+                assert srv.server.evictions["mid_frame"] == 1
+                # unaffected clients still get service
+                with NetClient(srv.host, srv.port) as c:
+                    assert c.query("size") >= 0
+                with NetClient(srv.host, srv.port) as c:
+                    text = c.metrics(all_tenants=True)
+                assert 'repro_net_evictions{reason="mid_frame"} 1' in text
+            finally:
+                srv.stop()
+
+    def test_mid_frame_disconnect_drains_cleanly(self):
+        """Satellite: a client that dies mid-frame (no stall — straight
+        disconnect) is drained without an eviction and without damaging
+        any applied state."""
+        with _manager() as tm:
+            srv = ThreadedServer(
+                tm, NetServerConfig(read_deadline=5.0)).start()
+            try:
+                with NetClient(srv.host, srv.port) as c:
+                    c.submit("insert", 9, 14)
+                    c.flush()
+                sock = socket.create_connection((srv.host, srv.port))
+                sock.sendall(b"\x40\x00\x00\x00{\"to")  # torn frame...
+                sock.close()                            # ...then vanish
+                time.sleep(0.1)
+                assert srv.server.evictions["mid_frame"] == 0
+                with NetClient(srv.host, srv.port) as c:
+                    assert (9, 14) in c.edges()         # state intact
+            finally:
+                srv.stop()
+
+    def test_idle_connection_not_evicted_by_read_deadline(self):
+        """The read deadline only applies *mid-frame*; an idle keepalive
+        connection (no pending bytes) stays up."""
+        with _manager() as tm:
+            srv = ThreadedServer(
+                tm, NetServerConfig(read_deadline=0.1)).start()
+            try:
+                with NetClient(srv.host, srv.port) as c:
+                    c.query("size")
+                    time.sleep(0.3)          # idle > read_deadline
+                    assert c.query("size") >= 0   # still served
+                assert srv.server.evictions["mid_frame"] == 0
+            finally:
+                srv.stop()
+
+    def test_idle_timeout_evicts_when_configured(self):
+        with _manager() as tm:
+            srv = ThreadedServer(
+                tm, NetServerConfig(idle_timeout=0.1)).start()
+            try:
+                sock = socket.create_connection((srv.host, srv.port))
+                sock.settimeout(2.0)
+                assert sock.recv(1024) == b""
+                sock.close()
+                assert srv.server.evictions["idle"] == 1
+            finally:
+                srv.stop()

@@ -20,6 +20,7 @@ from hypothesis import strategies as st
 
 from repro.parallel import (
     PoolError,
+    WorkerCrashed,
     ProcessPoolBackend,
     SequentialBackend,
     is_shippable,
@@ -383,3 +384,172 @@ class TestMetrics:
             assert 0.0 <= snap["pool_utilization"] <= 1.0
         finally:
             pool.close()
+
+
+# -- worker supervision -------------------------------------------------------
+
+
+def square_chunk_kernel(payload, shared, cost=None):
+    time.sleep(payload.get("sleep_s", 0.0))
+    return sorted(x * x for x in payload["items"])
+
+
+def die_once_kernel(payload, shared, cost=None):
+    """Dies (hard exit, as if SIGKILLed) the first time it sees its flag
+    path missing; succeeds on the supervised retry."""
+    import os
+    flag = payload.get("flag")
+    if flag and not os.path.exists(flag):
+        open(flag, "w").close()
+        os._exit(9)
+    return sorted(x * x for x in payload["items"])
+
+
+def always_die_kernel(payload, shared, cost=None):
+    import os
+    if payload.get("die"):
+        os._exit(9)
+    return sum(payload["items"])
+
+
+def shared_sum_kernel(payload, shared, cost=None):
+    return sum(shared["base"]) + sum(payload["items"])
+
+
+class TestWorkerSupervision:
+    def _chunks(self, n=6, **extra):
+        return [dict(items=list(range(4 * c, 4 * c + 4)), **extra)
+                for c in range(n)]
+
+    def test_dead_worker_requeued_and_results_exact(self, tmp_path):
+        pool = ProcessPoolBackend(2, restart_backoff_s=0.01)
+        try:
+            chunks = self._chunks(6)
+            chunks[3]["flag"] = str(tmp_path / "die3")
+            expect = [sorted(x * x for x in ch["items"]) for ch in chunks]
+            out = pool.map_chunks(die_once_kernel, chunks)
+            assert [r.value for r in out] == expect
+            assert pool.worker_restarts_total == 1
+            # the healed pool keeps working
+            out2 = pool.map_chunks(square_chunk_kernel, self._chunks(4))
+            assert [r.value for r in out2] == [
+                sorted(x * x for x in ch["items"])
+                for ch in self._chunks(4)]
+        finally:
+            pool.close()
+
+    def test_poison_task_raises_with_task_identity(self):
+        """Satellite: the dead-worker error must say which task was in
+        flight — a task that kills every worker it lands on is quarantined
+        by identity, not guessed at."""
+        pool = ProcessPoolBackend(2, restart_backoff_s=0.01,
+                                  task_retry_limit=2)
+        try:
+            chunks = [{"items": [1, 2]}, {"items": [3], "die": True},
+                      {"items": [4, 5]}]
+            with pytest.raises(WorkerCrashed) as ei:
+                pool.map_chunks(always_die_kernel, chunks)
+            exc = ei.value
+            assert exc.task_ids == [1]
+            assert exc.fn_name == "always_die_kernel"
+            assert exc.workers
+            assert exc.restarts >= 1
+            assert "task" in str(exc) and "always_die_kernel" in str(exc)
+            # supervision healed the pool before raising
+            assert [r.value for r in pool.map_chunks(
+                always_die_kernel, [{"items": [2, 3]}])] == [5]
+        finally:
+            pool.close()
+
+    def test_restart_budget_exhaustion_raises(self):
+        pool = ProcessPoolBackend(2, restart_budget=0,
+                                  restart_backoff_s=0.0)
+        try:
+            with pytest.raises(WorkerCrashed) as ei:
+                pool.map_chunks(
+                    always_die_kernel,
+                    [{"items": [1]}, {"items": [2], "die": True}])
+            assert ei.value.restarts == 0
+            assert ei.value.task_ids == [1]
+            # healed: replacement workers were still forked
+            assert [r.value for r in pool.map_chunks(
+                always_die_kernel, [{"items": [7]}])] == [7]
+        finally:
+            pool.close()
+
+    def test_pinned_dispatch_crashes_fast_but_heals(self, tmp_path):
+        """Pinned dispatches carry per-sweep mirror state a replacement
+        worker never saw: supervision must fail the dispatch (typed, with
+        task identity) yet hand back a healed pool with shared state
+        re-broadcast."""
+        pool = ProcessPoolBackend(2, restart_backoff_s=0.01)
+        try:
+            pool.put_shared("base", [10, 20], version=1)
+            chunks = [{"items": [1]},
+                      {"items": [2], "flag": str(tmp_path / "diep")}]
+            with pytest.raises(WorkerCrashed) as ei:
+                pool.map_chunks(die_once_kernel, chunks, pinned=True)
+            assert ei.value.task_ids == [1]
+            # pinned dispatches still work and replacement workers hold
+            # the re-broadcast shared payload
+            out = pool.map_chunks(
+                shared_sum_kernel,
+                [{"items": [1]}, {"items": [2]}],
+                shared_keys=("base",), pinned=True)
+            assert [r.value for r in out] == [31, 32]
+        finally:
+            pool.close()
+
+    def test_idle_worker_killed_detected_at_send(self):
+        import os
+        import signal
+
+        pool = ProcessPoolBackend(2, restart_backoff_s=0.01)
+        try:
+            assert [r.value for r in pool.map_chunks(
+                square_chunk_kernel, self._chunks(2))] == [
+                    sorted(x * x for x in ch["items"])
+                    for ch in self._chunks(2)]
+            os.kill(pool._procs[0].pid, signal.SIGKILL)
+            pool._procs[0].join(timeout=2.0)
+            out = pool.map_chunks(square_chunk_kernel, self._chunks(4))
+            assert [r.value for r in out] == [
+                sorted(x * x for x in ch["items"])
+                for ch in self._chunks(4)]
+            assert pool.worker_restarts_total >= 1
+        finally:
+            pool.close()
+
+    def test_worker_restarts_metric(self, tmp_path):
+        from repro.service.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        pool = ProcessPoolBackend(2, restart_backoff_s=0.01)
+        try:
+            pool.bind_metrics(reg)
+            chunks = self._chunks(4)
+            chunks[0]["flag"] = str(tmp_path / "die0")
+            pool.map_chunks(die_once_kernel, chunks)
+            assert reg.snapshot()["pool_worker_restarts"] == 1
+        finally:
+            pool.close()
+
+    def test_supervision_is_uncharged(self, tmp_path):
+        """Restarts are control plane: the dispatch's charged work/depth
+        must be identical with and without a mid-dispatch worker death."""
+        chunks = self._chunks(5, sleep_s=0.0)
+        clean = ProcessPoolBackend(2, restart_backoff_s=0.01)
+        try:
+            base = clean.map_chunks(square_chunk_kernel, chunks)
+        finally:
+            clean.close()
+        chunks2 = self._chunks(5, sleep_s=0.0)
+        chunks2[2]["flag"] = str(tmp_path / "diec")
+        faulty = ProcessPoolBackend(2, restart_backoff_s=0.01)
+        try:
+            hurt = faulty.map_chunks(die_once_kernel, chunks2)
+        finally:
+            faulty.close()
+        assert [(r.work, r.depth) for r in base] == \
+                [(r.work, r.depth) for r in hurt]
+        assert [r.value for r in base] == [r.value for r in hurt]

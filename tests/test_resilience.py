@@ -578,6 +578,60 @@ class TestWalFollower:
         assert polled[0].batch.insertions == [(3, 4)]
         w.close()
 
+    def test_primary_restart_with_torn_tail_resumes(self, tmp_path):
+        """Satellite: the upstream writer crashes mid-append and restarts.
+
+        Its crash recovery truncates the torn final record and re-appends
+        it fresh.  A follower that was holding the torn prefix must
+        discard the stale pending bytes and resume from its consumed
+        offset — delivering every record exactly once across the restart,
+        with no re-bootstrap."""
+        path = tmp_path / "wal.log"
+        w = WalWriter(path)
+        w.append(1, _batch(ins=[(1, 2)]))
+        w.append(2, _batch(ins=[(3, 4)]))
+        f = WalFollower(path)
+        assert [r.seq for r in f.poll()] == [1, 2]
+        # crash mid-append: a torn seq-3 record lands on disk
+        rec3 = encode_record(3, _batch(ins=[(5, 6)], dels=[(1, 2)]))
+        for cut in (3, len(rec3) - 1):   # torn mid-header and mid-payload
+            with open(path, "ab") as fh:
+                fh.write(rec3[:cut])
+            w.close()
+            assert f.poll() == []        # torn tail held, not delivered
+            # restart: crash recovery truncates the partial record...
+            with open(path, "r+b") as fh:
+                fh.truncate(path.stat().st_size - cut)
+            # ...the follower notices the shrink into its held tail and
+            # drops the stale prefix (old behaviour: WalTruncatedError)
+            before = f.offset
+            assert f.poll() == []
+            assert f.offset == before    # consumed cursor intact
+            w = WalWriter(path)
+        # the restarted writer re-appends seq 3 — with *different*
+        # content than the torn attempt (a retry may coalesce
+        # differently) — plus new traffic
+        w.append(3, _batch(ins=[(9, 10)]))
+        w.append(4, _batch(ins=[(7, 8)]))
+        polled = f.poll()
+        assert [r.seq for r in polled] == [3, 4]
+        assert polled[0].batch.insertions == [(9, 10)]
+        assert f.last_seq == 4
+        assert f.poll() == []            # exactly once: nothing doubled
+        w.close()
+
+    def test_decoder_discard_pending_drops_only_the_tail(self):
+        d = WalStreamDecoder()
+        rec = encode_record(1, _batch(ins=[(1, 2)]))
+        assert [r.seq for r in d.feed(WAL_MAGIC + rec + rec[:5])] == [1]
+        consumed = d.offset
+        assert d.pending_bytes == 5
+        assert d.discard_pending() == 5
+        assert d.pending_bytes == 0
+        assert d.offset == consumed      # consumed cursor untouched
+        rec2 = encode_record(2, _batch(ins=[(3, 4)]))
+        assert [r.seq for r in d.feed(rec2)] == [2]
+
     def test_truncation_below_cursor_raises(self, tmp_path):
         path = tmp_path / "wal.log"
         w = WalWriter(path)
