@@ -33,12 +33,57 @@ from __future__ import annotations
 
 from typing import Callable, Hashable, Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.pram.cost import NULL_COST_MODEL, CostModel, log2ceil
 from repro.structures.priority_array import PriorityArray
 
-__all__ = ["BatchDynamicESTree", "ParentChange"]
+__all__ = ["BatchDynamicESTree", "ParentChange", "scan_bucket_kernel"]
 
 DirEdge = tuple[int, int]
+
+
+def scan_bucket_kernel(args, shared, cost):
+    """Pool-shippable phase-``i`` scan kernel (Algorithm 1's level scan).
+
+    ``args`` is ``{"universe": U, "items": [spec, ...]}`` where each spec
+    ``(v, scan_pri, want, pris, vals, dists, dead)`` carries everything a
+    vertex's rescan reads: its ``IN(v)`` contents (ascending priorities +
+    position-ordered values), its scan-pointer priority, the target parent
+    level ``want = i - 1``, the current distance of every candidate parent,
+    and the deleted in-edge sources.  Scans within a phase are independent
+    of each other's mutations (a phase only moves distances ``i -> i + 1``,
+    never to ``i - 1``, and aliveness is fixed before phase 1), so shipping
+    them is partition-safe.
+
+    Returns ``[(v, q, work, depth), ...]`` — the found position plus the
+    *exact* scalar charges, reproduced by replaying ``_scan_position`` +
+    ``next_with`` on a reconstructed :class:`PriorityArray` under a
+    recording model; the caller re-charges them inside its own parallel
+    region so the merged totals are byte-identical to the inline phase.
+    """
+    universe = args["universe"]
+    out = []
+    for v, scan_pri, want, pris, vals, dists, dead in args["items"]:
+        pa = PriorityArray.__new__(PriorityArray)
+        pa._universe = universe
+        pa._cost = cost
+        pa._bulk_pri = np.asarray(pris, dtype=np.int64)
+        pa._bulk_vals = list(vals)
+        pa._values = None
+        pa._sorted = None
+        du = dict(zip(vals, dists))
+        ds = set(dead)
+        with cost.frame() as fr:
+            pos = (
+                max(pa.count_ge(scan_pri), 1)
+                if scan_pri is not None else 1
+            )
+            q = pa.next_with(
+                pos, lambda u: u not in ds and du[u] == want
+            )
+        out.append((v, q, fr.work, fr.depth))
+    return out
 
 
 class ParentChange:
@@ -62,6 +107,76 @@ class ParentChange:
             f"ParentChange(v={self.vertex}, {self.old_parent}->"
             f"{self.new_parent}, d {self.old_dist}->{self.new_dist})"
         )
+
+
+class _LazyInArrays:
+    """List-like view of the per-vertex ``IN(v)`` PriorityArrays, carved
+    out of the globally (target, priority)-sorted edge arrays.
+
+    Each :class:`PriorityArray` object materializes on first index — the
+    batch-deletion path only ever touches the vertices it rescans, so an
+    array-built tree never pays for the arrays it does not visit.  The
+    Lemma 3.1 initialization charge for *all* ``n`` arrays is taken
+    up-front by the constructor (see
+    :meth:`BatchDynamicESTree.from_arrays`), exactly as the scalar
+    constructor does; indexing here is charge-free.
+    """
+
+    __slots__ = ("_arrs", "_pv", "_uv", "_ipt", "_universe", "_cost")
+
+    def __init__(self, n, pv, uv, ipt, universe, cost) -> None:
+        self._arrs: list[PriorityArray | None] = [None] * n
+        self._pv = pv
+        self._uv = uv
+        self._ipt = ipt
+        self._universe = universe
+        self._cost = cost
+
+    def __len__(self) -> int:
+        return len(self._arrs)
+
+    def __getitem__(self, v: int) -> PriorityArray:
+        pa = self._arrs[v]
+        if pa is None:
+            a, b = self._ipt[v], self._ipt[v + 1]
+            pa = PriorityArray.__new__(PriorityArray)
+            pa._universe = self._universe
+            pa._cost = self._cost
+            pa._bulk_pri = self._pv[a:b]
+            pa._bulk_vals = self._uv[a:b][::-1]
+            pa._values = None
+            pa._sorted = None
+            self._arrs[v] = pa
+        return pa
+
+
+class _LazyOutAdj:
+    """List-like view of the per-vertex out-neighbor sets, carved out of
+    the out-CSR on first index.
+
+    Safe to build lazily from the *original* CSR even after deletions:
+    every deletion of ``u -> v`` performs ``out_adj[u].discard(v)`` at
+    deletion time (see :meth:`BatchDynamicESTree.batch_delete` step 1),
+    which materializes ``u``'s set first — so a set built later from the
+    CSR belongs to a vertex whose out-edges were never touched.
+    """
+
+    __slots__ = ("_sets", "_ipt", "_nbrs")
+
+    def __init__(self, n, indptr, indices) -> None:
+        self._sets: list[set[int] | None] = [None] * n
+        self._ipt = indptr.tolist()
+        self._nbrs = indices.tolist()
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def __getitem__(self, v: int) -> set[int]:
+        s = self._sets[v]
+        if s is None:
+            s = set(self._nbrs[self._ipt[v]:self._ipt[v + 1]])
+            self._sets[v] = s
+        return s
 
 
 class BatchDynamicESTree:
@@ -105,11 +220,13 @@ class BatchDynamicESTree:
         if len(set(edges)) != len(edges):
             raise ValueError("duplicate directed edges")
         self._universe = universe if universe is not None else max(n * n, 4)
+        self._edge_arrays = None  # scalar path: adjacency built eagerly
+        self._dead_in: dict[int, set[int]] = {}
 
-        self.out_adj: list[set[int]] = [set() for _ in range(n)]
+        self._out_adj: list[set[int]] = [set() for _ in range(n)]
         in_items: list[list[tuple[int, int]]] = [[] for _ in range(n)]
-        self.edge_pri: dict[DirEdge, int] = {}
-        self.alive: set[DirEdge] = set()
+        self._edge_pri: dict[DirEdge, int] = {}
+        self._alive: set[DirEdge] = set()
         default_counter = 0
         for u, v in edges:
             if priority is not None:
@@ -119,10 +236,10 @@ class BatchDynamicESTree:
                 default_counter += 1
             if p >= self._universe:
                 raise ValueError("priority exceeds universe")
-            self.out_adj[u].add(v)
+            self._out_adj[u].add(v)
             in_items[v].append((u, p))
-            self.edge_pri[(u, v)] = p
-            self.alive.add((u, v))
+            self._edge_pri[(u, v)] = p
+            self._alive.add((u, v))
 
         self.in_arr: list[PriorityArray] = [
             PriorityArray(self._universe, [(u, p) for u, p in in_items[v]], cost=cost)
@@ -155,6 +272,198 @@ class BatchDynamicESTree:
         # so backends run it inline (charge-identical to the plain loop).
         with cost.parallel() as par:
             par.map(candidates, init_attach)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        n: int,
+        src,
+        dst,
+        pri,
+        source: int,
+        limit: int,
+        *,
+        universe: int,
+        cost: CostModel = NULL_COST_MODEL,
+    ) -> "BatchDynamicESTree":
+        """Array-native construction: directed edges ``src[i] -> dst[i]``
+        with priority ``pri[i]`` inside ``IN(dst[i])``.
+
+        Functionally identical to ``BatchDynamicESTree(n, edges, ...)`` with
+        an explicit priority map, but every initialization stage runs as
+        whole-array numpy operations — the ``IN(v)`` arrays are carved out
+        of one global lexsort, distances come from the CSR bounded BFS, and
+        the initial parent attachment is a single grouped reduction instead
+        of per-vertex galloping scans.  Charged work/depth is byte-identical
+        to the scalar constructor (the charges are closed-form functions of
+        the item counts and scan schedules; see Lemma 3.1/3.2), which the
+        cross-substrate equivalence tests pin.
+
+        The scalar mutation state (``out_adj``/``edge_pri``/``alive``)
+        materializes lazily on first access, so instances that are only
+        ever queried never build the per-edge dicts at all.
+        """
+        self = cls.__new__(cls)
+        self.n = n
+        self.L = limit
+        self.source = source
+        self._cost = cost
+        self._universe = universe
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        pri = np.ascontiguousarray(pri, dtype=np.int64)
+        m = len(src)
+        if len(dst) != m or len(pri) != m:
+            raise ValueError("src/dst/pri length mismatch")
+        if m and (pri >= universe).any():
+            raise ValueError("priority exceeds universe")
+        if m and not (
+            0 <= int(src.min())
+            and int(src.max()) < n
+            and 0 <= int(dst.min())
+            and int(dst.max()) < n
+        ):
+            raise IndexError("edge endpoint outside [0, n)")
+        logu = log2ceil(universe)
+
+        # IN(v) storage: one global sort by (target, priority); each
+        # vertex's slice is ascending-priority, exactly the bulk layout
+        # PriorityArray uses.
+        order_in = np.lexsort((pri, dst))
+        dv, pv, uv = dst[order_in], pri[order_in], src[order_in]
+        if m > 1:
+            same_v = dv[1:] == dv[:-1]
+            if (same_v & (uv[1:] == uv[:-1])).any():
+                raise ValueError("duplicate directed edges")
+            dup = same_v & (pv[1:] == pv[:-1])
+            if dup.any():
+                raise ValueError(
+                    f"duplicate priority {int(pv[1:][dup][0])}"
+                )
+        in_counts = np.bincount(dv, minlength=n) if m else np.zeros(
+            n, dtype=np.int64
+        )
+        in_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(in_counts, out=in_indptr[1:])
+        self._edge_arrays = (dv, pv, uv)
+        self._out_adj = None
+        self._edge_pri = None
+        self._alive = None
+        self._dead_in = {}
+
+        self.in_arr = _LazyInArrays(
+            n, pv, uv, in_indptr.tolist(), universe, cost
+        )
+        # n sequential PriorityArray initializations, (l_v log U, log U)
+        # each -- identical accumulation to the scalar constructor's loop.
+        cost.charge_many(work=m * logu, depth=n * logu)
+
+        # Lemma 3.2 initialization of distances (CSR fast path).
+        from repro.bfs.bounded_bfs import bounded_bfs_csr
+
+        order_out = np.argsort(src, kind="stable")
+        out_indptr = np.zeros(n + 1, dtype=np.int64)
+        if m:
+            np.cumsum(np.bincount(src, minlength=n), out=out_indptr[1:])
+        out_indices = dst[order_out]
+        self._out_csr = (out_indptr, out_indices)
+        dist_arr = bounded_bfs_csr(
+            n, out_indptr, out_indices, source, limit, cost=cost
+        )
+        self.dist = dist_arr.tolist()
+        self.parent = [None] * n
+        self._scan_pri = [None] * n
+        self._attach_all(dist_arr, dv, pv, uv, in_indptr, in_counts)
+        return self
+
+    def _attach_all(self, dist_arr, dv, pv, uv, in_indptr, in_counts):
+        """Vectorized initial parent attachment.
+
+        For every candidate ``v`` (``1 <= dist[v] <= L``) the scalar path
+        gallops ``IN(v)`` from position 1 for the first in-edge ``(u, v)``
+        with ``dist[u] == dist[v] - 1``; at init every edge is alive, so
+        validity is one array comparison and the found position is the
+        minimum valid position per target — a grouped reduction.  The
+        parent region's charge is reconstructed in closed form: a scan
+        that answers at position ``q`` runs ``P = bitlength(q)`` phases
+        touching ``min(2^P - 1, l)`` slots, plus the two ``_attach`` tree
+        ops, with the region contributing (sum of works, max of depths).
+        """
+        n, limit, logu = self.n, self.L, log2ceil(self._universe)
+        m = len(dv)
+        cand_total = int(
+            ((dist_arr >= 1) & (dist_arr <= limit)).sum()
+        )
+        if m == 0 or cand_total == 0:
+            assert cand_total == 0, "reachable vertex with no in-edges"
+            return
+        # position of each in-edge in IN(dst), 1-based, descending priority
+        local = np.arange(m, dtype=np.int64) - np.repeat(
+            in_indptr[:-1], in_counts
+        )
+        pos_desc = in_counts[dv] - local
+        valid = dist_arr[uv] == dist_arr[dv] - 1
+        valid &= (dist_arr[dv] >= 1) & (dist_arr[dv] <= limit)
+        vs = dv[valid]
+        if len(vs) == 0:
+            raise AssertionError("no parent for any reachable vertex")
+        # within each dv-group priorities ascend, so positions descend:
+        # the last valid entry per group is the minimum position q.
+        ends = np.nonzero(vs[1:] != vs[:-1])[0]
+        ends = np.concatenate([ends, [len(vs) - 1]])
+        cand_v = vs[ends]
+        assert len(cand_v) == cand_total, (
+            "no parent for some reachable vertex"
+        )
+        q_arr = pos_desc[valid][ends]
+        par_u = uv[valid][ends]
+        par_p = pv[valid][ends]
+        for v, u, p in zip(
+            cand_v.tolist(), par_u.tolist(), par_p.tolist()
+        ):
+            self.parent[v] = u
+            self._scan_pri[v] = p
+        # region charge: per candidate next_with(1, .) ending at q plus
+        # two charge_tree_op(universe) calls from _attach.
+        phases = np.frexp(q_arr.astype(np.float64))[1].astype(np.int64)
+        scanned = np.minimum(
+            (1 << phases) - 1, in_counts[cand_v]
+        )
+        work = int(((scanned + 2) * logu).sum())
+        depth = int((int(phases.max()) + 2) * logu)
+        self._cost.charge_many(work=work, depth=depth)
+
+    # -- lazy scalar mutation state (array-native construction) ----------
+
+    def _materialize_adj(self) -> None:
+        """Expand the edge arrays into the per-edge dict/set mutation
+        state (``out_adj``/``edge_pri``/``alive``).  Only reached when an
+        array-built tree is first *mutated* (or its adjacency inspected);
+        query-only instances skip it entirely."""
+        dv, pv, uv = self._edge_arrays
+        pairs = list(zip(uv.tolist(), dv.tolist()))
+        self._edge_pri = dict(zip(pairs, pv.tolist()))
+        self._alive = set(pairs)
+        indptr, indices = self._out_csr
+        self._out_adj = _LazyOutAdj(self.n, indptr, indices)
+
+    @property
+    def out_adj(self) -> list[set[int]]:
+        if self._out_adj is None:
+            self._materialize_adj()
+        return self._out_adj
+
+    @property
+    def edge_pri(self) -> dict[DirEdge, int]:
+        if self._edge_pri is None:
+            self._materialize_adj()
+        return self._edge_pri
+
+    @property
+    def alive(self) -> set[DirEdge]:
+        if self._alive is None:
+            self._materialize_adj()
+        return self._alive
 
     # -- helpers ---------------------------------------------------------
 
@@ -232,28 +541,85 @@ class BatchDynamicESTree:
                 raise KeyError(f"edge {(u, v)} not alive")
             self.alive.remove((u, v))
             self.out_adj[u].discard(v)
+            self._dead_in.setdefault(v, set()).add(u)
             if self.parent[v] == u:
                 orphan(v)
                 self.parent[v] = None
         self._cost.pfor_cost(len(edges), logn, depth=logn)
 
-        # Step 2: phases i = 1..L (Invariants A2-A4).
+        # Step 2: phases i = 1..L (Invariants A2-A4).  With a pool backend
+        # installed on the cost model the phase's *scans* ship to worker
+        # processes (they are read-only and independent within a phase —
+        # see :func:`scan_bucket_kernel`) and the mutations apply inline
+        # from the returned positions; otherwise the phase runs inline via
+        # the backend seam as before.  Charges identical either way.
+        backend = self._cost.backend
         for i in range(1, self.L + 1):
             bucket = buckets.pop(i, None)
             if not bucket:
                 continue
-            # One parallel level scan, routed through the backend seam
-            # (inline under any backend: _process_vertex mutates the
-            # shared tree, so it is not shippable to worker processes).
+            vs = sorted(bucket)
+            if (
+                backend is not None
+                and backend.workers > 1
+                and len(vs) >= backend.min_items
+            ):
+                self._pool_phase(
+                    backend, vs, i, orphan, changes, old_parent, old_dist
+                )
+                continue
             with self._cost.parallel() as par:
                 par.map(
-                    sorted(bucket),
+                    vs,
                     lambda v: self._process_vertex(
                         v, i, orphan, changes, old_parent, old_dist
                     ),
                 )
         assert not buckets, f"unprocessed buckets at levels {sorted(buckets)}"
         return changes
+
+    def _pool_phase(
+        self, backend, vs, i, orphan, changes, old_parent, old_dist
+    ) -> None:
+        """Run one phase with its scans shipped to the pool (the PR 8
+        follow-on): extract each vertex's scan inputs, fan the chunks out
+        through :meth:`ExecutionBackend.map_chunks`, then apply mutations
+        inline in canonical (sorted) order.  Each applied branch first
+        re-charges the scan's exact ``(work, depth)`` so the parallel
+        region accumulates the byte-identical totals of the inline phase
+        (scan + apply compose sequentially *within* a branch)."""
+        dist = self.dist
+        specs = []
+        for v in vs:
+            assert dist[v] == i
+            pa = self.in_arr[v]
+            if pa._bulk_pri is not None:
+                pris = pa._bulk_pri.tolist()
+                bv = pa._bulk_vals
+                vals = bv.tolist() if isinstance(bv, np.ndarray) else list(bv)
+            else:
+                pris = list(pa._sorted)
+                vals = [pa._values[p] for p in reversed(pa._sorted)]
+            dead = self._dead_in.get(v)
+            specs.append((
+                v, self._scan_pri[v], i - 1, pris, vals,
+                [dist[u] for u in vals],
+                sorted(dead) if dead else (),
+            ))
+        per = max(1, -(-len(specs) // (2 * backend.workers)))
+        chunks = [
+            {"universe": self._universe, "items": specs[j:j + per]}
+            for j in range(0, len(specs), per)
+        ]
+        results = backend.map_chunks(scan_bucket_kernel, chunks)
+        with self._cost.parallel() as par:
+            for res in results:
+                for v, q, w, d in res.value:
+                    with par.task():
+                        self._cost.charge_many(work=w, depth=d)
+                        self._apply_scan(
+                            v, i, q, orphan, changes, old_parent, old_dist
+                        )
 
     def _process_vertex(
         self,
@@ -269,6 +635,21 @@ class BatchDynamicESTree:
         arr = self.in_arr[v]
         pos = self._scan_position(v)
         q = arr.next_with(pos, self._parent_pred(v))
+        self._apply_scan(v, i, q, orphan, changes, old_parent, old_dist)
+
+    def _apply_scan(
+        self,
+        v: int,
+        i: int,
+        q: int,
+        orphan: Callable[[int], None],
+        changes: list[ParentChange],
+        old_parent: dict[int, int | None],
+        old_dist: dict[int, int],
+    ) -> None:
+        """Apply the outcome of ``v``'s phase-``i`` scan (found position
+        ``q``, or past-the-end for "no parent at level ``i - 1``")."""
+        arr = self.in_arr[v]
         if q <= len(arr):
             # Found a parent at level i - 1; distance stays i.
             self._attach(v, q)

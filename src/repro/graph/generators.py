@@ -34,8 +34,32 @@ def complete_graph(n: int) -> list[Edge]:
     return [(u, v) for u in range(n) for v in range(u + 1, n)]
 
 
+#: rejection-sampling rounds before a generator falls back to
+#: rejection-free completion from the complement.  Each round oversamples
+#: 2x the deficit, so the probability of needing even a handful of rounds
+#: is vanishing — the cap exists so adversarial densities terminate by
+#: construction rather than in expectation.
+_MAX_REJECTION_ROUNDS = 32
+
+
+def _complete_from_complement(
+    edges: set[Edge], n: int, m: int, rng: np.random.Generator
+) -> None:
+    """Top ``edges`` up to ``m`` by sampling uniformly (without
+    replacement) from the pairs not yet chosen."""
+    remaining = [e for e in complete_graph(n) if e not in edges]
+    idx = rng.permutation(len(remaining))[: m - len(edges)]
+    edges.update(remaining[i] for i in idx)
+
+
 def gnm_random_graph(n: int, m: int, seed: int | None = None) -> list[Edge]:
-    """Uniform simple graph with exactly ``m`` edges (Erdős–Rényi G(n, m))."""
+    """Uniform simple graph with exactly ``m`` edges (Erdős–Rényi G(n, m)).
+
+    Requests with ``m`` above ``n * (n - 1) / 2`` raise ``ValueError``;
+    everything below is guaranteed to terminate — the sparse path's
+    rejection sampling is round-bounded with a rejection-free completion
+    fallback, so no density can make it spin.
+    """
     max_m = n * (n - 1) // 2
     if m > max_m:
         raise ValueError(f"m={m} exceeds max {max_m} for n={n}")
@@ -46,11 +70,16 @@ def gnm_random_graph(n: int, m: int, seed: int | None = None) -> list[Edge]:
         idx = rng.permutation(len(all_edges))[:m]
         return [all_edges[i] for i in idx]
     edges: set[Edge] = set()
+    rounds = 0
     while len(edges) < m:
+        if rounds >= _MAX_REJECTION_ROUNDS:
+            _complete_from_complement(edges, n, m, rng)
+            break
         # Vectorized rejection sampling.
         need = m - len(edges)
         us = rng.integers(0, n, size=2 * need + 8)
         vs = rng.integers(0, n, size=2 * need + 8)
+        rounds += 1
         for u, v in zip(us.tolist(), vs.tolist()):
             if u != v:
                 edges.add(norm_edge(u, v))
@@ -104,7 +133,16 @@ def random_connected_graph(
     max_m = n * (n - 1) // 2
     if m > max_m:
         raise ValueError(f"m={m} exceeds max {max_m}")
+    # scalar rejection sampling, attempt-bounded: dense requests (this
+    # generator has no dense path) complete rejection-free instead of
+    # spinning on collisions near the C(n, 2) ceiling
+    attempts = 0
+    max_attempts = 20 * max(m, 1) + 1000
     while len(edges) < m:
+        if attempts >= max_attempts:
+            _complete_from_complement(edges, n, m, rng)
+            break
+        attempts += 1
         u = int(rng.integers(0, n))
         v = int(rng.integers(0, n))
         if u != v:

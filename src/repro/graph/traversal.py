@@ -1,4 +1,12 @@
-"""Plain sequential graph traversals used by oracles and static baselines."""
+"""Plain sequential graph traversals used by oracles and static baselines.
+
+When the adjacency is an array substrate (anything exposing a ``csr()``
+compacted view — see :class:`repro.graph.array_graph.ArrayDynamicGraph`),
+the full-sweep traversals switch to vectorized whole-frontier expansion
+over the CSR arrays: one numpy gather per level instead of per-edge Python
+iteration.  Results are identical; target-pruned sweeps stay scalar
+because their early exit is mid-scan by contract.
+"""
 
 from __future__ import annotations
 
@@ -13,6 +21,12 @@ __all__ = [
     "bfs_distances_bounded",
     "connected_components",
 ]
+
+
+def _csr_view(adj):
+    """``(indptr, indices)`` when ``adj`` is an array substrate, else None."""
+    csr = getattr(adj, "csr", None)
+    return csr() if callable(csr) else None
 
 
 def adjacency_from_edges(
@@ -36,6 +50,14 @@ def _neighbor_lookup(adj):
     """
     if isinstance(adj, Mapping):
         return lambda u: adj.get(u, ())
+    if hasattr(adj, "neighbors_array"):
+        # array substrate: same isolated-vertex tolerance as the dict
+        # snapshot (out-of-range reads as "no neighbors", not IndexError).
+        # tolist() yields plain ints — iterating the numpy slice itself
+        # would create an np.int32 per step, whose dict hashing dominates
+        # scalar BFS wall time
+        arr, nn = adj.neighbors_array, len(adj)
+        return lambda u: arr(u).tolist() if 0 <= u < nn else ()
     return lambda u: adj[u]
 
 
@@ -58,6 +80,10 @@ def bfs_distances(
     from a dict adjacency has no neighbors (``{source: 0}``), and a
     disconnected ``target`` is simply absent from the result.
     """
+    if target is None:
+        csr = _csr_view(adj)
+        if csr is not None:
+            return _bfs_csr(csr, source, None)
     neighbors = _neighbor_lookup(adj)
     dist = {source: 0}
     if target == source:
@@ -86,6 +112,10 @@ def bfs_distances_bounded(
     from a dict adjacency yields ``{source: 0}`` and a non-positive
     ``limit`` never expands the frontier.
     """
+    if limit > 0:
+        csr = _csr_view(adj)
+        if csr is not None:
+            return _bfs_csr(csr, source, limit)
     neighbors = _neighbor_lookup(adj)
     dist = {source: 0}
     if limit <= 0:
@@ -101,6 +131,52 @@ def bfs_distances_bounded(
                 dist[w] = du + 1
                 queue.append(w)
     return dist
+
+
+def _bfs_csr(
+    csr, source: int, limit: int | None
+) -> dict[int, int]:
+    """Vectorized level-synchronous BFS over a ``(indptr, indices)`` view.
+
+    Whole-frontier expansion: each level is one gather of every frontier
+    vertex's neighbor slice plus one dedup, no per-edge Python.  Returns
+    the same ``{vertex: distance}`` dict as the scalar sweep.
+    """
+    import numpy as np
+
+    indptr, indices = csr
+    n = len(indptr) - 1
+    if not 0 <= source < n:
+        return {source: 0}
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while len(frontier) and (limit is None or level < limit):
+        level += 1
+        nbrs = _gather_neighbors(indptr, indices, frontier)
+        new = nbrs[dist[nbrs] < 0]
+        if len(new) == 0:
+            break
+        new = np.unique(new).astype(np.int64)
+        dist[new] = level
+        frontier = new
+    reached = np.nonzero(dist >= 0)[0]
+    return dict(zip(reached.tolist(), dist[reached].tolist()))
+
+
+def _gather_neighbors(indptr, indices, frontier):
+    """Concatenated neighbor slices of ``frontier`` (one vectorized gather)."""
+    import numpy as np
+
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=indices.dtype)
+    firsts = np.cumsum(counts) - counts
+    offs = np.arange(total, dtype=np.int64) - np.repeat(firsts, counts)
+    return indices[np.repeat(starts, counts) + offs]
 
 
 def connected_components(n: int, edges: Iterable[Edge]) -> list[list[int]]:

@@ -46,12 +46,14 @@ from repro.queries.batch import (
     batch_find_repr,
     batch_stretch_check,
     coalesce_queries,
+    multi_source_bfs,
 )
 
 __all__ = [
     "ENVELOPE_C",
     "QueryFuzzConfig",
     "QueryFuzzReport",
+    "check_empty_batch",
     "check_forest_batch",
     "check_query_batch",
     "check_stretch_batch",
@@ -196,6 +198,54 @@ def check_query_batch(
         viols.append(Violation(
             "dedup-accounting",
             f"stats claim {stats.unique} unique of {stats.queries} queries",
+        ))
+    viols.extend(check_empty_batch(n, edge_set, adjacency))
+    return viols
+
+
+def check_empty_batch(
+    n: int, edge_set: set[Edge], adjacency=None
+) -> list[Violation]:
+    """The degenerate-batch contract: empty in, empty out, zero charges.
+
+    ``multi_source_bfs`` with no sources, ``answer_queries`` with no
+    items, and ``bfs_distances_bounded`` with a non-positive limit must
+    all return their empty/identity result without charging any
+    work or depth (an empty parallel batch performs no rounds).
+    """
+    if adjacency is None:
+        adjacency = _adjacency(edge_set)
+    viols: list[Violation] = []
+    cost = CostModel()
+    with cost.frame() as fr:
+        empty = multi_source_bfs(adjacency, [], n=n, cost=cost)
+    if empty != {}:
+        viols.append(Violation(
+            "empty-sources-result",
+            f"multi_source_bfs with no sources returned {empty!r}",
+        ))
+    if fr.work or fr.depth:
+        viols.append(Violation(
+            "empty-sources-charge",
+            f"multi_source_bfs with no sources charged "
+            f"work={fr.work} depth={fr.depth} (must be 0/0)",
+        ))
+    cost = CostModel()
+    answers, stats = answer_queries(
+        [], edge_set=edge_set, adjacency=adjacency, n=n, cost=cost,
+    )
+    if answers != [] or stats.work or stats.depth:
+        viols.append(Violation(
+            "empty-batch-charge",
+            f"answer_queries on an empty batch returned {answers!r} "
+            f"with work={stats.work} depth={stats.depth} (must be "
+            "[] with 0/0)",
+        ))
+    src = 0 if n else -1
+    if n and bfs_distances_bounded(adjacency, src, 0) != {src: 0}:
+        viols.append(Violation(
+            "bounded-zero-limit",
+            "bfs_distances_bounded(limit=0) must return {source: 0}",
         ))
     return viols
 

@@ -263,8 +263,12 @@ class CostModel:
 
     def charge_hash_op(self, count: int = 1) -> None:
         """Charge ``count`` hash-table ops: O(1) work each, O(log* n) ~ O(1)
-        depth for the whole parallel batch [GMV91]."""
-        if not self.enabled:
+        depth for the whole parallel batch [GMV91].
+
+        ``count <= 0`` is a no-op: an empty batch performs no hash ops, so
+        it must not contribute the batch's unit of depth (mirrors
+        :meth:`pfor_cost`'s ``n <= 0`` contract)."""
+        if not self.enabled or count <= 0:
             return
         top = self._stack[-1]
         top.work += count

@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.graph.dynamic_graph import Edge
-from repro.graph.traversal import _neighbor_lookup
+from repro.graph.traversal import _csr_view, _gather_neighbors, _neighbor_lookup
 from repro.pram.cost import NULL_COST_MODEL, CostModel, log2ceil
 
 __all__ = [
@@ -66,6 +66,26 @@ def _log_n(adj: Adjacency, n: int | None) -> int:
     if n is None:
         n = len(adj)
     return log2ceil(max(n, 2))
+
+
+def _sorted_neighbors(adj):
+    """Neighbor accessor yielding ascending plain-int vertex ids.
+
+    The canonical scan order for charge schedules that depend on scan
+    order (targets-mode :func:`multi_source_bfs`): identical for a
+    dict-of-sets snapshot and the array substrate holding the same graph.
+    """
+    if hasattr(adj, "sorted_flat"):
+        # array substrate: one cached per-epoch flat adjacency in
+        # canonical order — a list slice per scan instead of a numpy
+        # sort per scan
+        bounds, flat = adj.sorted_flat()
+        nn = len(adj)
+        return lambda u: (
+            flat[bounds[u]:bounds[u + 1]] if 0 <= u < nn else []
+        )
+    base = _neighbor_lookup(adj)
+    return lambda u: sorted(base(u))
 
 
 # -- shared traversals --------------------------------------------------------
@@ -107,7 +127,12 @@ def multi_source_bfs(
     way; charges are too when no targets are given.  With targets *and* a
     recording cost model the sweep stays sequential — mid-round target
     pruning makes the charged scan count depend on scan order, and the
-    canonical (pinned) charges are the sequential ones.
+    canonical (pinned) charges are the sequential ones.  To keep that
+    canonical schedule *substrate-invariant* (dict-of-sets and the array
+    substrate store neighbors in different orders), the targets-mode sweep
+    scans each adjacency list in ascending vertex order — so the charged
+    totals depend only on the graph and the query batch, never on the
+    container.
     """
     if backend is not None and (targets is None or not cost.enabled):
         from repro.parallel.kernels import parallel_multi_source_bfs
@@ -116,7 +141,23 @@ def multi_source_bfs(
             backend, adj, sources, targets=targets, bound=bound, n=n,
             cost=cost, adj_version=adj_version,
         )
-    neighbors = _neighbor_lookup(adj)
+    if targets is None and backend is None:
+        csr = _csr_view(adj)
+        if csr is not None and 0 < len(set(sources)) <= 64:
+            # array substrate, no mid-round target pruning: the charged
+            # scan count per level is |frontier| + sum(deg(frontier)) —
+            # order-independent, so the vectorized sweep charges the
+            # byte-identical totals
+            return _multi_source_bfs_csr(
+                csr, sources, bound=bound, cost=cost, logn=_log_n(adj, n)
+            )
+    # targets mode: canonical ascending scan order (see docstring); the
+    # no-targets scalar fallback keeps raw container order — its charged
+    # counts are order-independent anyway
+    neighbors = (
+        _sorted_neighbors(adj) if targets is not None
+        else _neighbor_lookup(adj)
+    )
     srcs = list(dict.fromkeys(sources))
     k = len(srcs)
     logn = _log_n(adj, n)
@@ -175,6 +216,88 @@ def multi_source_bfs(
         # one parallel frontier-expansion round
         cost.pfor_cost(scans, 1, depth=logn)
         frontier = nxt
+    return dist
+
+
+def _multi_source_bfs_csr(
+    csr,
+    sources: Sequence[int],
+    *,
+    bound: int | None,
+    cost: CostModel,
+    logn: int,
+) -> dict[int, dict[int, int]]:
+    """Vectorized no-targets :func:`multi_source_bfs` over a CSR view.
+
+    Level-synchronous bitmask propagation in numpy ``uint64`` (hence the
+    k <= 64 guard at the call site): each round gathers every frontier
+    vertex's neighbor slice at once, ORs the source masks per discovered
+    vertex with one ``reduceat``, and charges the identical
+    ``pfor_cost(|frontier| + scanned, 1, depth=logn)`` the scalar sweep
+    charges.  Answers and charges are byte-identical to the scalar path.
+    """
+    import numpy as np
+
+    indptr, indices = csr
+    n = len(indptr) - 1
+    srcs = list(dict.fromkeys(sources))
+    k = len(srcs)
+    dist: dict[int, dict[int, int]] = {s: {s: 0} for s in srcs}
+    cost.pfor_cost(k, 1, depth=logn)
+    src_arr = np.asarray(srcs, dtype=np.int64)
+    in_range = (src_arr >= 0) & (src_arr < n)
+    reached = np.zeros(n, dtype=np.uint64)
+    bits = np.left_shift(np.uint64(1), np.arange(k, dtype=np.uint64))
+    np.bitwise_or.at(reached, src_arr[in_range], bits[in_range])
+    frontier_v = src_arr[in_range]
+    frontier_m = bits[in_range]
+    # out-of-range sources behave like isolated vertices (dict-adjacency
+    # parity): present in the result with only themselves, never expanded —
+    # but they still occupy a frontier slot for the charged scan count
+    phantom = int((~in_range).sum())
+    if k and len(frontier_v):
+        order = np.argsort(frontier_v, kind="stable")
+        frontier_v = frontier_v[order]
+        frontier_m = frontier_m[order]
+        starts = np.nonzero(
+            np.r_[True, frontier_v[1:] != frontier_v[:-1]]
+        )[0]
+        frontier_m = np.bitwise_or.reduceat(frontier_m, starts)
+        frontier_v = frontier_v[starts]
+    level = 0
+    while (len(frontier_v) or phantom):
+        level += 1
+        if bound is not None and level > bound:
+            break
+        counts = indptr[frontier_v + 1] - indptr[frontier_v]
+        scans = int(len(frontier_v)) + phantom + int(counts.sum())
+        nbrs = _gather_neighbors(indptr, indices, frontier_v)
+        masks = np.repeat(frontier_m, counts)
+        add = masks & ~reached[nbrs]
+        keep = add != 0
+        nb = nbrs[keep].astype(np.int64)
+        am = add[keep]
+        phantom = 0
+        if len(nb):
+            order = np.argsort(nb, kind="stable")
+            nb = nb[order]
+            am = am[order]
+            starts = np.nonzero(np.r_[True, nb[1:] != nb[:-1]])[0]
+            uniq = nb[starts]
+            union = np.bitwise_or.reduceat(am, starts)
+            reached[uniq] |= union
+            for i in range(k):
+                hit = (union >> np.uint64(i)) & np.uint64(1)
+                verts = uniq[hit.astype(bool)]
+                if len(verts):
+                    dist[srcs[i]].update(
+                        dict.fromkeys(verts.tolist(), level)
+                    )
+            frontier_v, frontier_m = uniq, union
+        else:
+            frontier_v = frontier_v[:0]
+            frontier_m = frontier_m[:0]
+        cost.pfor_cost(scans, 1, depth=logn)
     return dist
 
 
@@ -244,6 +367,13 @@ def batch_components(
         return parallel_batch_components(
             backend, adj, vertices, n=n, cost=cost, adj_version=adj_version,
         )
+    csr = _csr_view(adj)
+    if csr is not None:
+        # flood charges (|frontier| + scanned per round) are partition-
+        # and order-invariant, so the vectorized flood is charge-exact
+        return _batch_components_csr(
+            csr, vertices, cost=cost, logn=_log_n(adj, n)
+        )
     neighbors = _neighbor_lookup(adj)
     logn = _log_n(adj, n)
     comp: dict[int, int] = {}
@@ -264,6 +394,55 @@ def batch_components(
                         nxt.append(w)
             cost.pfor_cost(scans, 1, depth=logn)
             frontier = nxt
+    return comp
+
+
+def _batch_components_csr(
+    csr,
+    vertices: Iterable[int],
+    *,
+    cost: CostModel,
+    logn: int,
+) -> dict[int, int]:
+    """Vectorized :func:`batch_components` flood over a CSR view.
+
+    Same flood order (per queried vertex, whole-frontier rounds), same
+    labels (first queried vertex of each component), same per-round
+    ``pfor_cost`` charges — just numpy gathers instead of per-edge Python.
+    """
+    import numpy as np
+
+    indptr, indices = csr
+    n = len(indptr) - 1
+    label = np.full(n, -1, dtype=np.int64)
+    extra: dict[int, int] = {}   # out-of-range queried vertices
+    for v0 in vertices:
+        if not 0 <= v0 < n:
+            if v0 not in extra:
+                extra[v0] = v0
+                # the scalar path floods an absent vertex as one
+                # neighborless frontier round
+                cost.pfor_cost(1, 1, depth=logn)
+            continue
+        if label[v0] >= 0:
+            continue
+        label[v0] = v0
+        frontier = np.array([v0], dtype=np.int64)
+        while len(frontier):
+            counts = indptr[frontier + 1] - indptr[frontier]
+            scans = int(len(frontier)) + int(counts.sum())
+            nbrs = _gather_neighbors(indptr, indices, frontier).astype(
+                np.int64
+            )
+            new = nbrs[label[nbrs] < 0]
+            if len(new):
+                new = np.unique(new)
+                label[new] = v0
+            cost.pfor_cost(scans, 1, depth=logn)
+            frontier = new
+    touched = np.nonzero(label >= 0)[0]
+    comp = dict(zip(touched.tolist(), label[touched].tolist()))
+    comp.update(extra)
     return comp
 
 

@@ -54,6 +54,10 @@ class BenchQueriesConfig:
     # the singleton and charged-batch passes are unchanged, so the gate's
     # pinned work/depth totals never depend on this knob
     parallel: int = 0
+    # snapshot adjacency substrate ("array" | "dict"); answers and
+    # charged totals are identical on both (the gate's pinned work/depth
+    # constants are substrate-invariant)
+    substrate: str = "array"
 
 
 @dataclass
@@ -163,7 +167,11 @@ def _make_windows(
 def run_bench_queries(cfg: BenchQueriesConfig) -> BenchQueriesReport:
     """Run the SRV3 comparison; deterministic shape for a fixed config."""
     from repro.queries.batch import coalesce_queries
-    from repro.service.engine import LocalExecutor, SpannerService
+    from repro.service.engine import (
+        LocalExecutor,
+        ServiceConfig,
+        SpannerService,
+    )
 
     t_start = time.perf_counter()
     rng = np.random.default_rng(cfg.seed)
@@ -184,7 +192,11 @@ def run_bench_queries(cfg: BenchQueriesConfig) -> BenchQueriesReport:
             from repro.parallel import ProcessPoolBackend
 
             backend = ProcessPoolBackend(cfg.parallel, min_items=32)
-        svc = SpannerService(LocalExecutor(spec), parallel=backend)
+        svc = SpannerService(
+            LocalExecutor(spec),
+            config=ServiceConfig(substrate=cfg.substrate),
+            parallel=backend,
+        )
         cm = CostModel()
         t_single = 0.0
         t_batch = 0.0

@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.graph.array_graph import SUBSTRATES, ArrayDynamicGraph
 from repro.graph.dynamic_graph import Edge
 from repro.graph.traversal import bfs_distances
 from repro.pram.cost import NULL_COST_MODEL, CostModel
@@ -255,6 +256,23 @@ class PendingQuery:
 class ServiceConfig:
     batcher: BatcherConfig = field(default_factory=BatcherConfig)
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: snapshot adjacency container for the read path: "array" keeps an
+    #: :class:`~repro.graph.array_graph.ArrayDynamicGraph` (CSR kernels),
+    #: "dict" the legacy dict-of-sets.  Answers and recorded charges are
+    #: identical on both (see docs/substrate.md).
+    substrate: str = "array"
+
+
+def _executor_n(executor) -> int | None:
+    """Vertex count from the executor's build spec, if it carries one."""
+    spec = getattr(executor, "spec", None)
+    if spec is None:
+        specs = getattr(executor, "shard_specs", None)
+        spec = specs[0] if specs else None
+    try:
+        return int(spec["n"])
+    except (TypeError, KeyError, ValueError):
+        return None
 
 
 class SpannerService:
@@ -323,7 +341,18 @@ class SpannerService:
         self._snap_lock = threading.Lock()
         self._snapshot: set[Edge] = set(executor.output_edges())
         self._snapshot_seq = self._next_seq - 1
-        self._adj: dict[int, set[int]] | None = None  # lazy BFS adjacency
+        if self.config.substrate not in SUBSTRATES:
+            raise ValueError(
+                f"unknown substrate {self.config.substrate!r}; "
+                f"expected one of {SUBSTRATES}"
+            )
+        self._substrate = self.config.substrate
+        # vertex count for the array adjacency and for substrate-invariant
+        # BFS charges (dict adjacency len counts only non-isolated
+        # vertices); falls back to the snapshot's max endpoint when the
+        # executor's spec does not carry n
+        self._n = _executor_n(executor)
+        self._adj = None  # lazy BFS adjacency (substrate-dependent)
         # reads waiting to be answered at the next flush cycle
         self._pending_reads: list[PendingQuery] = []
         # stats from the most recent batched answer pass (inspection)
@@ -441,9 +470,10 @@ class SpannerService:
                 adj = self._adjacency()
                 if u == v:
                     d = 0
-                elif u not in adj:
-                    d = None  # isolated vertex: unreachable
                 else:
+                    # an isolated/unknown source yields {u: 0}, so the
+                    # .get(v) is None — no membership probe needed (and
+                    # ``in`` on the array substrate means edge membership)
                     d = bfs_distances(adj, u, target=v).get(v)
                 if kind == "connected":
                     return QueryResult(d is not None, stale, as_of)
@@ -491,6 +521,7 @@ class SpannerService:
                 items,
                 edge_set=self._snapshot,
                 adjacency=self._adjacency(),
+                n=self._query_n(),
                 cost=cost or NULL_COST_MODEL,
                 backend=self.parallel_backend,
                 adj_version=self._snapshot_seq,
@@ -597,13 +628,7 @@ class SpannerService:
                 self._snapshot -= result.delta_del
                 self._snapshot |= result.delta_ins
                 self._snapshot_seq = seq
-                if self._adj is not None:
-                    for a, b in result.delta_del:
-                        self._adj[a].discard(b)
-                        self._adj[b].discard(a)
-                    for a, b in result.delta_ins:
-                        self._adj.setdefault(a, set()).add(b)
-                        self._adj.setdefault(b, set()).add(a)
+                self._adj_apply_delta(result.delta_ins, result.delta_del)
             m = self.metrics
             m.counter("replicated_batches").inc()
             m.counter("ops_applied").inc(batch.size)
@@ -670,13 +695,7 @@ class SpannerService:
                     self._snapshot -= result.delta_del
                     self._snapshot |= result.delta_ins
                     self._snapshot_seq = seq
-                    if self._adj is not None:
-                        for a, b in result.delta_del:
-                            self._adj[a].discard(b)
-                            self._adj[b].discard(a)
-                        for a, b in result.delta_ins:
-                            self._adj.setdefault(a, set()).add(b)
-                            self._adj.setdefault(b, set()).add(a)
+                    self._adj_apply_delta(result.delta_ins, result.delta_del)
             m.counter("flushes").inc()
             m.counter("ops_applied").inc(drained.batch.size)
             m.histogram("batch_size").observe(drained.batch.size)
@@ -856,11 +875,61 @@ class SpannerService:
             self.flush()
             return verify_service(self, self.executor, deep=deep)
 
-    def _adjacency(self) -> dict[int, set[int]]:
+    def _adjacency(self):
+        """Lazy BFS adjacency over the snapshot (substrate-dependent)."""
         if self._adj is None:
-            adj: dict[int, set[int]] = {}
-            for a, b in self._snapshot:
-                adj.setdefault(a, set()).add(b)
-                adj.setdefault(b, set()).add(a)
-            self._adj = adj
+            if self._substrate == "array":
+                n = self._n
+                if n is None:
+                    n = 1 + max(
+                        (max(e) for e in self._snapshot), default=-1
+                    )
+                self._adj = ArrayDynamicGraph(n, self._snapshot)
+            else:
+                adj: dict[int, set[int]] = {}
+                for a, b in self._snapshot:
+                    adj.setdefault(a, set()).add(b)
+                    adj.setdefault(b, set()).add(a)
+                self._adj = adj
         return self._adj
+
+    def _adj_apply_delta(self, ins, dels) -> None:
+        """Keep the lazy adjacency in lockstep with a snapshot delta.
+
+        Caller holds ``_snap_lock``.  Both substrates apply the delta
+        in place; the array path falls back to a rebuild-on-next-read if
+        the delta steps outside the arena's vertex range (possible only
+        when ``n`` had to be inferred from the snapshot).
+        """
+        if self._adj is None:
+            return
+        if self._substrate == "array":
+            try:
+                # both batch ops validate before mutating, so a failure
+                # leaves the graph untouched and the rebuild is safe
+                if dels:
+                    self._adj.delete_batch(dels)
+                if ins:
+                    self._adj.insert_batch(ins)
+            except (KeyError, ValueError):
+                self._adj = None
+        else:
+            for a, b in dels:
+                self._adj[a].discard(b)
+                self._adj[b].discard(a)
+            for a, b in ins:
+                self._adj.setdefault(a, set()).add(b)
+                self._adj.setdefault(b, set()).add(a)
+
+    def _query_n(self) -> int | None:
+        """Vertex count handed to the traversal charge model.
+
+        Explicit ``n`` keeps charges substrate-invariant: a dict-of-sets
+        adjacency has ``len`` = #non-isolated vertices while the array
+        substrate's is the true ``n``.
+        """
+        if self._n is not None:
+            return self._n
+        if self._substrate == "array":
+            return len(self._adjacency())
+        return None

@@ -21,7 +21,11 @@ import numpy as np
 
 from repro.graph.dynamic_graph import Edge, norm_edge
 from repro.pram.cost import NULL_COST_MODEL, CostModel
-from repro.spanner.shift_clustering import ShiftedClustering, sample_shifts
+from repro.spanner.shift_clustering import (
+    ShiftedClustering,
+    _edge_array,
+    sample_shifts,
+)
 
 __all__ = ["DecrementalSpanner"]
 
@@ -53,33 +57,105 @@ class DecrementalSpanner:
         self.n = n
         self.k = k
         self._cost = cost
-        edges = [norm_edge(u, v) for u, v in edges]
+        earr = _edge_array(edges)
         rng = np.random.default_rng(seed)
         beta = math.log(10 * max(n, 2)) / k
         deltas = sample_shifts(n, beta=beta, cap=float(k), rng=rng)
         self.deltas = deltas
-        self.sc = ShiftedClustering(n, edges, deltas, cost=cost)
+        self.sc = ShiftedClustering(n, earr, deltas, cost=cost)
 
-        self._adj: list[set[int]] = [set() for _ in range(n)]
-        # bucket (v, c) -> set of neighbors u of v with CLUSTER(u) == c
-        self._inter: dict[tuple[int, int], set[int]] = {}
-        # chosen representative neighbor per eligible bucket
-        self._rep: dict[tuple[int, int], int] = {}
-        # spanner edge refcounts (forest edge and/or representative(s))
-        self._span: dict[Edge, int] = {}
+        # Array-native initialization.  The per-edge bucket fills and the
+        # initial representative sweep are grouped array reductions; the
+        # dict-of-sets mutation state (``_adj``/``_inter``) materializes
+        # lazily on the first deletion batch (or invariant check), so
+        # instances that are merged away untouched never build it.
+        eu, ev = earr[:, 0], earr[:, 1]
+        cl = np.asarray(self.sc.cluster, dtype=np.int64) if n else (
+            np.zeros(0, dtype=np.int64)
+        )
+        # bucket memberships: (owner v, cluster c of member, member u)
+        bv = np.concatenate([eu, ev])
+        bc = cl[np.concatenate([ev, eu])] if n else bv
+        bm = np.concatenate([ev, eu])
+        self._tables = None  # lazy (_adj, _inter); see _materialize_tables
+        self._members = (bv, bc, bm)
 
-        for u, v in edges:
-            self._adj[u].add(v)
-            self._adj[v].add(u)
-            self._bucket(u, self.sc.cluster_of(v)).add(v)
-            self._bucket(v, self.sc.cluster_of(u)).add(u)
-        for e in self.sc.tree_edges():
-            self._inc(e, None)
-        charged = 0
-        for key in list(self._inter):
-            charged += self._refresh(key, None)
-        # sequential composition of the per-rep hash charges
+        # chosen representative neighbor per eligible bucket: the minimum
+        # member of every (v, c) group with c != CLUSTER(v)
+        elig = bc != cl[bv] if len(bv) else bv.astype(bool)
+        v_e, c_e, m_e = bv[elig], bc[elig], bm[elig]
+        order = np.lexsort((m_e, c_e, v_e))
+        v_s, c_s, m_s = v_e[order], c_e[order], m_e[order]
+        if len(v_s):
+            head = np.ones(len(v_s), dtype=bool)
+            head[1:] = (v_s[1:] != v_s[:-1]) | (c_s[1:] != c_s[:-1])
+            idx = np.nonzero(head)[0]
+            rv, rc, rm = v_s[idx], c_s[idx], m_s[idx]
+        else:
+            rv = rc = rm = v_s
+        self._rep: dict[tuple[int, int], int] = dict(
+            zip(zip(rv.tolist(), rc.tolist()), rm.tolist())
+        )
+        # spanner edge refcounts: forest edges (one each) plus the
+        # representative edges (normalized; a rep edge may be chosen from
+        # both sides, hence the multiset count)
+        from collections import Counter
+
+        counts = Counter(self.sc.tree_edges())
+        counts.update(
+            zip(
+                np.minimum(rv, rm).tolist(),
+                np.maximum(rv, rm).tolist(),
+            )
+        )
+        self._span: dict[Edge, int] = dict(counts)
+        # sequential composition of the per-rep hash charges: one per
+        # bucket that assigned a representative (= every eligible bucket)
+        charged = len(rv)
         cost.charge_many(work=charged, depth=charged)
+
+    # -- lazy mutation tables ----------------------------------------------
+
+    def _materialize_tables(self) -> None:
+        """Build ``_adj`` (adjacency sets) and ``_inter`` (bucket sets)
+        from the initial edge arrays.  Clusters cannot have changed before
+        the first mutation reaches these tables — every cluster change
+        flows through :meth:`batch_delete`, which touches them first."""
+        bv, bc, bm = self._members
+        order = np.lexsort((bm, bc, bv))
+        v_s, c_s, m_s = bv[order], bc[order], bm[order]
+        members = m_s.tolist()
+        adj: list[set[int]] = [set() for _ in range(self.n)]
+        inter: dict[tuple[int, int], set[int]] = {}
+        if len(v_s):
+            head = np.ones(len(v_s), dtype=bool)
+            head[1:] = (v_s[1:] != v_s[:-1]) | (c_s[1:] != c_s[:-1])
+            starts = np.nonzero(head)[0].tolist()
+            bounds = starts + [len(members)]
+            keys = list(zip(v_s[head].tolist(), c_s[head].tolist()))
+            for i, key in enumerate(keys):
+                inter[key] = set(members[bounds[i]:bounds[i + 1]])
+            # per-owner adjacency: each neighbor appears in exactly one of
+            # v's buckets, so v's whole slice is already duplicate-free
+            vhead = np.ones(len(v_s), dtype=bool)
+            vhead[1:] = v_s[1:] != v_s[:-1]
+            vstarts = np.nonzero(vhead)[0].tolist()
+            vbounds = vstarts + [len(members)]
+            for j, v in enumerate(v_s[vhead].tolist()):
+                adj[v] = set(members[vbounds[j]:vbounds[j + 1]])
+        self._tables = (adj, inter)
+
+    @property
+    def _adj(self) -> list[set[int]]:
+        if self._tables is None:
+            self._materialize_tables()
+        return self._tables[0]
+
+    @property
+    def _inter(self) -> dict[tuple[int, int], set[int]]:
+        if self._tables is None:
+            self._materialize_tables()
+        return self._tables[1]
 
     # -- bucket / refcount plumbing ----------------------------------------
 
@@ -164,14 +240,17 @@ class DecrementalSpanner:
         # 1. remove edges from adjacency and buckets (pre-cascade clusters).
         # One parallel round: every branch does the same 2 hash ops, so the
         # region's (sum-work, max-depth) total is charged in one call.
+        adj = self._adj
+        inter = self._inter
+        cluster = self.sc.cluster
         for u, v in edges:
-            if v not in self._adj[u]:
+            if v not in adj[u]:
                 raise KeyError(f"edge {(u, v)} not present")
-            self._adj[u].remove(v)
-            self._adj[v].remove(u)
-            cu, cv = self.sc.cluster_of(u), self.sc.cluster_of(v)
-            self._bucket(u, cv).discard(v)
-            self._bucket(v, cu).discard(u)
+            adj[u].remove(v)
+            adj[v].remove(u)
+            cu, cv = cluster[u], cluster[v]
+            inter.setdefault((u, cv), set()).discard(v)
+            inter.setdefault((v, cu), set()).discard(u)
             touched.add((u, cv))
             touched.add((v, cu))
         self._cost.pfor_cost(len(edges), 2, depth=1)
@@ -197,9 +276,9 @@ class DecrementalSpanner:
         moved = 0
         for ch in cluster_changes:
             v, oldc, newc = ch.vertex, ch.old_cluster, ch.new_cluster
-            for u in sorted(self._adj[v]):
-                self._bucket(u, oldc).discard(v)
-                self._bucket(u, newc).add(v)
+            for u in sorted(adj[v]):
+                inter.setdefault((u, oldc), set()).discard(v)
+                inter.setdefault((u, newc), set()).add(v)
                 touched.add((u, oldc))
                 touched.add((u, newc))
                 moved += 1

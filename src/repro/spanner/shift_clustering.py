@@ -79,6 +79,23 @@ class TreeEdgeChange:
         return f"TreeEdgeChange({self.vertex}: {self.old}->{self.new})"
 
 
+def _edge_array(edges) -> np.ndarray:
+    """Normalize an undirected edge collection to an ``(m, 2)`` int64
+    array with each row sorted ``(min, max)`` — the vectorized counterpart
+    of mapping :func:`norm_edge` over the list (same self-loop error)."""
+    if isinstance(edges, np.ndarray):
+        arr = edges.astype(np.int64, copy=False).reshape(-1, 2)
+    else:
+        arr = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
+    if len(arr):
+        loops = arr[:, 0] == arr[:, 1]
+        if loops.any():
+            u = int(arr[loops][0, 0])
+            raise ValueError(f"self-loop ({u}, {u})")
+        arr = np.sort(arr, axis=1)
+    return arr
+
+
 def sample_shifts(
     n: int,
     beta: float,
@@ -99,13 +116,15 @@ def sample_shifts(
 
 def _priority_ranks(deltas: Sequence[float]) -> list[int]:
     """PRIORITY permutation: rank 1..n by increasing fractional part, so a
-    larger fractional part means a larger (better) priority."""
-    n = len(deltas)
-    fracs = [(d - math.floor(d), v) for v, d in enumerate(deltas)]
-    pri = [0] * n
-    for rank, (_, v) in enumerate(sorted(fracs), start=1):
-        pri[v] = rank
-    return pri
+    larger fractional part means a larger (better) priority.  (Vectorized;
+    ties in the fractional part break by vertex id, exactly as sorting
+    ``(frac, v)`` pairs does.)"""
+    d = np.asarray(deltas, dtype=np.float64)
+    n = len(d)
+    order = np.lexsort((np.arange(n), d - np.floor(d)))
+    pri = np.empty(n, dtype=np.int64)
+    pri[order] = np.arange(1, n + 1)
+    return pri.tolist()
 
 
 def static_clusters(
@@ -122,68 +141,67 @@ def static_clusters(
     by the PRIORITY permutation.  Runs a level-by-level sweep; used as the
     oracle for :class:`ShiftedClustering`.
     """
-    pri = _priority_ranks(deltas)
-    d_int = [int(math.floor(d)) for d in deltas]
-    t = (max(d_int) + 1) if n else 1
+    if n == 0:
+        return [], [], []
+    pri = np.asarray(_priority_ranks(deltas), dtype=np.int64)
+    darr = np.asarray(deltas, dtype=np.float64)
+    d_int = np.floor(darr).astype(np.int64)
+    t = int(d_int.max()) + 1
 
-    adj: list[list[int]] = [[] for _ in range(n)]
-    for u, v in edges:
-        adj[u].append(v)
-        adj[v].append(u)
+    earr = _edge_array(edges)
+    # both directions of every edge, for whole-frontier relaxation
+    su = np.concatenate([earr[:, 0], earr[:, 1]])
+    sw = np.concatenate([earr[:, 1], earr[:, 0]])
 
-    # dist'(v) in G': BFS by levels. Level of p_i is i; vertex v gets a
-    # "free" arrival at level t - d_v via its head-start edge.
+    # dist'(v) in G': BFS by levels, one vectorized wave per level.  Level
+    # of p_i is i; vertex v gets a "free" arrival at level t - d_v via its
+    # head-start edge.  key(v) = composite priority of v's chosen parent
+    # edge, used to pick max-priority parents deterministically; keys are
+    # distinct per target (the tiebreak component is the relaxing vertex),
+    # so the scalar "first maximum wins" sweep is exactly a grouped max.
     INF = t + 1
-    dist = [INF] * n
-    by_level: list[list[int]] = [[] for _ in range(t + 1)]
-    for v in range(n):
-        by_level[t - d_int[v]].append(v)
+    np1 = n + 1
+    head_level = t - d_int
+    head_key = pri * np1 + n  # composite(v, n)
+    dist = np.full(n, INF, dtype=np.int64)
+    cluster = np.full(n, -1, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)  # -1 encodes None
+    frontier_key = np.full(n, -1, dtype=np.int64)
 
-    cluster = [-1] * n
-    parent: list[int | None] = [None] * n
-    # key(v) = composite priority of v's chosen parent edge; used to pick
-    # max-priority parents deterministically.
-    frontier_key = [-1] * n
-
-    def composite(center: int, tiebreak: int) -> int:
-        return pri[center] * (n + 1) + tiebreak
-
-    settled: list[list[int]] = [[] for _ in range(t + 1)]
     for level in range(t + 1):
-        # head-start arrivals at this level
-        for v in by_level[level]:
-            if dist[v] > level:
-                dist[v] = level
-                cluster[v] = v
-                parent[v] = None
-                frontier_key[v] = composite(v, n)
-            elif dist[v] == level:
-                key = composite(v, n)
-                if key > frontier_key[v]:
-                    cluster[v] = v
-                    parent[v] = None
-                    frontier_key[v] = key
-        for v in range(n):
-            if dist[v] == level:
-                settled[level].append(v)
+        # head-start arrivals at this level (each v arrives exactly once)
+        hv = np.nonzero(head_level == level)[0]
+        if len(hv):
+            fresh = dist[hv] > level
+            tie = (dist[hv] == level) & (head_key[hv] > frontier_key[hv])
+            take = hv[fresh | tie]
+            dist[take] = level
+            cluster[take] = take
+            parent[take] = -1
+            frontier_key[take] = head_key[take]
         if level == t:
             break
-        # relax edges from level to level + 1
-        for u in settled[level]:
-            for w in adj[u]:
-                if dist[w] < level + 1:
-                    continue
-                key = composite(cluster[u], u)
-                if dist[w] > level + 1:
-                    dist[w] = level + 1
-                    cluster[w] = cluster[u]
-                    parent[w] = u
-                    frontier_key[w] = key
-                elif key > frontier_key[w]:
-                    cluster[w] = cluster[u]
-                    parent[w] = u
-                    frontier_key[w] = key
-    return cluster, parent, dist
+        # relax all edges out of the level-``level`` frontier at once
+        from_mask = dist[su] == level
+        cu, cw = su[from_mask], sw[from_mask]
+        open_mask = dist[cw] >= level + 1
+        cu, cw = cu[open_mask], cw[open_mask]
+        if len(cw) == 0:
+            continue
+        keys = pri[cluster[cu]] * np1 + cu
+        order = np.lexsort((keys, cw))
+        cu, cw, keys = cu[order], cw[order], keys[order]
+        last = np.ones(len(cw), dtype=bool)
+        last[:-1] = cw[1:] != cw[:-1]
+        gu, gw, gk = cu[last], cw[last], keys[last]
+        dist[gw] = level + 1
+        cluster[gw] = cluster[gu]
+        parent[gw] = gu
+        frontier_key[gw] = gk
+    par_list: list[int | None] = [
+        None if p < 0 else p for p in parent.tolist()
+    ]
+    return cluster.tolist(), par_list, dist.tolist()
 
 
 class ShiftedClustering:
@@ -199,12 +217,17 @@ class ShiftedClustering:
     ) -> None:
         self.n = n
         self._cost = cost
-        edges = [norm_edge(u, v) for u, v in edges]
-        if len(set(edges)) != len(edges):
-            raise ValueError("duplicate undirected edges")
+        earr0 = _edge_array(edges)
+        if len(earr0):
+            enc = earr0[:, 0] * n + earr0[:, 1]
+            if len(np.unique(enc)) != len(enc):
+                raise ValueError("duplicate undirected edges")
         self.pri = _priority_ranks(deltas)
-        self.d_int = [int(math.floor(d)) for d in deltas]
-        self.t = (max(self.d_int) + 1) if n else 1
+        d_arr = np.floor(
+            np.asarray(deltas, dtype=np.float64)
+        ).astype(np.int64)
+        self.d_int = d_arr.tolist()
+        self.t = (int(d_arr.max()) + 1) if n else 1
         self._cascade_cap = cascade_cap
 
         # --- build G' --------------------------------------------------
@@ -219,38 +242,55 @@ class ShiftedClustering:
         # compute them statically first (level sweep), then build the ES
         # tree with the final composite priorities.  The ES tree's own
         # parent selection reproduces the same clusters (asserted below).
-        cluster0, _, _ = static_clusters(n, edges, deltas)
+        cluster0, _, _ = static_clusters(n, earr0, deltas)
 
-        dir_edges: list[tuple[int, int]] = []
-        priority: dict[tuple[int, int], int] = {}
-        for u, v in edges:
-            dir_edges.append((u, v))
-            priority[(u, v)] = self._composite(cluster0[u], u)
-            dir_edges.append((v, u))
-            priority[(v, u)] = self._composite(cluster0[v], v)
-        for i in range(self.t - 1):
-            dir_edges.append((n + i, n + i + 1))
-            priority[(n + i, n + i + 1)] = 1
-        for v in range(n):
-            head = n + (self.t - 1 - self.d_int[v])
-            dir_edges.append((head, v))
-            priority[(head, v)] = self._composite(v, n)
-
-        self.es = BatchDynamicESTree(
+        # G' as flat arrays: both directions of every original edge, the
+        # path chain, and one head-start edge per vertex, with composite
+        # priorities computed as whole-array gathers.  The array-native ES
+        # constructor is charge-identical to the scalar one over the same
+        # edge multiset (order within the arrays is immaterial: per-vertex
+        # IN arrays sort by priority and the init charges are closed-form).
+        t = self.t
+        eu, ev = earr0[:, 0], earr0[:, 1]
+        pri_arr = np.asarray(self.pri, dtype=np.int64)
+        cl0 = np.asarray(cluster0, dtype=np.int64)
+        d_arr = np.asarray(self.d_int, dtype=np.int64)
+        chain = np.arange(t - 1, dtype=np.int64)
+        vids = np.arange(n, dtype=np.int64)
+        src = np.concatenate([eu, ev, n + chain, n + (t - 1) - d_arr])
+        dst = np.concatenate([ev, eu, n + chain + 1, vids])
+        np1 = n + 1
+        pri = np.concatenate([
+            pri_arr[cl0[eu]] * np1 + eu,
+            pri_arr[cl0[ev]] * np1 + ev,
+            np.ones(t - 1, dtype=np.int64),
+            pri_arr * np1 + n,
+        ])
+        self.es = BatchDynamicESTree.from_arrays(
             n_aug,
-            dir_edges,
+            src,
+            dst,
+            pri,
             source=self._path0,
-            limit=self.t,
-            priority=priority,
+            limit=t,
             universe=self._universe,
             cost=cost,
         )
-        # Derive clusters from the tree parents; must agree with the sweep.
-        self.cluster: list[int] = [-1] * n
-        for v in self._vertices_by_level():
-            p = self.es.parent_of(v)
-            assert p is not None, f"vertex {v} unreachable in G'"
-            self.cluster[v] = v if p >= n else self.cluster[p]
+        # Derive clusters from the tree parents (level by level, so a
+        # parent's cluster is settled before its children read it); must
+        # agree with the sweep.
+        par_n = self.es.parent[:n]
+        assert None not in par_n, "original vertex unreachable in G'"
+        par_arr = np.asarray(par_n, dtype=np.int64)
+        dist_n = np.asarray(self.es.dist[:n], dtype=np.int64)
+        cl_arr = np.full(n, -1, dtype=np.int64)
+        centers = par_arr >= n
+        cl_arr[centers] = np.nonzero(centers)[0]
+        for level in range(1, t + 1):
+            vs = np.nonzero(~centers & (dist_n == level))[0]
+            if len(vs):
+                cl_arr[vs] = cl_arr[par_arr[vs]]
+        self.cluster: list[int] = cl_arr.tolist()
         assert self.cluster == cluster0, "ES-tree clusters diverge from sweep"
         #: instrumentation: total cluster reassignments over the lifetime
         #: (Lemma 3.6 bounds the per-vertex expectation by 2 t log n)
@@ -260,11 +300,6 @@ class ShiftedClustering:
 
     def _composite(self, center: int, tiebreak: int) -> int:
         return self.pri[center] * (self.n + 1) + tiebreak
-
-    def _vertices_by_level(self) -> list[int]:
-        order = [v for v in range(self.n)]
-        order.sort(key=lambda v: self.es.dist_of(v))
-        return order
 
     def _real_parent_edge(self, v: int) -> Edge | None:
         p = self.es.parent_of(v)

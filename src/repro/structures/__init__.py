@@ -2,6 +2,9 @@
 
 from repro.structures.hashdict import BatchDict, BatchSet
 from repro.structures.ordered_list import OrderedMap
-from repro.structures.priority_array import PriorityArray
+from repro.structures.priority_array import PriorityArray, VectorPredicate
 
-__all__ = ["BatchDict", "BatchSet", "OrderedMap", "PriorityArray"]
+__all__ = [
+    "BatchDict", "BatchSet", "OrderedMap", "PriorityArray",
+    "VectorPredicate",
+]

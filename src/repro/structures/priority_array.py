@@ -15,6 +15,17 @@ where thousands of small arrays are built per run.  The *charges* below are
 the analytic Lemma 3.1 costs of the paper's (parallel, universe-indexed)
 structure and are independent of this sequential implementation choice.
 
+Array-native fast paths (the substrate refactor): a batch constructor call
+with integer priorities takes a **bulk path** — one ``np.argsort`` over the
+priority array instead of per-item validation and insertion-sort — and the
+scalar dict/list state materializes lazily on the first operation that
+needs it.  ``next_with`` accepts a :class:`VectorPredicate`, whose batch
+evaluator runs each galloping phase as one numpy comparison over the
+position-ordered value array instead of per-position Python calls.  Both
+paths charge the identical closed-form Lemma 3.1 costs (the charges are
+functions of the item count and the scan schedule, not of the loop shape),
+so ``tools/bench_gate.py``'s pinned work/depth constants hold byte-for-byte.
+
 Work/depth charges (Lemma 3.1):
 
 =====================  ====================  ===========
@@ -33,9 +44,34 @@ from __future__ import annotations
 from bisect import bisect_left, insort
 from typing import Any, Callable, Iterator
 
+import numpy as np
+
 from repro.pram.cost import NULL_COST_MODEL, CostModel, log2ceil
 
-__all__ = ["PriorityArray"]
+__all__ = ["PriorityArray", "VectorPredicate"]
+
+
+class VectorPredicate:
+    """A ``next_with`` predicate with a batch evaluator.
+
+    ``scalar`` is the usual per-value callable; ``vector`` maps a numpy
+    array of values to a boolean mask with the same semantics.  The two
+    must agree — ``next_with`` uses whichever fits the storage it scans,
+    and the answer (and charge) is identical either way.
+    """
+
+    __slots__ = ("scalar", "vector")
+
+    def __init__(
+        self,
+        scalar: Callable[[Any], bool],
+        vector: Callable[[np.ndarray], np.ndarray],
+    ) -> None:
+        self.scalar = scalar
+        self.vector = vector
+
+    def __call__(self, value: Any) -> bool:
+        return self.scalar(value)
 
 
 class PriorityArray:
@@ -52,7 +88,8 @@ class PriorityArray:
         Work/depth accounting sink.
     """
 
-    __slots__ = ("_universe", "_cost", "_values", "_sorted")
+    __slots__ = ("_universe", "_cost", "_values", "_sorted",
+                 "_bulk_pri", "_bulk_vals")
 
     def __init__(
         self,
@@ -64,7 +101,23 @@ class PriorityArray:
             raise ValueError("universe must be positive")
         self._universe = universe
         self._cost = cost
-        self._values: dict[int, Any] = {}
+        # lazy bulk state: priorities ascending + values in *position*
+        # (descending-priority) order; scalar dict/list state materializes
+        # on the first operation that needs it
+        self._bulk_pri: np.ndarray | None = None
+        self._bulk_vals: list[Any] | np.ndarray | None = None
+        n = self._init_items(items)
+        # Initialization: O(l log U) work, O(log U) depth (parallel descent).
+        cost.charge(work=n * log2ceil(universe), depth=log2ceil(universe))
+
+    def _init_items(self, items) -> int:
+        if not isinstance(items, (list, tuple)):
+            items = list(items)
+        if len(items) >= 32:
+            n = self._try_bulk_init(items)
+            if n is not None:
+                return n
+        self._values = {}
         n = 0
         for value, priority in items:
             self._check_priority(priority)
@@ -73,12 +126,104 @@ class PriorityArray:
             self._values[priority] = value
             n += 1
         self._sorted: list[int] = sorted(self._values)
-        # Initialization: O(l log U) work, O(log U) depth (parallel descent).
-        cost.charge(work=n * log2ceil(universe), depth=log2ceil(universe))
+        return n
+
+    def _try_bulk_init(self, items: list) -> int | None:
+        """Vectorized batch build; None = fall back to the scalar loop
+        (non-integer priorities or a validation error that the scalar
+        loop reports with its exact per-item message)."""
+        vals = [it[0] for it in items]
+        try:
+            pri = np.asarray([it[1] for it in items])
+        except (ValueError, TypeError):
+            return None
+        if pri.dtype.kind not in "iu" or pri.ndim != 1:
+            return None
+        if ((pri < 0) | (pri >= self._universe)).any():
+            return None  # scalar loop raises the exact range error
+        order = np.argsort(pri, kind="stable")
+        spri = pri[order]
+        if len(spri) > 1 and (spri[1:] == spri[:-1]).any():
+            return None  # scalar loop raises the exact duplicate error
+        self._bulk_pri = spri.astype(np.int64)
+        # values in position order (position 1 = largest priority)
+        rev = order[::-1]
+        varr = np.asarray(vals)
+        if varr.dtype != object and varr.shape == (len(items),):
+            self._bulk_vals = varr[rev]
+        else:
+            self._bulk_vals = [vals[i] for i in rev.tolist()]
+        self._values = None  # type: ignore[assignment]
+        self._sorted = None  # type: ignore[assignment]
+        return len(items)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        universe: int,
+        values,
+        priorities,
+        cost: CostModel = NULL_COST_MODEL,
+    ) -> "PriorityArray":
+        """Array-native bulk builder: aligned ``values``/``priorities``.
+
+        The fully vectorized construction path — validation (range,
+        distinctness) and ordering are numpy operations, no per-item
+        Python.  Charges the identical Lemma 3.1 initialization cost as
+        ``PriorityArray(universe, items)`` over the same item count, and
+        the resulting structure is behaviourally identical.
+        """
+        if universe < 1:
+            raise ValueError("universe must be positive")
+        pri = np.asarray(priorities)
+        vals = np.asarray(values)
+        if pri.ndim != 1 or pri.dtype.kind not in "iu":
+            raise ValueError("priorities must be a 1-d integer array")
+        if vals.shape[:1] != pri.shape:
+            raise ValueError("values/priorities length mismatch")
+        if len(pri):
+            bad = (pri < 0) | (pri >= universe)
+            if bad.any():
+                raise ValueError(
+                    f"priority {int(pri[bad][0])} outside universe "
+                    f"[0, {universe})"
+                )
+        order = np.argsort(pri, kind="stable")
+        spri = pri[order].astype(np.int64)
+        if len(spri) > 1:
+            dup = spri[1:] == spri[:-1]
+            if dup.any():
+                d = int(spri[int(np.nonzero(dup)[0][0]) + 1])
+                raise ValueError(f"duplicate priority {d}")
+        pa = cls.__new__(cls)
+        pa._universe = universe
+        pa._cost = cost
+        pa._bulk_pri = spri
+        pa._bulk_vals = vals[order[::-1]]
+        pa._values = None  # type: ignore[assignment]
+        pa._sorted = None  # type: ignore[assignment]
+        cost.charge(
+            work=len(pri) * log2ceil(universe), depth=log2ceil(universe)
+        )
+        return pa
+
+    def _materialize(self) -> None:
+        """Expand lazy bulk state into the scalar dict + sorted list."""
+        if self._bulk_pri is None:
+            return
+        pri = self._bulk_pri.tolist()
+        vals = self._bulk_vals
+        if isinstance(vals, np.ndarray):
+            vals = vals.tolist()
+        self._sorted = pri
+        self._values = dict(zip(reversed(pri), vals))
+        self._bulk_pri = None
+        self._bulk_vals = None
 
     # -- internal ordered index ---------------------------------------------
 
     def _insert(self, priority: int, value: Any) -> None:
+        self._materialize()
         self._check_priority(priority)
         if priority in self._values:
             raise ValueError(f"duplicate priority {priority}")
@@ -86,17 +231,20 @@ class PriorityArray:
         insort(self._sorted, priority)
 
     def _delete(self, priority: int) -> Any:
+        self._materialize()
         value = self._values.pop(priority)
         del self._sorted[bisect_left(self._sorted, priority)]
         return value
 
     def _kth_largest(self, k: int) -> int:
         """Priority of the element at (1-based) position ``k``."""
+        self._materialize()
         return self._sorted[-k]
 
     def _rank_from_top(self, priority: int) -> int:
         """Number of stored priorities >= ``priority`` (1-based position if
         ``priority`` itself is stored)."""
+        self._materialize()
         return len(self._sorted) - bisect_left(self._sorted, priority)
 
     def _check_priority(self, priority: int) -> None:
@@ -108,6 +256,8 @@ class PriorityArray:
     # -- Lemma 3.1 interface -------------------------------------------------
 
     def __len__(self) -> int:
+        if self._bulk_pri is not None:
+            return len(self._bulk_pri)
         return len(self._sorted)
 
     @property
@@ -120,6 +270,9 @@ class PriorityArray:
         if not 1 <= k <= len(self):
             raise IndexError(f"position {k} out of range [1, {len(self)}]")
         self._cost.charge_tree_op(self._universe)
+        if self._bulk_pri is not None:
+            v = self._bulk_vals[k - 1]
+            return v.item() if isinstance(v, np.generic) else v
         return self._values[self._sorted[-k]]
 
     def priority_at(self, k: int) -> int:
@@ -127,11 +280,14 @@ class PriorityArray:
         if not 1 <= k <= len(self):
             raise IndexError(f"position {k} out of range [1, {len(self)}]")
         self._cost.charge_tree_op(self._universe)
+        if self._bulk_pri is not None:
+            return int(self._bulk_pri[-k])
         return self._sorted[-k]
 
     def find(self, priority: int) -> tuple[Any, int]:
         """Return ``(value, position)`` of the element with ``priority``;
         the position equals the number of elements with priority >= it."""
+        self._materialize()
         self._check_priority(priority)
         if priority not in self._values:
             raise KeyError(f"no element with priority {priority}")
@@ -143,10 +299,15 @@ class PriorityArray:
         need not itself be stored)."""
         self._check_priority(priority)
         self._cost.charge_tree_op(self._universe)
+        if self._bulk_pri is not None:
+            return len(self._bulk_pri) - int(
+                np.searchsorted(self._bulk_pri, priority, side="left")
+            )
         return self._rank_from_top(priority)
 
     def update_value(self, k: int, value: Any) -> None:
         """Set the value of the element at position ``k``."""
+        self._materialize()
         if not 1 <= k <= len(self):
             raise IndexError(f"position {k} out of range [1, {len(self)}]")
         self._cost.charge_tree_op(self._universe)
@@ -154,6 +315,7 @@ class PriorityArray:
 
     def update_priority(self, k: int, priority: int) -> None:
         """Move the element at position ``k`` to a new (distinct) priority."""
+        self._materialize()
         if not 1 <= k <= len(self):
             raise IndexError(f"position {k} out of range [1, {len(self)}]")
         self._check_priority(priority)
@@ -173,6 +335,7 @@ class PriorityArray:
 
     def delete_priority(self, priority: int) -> Any:
         """Remove and return the element with ``priority`` (extension)."""
+        self._materialize()
         self._check_priority(priority)
         if priority not in self._values:
             raise KeyError(f"no element with priority {priority}")
@@ -184,14 +347,25 @@ class PriorityArray:
         ``len(self) + 1`` if none exists (the paper's NextWith).
 
         Runs the exponential-search schedule of Lemma 3.1: phase ``i`` scans
-        positions ``[p, p + 2^i)`` in parallel.
+        positions ``[p, p + 2^i)`` in parallel.  With a
+        :class:`VectorPredicate` on numeric bulk storage each phase is one
+        vectorized comparison; the phase schedule — and therefore the
+        charge — is identical to the scalar scan.
         """
         n = len(self)
         if k < 1:
             raise IndexError("position must be >= 1")
         logu = log2ceil(self._universe)
-        values = self._values
-        order = self._sorted
+        vec = getattr(predicate, "vector", None)
+        varr: np.ndarray | None = None
+        if vec is not None and self._bulk_pri is not None and isinstance(
+            self._bulk_vals, np.ndarray
+        ):
+            varr = self._bulk_vals
+        if varr is None:
+            self._materialize()
+            values = self._values
+            order = self._sorted
         pos = k
         span = 1
         while pos <= n:
@@ -200,9 +374,14 @@ class PriorityArray:
             self._cost.charge(
                 work=(end - pos + 1) * logu, depth=logu
             )
-            for q in range(pos, end + 1):
-                if predicate(values[order[-q]]):
-                    return q
+            if varr is not None:
+                mask = np.asarray(vec(varr[pos - 1:end]))
+                if mask.any():
+                    return pos + int(mask.argmax())
+            else:
+                for q in range(pos, end + 1):
+                    if predicate(values[order[-q]]):
+                        return q
             pos = end + 1
             span *= 2
         return n + 1
@@ -211,9 +390,12 @@ class PriorityArray:
 
     def items_by_position(self) -> Iterator[tuple[int, int, Any]]:
         """Yield ``(position, priority, value)`` in position order."""
+        self._materialize()
         for k, p in enumerate(reversed(self._sorted), start=1):
             yield k, p, self._values[p]
 
     def priorities(self) -> set[int]:
         """The set of stored priorities (testing helper)."""
+        if self._bulk_pri is not None:
+            return set(self._bulk_pri.tolist())
         return set(self._values)

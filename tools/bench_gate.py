@@ -45,7 +45,7 @@ sys.path.insert(0, str(ROOT / "src"))
 from repro.pram import CostModel  # noqa: E402
 from repro.service.driver import ServeConfig, run_serve  # noqa: E402
 from repro.spanner import FullyDynamicSpanner  # noqa: E402
-from repro.structures import PriorityArray  # noqa: E402
+from repro.structures import PriorityArray, VectorPredicate  # noqa: E402
 from repro.workloads import mixed_stream  # noqa: E402
 
 BASELINE_PATH = ROOT / "BENCH_hotpath.json"
@@ -55,6 +55,12 @@ LATEST_PATH = ROOT / "BENCH_hotpath.latest.json"
 GATED_FIELDS = ("ops_per_sec",)
 #: cost-model fields that must match the baseline exactly
 EXACT_FIELDS = ("work", "depth")
+#: headroom factor applied when (re)writing memory ceilings
+MEMORY_HEADROOM = 1.5
+
+#: snapshot adjacency substrate the serving scenarios run on; set from
+#: --substrate so CI can gate both backends (charges must not move)
+SUBSTRATE = "array"
 
 
 def _best_of(repeats: int, fn):
@@ -108,11 +114,13 @@ def bench_srv_service_throughput(smoke: bool) -> dict:
     if smoke:
         cfg = ServeConfig(n=48, m=160, requests=600, seed=11, shards=2,
                           processes=False, max_delay=8e-3,
-                          queue_capacity=4096, max_batch=100_000)
+                          queue_capacity=4096, max_batch=100_000,
+                          substrate=SUBSTRATE)
     else:
         cfg = ServeConfig(n=192, m=768, requests=6000, seed=11, shards=2,
                           processes=False, max_delay=8e-3,
-                          queue_capacity=4096, max_batch=100_000)
+                          queue_capacity=4096, max_batch=100_000,
+                          substrate=SUBSTRATE)
     best_rps = 0.0
     report = None
     for _ in range(1 if smoke else 3):
@@ -131,25 +139,33 @@ def bench_srv_service_throughput(smoke: bool) -> dict:
 
 def bench_s_substrates(smoke: bool) -> dict:
     """Pinned Lemma 3.1 substrate loop: PriorityArray construction plus
-    the NextWith galloping scans of ``bench_s_substrates``."""
+    the NextWith galloping scans of ``bench_s_substrates``, on the
+    array-native bulk path (``from_arrays`` + ``VectorPredicate``) — same
+    item/scan counts and byte-identical charges as the scalar loop."""
+    import numpy as np
+
     if smoke:
         universe, size, targets = 1 << 10, 256, (8, 64, 256)
         inner = 1
     else:
         universe, size, targets = 1 << 14, 4096, (8, 64, 512, 4096)
-        # one build+scan pass lasts ~2 ms — far too short a window to gate
-        # at 15% (run-to-run noise alone exceeds that); repeating it inside
-        # the timed region stretches the window to tens of milliseconds
+        # one build+scan pass lasts well under a millisecond — far too
+        # short a window to gate at 15% (run-to-run noise alone exceeds
+        # that); repeating it inside the timed region stretches the window
         inner = 16
 
     def once(cost=None):
         kw = {"cost": cost} if cost is not None else {}
-        pa = PriorityArray(
-            universe,
-            [(i, (universe - 2) - i) for i in range(size)], **kw
+        vals = np.arange(size)
+        pa = PriorityArray.from_arrays(
+            universe, vals, (universe - 2) - vals, **kw
         )
         for target in targets:
-            q = pa.next_with(1, lambda v: v == target - 1)
+            pred = VectorPredicate(
+                lambda v, t=target: v == t - 1,
+                lambda a, t=target: a == t - 1,
+            )
+            q = pa.next_with(1, pred)
             assert q == target
         return pa
 
@@ -215,9 +231,10 @@ def bench_srv3_read_mix(smoke: bool) -> dict:
     from repro.queries.bench import BenchQueriesConfig, run_bench_queries
 
     if smoke:
-        cfg = BenchQueriesConfig(requests=800, repeats=1)
+        cfg = BenchQueriesConfig(requests=800, repeats=1,
+                                 substrate=SUBSTRATE)
     else:
-        cfg = BenchQueriesConfig(repeats=3)
+        cfg = BenchQueriesConfig(repeats=3, substrate=SUBSTRATE)
     report = run_bench_queries(cfg)
     assert report.verified, report.violations
     if not smoke:
@@ -269,9 +286,21 @@ def measure(smoke: bool) -> dict:
         # machine-dependent; peak RSS is the process high-water mark, so
         # per-scenario values are monotone over the run order)
         row["wall_seconds"] = round(time.perf_counter() - t0, 3)
+        # peak RSS is the process high-water mark, so per-scenario values
+        # are monotone over the run order; each is gated against its own
+        # committed ceiling (see compare)
         row["peak_rss_mb"] = round(_peak_rss_mb(), 1)
         out["scenarios"][name] = row
     return out
+
+
+def set_memory_ceilings(doc: dict) -> None:
+    """Stamp each scenario's ``peak_rss_mb_ceiling`` from its measured
+    ``peak_rss_mb`` with :data:`MEMORY_HEADROOM` headroom."""
+    for row in doc.get("scenarios", {}).values():
+        peak = row.get("peak_rss_mb")
+        if peak:
+            row["peak_rss_mb_ceiling"] = round(peak * MEMORY_HEADROOM, 1)
 
 
 def compare(current: dict, baseline: dict, threshold: float,
@@ -294,6 +323,18 @@ def compare(current: dict, baseline: dict, threshold: float,
                 )
         if not gate_throughput:
             continue
+        # enforced memory ceiling (full runs only: smoke sizes differ).
+        # RSS is machine-dependent but bounded — a blowup past the
+        # committed ceiling means a copy crept into a hot path; refresh
+        # intentional footprint changes with --update-memory
+        ceiling = base.get("peak_rss_mb_ceiling")
+        peak = cur.get("peak_rss_mb")
+        if ceiling and peak and peak > ceiling:
+            failures.append(
+                f"{name}: peak_rss_mb {peak} exceeds the committed "
+                f"ceiling {ceiling} (rerun with --update-memory for "
+                "intentional footprint changes)"
+            )
         for field in GATED_FIELDS:
             b, c = base.get(field), cur.get(field)
             if not b:
@@ -313,9 +354,21 @@ def main(argv: list[str] | None = None) -> int:
                     help="miniature sizes, no wall-clock gating (CI)")
     ap.add_argument("--update-baseline", action="store_true",
                     help=f"rewrite {BASELINE_PATH.name} from this run")
+    ap.add_argument("--update-memory", action="store_true",
+                    help="rewrite only the peak_rss_mb ceilings in "
+                         f"{BASELINE_PATH.name} from this run (escape "
+                         "hatch for intentional footprint changes)")
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="allowed fractional throughput regression")
+    ap.add_argument("--substrate", choices=["array", "dict"],
+                    default="array",
+                    help="snapshot adjacency substrate for the serving "
+                         "scenarios (charges must match the baseline on "
+                         "both)")
     args = ap.parse_args(argv)
+
+    global SUBSTRATE
+    SUBSTRATE = args.substrate
 
     current = measure(args.smoke)
 
@@ -323,8 +376,28 @@ def main(argv: list[str] | None = None) -> int:
         if args.smoke:
             print("[bench_gate] refusing to baseline smoke-sized runs")
             return 2
+        set_memory_ceilings(current)
         BASELINE_PATH.write_text(json.dumps(current, indent=2) + "\n")
         print(f"[bench_gate] baseline written to {BASELINE_PATH}")
+        return 0
+
+    if args.update_memory:
+        if args.smoke:
+            print("[bench_gate] refusing to set ceilings from smoke runs")
+            return 2
+        if not BASELINE_PATH.exists():
+            print(f"[bench_gate] no committed baseline at {BASELINE_PATH}")
+            return 2
+        baseline = json.loads(BASELINE_PATH.read_text())
+        for name, row in current["scenarios"].items():
+            base = baseline.get("scenarios", {}).get(name)
+            peak = row.get("peak_rss_mb")
+            if base is not None and peak:
+                base["peak_rss_mb_ceiling"] = round(
+                    peak * MEMORY_HEADROOM, 1
+                )
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"[bench_gate] memory ceilings rewritten in {BASELINE_PATH}")
         return 0
 
     LATEST_PATH.write_text(json.dumps(current, indent=2) + "\n")
